@@ -1,0 +1,124 @@
+//! Synthetic document corpus generation.
+//!
+//! Documents are drawn from a Zipf-distributed vocabulary so term
+//! frequencies look like natural text (a few very common words, a long
+//! tail), which gives the inverted index realistic posting-list shapes.
+
+use solros_baseline::FileStore;
+use solros_proto::rpc_error::RpcErr;
+use solros_simkit::DetRng;
+
+/// Corpus shape parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Number of documents.
+    pub docs: usize,
+    /// Approximate bytes per document.
+    pub doc_bytes: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Zipf skew in `(0, 1)`.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CorpusSpec {
+    /// A small corpus for tests.
+    pub fn small() -> Self {
+        CorpusSpec {
+            docs: 20,
+            doc_bytes: 8_000,
+            vocab: 500,
+            skew: 0.8,
+            seed: 42,
+        }
+    }
+}
+
+/// Deterministically generates the word with index `i`.
+pub fn word(i: usize) -> String {
+    // Base-26 encoding gives distinct, realistic-looking tokens.
+    let mut n = i + 1;
+    let mut s = String::new();
+    while n > 0 {
+        s.push((b'a' + ((n - 1) % 26) as u8) as char);
+        n = (n - 1) / 26;
+    }
+    s
+}
+
+/// Generates one document's text.
+pub fn document_text(spec: &CorpusSpec, doc: usize) -> String {
+    let mut rng = DetRng::seed(spec.seed ^ (doc as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut text = String::with_capacity(spec.doc_bytes + 16);
+    while text.len() < spec.doc_bytes {
+        let w = rng.zipf(spec.vocab, spec.skew);
+        text.push_str(&word(w));
+        text.push(' ');
+    }
+    text
+}
+
+/// Writes the corpus under `dir` (one file per document, named `doc-N`).
+/// Returns total bytes written.
+pub fn generate_corpus<S: FileStore + ?Sized>(
+    store: &S,
+    dir: &str,
+    spec: &CorpusSpec,
+) -> Result<u64, RpcErr> {
+    match store.mkdir(dir) {
+        Ok(()) | Err(RpcErr::Exists) => {}
+        Err(e) => return Err(e),
+    }
+    let mut total = 0u64;
+    for d in 0..spec.docs {
+        let text = document_text(spec, d);
+        let path = format!("{dir}/doc-{d}");
+        let handle = store.create(&path)?;
+        store.write_at(handle, 0, text.as_bytes())?;
+        total += text.len() as u64;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2000 {
+            assert!(seen.insert(word(i)), "duplicate word for {i}");
+        }
+        assert_eq!(word(0), "a");
+        assert_eq!(word(25), "z");
+        assert_eq!(word(26), "aa");
+    }
+
+    #[test]
+    fn documents_are_deterministic_and_sized() {
+        let spec = CorpusSpec::small();
+        let a = document_text(&spec, 3);
+        let b = document_text(&spec, 3);
+        assert_eq!(a, b);
+        assert!(a.len() >= spec.doc_bytes);
+        assert!(a.len() < spec.doc_bytes + 64);
+        let c = document_text(&spec, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_makes_common_words_common() {
+        let spec = CorpusSpec {
+            doc_bytes: 50_000,
+            ..CorpusSpec::small()
+        };
+        let text = document_text(&spec, 0);
+        let the = word(0);
+        let rare = word(spec.vocab - 1);
+        let count = |w: &str| text.split(' ').filter(|t| *t == w).count();
+        assert!(count(&the) > count(&rare) * 3, "skew not visible");
+    }
+}

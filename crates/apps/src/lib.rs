@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Realistic I/O-intensive applications (§6.2 of the paper).
+//!
+//! The paper evaluates Solros on two applications whose working sets live
+//! on the NVMe SSD and whose compute is data-parallel (a good fit for the
+//! co-processor):
+//!
+//! * **Text indexing** ([`text_index`]): build an inverted index over a
+//!   document corpus — tokenization is embarrassingly parallel, but every
+//!   byte must come off the disk. Solros improves it ~19× over the stock
+//!   Xeon Phi because the stock I/O path is the bottleneck.
+//! * **Image search** ([`image_search`]): nearest-neighbour search over a
+//!   database of image feature vectors — heavier compute per byte, so the
+//!   I/O-path improvement yields ~2×.
+//!
+//! Both applications are written against
+//! [`solros_baseline::FileStore`], so the identical application body runs
+//! on the Solros data plane, Phi-virtio, Phi-NFS, and the host-centric
+//! mediation path.
+
+pub mod corpus;
+pub mod image_search;
+pub mod text_index;
+
+pub use corpus::{generate_corpus, CorpusSpec};
+pub use image_search::{ImageDb, SearchResult};
+pub use text_index::{distributed_index, read_index, write_index, IndexStats, TextIndexer};

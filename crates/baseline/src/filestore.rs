@@ -1,0 +1,73 @@
+//! A uniform file API over Solros and the baselines.
+//!
+//! The example applications (text indexing, image search) are written
+//! against this trait so the same application body runs unmodified on the
+//! Solros data plane, Phi-virtio, Phi-NFS, and the host-centric path —
+//! exactly how the paper evaluates them.
+
+use solros::fs_api::CoprocFs;
+use solros_proto::rpc_error::RpcErr;
+
+/// Minimal file operations every stack provides.
+pub trait FileStore: Send + Sync {
+    /// Creates a file, returning its handle.
+    fn create(&self, path: &str) -> Result<u64, RpcErr>;
+    /// Opens a file (optionally creating it), returning `(handle, size)`.
+    fn open(&self, path: &str, create: bool) -> Result<(u64, u64), RpcErr>;
+    /// Reads at an offset; returns bytes read (short at EOF).
+    fn read_at(&self, handle: u64, offset: u64, buf: &mut [u8]) -> Result<usize, RpcErr>;
+    /// Writes at an offset; returns bytes written.
+    fn write_at(&self, handle: u64, offset: u64, data: &[u8]) -> Result<usize, RpcErr>;
+    /// Returns a file's size by path.
+    fn size_of(&self, path: &str) -> Result<u64, RpcErr>;
+    /// Lists directory entries.
+    fn readdir(&self, path: &str) -> Result<Vec<String>, RpcErr>;
+    /// Creates a directory.
+    fn mkdir(&self, path: &str) -> Result<(), RpcErr>;
+}
+
+impl FileStore for CoprocFs {
+    fn create(&self, path: &str) -> Result<u64, RpcErr> {
+        CoprocFs::create(self, path).map(|h| h.0)
+    }
+
+    fn open(&self, path: &str, create: bool) -> Result<(u64, u64), RpcErr> {
+        CoprocFs::open(self, path, create, false, false).map(|(h, size)| (h.0, size))
+    }
+
+    fn read_at(&self, handle: u64, offset: u64, buf: &mut [u8]) -> Result<usize, RpcErr> {
+        CoprocFs::read_at(self, solros::fs_api::FileHandle(handle), offset, buf)
+    }
+
+    fn write_at(&self, handle: u64, offset: u64, data: &[u8]) -> Result<usize, RpcErr> {
+        CoprocFs::write_at(self, solros::fs_api::FileHandle(handle), offset, data)
+    }
+
+    fn size_of(&self, path: &str) -> Result<u64, RpcErr> {
+        CoprocFs::stat(self, path).map(|s| s.size)
+    }
+
+    fn readdir(&self, path: &str) -> Result<Vec<String>, RpcErr> {
+        CoprocFs::readdir(self, path)
+    }
+
+    fn mkdir(&self, path: &str) -> Result<(), RpcErr> {
+        CoprocFs::mkdir(self, path)
+    }
+}
+
+/// Maps local file-system errors to the shared error space.
+pub fn map_fs_err(e: solros_fs::FsError) -> RpcErr {
+    use solros_fs::FsError;
+    match e {
+        FsError::NotFound => RpcErr::NotFound,
+        FsError::Exists => RpcErr::Exists,
+        FsError::NotDir => RpcErr::NotDir,
+        FsError::IsDir => RpcErr::IsDir,
+        FsError::NotEmpty => RpcErr::NotEmpty,
+        FsError::NoSpace => RpcErr::NoSpace,
+        FsError::TooLarge => RpcErr::TooLarge,
+        FsError::InvalidPath => RpcErr::Invalid,
+        FsError::Corrupt | FsError::Io(_) => RpcErr::Io,
+    }
+}

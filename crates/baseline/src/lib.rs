@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Baseline architectures the paper compares against.
+//!
+//! Three I/O paths from a co-processor to storage/network, besides Solros:
+//!
+//! * **Phi-virtio** (§6.1.2): the full file system runs *on* the Xeon Phi
+//!   over a `virtblk` device; a host-side SCIF module relays block
+//!   requests and CPU-copies every byte across PCIe, with an interrupt
+//!   per request — [`virtio::VirtioFs`] (functional) +
+//!   [`perf::VirtioPerf`] (timed).
+//! * **Phi-NFS**: an NFS client on the Phi against the host's exported
+//!   file system, chunked at `rsize`/`wsize` with chatty attribute
+//!   revalidation — [`nfs::NfsClient`] + [`perf::NfsPerf`].
+//! * **Host-centric** (§3, Figure 2a): a host application mediates: data
+//!   is staged in host memory and copied again into co-processor memory,
+//!   doubling PCIe usage — [`hostcentric::HostCentric`].
+//!
+//! The on-Phi TCP baseline is the `PhiLinux` stack kind of
+//! [`solros_netdev::perf::NetPerf`]; functionally it uses the same fabric.
+//!
+//! [`filestore::FileStore`] is the uniform file API the example
+//! applications are written against, implemented by Solros's data-plane
+//! stub and by every baseline, so one application body runs on all stacks.
+
+pub mod filestore;
+pub mod hostcentric;
+pub mod nfs;
+pub mod perf;
+pub mod virtio;
+
+pub use filestore::FileStore;
+pub use hostcentric::HostCentric;
+pub use nfs::NfsClient;
+pub use perf::{NfsPerf, PhiFsCpu, VirtioPerf};
+pub use virtio::VirtioFs;

@@ -1,0 +1,191 @@
+//! The Phi-NFS baseline (§6.1.2).
+//!
+//! The stock Xeon Phi can mount the host's file system over NFS-on-PCIe.
+//! The client chunks I/O at `rsize`/`wsize` (64 KiB), revalidates
+//! attributes before reads (close-to-open consistency), and pays a full
+//! RPC round trip per chunk — the protocol chattiness that keeps its
+//! throughput far below the device's (Figures 11d/12d).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use solros_fs::{FileSystem, OpenFlags};
+use solros_proto::rpc_error::RpcErr;
+
+use crate::filestore::{map_fs_err, FileStore};
+
+/// NFS protocol statistics.
+#[derive(Debug, Default)]
+pub struct NfsStats {
+    /// READ RPCs issued.
+    pub reads: AtomicU64,
+    /// WRITE RPCs issued.
+    pub writes: AtomicU64,
+    /// GETATTR RPCs issued (attribute revalidation).
+    pub getattrs: AtomicU64,
+    /// Other RPCs (LOOKUP, CREATE, READDIR...).
+    pub other: AtomicU64,
+    /// Payload bytes carried over the transport.
+    pub bytes_on_wire: AtomicU64,
+}
+
+/// The NFS client on the co-processor.
+pub struct NfsClient {
+    server_fs: Arc<FileSystem>,
+    stats: Arc<NfsStats>,
+    /// READ chunk size.
+    pub rsize: usize,
+    /// WRITE chunk size.
+    pub wsize: usize,
+}
+
+impl NfsClient {
+    /// Mounts the host's exported file system.
+    pub fn new(server_fs: Arc<FileSystem>) -> Self {
+        Self {
+            server_fs,
+            stats: Arc::new(NfsStats::default()),
+            rsize: 64 * 1024,
+            wsize: 64 * 1024,
+        }
+    }
+
+    /// Protocol statistics.
+    pub fn stats(&self) -> &Arc<NfsStats> {
+        &self.stats
+    }
+}
+
+impl FileStore for NfsClient {
+    fn create(&self, path: &str) -> Result<u64, RpcErr> {
+        self.stats.other.fetch_add(2, Ordering::Relaxed); // LOOKUP + CREATE
+        self.server_fs.create(path).map_err(map_fs_err)
+    }
+
+    fn open(&self, path: &str, create: bool) -> Result<(u64, u64), RpcErr> {
+        self.stats.other.fetch_add(1, Ordering::Relaxed); // LOOKUP
+        self.stats.getattrs.fetch_add(1, Ordering::Relaxed);
+        let ino = self
+            .server_fs
+            .open(
+                path,
+                OpenFlags {
+                    create,
+                    ..Default::default()
+                },
+            )
+            .map_err(map_fs_err)?;
+        let size = self.server_fs.size_of(ino).map_err(map_fs_err)?;
+        Ok((ino, size))
+    }
+
+    fn read_at(&self, handle: u64, offset: u64, buf: &mut [u8]) -> Result<usize, RpcErr> {
+        // Close-to-open consistency: revalidate attributes per user read.
+        self.stats.getattrs.fetch_add(1, Ordering::Relaxed);
+        let mut done = 0;
+        while done < buf.len() {
+            let n = (buf.len() - done).min(self.rsize);
+            let got = self
+                .server_fs
+                .read(handle, offset + done as u64, &mut buf[done..done + n])
+                .map_err(map_fs_err)?;
+            self.stats.reads.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_on_wire
+                .fetch_add(got as u64, Ordering::Relaxed);
+            done += got;
+            if got < n {
+                break; // EOF
+            }
+        }
+        Ok(done)
+    }
+
+    fn write_at(&self, handle: u64, offset: u64, data: &[u8]) -> Result<usize, RpcErr> {
+        let mut done = 0;
+        while done < data.len() {
+            let n = (data.len() - done).min(self.wsize);
+            let put = self
+                .server_fs
+                .write(handle, offset + done as u64, &data[done..done + n])
+                .map_err(map_fs_err)?;
+            self.stats.writes.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_on_wire
+                .fetch_add(put as u64, Ordering::Relaxed);
+            done += put;
+        }
+        // COMMIT for stable storage.
+        self.stats.other.fetch_add(1, Ordering::Relaxed);
+        Ok(done)
+    }
+
+    fn size_of(&self, path: &str) -> Result<u64, RpcErr> {
+        self.stats.getattrs.fetch_add(1, Ordering::Relaxed);
+        Ok(self.server_fs.stat(path).map_err(map_fs_err)?.size)
+    }
+
+    fn readdir(&self, path: &str) -> Result<Vec<String>, RpcErr> {
+        self.stats.other.fetch_add(1, Ordering::Relaxed);
+        self.server_fs.readdir(path).map_err(map_fs_err)
+    }
+
+    fn mkdir(&self, path: &str) -> Result<(), RpcErr> {
+        self.stats.other.fetch_add(1, Ordering::Relaxed);
+        self.server_fs.mkdir(path).map_err(map_fs_err).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solros_nvme::NvmeDevice;
+
+    fn setup() -> NfsClient {
+        NfsClient::new(Arc::new(
+            FileSystem::mkfs(NvmeDevice::new(8192), 128).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn functional_roundtrip() {
+        let n = setup();
+        let ino = n.create("/f").unwrap();
+        let data: Vec<u8> = (0..200_000).map(|i| (i % 241) as u8).collect();
+        assert_eq!(n.write_at(ino, 0, &data).unwrap(), data.len());
+        let mut out = vec![0u8; data.len()];
+        assert_eq!(n.read_at(ino, 0, &mut out).unwrap(), data.len());
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn chunking_and_chattiness() {
+        let n = setup();
+        let ino = n.create("/f").unwrap();
+        let data = vec![0u8; 256 * 1024];
+        n.write_at(ino, 0, &data).unwrap();
+        // 256 KiB at 64 KiB wsize = 4 WRITE RPCs + COMMIT.
+        assert_eq!(n.stats().writes.load(Ordering::Relaxed), 4);
+        let mut out = vec![0u8; 256 * 1024];
+        n.read_at(ino, 0, &mut out).unwrap();
+        assert_eq!(n.stats().reads.load(Ordering::Relaxed), 4);
+        // Each user-level read pays a GETATTR revalidation.
+        assert!(n.stats().getattrs.load(Ordering::Relaxed) >= 1);
+        assert_eq!(
+            n.stats().bytes_on_wire.load(Ordering::Relaxed),
+            2 * 256 * 1024
+        );
+    }
+
+    #[test]
+    fn short_read_at_eof_stops_chunking() {
+        let n = setup();
+        let ino = n.create("/f").unwrap();
+        n.write_at(ino, 0, &vec![7u8; 10_000]).unwrap();
+        let mut out = vec![0u8; 1 << 20];
+        let got = n.read_at(ino, 0, &mut out).unwrap();
+        assert_eq!(got, 10_000);
+        // One READ RPC suffices (10 KB < rsize), not 16.
+        assert_eq!(n.stats().reads.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Timed-mode cost models for the baseline stacks.
+//!
+//! Calibrated against the paper's measurements:
+//!
+//! * Figure 11c/12c — Phi-virtio peaks around 0.2 GB/s for reads and
+//!   under 0.1 GB/s for writes regardless of thread count (the relay's
+//!   CPU copy is the bottleneck);
+//! * Figure 11d/12d — Phi-NFS is comparable or worse, throttled by
+//!   per-chunk RPC round trips;
+//! * Figure 13a — for a 512 KB random read, the virtio path spends ~1.2 ms
+//!   in the (Phi-resident) file system, several ms in block/transport
+//!   (CPU copy + vring processing), and a fraction of a ms in storage,
+//!   while Solros's stub spends 5× less FS time and its zero-copy
+//!   transfer is two orders of magnitude faster than the CPU copy.
+
+use solros_nvme::NvmePerf;
+use solros_simkit::time::transfer_time;
+use solros_simkit::SimTime;
+
+/// File-system CPU costs on each processor (Figure 13a's "File system"
+/// component).
+#[derive(Debug, Clone)]
+pub struct PhiFsCpu {
+    /// Fixed per-syscall cost of the full FS on the host.
+    pub host_per_op: SimTime,
+    /// Per-page cost on the host (page cache, mapping).
+    pub host_per_page: SimTime,
+    /// Slowdown of the full FS on Phi cores (≈5×, Figure 13a).
+    pub phi_slowdown: f64,
+    /// The Solros stub's fixed cost on the Phi. Figure 13a profiles the
+    /// stub at ~5× less time than the full FS on the Phi for a 512 KB
+    /// read (~1.2 ms), i.e. ~230 µs — RPC marshalling and buffer
+    /// management on slow in-order cores is not free.
+    pub stub_per_op: SimTime,
+    /// The stub's per-page cost (window-buffer management for the
+    /// zero-copy transfer).
+    pub stub_per_page: SimTime,
+}
+
+impl PhiFsCpu {
+    /// Paper calibration.
+    pub fn paper_default() -> Self {
+        PhiFsCpu {
+            host_per_op: SimTime::from_us(8),
+            host_per_page: SimTime::from_ns(1_700),
+            phi_slowdown: 5.2,
+            stub_per_op: SimTime::from_us(40),
+            stub_per_page: SimTime::from_ns(1_500),
+        }
+    }
+
+    /// Full-FS CPU time for an op touching `pages` pages, on the host.
+    pub fn host_fs_time(&self, pages: u64) -> SimTime {
+        self.host_per_op + self.host_per_page * pages
+    }
+
+    /// Full-FS CPU time on the Phi.
+    pub fn phi_fs_time(&self, pages: u64) -> SimTime {
+        self.host_fs_time(pages) * self.phi_slowdown
+    }
+
+    /// The Solros stub's time for an op touching `pages` pages (RPC build
+    /// plus window-buffer management).
+    pub fn stub_time(&self, pages: u64) -> SimTime {
+        self.stub_per_op + self.stub_per_page * pages
+    }
+}
+
+/// Timed model of the Phi-virtio data path.
+#[derive(Debug, Clone)]
+pub struct VirtioPerf {
+    /// Host relay CPU-copy bandwidth across PCIe.
+    pub copy_bw: f64,
+    /// Fixed cost per vring request (kick, host relay wakeup, interrupt).
+    pub per_request: SimTime,
+    /// Per-4KB-page vring descriptor processing on the Phi.
+    pub per_page: SimTime,
+    /// Largest vring request.
+    pub max_request: u64,
+    /// FS CPU model.
+    pub fs_cpu: PhiFsCpu,
+    /// The device itself (per-request doorbells/interrupts).
+    pub nvme: NvmePerf,
+}
+
+impl VirtioPerf {
+    /// Paper calibration.
+    pub fn paper_default() -> Self {
+        VirtioPerf {
+            copy_bw: 0.21e9,
+            per_request: SimTime::from_us(300),
+            per_page: SimTime::from_us(9),
+            max_request: 128 * 1024,
+            fs_cpu: PhiFsCpu::paper_default(),
+            nvme: NvmePerf::paper_default(),
+        }
+    }
+
+    /// End-to-end latency of one `bytes`-sized random read/write.
+    pub fn op_time(&self, is_read: bool, bytes: u64) -> SimTime {
+        let pages = bytes.div_ceil(4096);
+        let reqs = bytes.div_ceil(self.max_request).max(1);
+        let fs = self.fs_cpu.phi_fs_time(pages);
+        let transport =
+            self.per_request * reqs + self.per_page * pages + transfer_time(bytes, self.copy_bw);
+        let storage = self.nvme.sequential_batch_time(is_read, reqs, bytes / reqs);
+        fs + transport + storage
+    }
+
+    /// Component breakdown `(fs, block/transport, storage)` for Figure 13a.
+    pub fn breakdown(&self, is_read: bool, bytes: u64) -> (SimTime, SimTime, SimTime) {
+        let pages = bytes.div_ceil(4096);
+        let reqs = bytes.div_ceil(self.max_request).max(1);
+        (
+            self.fs_cpu.phi_fs_time(pages),
+            self.per_request * reqs + self.per_page * pages + transfer_time(bytes, self.copy_bw),
+            self.nvme.sequential_batch_time(is_read, reqs, bytes / reqs),
+        )
+    }
+
+    /// Aggregate steady-state throughput with `threads` submitters: ops
+    /// pipeline, but the relay copy and the device serialize.
+    pub fn steady_throughput(&self, is_read: bool, threads: usize, bytes: u64) -> f64 {
+        let per_thread = bytes as f64 / self.op_time(is_read, bytes).as_secs_f64();
+        let copy_cap = self.copy_bw;
+        let dev_bw = if is_read {
+            self.nvme.read_bw
+        } else {
+            self.nvme.write_bw
+        };
+        (per_thread * threads as f64).min(copy_cap).min(dev_bw)
+    }
+}
+
+/// Timed model of the Phi-NFS path.
+#[derive(Debug, Clone)]
+pub struct NfsPerf {
+    /// RPC round trip per chunk (client stack on Phi + server).
+    pub per_rpc: SimTime,
+    /// Chunk size (rsize/wsize).
+    pub chunk: u64,
+    /// Transport copy bandwidth (TCP-over-PCIe on the Phi).
+    pub wire_bw: f64,
+    /// Extra per-write stable-storage penalty (COMMIT).
+    pub commit: SimTime,
+    /// Server-side FS + device model.
+    pub nvme: NvmePerf,
+    /// FS CPU model (client side runs the chatty NFS code on Phi cores).
+    pub fs_cpu: PhiFsCpu,
+}
+
+impl NfsPerf {
+    /// Paper calibration.
+    pub fn paper_default() -> Self {
+        NfsPerf {
+            per_rpc: SimTime::from_us(450),
+            chunk: 64 * 1024,
+            wire_bw: 0.35e9,
+            commit: SimTime::from_us(900),
+            nvme: NvmePerf::paper_default(),
+            fs_cpu: PhiFsCpu::paper_default(),
+        }
+    }
+
+    /// End-to-end latency of one `bytes`-sized op.
+    pub fn op_time(&self, is_read: bool, bytes: u64) -> SimTime {
+        let chunks = bytes.div_ceil(self.chunk).max(1);
+        let client = self.fs_cpu.phi_fs_time(bytes.div_ceil(4096)) / 2
+            + self.per_rpc * chunks
+            + transfer_time(bytes, self.wire_bw);
+        let server = self
+            .nvme
+            .vectored_batch_time(is_read, chunks, bytes / chunks)
+            + self.fs_cpu.host_fs_time(bytes.div_ceil(4096));
+        let commit = if is_read { SimTime::ZERO } else { self.commit };
+        client + server + commit
+    }
+
+    /// Aggregate steady-state throughput.
+    pub fn steady_throughput(&self, is_read: bool, threads: usize, bytes: u64) -> f64 {
+        let per_thread = bytes as f64 / self.op_time(is_read, bytes).as_secs_f64();
+        // The single NFS transport connection caps aggregate throughput.
+        (per_thread * threads as f64).min(self.wire_bw * 0.55)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtio_read_ceiling_near_02_gbs() {
+        let v = VirtioPerf::paper_default();
+        let t = v.steady_throughput(true, 61, 4 << 20);
+        assert!(
+            (0.15e9..=0.25e9).contains(&t),
+            "virtio read ceiling {t} (Figure 11c shows ~0.2 GB/s)"
+        );
+    }
+
+    #[test]
+    fn virtio_write_ceiling_below_reads() {
+        let v = VirtioPerf::paper_default();
+        let w = v.steady_throughput(false, 61, 4 << 20);
+        let r = v.steady_throughput(true, 61, 4 << 20);
+        assert!(w <= r, "writes no faster than reads");
+        assert!(w < 0.25e9, "Figure 12c: well under 0.1-0.2 GB/s; got {w}");
+    }
+
+    #[test]
+    fn virtio_breakdown_matches_figure_13a() {
+        let v = VirtioPerf::paper_default();
+        let (fs, transport, storage) = v.breakdown(true, 512 * 1024);
+        // FS component ~1.2 ms; transport dominates; storage sub-ms.
+        assert!(
+            (0.8..=1.6).contains(&fs.as_ms_f64()),
+            "fs {fs} (paper ~1.2ms)"
+        );
+        assert!(transport > fs * 2, "transport dominates: {transport}");
+        assert!(storage < SimTime::from_ms(1), "storage {storage}");
+        let total = fs + transport + storage;
+        assert!(
+            (4.0..=9.0).contains(&total.as_ms_f64()),
+            "total {total} (paper ~6.5ms)"
+        );
+    }
+
+    #[test]
+    fn nfs_is_slow_and_writes_hurt_more() {
+        let n = NfsPerf::paper_default();
+        let r = n.steady_throughput(true, 61, 4 << 20);
+        assert!(r < 0.25e9, "Figure 11d: NFS reads ~0.2 GB/s; got {r}");
+        let w1 = n.op_time(false, 64 * 1024);
+        let r1 = n.op_time(true, 64 * 1024);
+        assert!(w1 > r1, "COMMIT penalizes writes");
+    }
+
+    #[test]
+    fn stub_is_5x_cheaper_than_phi_fs() {
+        let c = PhiFsCpu::paper_default();
+        let pages = (512 * 1024u64).div_ceil(4096);
+        let full = c.phi_fs_time(pages);
+        let stub = c.stub_time(pages);
+        let ratio = full.as_secs_f64() / stub.as_secs_f64();
+        assert!(
+            (4.0..=7.0).contains(&ratio),
+            "stub ratio {ratio} (paper 5x)"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the file system and the end-to-end Solros
+//! RPC path (functional-mode costs of the real implementation).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use solros::control::Solros;
+use solros_fs::FileSystem;
+use solros_machine::MachineConfig;
+use solros_nvme::NvmeDevice;
+
+fn fs_data_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fs_data_path");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(64 * 1024));
+
+    let fs = Arc::new(FileSystem::mkfs(NvmeDevice::new(262_144), 4096).unwrap());
+    let ino = fs.create("/bench").unwrap();
+    let data = vec![7u8; 64 * 1024];
+    fs.write(ino, 0, &data).unwrap();
+
+    g.bench_function("write_64k", |b| b.iter(|| fs.write(ino, 0, &data).unwrap()));
+    let mut buf = vec![0u8; 64 * 1024];
+    g.bench_function("read_64k_cached", |b| {
+        b.iter(|| fs.read(ino, 0, &mut buf).unwrap())
+    });
+    g.bench_function("read_64k_uncached", |b| {
+        b.iter(|| {
+            fs.cache().invalidate_ino(ino);
+            fs.read(ino, 0, &mut buf).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn fs_metadata(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fs_metadata");
+    g.sample_size(20);
+    let fs = Arc::new(FileSystem::mkfs(NvmeDevice::new(262_144), 4096).unwrap());
+    let mut i = 0u64;
+    g.bench_function("create_unlink", |b| {
+        b.iter(|| {
+            let path = format!("/m{i}");
+            i += 1;
+            fs.create(&path).unwrap();
+            fs.unlink(&path).unwrap();
+        })
+    });
+    let ino = fs.create("/map").unwrap();
+    fs.write(ino, 0, &vec![1u8; 1 << 20]).unwrap();
+    g.bench_function("fiemap_1m", |b| {
+        b.iter(|| fs.fiemap(ino, 0, 1 << 20).unwrap())
+    });
+    g.finish();
+}
+
+fn solros_rpc_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solros_rpc_path");
+    g.sample_size(15);
+    g.throughput(Throughput::Bytes(64 * 1024));
+
+    let sys = Solros::boot(MachineConfig::small());
+    let fs = Arc::clone(sys.data_plane(0).fs());
+    let f = fs.create("/bench").unwrap();
+    let data = vec![9u8; 64 * 1024];
+    fs.write_at(f, 0, &data).unwrap();
+    let mut buf = vec![0u8; 64 * 1024];
+
+    g.bench_function("read_64k_via_stub", |b| {
+        b.iter(|| fs.read_at(f, 0, &mut buf).unwrap())
+    });
+    g.bench_function("write_64k_via_stub", |b| {
+        b.iter(|| fs.write_at(f, 0, &data).unwrap())
+    });
+    g.finish();
+    sys.shutdown();
+}
+
+criterion_group!(benches, fs_data_path, fs_metadata, solros_rpc_path);
+criterion_main!(benches);

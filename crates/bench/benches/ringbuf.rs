@@ -1,0 +1,102 @@
+//! Criterion benchmarks for the transport service (Figure 8 flavour),
+//! plus ablations for the design decisions DESIGN.md calls out:
+//! combining threshold (D1) and copy mode (D3).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use solros_pcie::{PcieCounters, Side};
+use solros_ringbuf::locks::{McsLock, TicketLock};
+use solros_ringbuf::ring::{CopyMode, RingBuf, RingConfig};
+use solros_ringbuf::TwoLockQueue;
+
+fn ring_pair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enqueue_dequeue_pair");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1));
+
+    let counters = Arc::new(PcieCounters::new());
+    let ring = RingBuf::new(RingConfig::local(1 << 16, Side::Host), counters);
+    let (tx, rx) = ring.endpoints();
+    let payload = [7u8; 64];
+    g.bench_function("solros_ring", |b| {
+        b.iter(|| {
+            tx.send(&payload).unwrap();
+            rx.recv().unwrap()
+        })
+    });
+
+    let q = TwoLockQueue::<TicketLock>::new();
+    g.bench_function("two_lock_ticket", |b| {
+        b.iter(|| {
+            q.enqueue(payload.to_vec());
+            q.dequeue().unwrap()
+        })
+    });
+
+    let q = TwoLockQueue::<McsLock>::new();
+    g.bench_function("two_lock_mcs", |b| {
+        b.iter(|| {
+            q.enqueue(payload.to_vec());
+            q.dequeue().unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// D1 ablation: combining threshold.
+fn combining_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("combining_threshold");
+    g.sample_size(15);
+    for threshold in [1usize, 8, 64, 256] {
+        let counters = Arc::new(PcieCounters::new());
+        let ring = RingBuf::new(
+            RingConfig::local(1 << 16, Side::Host).with_threshold(threshold),
+            counters,
+        );
+        let (tx, rx) = ring.endpoints();
+        let payload = [7u8; 64];
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, _| {
+                b.iter(|| {
+                    tx.send(&payload).unwrap();
+                    rx.recv().unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// D3 ablation: copy mechanism over a (simulated) PCIe ring.
+fn copy_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("copy_mode_4k");
+    g.sample_size(15);
+    g.throughput(Throughput::Bytes(4096));
+    for (name, mode) in [
+        ("memcpy", CopyMode::Memcpy),
+        ("dma", CopyMode::Dma),
+        ("adaptive", CopyMode::Adaptive),
+    ] {
+        let counters = Arc::new(PcieCounters::new());
+        let ring = RingBuf::new(
+            RingConfig::over_pcie(1 << 18, Side::Coproc, Side::Coproc, Side::Host)
+                .with_copy_mode(mode),
+            counters,
+        );
+        let (tx, rx) = ring.endpoints();
+        let payload = vec![5u8; 4096];
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                tx.send(&payload).unwrap();
+                rx.recv().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ring_pair, combining_threshold, copy_modes);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the design-decision ablations (DESIGN.md §4).
+
+fn main() {
+    print!("{}", solros_bench::ablations::run_all());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the extension experiments (beyond the paper's figures).
+
+fn main() {
+    print!("{}", solros_bench::extensions::run_all());
+}

@@ -1,0 +1,5 @@
+//! Regenerates one experiment; see `solros_bench::figs::fig12`.
+
+fn main() {
+    print!("{}", solros_bench::figs::fig12::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates one experiment; see `solros_bench::figs::fig13`.
+
+fn main() {
+    print!("{}", solros_bench::figs::fig13::run());
+}

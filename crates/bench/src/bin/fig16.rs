@@ -1,0 +1,5 @@
+//! Regenerates one experiment; see `solros_bench::figs::fig16`.
+
+fn main() {
+    print!("{}", solros_bench::figs::fig16::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the entire evaluation (every table and figure) as one
+//! markdown report — the data recorded in `EXPERIMENTS.md`.
+
+fn main() {
+    print!("{}", solros_bench::run_all());
+}

@@ -1,0 +1,5 @@
+//! Regenerates one experiment; see `solros_bench::figs::tab01`.
+
+fn main() {
+    print!("{}", solros_bench::figs::tab01::run());
+}

@@ -1,0 +1,108 @@
+//! Figure 1b: TCP latency distribution for 64-byte messages.
+//!
+//! Paper result: the host answers in tens of microseconds, Solros adds a
+//! bounded forwarding cost, and the stock Phi's on-card TCP stack has
+//! both a much higher median and a heavy tail — 7× worse 99th-percentile
+//! latency than Solros.
+
+use solros_netdev::perf::StackKind;
+use solros_netdev::NetPerf;
+use solros_simkit::report::Table;
+use solros_simkit::{DetRng, Histogram};
+
+/// Samples per curve.
+pub const SAMPLES: usize = 20_000;
+
+/// Builds the three latency histograms.
+pub fn histograms(seed: u64) -> [(&'static str, Histogram); 3] {
+    let p = NetPerf::paper_default();
+    let mut rng = DetRng::seed(seed);
+    let mut out = [
+        ("Host", Histogram::new()),
+        ("Phi-Solros", Histogram::new()),
+        ("Phi-Linux", Histogram::new()),
+    ];
+    for _ in 0..SAMPLES {
+        out[0].1.record(p.sample_rtt(StackKind::Host, 64, &mut rng));
+        out[1]
+            .1
+            .record(p.sample_rtt(StackKind::Solros, 64, &mut rng));
+        out[2]
+            .1
+            .record(p.sample_rtt(StackKind::PhiLinux, 64, &mut rng));
+    }
+    out
+}
+
+/// Regenerates the figure: percentile table + CDF samples.
+pub fn run() -> String {
+    let hists = histograms(42);
+    let mut t = Table::new(vec![
+        "percentile",
+        "Host (us)",
+        "Phi-Solros (us)",
+        "Phi-Linux (us)",
+    ]);
+    for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9] {
+        let mut row = vec![format!("p{p}")];
+        for (_, h) in &hists {
+            row.push(format!("{:.1}", h.percentile(p).as_us_f64()));
+        }
+        t.row(row);
+    }
+    let mut out = t.to_markdown();
+
+    // CDF samples on the paper's log x-axis (10 us .. 2000 us).
+    let mut cdf = Table::new(vec!["latency (us)", "Host", "Phi-Solros", "Phi-Linux"]);
+    for us in [10u64, 20, 40, 60, 100, 200, 400, 700, 1000, 2000] {
+        let mut row = vec![us.to_string()];
+        for (_, h) in &hists {
+            row.push(format!(
+                "{:.1}%",
+                h.cdf_at(solros_simkit::SimTime::from_us(us)) * 100.0
+            ));
+        }
+        cdf.row(row);
+    }
+    out.push('\n');
+    out.push_str(&cdf.to_markdown());
+
+    let ratio =
+        hists[2].1.percentile(99.0).as_secs_f64() / hists[1].1.percentile(99.0).as_secs_f64();
+    out.push_str(&format!(
+        "\np99 Phi-Linux / Phi-Solros: {ratio:.1}x (paper: ~7x)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderings_and_tail_ratio() {
+        let h = histograms(7);
+        // Median ordering: Host < Solros < PhiLinux.
+        assert!(h[0].1.percentile(50.0) < h[1].1.percentile(50.0));
+        assert!(h[1].1.percentile(50.0) < h[2].1.percentile(50.0));
+        // The paper's 7x p99 claim (accept 4-12x).
+        let ratio = h[2].1.percentile(99.0).as_secs_f64() / h[1].1.percentile(99.0).as_secs_f64();
+        assert!((4.0..=12.0).contains(&ratio), "p99 ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = histograms(3);
+        let b = histograms(3);
+        for i in 0..3 {
+            assert_eq!(a[i].1.percentile(99.0), b[i].1.percentile(99.0));
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("| p99 |"));
+        assert!(r.contains("p99 Phi-Linux / Phi-Solros"));
+    }
+}

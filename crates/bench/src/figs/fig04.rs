@@ -1,0 +1,125 @@
+//! Figure 4: PCIe transfer bandwidth — DMA vs load/store, host- vs
+//! Phi-initiated, across transfer sizes.
+//!
+//! Paper result: DMA wins for large transfers (150×/116× at 8 MB),
+//! load/store wins for small ones (2.9×/12.6× at 64 B), and
+//! host-initiated transfers beat Phi-initiated ones (2.3× DMA,
+//! 1.8× memcpy).
+
+use solros_pcie::cost::{CostModel, Xfer};
+use solros_pcie::Side;
+use solros_simkit::report::{fmt_size, Table};
+
+/// Transfer sizes on the paper's x-axis.
+pub const SIZES: [u64; 9] = [
+    64,
+    512,
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    1 << 20,
+    4 << 20,
+    8 << 20,
+];
+
+/// Effective single-transfer bandwidth (bytes/s).
+pub fn bandwidth(model: &CostModel, side: Side, mech: Xfer, bytes: u64) -> f64 {
+    bytes as f64 / model.copy_time(side, mech, bytes).as_secs_f64()
+}
+
+/// Regenerates the figure (MB/s to match the paper's axes).
+pub fn run() -> String {
+    let m = CostModel::paper_default();
+    let mut t = Table::new(vec![
+        "size",
+        "Host DMA (MB/s)",
+        "Phi DMA (MB/s)",
+        "Host ld/st (MB/s)",
+        "Phi ld/st (MB/s)",
+    ]);
+    for bytes in SIZES {
+        t.row(vec![
+            fmt_size(bytes),
+            format!("{:.1}", bandwidth(&m, Side::Host, Xfer::Dma, bytes) / 1e6),
+            format!("{:.1}", bandwidth(&m, Side::Coproc, Xfer::Dma, bytes) / 1e6),
+            format!(
+                "{:.1}",
+                bandwidth(&m, Side::Host, Xfer::Memcpy, bytes) / 1e6
+            ),
+            format!(
+                "{:.1}",
+                bandwidth(&m, Side::Coproc, Xfer::Memcpy, bytes) / 1e6
+            ),
+        ]);
+    }
+    let mut out = t.to_markdown();
+    let d = m.copy_time(Side::Host, Xfer::Memcpy, 8 << 20).as_secs_f64()
+        / m.copy_time(Side::Host, Xfer::Dma, 8 << 20).as_secs_f64();
+    let s = m.copy_time(Side::Host, Xfer::Dma, 64).as_secs_f64()
+        / m.copy_time(Side::Host, Xfer::Memcpy, 64).as_secs_f64();
+    out.push_str(&format!(
+        "\n8MB: host DMA {d:.0}x faster than memcpy (paper: 150x). \
+         64B: host memcpy {s:.1}x faster than DMA (paper: 2.9x).\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_bandwidth_in_size_for_dma() {
+        let m = CostModel::paper_default();
+        for side in [Side::Host, Side::Coproc] {
+            let mut prev = 0.0;
+            for bytes in SIZES {
+                let bw = bandwidth(&m, side, Xfer::Dma, bytes);
+                assert!(bw >= prev, "{side:?} {bytes}: {bw} < {prev}");
+                prev = bw;
+            }
+        }
+    }
+
+    #[test]
+    fn plateaus_match_figure_4() {
+        let m = CostModel::paper_default();
+        // Fig 4a: host DMA plateau ~5.25 GB/s, Phi ~2.3 GB/s.
+        let host = bandwidth(&m, Side::Host, Xfer::Dma, 8 << 20);
+        let phi = bandwidth(&m, Side::Coproc, Xfer::Dma, 8 << 20);
+        assert!((4.8e9..=5.5e9).contains(&host), "host {host}");
+        assert!((2.0e9..=2.5e9).contains(&phi), "phi {phi}");
+        // Fig 4b: load/store plateaus ~35 / ~19 MB/s.
+        let h = bandwidth(&m, Side::Host, Xfer::Memcpy, 8 << 20);
+        let p = bandwidth(&m, Side::Coproc, Xfer::Memcpy, 8 << 20);
+        assert!((30e6..=40e6).contains(&h), "host memcpy {h}");
+        assert!((16e6..=22e6).contains(&p), "phi memcpy {p}");
+    }
+
+    #[test]
+    fn crossovers_near_adaptive_thresholds() {
+        let m = CostModel::paper_default();
+        // Below the threshold memcpy wins; above, DMA wins.
+        for (side, below, above) in [
+            (Side::Host, 512u64, 4 << 10),
+            (Side::Coproc, 4 << 10, 64 << 10),
+        ] {
+            assert!(
+                bandwidth(&m, side, Xfer::Memcpy, below) > bandwidth(&m, side, Xfer::Dma, below),
+                "{side:?} below"
+            );
+            assert!(
+                bandwidth(&m, side, Xfer::Dma, above) > bandwidth(&m, side, Xfer::Memcpy, above),
+                "{side:?} above"
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("| 8MB |"));
+        assert!(r.contains("paper: 150x"));
+    }
+}

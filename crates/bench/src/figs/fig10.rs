@@ -1,0 +1,151 @@
+//! Figure 10: unidirectional ring bandwidth vs element size under the
+//! three copy mechanisms (memcpy, DMA, adaptive), eight threads.
+//!
+//! Paper result: memcpy wins for small elements, DMA for large ones, and
+//! the adaptive scheme tracks the better of the two everywhere. The
+//! receiver pulls (masters at the sender), so the initiator is the
+//! receiving side — Phi→Host uses host-initiated copies, Host→Phi uses
+//! the slower Phi-initiated ones.
+
+use solros_pcie::cost::{CostModel, Xfer};
+use solros_pcie::Side;
+use solros_simkit::report::{fmt_size, Table};
+
+/// Element sizes on the paper's x-axis.
+pub const SIZES: [u64; 8] = [
+    512,
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    4 << 20,
+];
+
+/// Concurrent copier threads (the paper uses eight).
+pub const THREADS: usize = 8;
+
+/// The copy mechanism under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Always load/store.
+    Memcpy,
+    /// Always DMA.
+    Dma,
+    /// The §4.2.4 threshold scheme.
+    Adaptive,
+}
+
+/// Aggregate pull bandwidth (bytes/s) for elements of `bytes`.
+///
+/// Copies decouple from queue operations (§4.2.2), so `THREADS` copies
+/// proceed concurrently — DMA limited by the engine count, memcpy by the
+/// threads — and the PCIe link is the final ceiling.
+pub fn bandwidth(model: &CostModel, puller: Side, mode: Mode, bytes: u64) -> f64 {
+    let mech = match mode {
+        Mode::Memcpy => Xfer::Memcpy,
+        Mode::Dma => Xfer::Dma,
+        Mode::Adaptive => model.adaptive_choice(puller, bytes),
+    };
+    let per_copy = model.copy_time(puller, mech, bytes);
+    let parallel = match mech {
+        Xfer::Dma => THREADS.min(model.dma(puller).channels),
+        Xfer::Memcpy => THREADS,
+    };
+    let raw = bytes as f64 * parallel as f64 / per_copy.as_secs_f64();
+    let link = match puller {
+        Side::Host => model.link_to_host_bw, // Pulling Phi -> Host.
+        Side::Coproc => model.link_to_coproc_bw,
+    };
+    raw.min(link)
+}
+
+fn direction_table(model: &CostModel, puller: Side) -> Table {
+    let mut t = Table::new(vec![
+        "element",
+        "memcpy (MB/s)",
+        "DMA (MB/s)",
+        "adaptive (MB/s)",
+    ]);
+    for bytes in SIZES {
+        t.row(vec![
+            fmt_size(bytes),
+            format!("{:.1}", bandwidth(model, puller, Mode::Memcpy, bytes) / 1e6),
+            format!("{:.1}", bandwidth(model, puller, Mode::Dma, bytes) / 1e6),
+            format!(
+                "{:.1}",
+                bandwidth(model, puller, Mode::Adaptive, bytes) / 1e6
+            ),
+        ]);
+    }
+    t
+}
+
+/// Regenerates both directions of the figure.
+pub fn run() -> String {
+    let m = CostModel::paper_default();
+    let mut out = String::from("(a) Xeon Phi -> Host (host pulls)\n\n");
+    out.push_str(&direction_table(&m, Side::Host).to_markdown());
+    out.push_str("\n(b) Host -> Xeon Phi (Phi pulls)\n\n");
+    out.push_str(&direction_table(&m, Side::Coproc).to_markdown());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_tracks_the_winner() {
+        let m = CostModel::paper_default();
+        for puller in [Side::Host, Side::Coproc] {
+            for bytes in SIZES {
+                let mc = bandwidth(&m, puller, Mode::Memcpy, bytes);
+                let dma = bandwidth(&m, puller, Mode::Dma, bytes);
+                let ad = bandwidth(&m, puller, Mode::Adaptive, bytes);
+                // Figure 10's claim: adaptive performs well regardless of
+                // size (within ~2.2x of the better mechanism; the fixed
+                // thresholds are not exact crossovers).
+                assert!(
+                    ad >= mc.max(dma) / 2.2,
+                    "{puller:?} {bytes}: adaptive {ad} vs best {}",
+                    mc.max(dma)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memcpy_small_dma_large() {
+        let m = CostModel::paper_default();
+        for puller in [Side::Host, Side::Coproc] {
+            assert!(
+                bandwidth(&m, puller, Mode::Memcpy, 512) > bandwidth(&m, puller, Mode::Dma, 512),
+                "{puller:?} small"
+            );
+            assert!(
+                bandwidth(&m, puller, Mode::Dma, 4 << 20)
+                    > bandwidth(&m, puller, Mode::Memcpy, 4 << 20),
+                "{puller:?} large"
+            );
+        }
+    }
+
+    #[test]
+    fn host_pull_beats_phi_pull() {
+        let m = CostModel::paper_default();
+        for bytes in SIZES {
+            let a = bandwidth(&m, Side::Host, Mode::Adaptive, bytes);
+            let b = bandwidth(&m, Side::Coproc, Mode::Adaptive, bytes);
+            assert!(a >= b, "{bytes}: host pull {a} vs phi pull {b}");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("(a) Xeon Phi -> Host"));
+        assert!(r.contains("| 4MB |"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 11: NVMe random-read throughput vs block size and threads.
+//!
+//! Paper result: Host and Phi-Solros reach the SSD's 2.4 GB/s with enough
+//! threads and large enough blocks; Phi-Linux over virtio or NFS stays
+//! around 0.2 GB/s no matter what.
+
+use solros_simkit::report::{fmt_gbps, fmt_size, Table};
+
+use crate::model::{FsModel, FsStack};
+
+/// Block sizes (paper x-axis).
+pub const BLOCKS: [u64; 8] = [
+    32 << 10,
+    64 << 10,
+    128 << 10,
+    256 << 10,
+    512 << 10,
+    1 << 20,
+    2 << 20,
+    4 << 20,
+];
+
+/// Thread counts (paper curves).
+pub const THREADS: [usize; 5] = [1, 4, 8, 32, 61];
+
+/// The four stacks Figure 11 plots.
+pub const STACKS: [FsStack; 4] = [
+    FsStack::Host,
+    FsStack::Solros,
+    FsStack::Virtio,
+    FsStack::Nfs,
+];
+
+/// Builds one stack's table (GB/s; columns = thread counts).
+pub fn stack_table(m: &FsModel, stack: FsStack, is_read: bool) -> Table {
+    let mut headers = vec!["block".to_string()];
+    headers.extend(THREADS.iter().map(|t| format!("{t}thr")));
+    let mut table = Table::new(headers);
+    for bytes in BLOCKS {
+        let mut row = vec![fmt_size(bytes)];
+        for &t in &THREADS {
+            row.push(fmt_gbps(m.throughput(stack, is_read, t, bytes)));
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Regenerates the figure (four sub-tables like the paper's four panels).
+pub fn run() -> String {
+    run_rw(true)
+}
+
+/// Shared renderer for Figures 11 (reads) and 12 (writes).
+pub fn run_rw(is_read: bool) -> String {
+    let m = FsModel::paper_default();
+    let mut out = String::new();
+    for (panel, stack) in ["(a)", "(b)", "(c)", "(d)"].iter().zip(STACKS) {
+        out.push_str(&format!("{panel} {}\n\n", stack.label()));
+        out.push_str(&stack_table(&m, stack, is_read).to_markdown());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_monotone_in_threads_and_block_size() {
+        let m = FsModel::paper_default();
+        for stack in STACKS {
+            for bytes in BLOCKS {
+                let mut prev = 0.0;
+                for &t in &THREADS {
+                    let x = m.throughput(stack, true, t, bytes);
+                    assert!(x + 1.0 >= prev, "{stack:?} {bytes} {t}: {x} < {prev}");
+                    prev = x;
+                }
+            }
+            for &t in &THREADS {
+                let mut prev = 0.0;
+                for bytes in BLOCKS {
+                    let x = m.throughput(stack, true, t, bytes);
+                    assert!(x + 1.0 >= prev, "{stack:?} {t} {bytes}: {x} < {prev}");
+                    prev = x;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panels_match_paper_peaks() {
+        let m = FsModel::paper_default();
+        // (a)/(b): saturate the device.
+        for stack in [FsStack::Host, FsStack::Solros] {
+            let peak = m.throughput(stack, true, 61, 4 << 20);
+            assert!((2.3e9..=2.4e9).contains(&peak), "{stack:?} {peak}");
+        }
+        // (c)/(d): stock Phi stuck around 0.2 GB/s.
+        for stack in [FsStack::Virtio, FsStack::Nfs] {
+            let peak = m.throughput(stack, true, 61, 4 << 20);
+            assert!(peak < 0.3e9, "{stack:?} {peak}");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("(a) Host"));
+        assert!(r.contains("(d) Phi-Linux (NFS)"));
+    }
+}

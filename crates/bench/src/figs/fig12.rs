@@ -1,0 +1,49 @@
+//! Figure 12: NVMe random-write throughput vs block size and threads.
+//!
+//! Paper result: Host and Phi-Solros reach the SSD's 1.2 GB/s write
+//! ceiling; the stock Phi paths stay under ~0.1 GB/s.
+
+use crate::figs::fig11;
+#[cfg(test)]
+use crate::model::{FsModel, FsStack};
+
+/// Regenerates the figure.
+pub fn run() -> String {
+    fig11::run_rw(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_peaks_match_paper() {
+        let m = FsModel::paper_default();
+        for stack in [FsStack::Host, FsStack::Solros] {
+            let peak = m.throughput(stack, false, 61, 4 << 20);
+            assert!((1.1e9..=1.2e9).contains(&peak), "{stack:?} {peak}");
+        }
+        for stack in [FsStack::Virtio, FsStack::Nfs] {
+            let peak = m.throughput(stack, false, 61, 4 << 20);
+            assert!(peak < 0.25e9, "{stack:?} {peak} (paper: <0.1-0.2 GB/s)");
+        }
+    }
+
+    #[test]
+    fn writes_never_exceed_reads() {
+        let m = FsModel::paper_default();
+        for stack in fig11::STACKS {
+            for bytes in fig11::BLOCKS {
+                let r = m.throughput(stack, true, 61, bytes);
+                let w = m.throughput(stack, false, 61, bytes);
+                assert!(w <= r * 1.01, "{stack:?} {bytes}: write {w} > read {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("(b) Phi-Solros"));
+    }
+}

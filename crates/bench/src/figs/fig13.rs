@@ -1,0 +1,135 @@
+//! Figure 13: latency breakdown of the I/O subsystems.
+//!
+//! (a) 512 KB random read: Phi-virtio spends milliseconds in the
+//! Phi-resident file system and the CPU-copy transport; Phi-Solros's
+//! stub + RPC + zero-copy storage finishes in ~0.5 ms. The paper:
+//! zero-copy NVMe DMA is 171× faster than virtio's CPU copy, and the
+//! stub spends 5× less time than the full FS on the Phi.
+//!
+//! (b) 64-byte TCP message: the stock Phi's time is dominated by its own
+//! network stack; Solros pays a small proxy/transport overhead on top of
+//! the host's fast stack.
+
+use solros_baseline::VirtioPerf;
+use solros_netdev::perf::StackKind;
+use solros_netdev::NetPerf;
+use solros_simkit::report::Table;
+use solros_simkit::SimTime;
+
+use crate::model::FsModel;
+
+/// The profiled request sizes (matching the paper's fio/latency setup).
+pub const FS_BYTES: u64 = 512 * 1024;
+/// TCP message size.
+pub const NET_BYTES: u64 = 64;
+
+/// Returns the (a)-panel component times.
+pub fn fs_breakdown() -> [(&'static str, SimTime, SimTime); 3] {
+    let v = VirtioPerf::paper_default();
+    let m = FsModel::paper_default();
+    let (vfs, vtrans, vstore) = v.breakdown(true, FS_BYTES);
+    let (sfs, strans, sstore) = m.solros_breakdown(true, FS_BYTES);
+    [
+        ("File system", vfs, sfs),
+        ("Block/Transport", vtrans, strans),
+        ("Storage", vstore, sstore),
+    ]
+}
+
+/// Returns the (b)-panel component times: `(component, Phi-Linux, Solros)`.
+pub fn net_breakdown() -> [(&'static str, SimTime, SimTime); 2] {
+    let n = NetPerf::paper_default();
+    let phi_stack = n.stack_time(StackKind::PhiLinux, NET_BYTES);
+    let host_stack = n.stack_time(StackKind::Host, NET_BYTES);
+    let solros_forward = n.solros_forward * 2;
+    [
+        ("Network stack", phi_stack, host_stack),
+        ("Proxy/Transport", SimTime::ZERO, solros_forward),
+    ]
+}
+
+/// Regenerates both panels.
+pub fn run() -> String {
+    let mut out = String::from("(a) 512KB random read (ms)\n\n");
+    let mut t = Table::new(vec!["component", "Phi-virtio", "Phi-Solros"]);
+    let fs = fs_breakdown();
+    for (name, v, s) in fs {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.3}", v.as_ms_f64()),
+            format!("{:.3}", s.as_ms_f64()),
+        ]);
+    }
+    let vt: SimTime = fs.iter().map(|x| x.1).sum();
+    let st: SimTime = fs.iter().map(|x| x.2).sum();
+    t.row(vec![
+        "total".into(),
+        format!("{:.3}", vt.as_ms_f64()),
+        format!("{:.3}", st.as_ms_f64()),
+    ]);
+    out.push_str(&t.to_markdown());
+
+    out.push_str("\n(b) 64B TCP message processing (us)\n\n");
+    let mut t = Table::new(vec!["component", "Phi-Linux", "Phi-Solros"]);
+    let net = net_breakdown();
+    for (name, p, s) in net {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", p.as_us_f64()),
+            format!("{:.1}", s.as_us_f64()),
+        ]);
+    }
+    out.push_str(&t.to_markdown());
+
+    let fs_ratio = vt.as_secs_f64() / st.as_secs_f64();
+    out.push_str(&format!(
+        "\nvirtio/Solros total: {fs_ratio:.1}x (paper: ~14x). \
+         Solros stub vs full-FS-on-Phi: {:.1}x cheaper (paper: 5x).\n",
+        fs[0].1.as_secs_f64() / fs[0].2.as_secs_f64()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fs_panel_matches_paper() {
+        let fs = fs_breakdown();
+        let virtio_total: SimTime = fs.iter().map(|x| x.1).sum();
+        let solros_total: SimTime = fs.iter().map(|x| x.2).sum();
+        // Paper: ~6.5 ms vs ~0.45 ms.
+        assert!(
+            (4.0..=9.0).contains(&virtio_total.as_ms_f64()),
+            "virtio {virtio_total}"
+        );
+        assert!(
+            (0.3..=0.8).contains(&solros_total.as_ms_f64()),
+            "solros {solros_total}"
+        );
+        // Stub 5x cheaper than the full FS on the Phi.
+        let stub_ratio = fs[0].1.as_secs_f64() / fs[0].2.as_secs_f64();
+        assert!((4.0..=7.0).contains(&stub_ratio), "stub {stub_ratio}");
+        // Zero-copy transport is two orders faster than the CPU copy.
+        let copy_ratio = fs[1].1.as_secs_f64() / fs[1].2.as_secs_f64();
+        assert!(copy_ratio > 50.0, "transport {copy_ratio} (paper: 171x)");
+    }
+
+    #[test]
+    fn net_panel_matches_paper() {
+        let net = net_breakdown();
+        let phi: SimTime = net.iter().map(|x| x.1).sum();
+        let solros: SimTime = net.iter().map(|x| x.2).sum();
+        assert!(phi > solros * 3, "phi {phi} vs solros {solros}");
+        // Solros's proxy/transport is visible but smaller than its stack.
+        assert!(net[1].2 > SimTime::ZERO);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run();
+        assert!(r.contains("| Storage |"));
+        assert!(r.contains("Proxy/Transport"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 14 (reconstructed): network stream throughput vs message size.
+//!
+//! The provided paper text truncates before this figure; the series
+//! follow the abstract's 7× network claim and §4.4's design. Expected
+//! shape: the host and Solros track each other (Solros slightly below),
+//! both far above the on-Phi TCP stack; all curves grow with message
+//! size.
+
+use solros_netdev::perf::StackKind;
+use solros_netdev::NetPerf;
+use solros_simkit::report::{fmt_size, Table};
+
+/// Message sizes.
+pub const SIZES: [u64; 8] = [
+    64,
+    256,
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+];
+
+/// Regenerates the figure (MB/s per connection).
+pub fn run() -> String {
+    let p = NetPerf::paper_default();
+    let mut t = Table::new(vec![
+        "message",
+        "Host (MB/s)",
+        "Phi-Solros (MB/s)",
+        "Phi-Linux (MB/s)",
+    ]);
+    for bytes in SIZES {
+        t.row(vec![
+            fmt_size(bytes),
+            format!("{:.1}", p.stream_throughput(StackKind::Host, bytes) / 1e6),
+            format!("{:.1}", p.stream_throughput(StackKind::Solros, bytes) / 1e6),
+            format!(
+                "{:.1}",
+                p.stream_throughput(StackKind::PhiLinux, bytes) / 1e6
+            ),
+        ]);
+    }
+    let mut out = t.to_markdown();
+    let s = p.stream_throughput(StackKind::Solros, 64 << 10);
+    let l = p.stream_throughput(StackKind::PhiLinux, 64 << 10);
+    out.push_str(&format!(
+        "\nSolros vs Phi-Linux at 64KB: {:.1}x (abstract: ~7x for network service)\n",
+        s / l
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_holds() {
+        let p = NetPerf::paper_default();
+        for bytes in SIZES {
+            let h = p.stream_throughput(StackKind::Host, bytes);
+            let s = p.stream_throughput(StackKind::Solros, bytes);
+            let l = p.stream_throughput(StackKind::PhiLinux, bytes);
+            assert!(h >= s && s > l, "{bytes}: {h} {s} {l}");
+        }
+        // Headline factor in the mid-size regime.
+        let ratio = p.stream_throughput(StackKind::Solros, 16 << 10)
+            / p.stream_throughput(StackKind::PhiLinux, 16 << 10);
+        assert!((3.0..=15.0).contains(&ratio), "ratio {ratio} (paper ~7x)");
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().contains("| 64KB |"));
+    }
+}

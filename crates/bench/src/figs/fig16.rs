@@ -1,0 +1,108 @@
+//! Figure 16 (reconstructed): text indexing end-to-end runtime.
+//!
+//! The abstract's headline: Solros improves text indexing by ~19× over
+//! the stock Xeon Phi. Composition: the indexer streams the corpus
+//! through the I/O stack and tokenizes on the Phi's 244 threads;
+//! I/O and compute pipeline, so runtime ≈ max(I/O time, compute time) +
+//! per-file overheads. On the stock paths the ~0.2 GB/s I/O ceiling
+//! dominates everything; on Solros the SSD's 2.4 GB/s makes tokenization
+//! the bottleneck.
+
+use solros_simkit::report::Table;
+use solros_simkit::SimTime;
+
+use crate::model::{FsModel, FsStack};
+
+/// Corpus size (the paper indexes a multi-GB text dump).
+pub const CORPUS_BYTES: u64 = 2 << 30;
+/// Number of corpus files (a dump split into large shards).
+pub const FILES: u64 = 64;
+/// Tokenization rate on the Xeon Phi, all threads (bytes/s).
+pub const PHI_TOKENIZE_BW: f64 = 4.0e9;
+
+/// Per-file metadata overhead (open + stat) per stack.
+fn per_file(m: &FsModel, stack: FsStack) -> SimTime {
+    match stack {
+        FsStack::Host => m.cpu.host_fs_time(1) * 2,
+        FsStack::Solros | FsStack::SolrosCrossNuma => (m.cpu.stub_time(1) + m.rpc_overhead) * 2,
+        FsStack::Virtio => m.virtio.op_time(true, 4096) * 2,
+        FsStack::Nfs => m.nfs.op_time(true, 4096) * 2,
+    }
+}
+
+/// End-to-end indexing runtime on a stack (61 reader threads, 1 MB reads).
+///
+/// On Solros the I/O stack runs on the *host*, so reads and tokenization
+/// pipeline: runtime ≈ max(io, compute). On the co-processor-centric
+/// stacks the full I/O stack executes on the same Phi cores as the
+/// tokenizer, so the two phases contend and serialize: runtime ≈
+/// io + compute (the coupling the paper's split-OS design removes).
+pub fn runtime(m: &FsModel, stack: FsStack) -> SimTime {
+    let io_bw = m.throughput(stack, true, 61, 1 << 20);
+    let io = SimTime::from_secs_f64(CORPUS_BYTES as f64 / io_bw);
+    let compute = SimTime::from_secs_f64(CORPUS_BYTES as f64 / PHI_TOKENIZE_BW);
+    let meta = per_file(m, stack) * FILES;
+    match stack {
+        FsStack::Host | FsStack::Solros | FsStack::SolrosCrossNuma => io.max(compute) + meta,
+        FsStack::Virtio | FsStack::Nfs => io + compute + meta,
+    }
+}
+
+/// Regenerates the figure.
+pub fn run() -> String {
+    let m = FsModel::paper_default();
+    let mut t = Table::new(vec!["stack", "runtime (s)", "speedup vs stack"]);
+    let solros = runtime(&m, FsStack::Solros);
+    for stack in [FsStack::Solros, FsStack::Virtio, FsStack::Nfs] {
+        let rt = runtime(&m, stack);
+        t.row(vec![
+            stack.label().to_string(),
+            format!("{:.2}", rt.as_secs_f64()),
+            format!("{:.1}x", rt.as_secs_f64() / solros.as_secs_f64()),
+        ]);
+    }
+    let mut out = t.to_markdown();
+    let virtio = runtime(&m, FsStack::Virtio);
+    out.push_str(&format!(
+        "\nSolros vs stock Phi (virtio): {:.1}x (paper: ~19x)\n",
+        virtio.as_secs_f64() / solros.as_secs_f64()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_in_paper_band() {
+        let m = FsModel::paper_default();
+        let solros = runtime(&m, FsStack::Solros).as_secs_f64();
+        let virtio = runtime(&m, FsStack::Virtio).as_secs_f64();
+        let nfs = runtime(&m, FsStack::Nfs).as_secs_f64();
+        let rv = virtio / solros;
+        let rn = nfs / solros;
+        // The paper reports 19x; the composable part of the gap (I/O
+        // ceiling + CPU coupling + metadata chatter) yields 10-15x here —
+        // the residual is attributed to effects we do not model (page
+        // cache pollution, scheduler interference on the Phi).
+        assert!((8.0..=25.0).contains(&rv), "vs virtio {rv} (paper ~19x)");
+        assert!(rn > 8.0, "vs nfs {rn}");
+    }
+
+    #[test]
+    fn solros_removes_the_io_bottleneck() {
+        let m = FsModel::paper_default();
+        let io_solros = CORPUS_BYTES as f64 / m.throughput(FsStack::Solros, true, 61, 1 << 20);
+        let io_virtio = CORPUS_BYTES as f64 / m.throughput(FsStack::Virtio, true, 61, 1 << 20);
+        let compute = CORPUS_BYTES as f64 / PHI_TOKENIZE_BW;
+        // Stock: I/O dwarfs compute. Solros: they are comparable.
+        assert!(io_virtio > 5.0 * compute, "virtio io {io_virtio}");
+        assert!(io_solros < 2.5 * compute, "solros io {io_solros}");
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().contains("Phi-Solros"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 17 (reconstructed): image search end-to-end.
+//!
+//! The abstract's headline: ~2× over the stock Xeon Phi. Image search is
+//! compute-heavy (L2 distances over 128-dim descriptors), so even with a
+//! slow I/O path the Phi spends about half its time computing — Solros
+//! removes the I/O half, not the compute half.
+
+use solros_simkit::report::Table;
+use solros_simkit::SimTime;
+
+use crate::model::{FsModel, FsStack};
+
+/// Database size.
+pub const DB_BYTES: u64 = 2 << 30;
+/// Distance-computation rate on the Phi, all threads (bytes of
+/// descriptors per second). Calibrated so compute ≈ half the stock path's
+/// runtime, reproducing the 2x headline.
+pub const PHI_DISTANCE_BW: f64 = 0.42e9;
+
+/// Query scan runtime: database streamed through the stack while
+/// distances compute in parallel (pipelined).
+pub fn runtime(m: &FsModel, stack: FsStack) -> SimTime {
+    let io_bw = m.throughput(stack, true, 61, 1 << 20);
+    let io = DB_BYTES as f64 / io_bw;
+    let compute = DB_BYTES as f64 / PHI_DISTANCE_BW;
+    SimTime::from_secs_f64(io.max(compute))
+}
+
+/// Regenerates the figure.
+pub fn run() -> String {
+    let m = FsModel::paper_default();
+    let solros = runtime(&m, FsStack::Solros);
+    let mut t = Table::new(vec!["stack", "scan time (s)", "speedup"]);
+    for stack in [FsStack::Solros, FsStack::Virtio, FsStack::Nfs] {
+        let rt = runtime(&m, stack);
+        t.row(vec![
+            stack.label().to_string(),
+            format!("{:.2}", rt.as_secs_f64()),
+            format!("{:.1}x", rt.as_secs_f64() / solros.as_secs_f64()),
+        ]);
+    }
+    let mut out = t.to_markdown();
+    out.push_str(&format!(
+        "\nSolros vs stock Phi (virtio): {:.1}x (paper: ~2x — compute-bound workload)\n",
+        runtime(&m, FsStack::Virtio).as_secs_f64() / solros.as_secs_f64()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_near_2x() {
+        let m = FsModel::paper_default();
+        let ratio =
+            runtime(&m, FsStack::Virtio).as_secs_f64() / runtime(&m, FsStack::Solros).as_secs_f64();
+        assert!((1.5..=3.0).contains(&ratio), "ratio {ratio} (paper ~2x)");
+    }
+
+    #[test]
+    fn compute_bound_on_solros_io_bound_on_stock() {
+        let m = FsModel::paper_default();
+        let compute = DB_BYTES as f64 / PHI_DISTANCE_BW;
+        let io_solros = DB_BYTES as f64 / m.throughput(FsStack::Solros, true, 61, 1 << 20);
+        let io_virtio = DB_BYTES as f64 / m.throughput(FsStack::Virtio, true, 61, 1 << 20);
+        assert!(io_solros < compute, "Solros is compute-bound");
+        assert!(io_virtio > compute, "stock path is I/O-bound");
+    }
+
+    #[test]
+    fn smaller_gain_than_text_indexing() {
+        let m = FsModel::paper_default();
+        let img =
+            runtime(&m, FsStack::Virtio).as_secs_f64() / runtime(&m, FsStack::Solros).as_secs_f64();
+        let text = crate::figs::fig16::runtime(&m, FsStack::Virtio).as_secs_f64()
+            / crate::figs::fig16::runtime(&m, FsStack::Solros).as_secs_f64();
+        assert!(
+            text > 3.0 * img,
+            "indexing gain {text} should dwarf image-search gain {img}"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Benchmark harness regenerating every table and figure of the Solros
+//! paper's evaluation (§6).
+//!
+//! Each `figs::figXX` module regenerates one figure/table as a markdown
+//! report (the same rows/series the paper plots) and carries unit tests
+//! asserting the *shape* claims — who wins, by roughly what factor, where
+//! crossovers fall. The `src/bin/` wrappers print individual reports;
+//! `run_all` emits the whole evaluation in one pass (this is what
+//! `EXPERIMENTS.md` records).
+//!
+//! Absolute numbers come from the calibrated simulation models
+//! (`solros-pcie`, `solros-nvme`, `solros-netdev`, `solros-baseline`) and
+//! from *functional* runs of the real transport/FS/network code with PCIe
+//! transaction accounting; they are not expected to match the paper's
+//! testbed measurements exactly, only to preserve its relationships.
+
+pub mod ablations;
+pub mod extensions;
+pub mod figs;
+pub mod model;
+
+/// Runs every experiment and returns the combined markdown report.
+pub fn run_all() -> String {
+    let mut out = String::new();
+    out.push_str("# Solros-rs — regenerated evaluation\n");
+    for (name, f) in figs::ALL {
+        out.push_str(&format!("\n## {name}\n\n"));
+        out.push_str(&f());
+    }
+    out
+}

@@ -1,0 +1,317 @@
+//! System bring-up: one control plane, N data planes.
+//!
+//! [`Solros::boot`] assembles a [`solros_machine::Machine`], formats the
+//! file system, wires RPC channels per co-processor, and spawns the host
+//! proxy threads (one FS proxy per co-processor and one TCP proxy). Each
+//! [`DataPlane`] is the lean data-plane OS of one co-processor: an FS
+//! stub, a TCP stub, and its single-thread event dispatcher — nothing
+//! else, which is the point of the architecture (§4).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use solros_fs::FileSystem;
+use solros_machine::{Machine, MachineConfig};
+use solros_netdev::Network;
+
+use crate::fs_api::CoprocFs;
+use crate::fs_proxy::{FsProxy, FsProxyStats};
+use crate::net_api::CoprocNet;
+use crate::tcp_proxy::{LoadBalancer, NetChannelHost, RoundRobin, TcpProxy, TcpProxyStats};
+use crate::transport::{event_ring, Channel, RpcClient};
+
+/// One co-processor's data-plane OS.
+pub struct DataPlane {
+    fs: Arc<CoprocFs>,
+    net: CoprocNet,
+}
+
+impl DataPlane {
+    /// The file-system API.
+    pub fn fs(&self) -> &Arc<CoprocFs> {
+        &self.fs
+    }
+
+    /// The network API.
+    pub fn net(&self) -> &CoprocNet {
+        &self.net
+    }
+}
+
+/// The booted system.
+pub struct Solros {
+    machine: Machine,
+    fs: Arc<FileSystem>,
+    data_planes: Vec<DataPlane>,
+    fs_stats: Vec<Arc<FsProxyStats>>,
+    tcp_stats: Arc<TcpProxyStats>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Solros {
+    /// Boots with the paper's round-robin load balancer.
+    pub fn boot(cfg: MachineConfig) -> Solros {
+        Self::boot_with_lb(cfg, Box::new(RoundRobin::default()))
+    }
+
+    /// Boots with a custom shared-listening-socket policy (§4.4.3).
+    pub fn boot_with_lb(cfg: MachineConfig, lb: Box<dyn LoadBalancer>) -> Solros {
+        let cache_pages = cfg.host_cache_pages;
+        let machine = Machine::new(cfg);
+        let fs = Arc::new(FileSystem::mkfs(Arc::clone(&machine.nvme), cache_pages).expect("mkfs"));
+        Self::assemble(machine, fs, lb)
+    }
+
+    /// Boots against an already-formatted SSD, mounting it instead of
+    /// re-formatting — the reboot/persistence path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the mount error if the device does not hold a valid Solros
+    /// file system.
+    pub fn boot_mounted(
+        cfg: MachineConfig,
+        nvme: Arc<solros_nvme::NvmeDevice>,
+    ) -> Result<Solros, solros_fs::FsError> {
+        let cache_pages = cfg.host_cache_pages;
+        let machine = Machine::with_nvme(cfg, Arc::clone(&nvme));
+        let fs = Arc::new(FileSystem::mount(nvme, cache_pages)?);
+        Ok(Self::assemble(machine, fs, Box::new(RoundRobin::default())))
+    }
+
+    fn assemble(machine: Machine, fs: Arc<FileSystem>, lb: Box<dyn LoadBalancer>) -> Solros {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        let mut data_planes = Vec::new();
+        let mut fs_stats = Vec::new();
+        let mut net_host_channels = Vec::new();
+
+        for coproc in &machine.coprocs {
+            // ---- File-system service ----
+            let fs_ch = Channel::new(Arc::clone(&coproc.counters));
+            let stats = Arc::new(FsProxyStats::default());
+            fs_stats.push(Arc::clone(&stats));
+            let proxy = FsProxy::new(
+                Arc::clone(&fs),
+                Arc::clone(&coproc.window),
+                machine.ssd_p2p_crosses_numa(coproc.id),
+                stats,
+            );
+            let sd = Arc::clone(&shutdown);
+            let (req_rx, resp_tx) = (fs_ch.req_rx, fs_ch.resp_tx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("solros-fs-proxy-{}", coproc.id))
+                    .spawn(move || proxy.serve(req_rx, resp_tx, sd))
+                    .expect("spawn fs proxy"),
+            );
+            let fs_client = RpcClient::new(fs_ch.req_tx, fs_ch.resp_rx);
+            let coproc_fs = Arc::new(CoprocFs::new(
+                fs_client,
+                Arc::clone(&coproc.window),
+                Arc::clone(&coproc.alloc),
+            ));
+
+            // ---- Network service ----
+            let net_ch = Channel::new(Arc::clone(&coproc.counters));
+            let (evt_tx, evt_rx) = event_ring(Arc::clone(&coproc.counters));
+            net_host_channels.push(NetChannelHost {
+                req_rx: net_ch.req_rx,
+                resp_tx: net_ch.resp_tx,
+                evt_tx,
+            });
+            let net_client = RpcClient::new(net_ch.req_tx, net_ch.resp_rx);
+            let (coproc_net, dispatcher) =
+                CoprocNet::start(net_client, evt_rx, Arc::clone(&shutdown));
+            threads.push(dispatcher);
+
+            data_planes.push(DataPlane {
+                fs: coproc_fs,
+                net: coproc_net,
+            });
+        }
+
+        // ---- TCP proxy (one thread for the whole machine) ----
+        let (tcp_proxy, tcp_stats) =
+            TcpProxy::new(Arc::clone(&machine.network), net_host_channels, lb);
+        let sd = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name("solros-tcp-proxy".into())
+                .spawn(move || tcp_proxy.run(sd))
+                .expect("spawn tcp proxy"),
+        );
+
+        Solros {
+            machine,
+            fs,
+            data_planes,
+            fs_stats,
+            tcp_stats,
+            shutdown,
+            threads,
+        }
+    }
+
+    /// Number of co-processors.
+    pub fn coprocs(&self) -> usize {
+        self.data_planes.len()
+    }
+
+    /// One co-processor's data plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn data_plane(&self, i: usize) -> &DataPlane {
+        &self.data_planes[i]
+    }
+
+    /// The host-side file system (control-plane view; used by benches to
+    /// pre-populate data and inspect the cache).
+    pub fn host_fs(&self) -> &Arc<FileSystem> {
+        &self.fs
+    }
+
+    /// The NIC fabric (drive it as the external client machine).
+    pub fn network(&self) -> &Arc<Network> {
+        &self.machine.network
+    }
+
+    /// The underlying machine (topology, counters, devices).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// FS-proxy statistics for co-processor `i`.
+    pub fn fs_proxy_stats(&self, i: usize) -> &Arc<FsProxyStats> {
+        &self.fs_stats[i]
+    }
+
+    /// TCP-proxy statistics.
+    pub fn tcp_proxy_stats(&self) -> &Arc<TcpProxyStats> {
+        &self.tcp_stats
+    }
+
+    /// Stops all proxy threads and joins them.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Solros {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn boot_fs_roundtrip_both_coprocs() {
+        let sys = Solros::boot(MachineConfig::small());
+        for i in 0..sys.coprocs() {
+            let fs = sys.data_plane(i).fs();
+            let dir = format!("/cp{i}");
+            fs.mkdir(&dir).unwrap();
+            let f = fs.create(&format!("{dir}/data")).unwrap();
+            let payload: Vec<u8> = (0..20_000).map(|x| (x % 251) as u8).collect();
+            assert_eq!(fs.write_at(f, 0, &payload).unwrap(), payload.len());
+            let back = fs.read_to_vec(f, 0, payload.len()).unwrap();
+            assert_eq!(back, payload);
+            assert_eq!(fs.fstat(f).unwrap().size, payload.len() as u64);
+        }
+        // Both co-processors see the same namespace (shared FS).
+        let names = sys.data_plane(0).fs().readdir("/").unwrap();
+        assert_eq!(names, vec!["cp0", "cp1"]);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn boot_network_echo() {
+        let sys = Solros::boot(MachineConfig::small());
+        let net = sys.data_plane(0).net().clone();
+        let listener = net.listen(7777, 16).unwrap();
+
+        // External client connects and sends a ping.
+        let fabric = Arc::clone(sys.network());
+        let client = std::thread::spawn(move || {
+            let conn = loop {
+                match fabric.client_connect(7777, 42) {
+                    Ok(c) => break c,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            fabric
+                .send(conn, solros_netdev::EndKind::Client, b"ping")
+                .unwrap();
+            // Wait for the echo.
+            loop {
+                let got = fabric
+                    .recv(conn, solros_netdev::EndKind::Client, 16)
+                    .unwrap();
+                if !got.is_empty() {
+                    assert_eq!(got, b"pong");
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            fabric.close(conn, solros_netdev::EndKind::Client).unwrap();
+        });
+
+        let (stream, peer) = listener
+            .accept_timeout(Duration::from_secs(5))
+            .expect("accept");
+        assert_eq!(peer, 42);
+        let mut buf = [0u8; 16];
+        let n = stream.recv(&mut buf);
+        assert_eq!(&buf[..n], b"ping");
+        stream.send(b"pong").unwrap();
+        client.join().unwrap();
+        sys.shutdown();
+    }
+
+    #[test]
+    fn shared_listening_socket_round_robins() {
+        let sys = Solros::boot(MachineConfig::small());
+        // Both co-processors listen on the same port (§4.4.3).
+        let l0 = sys.data_plane(0).net().listen(8080, 64).unwrap();
+        let l1 = sys.data_plane(1).net().listen(8080, 64).unwrap();
+
+        let fabric = Arc::clone(sys.network());
+        for i in 0..10u64 {
+            loop {
+                if fabric.client_connect(8080, i).is_ok() {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        // Round-robin: each listener accepts 5.
+        let mut got0 = 0;
+        let mut got1 = 0;
+        for _ in 0..5 {
+            assert!(l0.accept_timeout(Duration::from_secs(5)).is_some());
+            got0 += 1;
+            assert!(l1.accept_timeout(Duration::from_secs(5)).is_some());
+            got1 += 1;
+        }
+        assert_eq!((got0, got1), (5, 5));
+        let s = sys.tcp_proxy_stats();
+        assert_eq!(s.accepted[0].load(Ordering::Relaxed), 5);
+        assert_eq!(s.accepted[1].load(Ordering::Relaxed), 5);
+        sys.shutdown();
+    }
+}

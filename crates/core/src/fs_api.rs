@@ -1,0 +1,241 @@
+//! The data-plane file-system stub and application API (§4.3.1).
+//!
+//! The stub transforms each file-system call into exactly one RPC (the
+//! paper's one-to-one mapping) and manages the zero-copy I/O buffers: it
+//! carves them out of the co-processor's exported window, puts their
+//! addresses into `Tread`/`Twrite`, and — because the buffers live in
+//! *local* co-processor memory — the final copy between the window buffer
+//! and the caller's slice is an ordinary local `memcpy`.
+
+use std::sync::Arc;
+
+use solros_machine::WindowAlloc;
+use solros_nvme::BLOCK_SIZE;
+use solros_pcie::window::{Window, WindowHandle};
+use solros_pcie::Side;
+use solros_proto::fs_msg::{FsRequest, FsResponse};
+use solros_proto::rpc_error::RpcErr;
+
+use crate::transport::RpcClient;
+
+/// A file handle on the data plane (an inode number under the hood).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileHandle(pub u64);
+
+/// File metadata as seen from the co-processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStat {
+    /// Inode number.
+    pub ino: u64,
+    /// Directory flag.
+    pub is_dir: bool,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// The co-processor file-system API.
+pub struct CoprocFs {
+    client: Arc<RpcClient>,
+    window: Arc<Window>,
+    alloc: Arc<WindowAlloc>,
+}
+
+impl CoprocFs {
+    /// Builds the stub over an RPC client and the co-processor's exported
+    /// window + allocator.
+    pub fn new(client: Arc<RpcClient>, window: Arc<Window>, alloc: Arc<WindowAlloc>) -> Self {
+        Self {
+            client,
+            window,
+            alloc,
+        }
+    }
+
+    fn local(&self) -> WindowHandle {
+        self.window.map(Side::Coproc)
+    }
+
+    fn call(&self, req: FsRequest) -> FsResponse {
+        let tag = self.client.tag();
+        let reply = self.client.call(tag, req.encode(tag));
+        match FsResponse::decode(&reply) {
+            Ok((_, resp)) => resp,
+            Err(_) => FsResponse::Error { err: RpcErr::Io },
+        }
+    }
+
+    /// Creates a file.
+    pub fn create(&self, path: &str) -> Result<FileHandle, RpcErr> {
+        match self.call(FsRequest::Create { path: path.into() }) {
+            FsResponse::Create { ino } => Ok(FileHandle(ino)),
+            FsResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        }
+    }
+
+    /// Opens a file; `create`/`truncate`/`buffered` mirror the proxy
+    /// flags (`buffered` is the paper's `O_BUFFER`).
+    pub fn open(
+        &self,
+        path: &str,
+        create: bool,
+        truncate: bool,
+        buffered: bool,
+    ) -> Result<(FileHandle, u64), RpcErr> {
+        match self.call(FsRequest::Open {
+            path: path.into(),
+            create,
+            truncate,
+            buffered,
+        }) {
+            FsResponse::Open { ino, size } => Ok((FileHandle(ino), size)),
+            FsResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        }
+    }
+
+    /// Reads into `buf` at `offset`; returns bytes read (short at EOF).
+    pub fn read_at(&self, f: FileHandle, offset: u64, buf: &mut [u8]) -> Result<usize, RpcErr> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        // Round up so a block-granular P2P transfer cannot overrun.
+        let alloc_len = buf.len().div_ceil(BLOCK_SIZE) * BLOCK_SIZE + BLOCK_SIZE;
+        let off = self.alloc.alloc(alloc_len).ok_or(RpcErr::NoSpace)?;
+        let resp = self.call(FsRequest::Read {
+            ino: f.0,
+            offset,
+            count: buf.len() as u64,
+            buf_addr: off as u64,
+        });
+        let result = match resp {
+            FsResponse::Read { count } => {
+                let n = (count as usize).min(buf.len());
+                // Local copy out of the window buffer (free on real HW).
+                // SAFETY: the window range was exclusively allocated to
+                // this call and the proxy has completed its transfer.
+                unsafe { self.local().read(off, &mut buf[..n]) };
+                Ok(n)
+            }
+            FsResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        };
+        self.alloc.free(off, alloc_len);
+        result
+    }
+
+    /// Convenience: read `len` bytes at `offset` into a vector.
+    pub fn read_to_vec(&self, f: FileHandle, offset: u64, len: usize) -> Result<Vec<u8>, RpcErr> {
+        let mut v = vec![0u8; len];
+        let n = self.read_at(f, offset, &mut v)?;
+        v.truncate(n);
+        Ok(v)
+    }
+
+    /// Writes `data` at `offset`; returns bytes written.
+    pub fn write_at(&self, f: FileHandle, offset: u64, data: &[u8]) -> Result<usize, RpcErr> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let alloc_len = data.len().div_ceil(BLOCK_SIZE) * BLOCK_SIZE;
+        let off = self.alloc.alloc(alloc_len).ok_or(RpcErr::NoSpace)?;
+        // Zero the padding tail so a block-granular P2P write lands zeroes
+        // beyond the payload, then stage the payload (both local copies).
+        // SAFETY: exclusively allocated range.
+        unsafe {
+            if alloc_len > data.len() {
+                self.local()
+                    .write(off + data.len(), &vec![0u8; alloc_len - data.len()]);
+            }
+            self.local().write(off, data);
+        }
+        let resp = self.call(FsRequest::Write {
+            ino: f.0,
+            offset,
+            count: data.len() as u64,
+            buf_addr: off as u64,
+        });
+        let result = match resp {
+            FsResponse::Write { count } => Ok(count as usize),
+            FsResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        };
+        self.alloc.free(off, alloc_len);
+        result
+    }
+
+    /// Stats a path.
+    pub fn stat(&self, path: &str) -> Result<FileStat, RpcErr> {
+        match self.call(FsRequest::Stat { path: path.into() }) {
+            FsResponse::Stat { ino, is_dir, size } => Ok(FileStat { ino, is_dir, size }),
+            FsResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        }
+    }
+
+    /// Stats an open handle.
+    pub fn fstat(&self, f: FileHandle) -> Result<FileStat, RpcErr> {
+        match self.call(FsRequest::Fstat { ino: f.0 }) {
+            FsResponse::Stat { ino, is_dir, size } => Ok(FileStat { ino, is_dir, size }),
+            FsResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        }
+    }
+
+    /// Removes a file or empty directory.
+    pub fn unlink(&self, path: &str) -> Result<(), RpcErr> {
+        match self.call(FsRequest::Unlink { path: path.into() }) {
+            FsResponse::Ok => Ok(()),
+            FsResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        }
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&self, path: &str) -> Result<(), RpcErr> {
+        match self.call(FsRequest::Mkdir { path: path.into() }) {
+            FsResponse::Mkdir { .. } => Ok(()),
+            FsResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        }
+    }
+
+    /// Lists a directory.
+    pub fn readdir(&self, path: &str) -> Result<Vec<String>, RpcErr> {
+        match self.call(FsRequest::Readdir { path: path.into() }) {
+            FsResponse::Readdir { names } => Ok(names),
+            FsResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        }
+    }
+
+    /// Renames.
+    pub fn rename(&self, from: &str, to: &str) -> Result<(), RpcErr> {
+        match self.call(FsRequest::Rename {
+            from: from.into(),
+            to: to.into(),
+        }) {
+            FsResponse::Ok => Ok(()),
+            FsResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        }
+    }
+
+    /// Truncates to `size`.
+    pub fn truncate(&self, f: FileHandle, size: u64) -> Result<(), RpcErr> {
+        match self.call(FsRequest::Truncate { ino: f.0, size }) {
+            FsResponse::Ok => Ok(()),
+            FsResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        }
+    }
+
+    /// Flushes metadata.
+    pub fn fsync(&self, f: FileHandle) -> Result<(), RpcErr> {
+        match self.call(FsRequest::Fsync { ino: f.0 }) {
+            FsResponse::Ok => Ok(()),
+            FsResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        }
+    }
+}

@@ -1,0 +1,729 @@
+//! The control-plane file-system proxy (§4.3.2, §5).
+//!
+//! One proxy server loop runs per co-processor on a host thread. It pulls
+//! file-system RPCs from the request ring, executes them against
+//! [`solros_fs::FileSystem`], and pushes replies. For data transfers it
+//! chooses between:
+//!
+//! * **Peer-to-peer**: translate the file range to disk extents
+//!   (`fiemap`), translate the co-processor buffer address to its
+//!   system-mapped PCIe window, and submit *all* NVMe commands of the
+//!   system call as one vectored batch — a single doorbell and a single
+//!   interrupt (the §5 driver optimization).
+//! * **Buffered**: stage through the host's shared page cache and push
+//!   with host DMA. Chosen on a cache hit, when the P2P path would cross
+//!   a NUMA boundary (Figure 1a), when the file was opened with
+//!   `O_BUFFER`, or when the request is not block-aligned.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use solros_fs::{FileSystem, FsError};
+use solros_nvme::{DmaPtr, NvmeCommand, NvmeError, BLOCK_SIZE};
+use solros_pcie::window::Window;
+use solros_pcie::Side;
+use solros_proto::fs_msg::{FsRequest, FsResponse};
+use solros_proto::rpc_error::RpcErr;
+use solros_ringbuf::{Consumer, Producer};
+
+/// NVMe MDTS in blocks (mirrors `solros_nvme::device::MDTS_BLOCKS`).
+const MDTS_BLOCKS: u64 = solros_nvme::device::MDTS_BLOCKS as u64;
+
+/// Path-decision and traffic statistics for one proxy.
+#[derive(Debug, Default)]
+pub struct FsProxyStats {
+    /// RPCs served.
+    pub rpcs: AtomicU64,
+    /// Reads served peer-to-peer.
+    pub p2p_reads: AtomicU64,
+    /// Reads served through the host cache.
+    pub buffered_reads: AtomicU64,
+    /// Writes placed peer-to-peer.
+    pub p2p_writes: AtomicU64,
+    /// Writes staged through the host.
+    pub buffered_writes: AtomicU64,
+    /// Pages warmed by sequential readahead (§4.3.2).
+    pub prefetched_pages: AtomicU64,
+}
+
+/// Maps file-system errors onto wire codes.
+fn rpc_err(e: FsError) -> RpcErr {
+    match e {
+        FsError::NotFound => RpcErr::NotFound,
+        FsError::Exists => RpcErr::Exists,
+        FsError::NotDir => RpcErr::NotDir,
+        FsError::IsDir => RpcErr::IsDir,
+        FsError::NotEmpty => RpcErr::NotEmpty,
+        FsError::NoSpace => RpcErr::NoSpace,
+        FsError::TooLarge => RpcErr::TooLarge,
+        FsError::InvalidPath => RpcErr::Invalid,
+        FsError::Corrupt | FsError::Io(_) => RpcErr::Io,
+    }
+}
+
+/// One co-processor's proxy server.
+pub struct FsProxy {
+    fs: Arc<FileSystem>,
+    coproc_window: Arc<Window>,
+    crosses_numa: bool,
+    stats: Arc<FsProxyStats>,
+    /// Inodes opened with `O_BUFFER` by this co-processor.
+    buffered_open: HashSet<u64>,
+    /// Per-inode end offset of the last read, for sequential detection.
+    last_read_end: std::collections::HashMap<u64, u64>,
+    /// Pages to read ahead on a sequential buffered stream (0 disables).
+    readahead_pages: u64,
+}
+
+impl FsProxy {
+    /// Creates a proxy for one co-processor.
+    pub fn new(
+        fs: Arc<FileSystem>,
+        coproc_window: Arc<Window>,
+        crosses_numa: bool,
+        stats: Arc<FsProxyStats>,
+    ) -> Self {
+        Self {
+            fs,
+            coproc_window,
+            crosses_numa,
+            stats,
+            buffered_open: HashSet::new(),
+            last_read_end: std::collections::HashMap::new(),
+            readahead_pages: 8,
+        }
+    }
+
+    /// Overrides the sequential readahead depth (pages; 0 disables).
+    pub fn set_readahead(&mut self, pages: u64) {
+        self.readahead_pages = pages;
+    }
+
+    /// Serves requests until `shutdown` is set. Runs on a host thread.
+    pub fn serve(mut self, req_rx: Consumer, resp_tx: Producer, shutdown: Arc<AtomicBool>) {
+        while !shutdown.load(Ordering::Relaxed) {
+            match req_rx.recv() {
+                Ok(frame) => {
+                    let reply = match FsRequest::decode(&frame) {
+                        Ok((tag, req)) => {
+                            self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+                            let resp = self.handle(req);
+                            resp.encode(tag)
+                        }
+                        Err(_) => FsResponse::Error {
+                            err: RpcErr::Invalid,
+                        }
+                        .encode(0),
+                    };
+                    let _ = resp_tx.send_blocking(&reply);
+                }
+                Err(_) => std::thread::yield_now(),
+            }
+        }
+    }
+
+    /// Executes one RPC.
+    pub fn handle(&mut self, req: FsRequest) -> FsResponse {
+        match req {
+            FsRequest::Open {
+                path,
+                create,
+                truncate,
+                buffered,
+            } => {
+                let flags = solros_fs::OpenFlags {
+                    create,
+                    truncate,
+                    buffered,
+                };
+                match self.fs.open(&path, flags) {
+                    Ok(ino) => {
+                        if buffered {
+                            self.buffered_open.insert(ino);
+                        } else {
+                            self.buffered_open.remove(&ino);
+                        }
+                        let size = self.fs.size_of(ino).unwrap_or(0);
+                        FsResponse::Open { ino, size }
+                    }
+                    Err(e) => FsResponse::Error { err: rpc_err(e) },
+                }
+            }
+            FsRequest::Create { path } => match self.fs.create(&path) {
+                Ok(ino) => FsResponse::Create { ino },
+                Err(e) => FsResponse::Error { err: rpc_err(e) },
+            },
+            FsRequest::Read {
+                ino,
+                offset,
+                count,
+                buf_addr,
+            } => match self.do_read(ino, offset, count, buf_addr) {
+                Ok(n) => FsResponse::Read { count: n },
+                Err(e) => FsResponse::Error { err: e },
+            },
+            FsRequest::Write {
+                ino,
+                offset,
+                count,
+                buf_addr,
+            } => match self.do_write(ino, offset, count, buf_addr) {
+                Ok(n) => FsResponse::Write { count: n },
+                Err(e) => FsResponse::Error { err: e },
+            },
+            FsRequest::Stat { path } => match self.fs.stat(&path) {
+                Ok(st) => FsResponse::Stat {
+                    ino: st.ino,
+                    is_dir: st.is_dir,
+                    size: st.size,
+                },
+                Err(e) => FsResponse::Error { err: rpc_err(e) },
+            },
+            FsRequest::Fstat { ino } => match self.fs.stat_ino(ino) {
+                Ok(st) => FsResponse::Stat {
+                    ino: st.ino,
+                    is_dir: st.is_dir,
+                    size: st.size,
+                },
+                Err(e) => FsResponse::Error { err: rpc_err(e) },
+            },
+            FsRequest::Unlink { path } => match self.fs.unlink(&path) {
+                Ok(()) => FsResponse::Ok,
+                Err(e) => FsResponse::Error { err: rpc_err(e) },
+            },
+            FsRequest::Mkdir { path } => match self.fs.mkdir(&path) {
+                Ok(ino) => FsResponse::Mkdir { ino },
+                Err(e) => FsResponse::Error { err: rpc_err(e) },
+            },
+            FsRequest::Readdir { path } => match self.fs.readdir(&path) {
+                Ok(names) => FsResponse::Readdir { names },
+                Err(e) => FsResponse::Error { err: rpc_err(e) },
+            },
+            FsRequest::Rename { from, to } => match self.fs.rename(&from, &to) {
+                Ok(()) => FsResponse::Ok,
+                Err(e) => FsResponse::Error { err: rpc_err(e) },
+            },
+            FsRequest::Truncate { ino, size } => match self.fs.truncate(ino, size) {
+                Ok(()) => FsResponse::Ok,
+                Err(e) => FsResponse::Error { err: rpc_err(e) },
+            },
+            FsRequest::Fsync { ino } => match self.fs.fsync(ino) {
+                Ok(()) => FsResponse::Ok,
+                Err(e) => FsResponse::Error { err: rpc_err(e) },
+            },
+        }
+    }
+
+    /// Chooses the data path for a read (§4.3.2).
+    fn read_path_is_p2p(&self, ino: u64, offset: u64, count: u64) -> bool {
+        if self.crosses_numa || self.buffered_open.contains(&ino) {
+            return false;
+        }
+        if !offset.is_multiple_of(BLOCK_SIZE as u64) {
+            return false;
+        }
+        // Cache hit on the leading page: serve from the shared cache.
+        let first_page = offset / BLOCK_SIZE as u64;
+        if self.fs.cache().peek(ino, first_page) {
+            return false;
+        }
+        count > 0
+    }
+
+    fn do_read(&mut self, ino: u64, offset: u64, count: u64, buf_addr: u64) -> Result<u64, RpcErr> {
+        let size = self.fs.size_of(ino).map_err(rpc_err)?;
+        if offset >= size {
+            return Ok(0);
+        }
+        let count = count.min(size - offset);
+        let sequential = self.last_read_end.get(&ino) == Some(&offset);
+        self.last_read_end.insert(ino, offset + count);
+        if self.read_path_is_p2p(ino, offset, count) {
+            self.stats.p2p_reads.fetch_add(1, Ordering::Relaxed);
+            self.p2p_read(ino, offset, count, buf_addr)?;
+            Ok(count)
+        } else {
+            self.stats.buffered_reads.fetch_add(1, Ordering::Relaxed);
+            let mut buf = vec![0u8; count as usize];
+            let n = self.fs.read(ino, offset, &mut buf).map_err(rpc_err)? as u64;
+            buf.truncate(n as usize);
+            let h = self.coproc_window.map(Side::Host);
+            // SAFETY: the stub owns [buf_addr, buf_addr+count) exclusively
+            // for the duration of this call (driver contract).
+            unsafe {
+                h.adaptive_write(
+                    &solros_pcie::cost::CostModel::paper_default(),
+                    buf_addr as usize,
+                    &buf,
+                )
+            };
+            // Sequential stream on the buffered path: warm the shared
+            // cache ahead of the next request (§4.3.2's prefetch).
+            if sequential && self.readahead_pages > 0 {
+                let warmed = self
+                    .fs
+                    .prefetch(ino, offset + count, self.readahead_pages)
+                    .unwrap_or(0);
+                self.stats
+                    .prefetched_pages
+                    .fetch_add(warmed, Ordering::Relaxed);
+            }
+            Ok(n)
+        }
+    }
+
+    /// Builds and submits the vectored NVMe batch for a P2P read.
+    fn p2p_read(&self, ino: u64, offset: u64, count: u64, buf_addr: u64) -> Result<(), RpcErr> {
+        let extents = self.fs.fiemap(ino, offset, count).map_err(rpc_err)?;
+        let cmds = Self::extent_cmds(&extents, &self.coproc_window, buf_addr, true);
+        self.submit_with_retry(&cmds)
+    }
+
+    fn do_write(
+        &mut self,
+        ino: u64,
+        offset: u64,
+        count: u64,
+        buf_addr: u64,
+    ) -> Result<u64, RpcErr> {
+        if count == 0 {
+            return Ok(0);
+        }
+        let size = self.fs.size_of(ino).map_err(rpc_err)?;
+        let bs = BLOCK_SIZE as u64;
+        let aligned = offset.is_multiple_of(bs);
+        // A partial tail block is only safe P2P when it extends the file
+        // (padding lands beyond EOF and is never read back).
+        let tail_ok = count.is_multiple_of(bs) || offset + count >= size;
+        let p2p = !self.crosses_numa && !self.buffered_open.contains(&ino) && aligned && tail_ok;
+        if p2p {
+            self.stats.p2p_writes.fetch_add(1, Ordering::Relaxed);
+            self.fs
+                .ensure_allocated(ino, offset, count)
+                .map_err(rpc_err)?;
+            let map_len = count.div_ceil(bs) * bs;
+            let extents = self
+                .fs
+                .fiemap_allocated(ino, offset, map_len)
+                .map_err(rpc_err)?;
+            let cmds = Self::extent_cmds(&extents, &self.coproc_window, buf_addr, false);
+            self.submit_with_retry(&cmds)?;
+            self.fs.extend_size(ino, offset + count).map_err(rpc_err)?;
+            // Coherence: drop any cached pages the DMA just bypassed.
+            for page in offset / bs..(offset + count).div_ceil(bs) {
+                self.fs.cache().invalidate_page(ino, page);
+            }
+            Ok(count)
+        } else {
+            self.stats.buffered_writes.fetch_add(1, Ordering::Relaxed);
+            let mut buf = vec![0u8; count as usize];
+            let h = self.coproc_window.map(Side::Host);
+            // SAFETY: the stub owns the source range exclusively for the
+            // duration of this call.
+            unsafe { h.dma_read(buf_addr as usize, &mut buf) };
+            let n = self.fs.write(ino, offset, &buf).map_err(rpc_err)? as u64;
+            Ok(n)
+        }
+    }
+
+    /// Splits extents into MDTS-sized NVMe commands targeting consecutive
+    /// window offsets.
+    fn extent_cmds(
+        extents: &[solros_fs::Extent],
+        window: &Arc<Window>,
+        buf_addr: u64,
+        is_read: bool,
+    ) -> Vec<NvmeCommand> {
+        let mut cmds = Vec::new();
+        let mut cursor = buf_addr;
+        for e in extents {
+            let mut lba = e.start;
+            let mut left = e.len as u64;
+            while left > 0 {
+                let n = left.min(MDTS_BLOCKS);
+                let ptr = DmaPtr::new(Arc::clone(window), cursor as usize);
+                cmds.push(if is_read {
+                    NvmeCommand::Read {
+                        lba,
+                        nblocks: n as u32,
+                        dst: ptr,
+                    }
+                } else {
+                    NvmeCommand::Write {
+                        lba,
+                        nblocks: n as u32,
+                        src: ptr,
+                    }
+                });
+                lba += n;
+                left -= n;
+                cursor += n * BLOCK_SIZE as u64;
+            }
+        }
+        cmds
+    }
+
+    /// Submits one vectored batch; retries individual transient failures.
+    fn submit_with_retry(&self, cmds: &[NvmeCommand]) -> Result<(), RpcErr> {
+        let results = self.fs.device().submit_vectored(cmds);
+        for (cmd, res) in cmds.iter().zip(results) {
+            if let Err(mut e) = res {
+                let mut ok = false;
+                for _ in 0..2 {
+                    match self.fs.device().submit_vectored(std::slice::from_ref(cmd))[0] {
+                        Ok(()) => {
+                            ok = true;
+                            break;
+                        }
+                        Err(e2) => e = e2,
+                    }
+                }
+                if !ok {
+                    return Err(match e {
+                        NvmeError::OutOfRange => RpcErr::Invalid,
+                        _ => RpcErr::Io,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solros_nvme::NvmeDevice;
+    use solros_pcie::PcieCounters;
+
+    fn setup(crosses_numa: bool) -> (FsProxy, Arc<FileSystem>, Arc<Window>, Arc<FsProxyStats>) {
+        let fs = Arc::new(FileSystem::mkfs(NvmeDevice::new(8192), 256).unwrap());
+        let window = Window::new(1 << 20, Side::Coproc, Arc::new(PcieCounters::new()));
+        let stats = Arc::new(FsProxyStats::default());
+        let proxy = FsProxy::new(
+            Arc::clone(&fs),
+            Arc::clone(&window),
+            crosses_numa,
+            Arc::clone(&stats),
+        );
+        (proxy, fs, window, stats)
+    }
+
+    fn window_write(w: &Arc<Window>, off: usize, data: &[u8]) {
+        // SAFETY: exclusive test buffer.
+        unsafe { w.map(Side::Coproc).write(off, data) };
+    }
+
+    fn window_read(w: &Arc<Window>, off: usize, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        // SAFETY: exclusive test buffer.
+        unsafe { w.map(Side::Coproc).read(off, &mut v) };
+        v
+    }
+
+    #[test]
+    fn aligned_read_goes_p2p_and_coalesces() {
+        let (mut proxy, fs, window, stats) = setup(false);
+        let ino = fs.create("/f").unwrap();
+        let data: Vec<u8> = (0..4 * BLOCK_SIZE).map(|i| (i % 253) as u8).collect();
+        fs.write(ino, 0, &data).unwrap();
+        // Clear the write-through cache so the read cannot be a cache hit.
+        fs.cache().invalidate_ino(ino);
+        let ints0 = fs.device().stats().interrupts;
+
+        let resp = proxy.handle(FsRequest::Read {
+            ino,
+            offset: 0,
+            count: 4 * BLOCK_SIZE as u64,
+            buf_addr: 0,
+        });
+        assert_eq!(
+            resp,
+            FsResponse::Read {
+                count: 4 * BLOCK_SIZE as u64
+            }
+        );
+        assert_eq!(stats.p2p_reads.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.buffered_reads.load(Ordering::Relaxed), 0);
+        assert_eq!(window_read(&window, 0, data.len()), data);
+        // One vectored batch: exactly one interrupt for the whole read.
+        assert_eq!(fs.device().stats().interrupts, ints0 + 1);
+    }
+
+    #[test]
+    fn cross_numa_demotes_to_buffered() {
+        let (mut proxy, fs, window, stats) = setup(true);
+        let ino = fs.create("/f").unwrap();
+        let data = vec![7u8; 2 * BLOCK_SIZE];
+        fs.write(ino, 0, &data).unwrap();
+        fs.cache().invalidate_ino(ino);
+        let resp = proxy.handle(FsRequest::Read {
+            ino,
+            offset: 0,
+            count: 2 * BLOCK_SIZE as u64,
+            buf_addr: 4096,
+        });
+        assert_eq!(
+            resp,
+            FsResponse::Read {
+                count: 2 * BLOCK_SIZE as u64
+            }
+        );
+        assert_eq!(stats.p2p_reads.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.buffered_reads.load(Ordering::Relaxed), 1);
+        assert_eq!(window_read(&window, 4096, data.len()), data);
+    }
+
+    #[test]
+    fn cache_hit_prefers_buffered() {
+        let (mut proxy, fs, _window, stats) = setup(false);
+        let ino = fs.create("/f").unwrap();
+        let data = vec![9u8; BLOCK_SIZE];
+        fs.write(ino, 0, &data).unwrap(); // Write-through warms the cache.
+        let resp = proxy.handle(FsRequest::Read {
+            ino,
+            offset: 0,
+            count: BLOCK_SIZE as u64,
+            buf_addr: 0,
+        });
+        assert_eq!(
+            resp,
+            FsResponse::Read {
+                count: BLOCK_SIZE as u64
+            }
+        );
+        assert_eq!(stats.buffered_reads.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.p2p_reads.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn unaligned_read_demotes() {
+        let (mut proxy, fs, window, stats) = setup(false);
+        let ino = fs.create("/f").unwrap();
+        let data: Vec<u8> = (0..2 * BLOCK_SIZE).map(|i| (i % 251) as u8).collect();
+        fs.write(ino, 0, &data).unwrap();
+        fs.cache().invalidate_ino(ino);
+        let resp = proxy.handle(FsRequest::Read {
+            ino,
+            offset: 100,
+            count: 500,
+            buf_addr: 0,
+        });
+        assert_eq!(resp, FsResponse::Read { count: 500 });
+        assert_eq!(stats.buffered_reads.load(Ordering::Relaxed), 1);
+        assert_eq!(window_read(&window, 0, 500), data[100..600]);
+    }
+
+    #[test]
+    fn p2p_write_roundtrips_and_invalidates_cache() {
+        let (mut proxy, fs, window, stats) = setup(false);
+        let ino = fs.create("/f").unwrap();
+        // Seed stale data through the cache.
+        fs.write(ino, 0, &vec![1u8; 2 * BLOCK_SIZE]).unwrap();
+        // P2P write of fresh data directly from "co-processor memory".
+        let fresh: Vec<u8> = (0..2 * BLOCK_SIZE).map(|i| (i % 249) as u8).collect();
+        window_write(&window, 8192, &fresh);
+        let resp = proxy.handle(FsRequest::Write {
+            ino,
+            offset: 0,
+            count: 2 * BLOCK_SIZE as u64,
+            buf_addr: 8192,
+        });
+        assert_eq!(
+            resp,
+            FsResponse::Write {
+                count: 2 * BLOCK_SIZE as u64
+            }
+        );
+        assert_eq!(stats.p2p_writes.load(Ordering::Relaxed), 1);
+        // A buffered read now must see the new data, not the stale cache.
+        let mut out = vec![0u8; 2 * BLOCK_SIZE];
+        fs.read(ino, 0, &mut out).unwrap();
+        assert_eq!(out, fresh);
+    }
+
+    #[test]
+    fn p2p_write_extends_file() {
+        let (mut proxy, fs, window, _stats) = setup(false);
+        let ino = fs.create("/f").unwrap();
+        let data = vec![5u8; 1000]; // Partial tail, extending: P2P-safe.
+        window_write(&window, 0, &data);
+        let resp = proxy.handle(FsRequest::Write {
+            ino,
+            offset: 0,
+            count: 1000,
+            buf_addr: 0,
+        });
+        assert_eq!(resp, FsResponse::Write { count: 1000 });
+        assert_eq!(fs.size_of(ino).unwrap(), 1000);
+        let mut out = vec![0u8; 1000];
+        fs.read(ino, 0, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn unaligned_overwrite_demotes_to_buffered() {
+        let (mut proxy, fs, window, stats) = setup(false);
+        let ino = fs.create("/f").unwrap();
+        fs.write(ino, 0, &vec![1u8; 2 * BLOCK_SIZE]).unwrap();
+        // Overwrite 10 bytes mid-file: partial tail NOT extending => buffered.
+        window_write(&window, 0, &[9u8; 10]);
+        let resp = proxy.handle(FsRequest::Write {
+            ino,
+            offset: 4096,
+            count: 10,
+            buf_addr: 0,
+        });
+        assert_eq!(resp, FsResponse::Write { count: 10 });
+        assert_eq!(stats.buffered_writes.load(Ordering::Relaxed), 1);
+        let mut out = vec![0u8; 2 * BLOCK_SIZE];
+        fs.read(ino, 0, &mut out).unwrap();
+        assert_eq!(&out[4096..4106], &[9u8; 10]);
+        assert_eq!(out[4106], 1, "bytes beyond the overwrite untouched");
+    }
+
+    #[test]
+    fn o_buffer_forces_buffered_io() {
+        let (mut proxy, fs, _window, stats) = setup(false);
+        let resp = proxy.handle(FsRequest::Open {
+            path: "/b".into(),
+            create: true,
+            truncate: false,
+            buffered: true,
+        });
+        let ino = match resp {
+            FsResponse::Open { ino, .. } => ino,
+            other => panic!("unexpected {other:?}"),
+        };
+        fs.write(ino, 0, &vec![3u8; BLOCK_SIZE]).unwrap();
+        fs.cache().invalidate_ino(ino);
+        proxy.handle(FsRequest::Read {
+            ino,
+            offset: 0,
+            count: BLOCK_SIZE as u64,
+            buf_addr: 0,
+        });
+        assert_eq!(stats.buffered_reads.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.p2p_reads.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn read_beyond_eof_returns_zero() {
+        let (mut proxy, fs, _window, _stats) = setup(false);
+        let ino = fs.create("/f").unwrap();
+        fs.write(ino, 0, b"xy").unwrap();
+        let resp = proxy.handle(FsRequest::Read {
+            ino,
+            offset: 100,
+            count: 10,
+            buf_addr: 0,
+        });
+        assert_eq!(resp, FsResponse::Read { count: 0 });
+    }
+
+    #[test]
+    fn metadata_rpcs_roundtrip() {
+        let (mut proxy, _fs, _window, _stats) = setup(false);
+        assert!(matches!(
+            proxy.handle(FsRequest::Mkdir { path: "/d".into() }),
+            FsResponse::Mkdir { .. }
+        ));
+        assert!(matches!(
+            proxy.handle(FsRequest::Create {
+                path: "/d/f".into()
+            }),
+            FsResponse::Create { .. }
+        ));
+        assert_eq!(
+            proxy.handle(FsRequest::Readdir { path: "/d".into() }),
+            FsResponse::Readdir {
+                names: vec!["f".into()]
+            }
+        );
+        assert_eq!(
+            proxy.handle(FsRequest::Rename {
+                from: "/d/f".into(),
+                to: "/d/g".into()
+            }),
+            FsResponse::Ok
+        );
+        assert!(matches!(
+            proxy.handle(FsRequest::Stat {
+                path: "/d/g".into()
+            }),
+            FsResponse::Stat { is_dir: false, .. }
+        ));
+        assert_eq!(
+            proxy.handle(FsRequest::Unlink {
+                path: "/d/g".into()
+            }),
+            FsResponse::Ok
+        );
+        assert_eq!(
+            proxy.handle(FsRequest::Unlink {
+                path: "/d/g".into()
+            }),
+            FsResponse::Error {
+                err: RpcErr::NotFound
+            }
+        );
+        assert_eq!(proxy.handle(FsRequest::Fsync { ino: 0 }), FsResponse::Ok);
+    }
+
+    #[test]
+    fn sequential_buffered_reads_trigger_readahead() {
+        // Cross-NUMA proxy: everything is buffered, so the readahead path
+        // is exercised by a sequential scan.
+        let (mut proxy, fs, _window, stats) = setup(true);
+        let ino = fs.create("/seq").unwrap();
+        fs.write(ino, 0, &vec![7u8; 32 * BLOCK_SIZE]).unwrap();
+        fs.cache().invalidate_ino(ino);
+        for i in 0..4u64 {
+            let resp = proxy.handle(FsRequest::Read {
+                ino,
+                offset: i * 2 * BLOCK_SIZE as u64,
+                count: 2 * BLOCK_SIZE as u64,
+                buf_addr: 0,
+            });
+            assert_eq!(
+                resp,
+                FsResponse::Read {
+                    count: 2 * BLOCK_SIZE as u64
+                }
+            );
+        }
+        let warmed = stats.prefetched_pages.load(Ordering::Relaxed);
+        assert!(warmed >= 8, "sequential scan should prefetch, got {warmed}");
+        // A random (non-sequential) read does not prefetch further.
+        let before = stats.prefetched_pages.load(Ordering::Relaxed);
+        proxy.handle(FsRequest::Read {
+            ino,
+            offset: 20 * BLOCK_SIZE as u64,
+            count: BLOCK_SIZE as u64,
+            buf_addr: 0,
+        });
+        assert_eq!(stats.prefetched_pages.load(Ordering::Relaxed), before);
+    }
+
+    #[test]
+    fn device_fault_recovery() {
+        let (mut proxy, fs, _window, _stats) = setup(false);
+        let ino = fs.create("/f").unwrap();
+        fs.write(ino, 0, &vec![1u8; BLOCK_SIZE]).unwrap();
+        fs.cache().invalidate_ino(ino);
+        fs.device().inject_faults(1);
+        let resp = proxy.handle(FsRequest::Read {
+            ino,
+            offset: 0,
+            count: BLOCK_SIZE as u64,
+            buf_addr: 0,
+        });
+        assert_eq!(
+            resp,
+            FsResponse::Read {
+                count: BLOCK_SIZE as u64
+            }
+        );
+    }
+}

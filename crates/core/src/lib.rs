@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Solros: a data-centric split-OS architecture for heterogeneous
+//! computing (EuroSys '18).
+//!
+//! The crate assembles the paper's system on top of the simulated
+//! hardware substrates:
+//!
+//! * [`transport`] — RPC channels built from the combining ring buffer:
+//!   request/response rings mastered in co-processor memory (so
+//!   co-processor RPC operations are local; the host pulls/pushes across
+//!   PCIe, §4.3.1), and the inbound event ring mastered in host memory
+//!   (so co-processor DMA engines pull inbound data, §4.4.1).
+//! * [`fs_proxy`] / [`fs_api`] — the file-system service: a full-featured
+//!   proxy on the host that chooses peer-to-peer or buffered data paths
+//!   per request (§4.3.2), and a lean stub + POSIX-ish API on the
+//!   co-processor (§4.3.1).
+//! * [`tcp_proxy`] / [`net_api`] — the network service: the host-side TCP
+//!   proxy with shared listening sockets and pluggable load balancing
+//!   (§4.4.3), and the co-processor-side stub with its single-thread
+//!   event dispatcher (§4.4.2).
+//! * [`control`] — boot: wires a [`solros_machine::Machine`] into one
+//!   control plane and N data planes and runs the proxy threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use solros::control::Solros;
+//! use solros_machine::MachineConfig;
+//!
+//! let system = Solros::boot(MachineConfig::small());
+//! let fs = system.data_plane(0).fs();
+//! let f = fs.create("/hello").unwrap();
+//! fs.write_at(f, 0, b"solros").unwrap();
+//! assert_eq!(fs.read_to_vec(f, 0, 6).unwrap(), b"solros");
+//! system.shutdown();
+//! ```
+
+pub mod control;
+pub mod fs_api;
+pub mod fs_proxy;
+pub mod net_api;
+pub mod tcp_proxy;
+pub mod transport;
+
+pub use control::Solros;
+pub use fs_api::CoprocFs;
+pub use net_api::{CoprocNet, TcpListener, TcpStream};
+pub use tcp_proxy::{ConnMeta, LoadBalancer, RoundRobin};

@@ -1,0 +1,293 @@
+//! The data-plane network stub and application API (§4.4.1–§4.4.2).
+//!
+//! A single *event dispatcher* thread per co-processor drains the inbound
+//! event ring and distributes events to per-socket queues (the design
+//! that keeps contention off the inbound ring, §4.4.2): `Accepted` events
+//! feed per-listener accept queues, `Data` events append to per-connection
+//! byte streams, `Closed` marks end-of-stream. Application threads block
+//! on their own socket's queue under a condition variable.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use solros_proto::net_msg::{NetEvent, NetRequest, NetResponse, SockId};
+use solros_proto::rpc_error::RpcErr;
+use solros_ringbuf::Consumer;
+
+use crate::tcp_proxy::SOCKOPT_EVENTED;
+use crate::transport::RpcClient;
+
+#[derive(Default)]
+struct NetInner {
+    accept_q: HashMap<SockId, VecDeque<(SockId, u64)>>,
+    data_q: HashMap<SockId, VecDeque<u8>>,
+    closed: HashSet<SockId>,
+}
+
+struct NetShared {
+    inner: Mutex<NetInner>,
+    arrived: Condvar,
+}
+
+/// Runs the event dispatcher loop (§4.4.2). One thread per co-processor.
+fn dispatch_loop(evt_rx: Consumer, shared: Arc<NetShared>, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match evt_rx.recv() {
+            Ok(frame) => {
+                let Ok(ev) = NetEvent::decode(&frame) else {
+                    continue;
+                };
+                let mut g = shared.inner.lock();
+                match ev {
+                    NetEvent::Accepted {
+                        listen,
+                        conn,
+                        peer_addr,
+                    } => {
+                        g.accept_q
+                            .entry(listen)
+                            .or_default()
+                            .push_back((conn, peer_addr));
+                    }
+                    NetEvent::Data { sock, data } => {
+                        g.data_q.entry(sock).or_default().extend(data);
+                    }
+                    NetEvent::Closed { sock } => {
+                        g.closed.insert(sock);
+                    }
+                }
+                drop(g);
+                shared.arrived.notify_all();
+            }
+            Err(_) => std::thread::yield_now(),
+        }
+    }
+}
+
+/// The co-processor network API. Clone to share among threads.
+#[derive(Clone)]
+pub struct CoprocNet {
+    client: Arc<RpcClient>,
+    shared: Arc<NetShared>,
+}
+
+impl CoprocNet {
+    /// Builds the stub and spawns the event dispatcher thread.
+    pub fn start(
+        client: Arc<RpcClient>,
+        evt_rx: Consumer,
+        shutdown: Arc<AtomicBool>,
+    ) -> (Self, std::thread::JoinHandle<()>) {
+        let shared = Arc::new(NetShared {
+            inner: Mutex::new(NetInner::default()),
+            arrived: Condvar::new(),
+        });
+        let shared2 = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("solros-net-dispatch".into())
+            .spawn(move || dispatch_loop(evt_rx, shared2, shutdown))
+            .expect("spawn dispatcher");
+        (Self { client, shared }, handle)
+    }
+
+    fn call(&self, req: NetRequest) -> NetResponse {
+        let tag = self.client.tag();
+        let reply = self.client.call(tag, req.encode(tag));
+        match NetResponse::decode(&reply) {
+            Ok((_, resp)) => resp,
+            Err(_) => NetResponse::Error { err: RpcErr::Io },
+        }
+    }
+
+    /// Issues a raw socket RPC — the §5 one-to-one syscall mapping,
+    /// exposed for the polling (non-evented) path and for tests.
+    pub fn raw_call(&self, req: NetRequest) -> NetResponse {
+        self.call(req)
+    }
+
+    fn expect_ok(&self, req: NetRequest) -> Result<(), RpcErr> {
+        match self.call(req) {
+            NetResponse::Ok => Ok(()),
+            NetResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        }
+    }
+
+    /// Creates, binds, and listens — a shared listening socket when other
+    /// co-processors listen on the same port (§4.4.3).
+    pub fn listen(&self, port: u16, backlog: u32) -> Result<TcpListener, RpcErr> {
+        let sock = match self.call(NetRequest::Socket) {
+            NetResponse::Socket { sock } => sock,
+            NetResponse::Error { err } => return Err(err),
+            _ => return Err(RpcErr::Io),
+        };
+        self.expect_ok(NetRequest::Bind { sock, port })?;
+        self.expect_ok(NetRequest::Listen { sock, backlog })?;
+        Ok(TcpListener {
+            net: self.clone(),
+            sock,
+        })
+    }
+
+    /// Connects outward to `(addr, port)`.
+    pub fn connect(&self, addr: u64, port: u16) -> Result<TcpStream, RpcErr> {
+        let sock = match self.call(NetRequest::Socket) {
+            NetResponse::Socket { sock } => sock,
+            NetResponse::Error { err } => return Err(err),
+            _ => return Err(RpcErr::Io),
+        };
+        self.expect_ok(NetRequest::Connect { sock, addr, port })?;
+        Ok(TcpStream {
+            net: self.clone(),
+            sock,
+        })
+    }
+
+    /// Switches a socket between evented and RPC-polled delivery.
+    pub fn set_evented(&self, sock: SockId, evented: bool) -> Result<(), RpcErr> {
+        self.expect_ok(NetRequest::Setsockopt {
+            sock,
+            opt: SOCKOPT_EVENTED,
+            val: evented as u64,
+        })
+    }
+}
+
+/// A listening socket on the data plane.
+pub struct TcpListener {
+    net: CoprocNet,
+    sock: SockId,
+}
+
+impl TcpListener {
+    /// The proxy-assigned socket id.
+    pub fn id(&self) -> SockId {
+        self.sock
+    }
+
+    /// Waits for the dispatcher to deliver a new connection, up to
+    /// `timeout`. Returns the stream and the peer address.
+    pub fn accept_timeout(&self, timeout: Duration) -> Option<(TcpStream, u64)> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.net.shared.inner.lock();
+        loop {
+            if let Some((conn, peer)) = g.accept_q.entry(self.sock).or_default().pop_front() {
+                return Some((
+                    TcpStream {
+                        net: self.net.clone(),
+                        sock: conn,
+                    },
+                    peer,
+                ));
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.net.shared.arrived.wait_for(&mut g, deadline - now);
+        }
+    }
+
+    /// Blocking accept.
+    pub fn accept(&self) -> (TcpStream, u64) {
+        loop {
+            if let Some(r) = self.accept_timeout(Duration::from_millis(100)) {
+                return r;
+            }
+        }
+    }
+
+    /// Closes the listener (leaves the shared port open if other
+    /// co-processors still listen).
+    pub fn close(self) -> Result<(), RpcErr> {
+        self.net.expect_ok(NetRequest::Close { sock: self.sock })
+    }
+}
+
+/// A connected stream on the data plane.
+pub struct TcpStream {
+    net: CoprocNet,
+    sock: SockId,
+}
+
+impl TcpStream {
+    /// The proxy-assigned socket id.
+    pub fn id(&self) -> SockId {
+        self.sock
+    }
+
+    /// Sends all of `data`, chunking at the transport's element limit
+    /// (TCP is a byte stream; framing is the application's business).
+    pub fn send(&self, data: &[u8]) -> Result<usize, RpcErr> {
+        const CHUNK: usize = 8 * 1024;
+        let mut sent = 0;
+        for chunk in data.chunks(CHUNK.max(1)) {
+            match self.net.call(NetRequest::Send {
+                sock: self.sock,
+                data: chunk.to_vec(),
+            }) {
+                NetResponse::Sent { count } => sent += count as usize,
+                NetResponse::Error { err } => return Err(err),
+                _ => return Err(RpcErr::Io),
+            }
+        }
+        Ok(sent)
+    }
+
+    /// Receives up to `buf.len()` bytes from the dispatcher's per-socket
+    /// queue, blocking up to `timeout`. `Ok(0)` after a peer close means
+    /// end-of-stream; `None` means timeout with no data.
+    pub fn recv_timeout(&self, buf: &mut [u8], timeout: Duration) -> Option<usize> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.net.shared.inner.lock();
+        loop {
+            let q = g.data_q.entry(self.sock).or_default();
+            if !q.is_empty() {
+                let n = buf.len().min(q.len());
+                for b in buf[..n].iter_mut() {
+                    *b = q.pop_front().expect("checked non-empty");
+                }
+                return Some(n);
+            }
+            if g.closed.contains(&self.sock) {
+                return Some(0);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.net.shared.arrived.wait_for(&mut g, deadline - now);
+        }
+    }
+
+    /// Blocking receive; `Ok(0)` = end-of-stream.
+    pub fn recv(&self, buf: &mut [u8]) -> usize {
+        loop {
+            if let Some(n) = self.recv_timeout(buf, Duration::from_millis(100)) {
+                return n;
+            }
+        }
+    }
+
+    /// Receives exactly `n` bytes (blocking); returns `None` on EOF.
+    pub fn recv_exact(&self, n: usize) -> Option<Vec<u8>> {
+        let mut out = vec![0u8; n];
+        let mut have = 0;
+        while have < n {
+            let got = self.recv(&mut out[have..]);
+            if got == 0 {
+                return None;
+            }
+            have += got;
+        }
+        Some(out)
+    }
+
+    /// Closes the connection.
+    pub fn close(self) -> Result<(), RpcErr> {
+        self.net.expect_ok(NetRequest::Close { sock: self.sock })
+    }
+}

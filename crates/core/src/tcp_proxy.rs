@@ -1,0 +1,745 @@
+//! The control-plane TCP proxy (§4.4).
+//!
+//! A single host thread terminates all TCP activity: it serves the ten
+//! socket RPCs from every co-processor, polls the NIC fabric, and pushes
+//! inbound events (new connection, data arrival, peer close) into each
+//! co-processor's inbound event ring.
+//!
+//! The *shared listening socket* (§4.4.3) is implemented here: multiple
+//! co-processors may listen on the same port; each incoming connection is
+//! assigned to one of them by a pluggable [`LoadBalancer`] (the paper
+//! implements connection-based round-robin; a content/address-hash policy
+//! is provided as the pluggable example).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use solros_netdev::{ConnId, EndKind, Network, NetworkError};
+use solros_proto::net_msg::{NetEvent, NetRequest, NetResponse, SockId};
+use solros_proto::rpc_error::RpcErr;
+use solros_ringbuf::{Consumer, Producer};
+
+/// Socket option: event-driven delivery (1 = events, 0 = RPC polling).
+pub const SOCKOPT_EVENTED: u32 = 1;
+
+/// Metadata about an incoming connection, fed to the balancer.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnMeta {
+    /// Remote client identifier.
+    pub client_addr: u64,
+    /// Listening port.
+    pub port: u16,
+}
+
+/// A pluggable forwarding policy for shared listening sockets (§4.4.3).
+pub trait LoadBalancer: Send {
+    /// Picks the index of the listener (among `n` candidates, in
+    /// registration order) that receives this connection.
+    fn pick(&mut self, n: usize, meta: &ConnMeta) -> usize;
+}
+
+/// The paper's connection-based round-robin policy.
+#[derive(Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl LoadBalancer for RoundRobin {
+    fn pick(&mut self, n: usize, _meta: &ConnMeta) -> usize {
+        let i = self.next % n;
+        self.next = self.next.wrapping_add(1);
+        i
+    }
+}
+
+/// A content-based policy: hash the client address, so one client always
+/// lands on the same co-processor (example of a user-provided rule).
+#[derive(Default)]
+pub struct AddrHash;
+
+impl LoadBalancer for AddrHash {
+    fn pick(&mut self, n: usize, meta: &ConnMeta) -> usize {
+        (meta.client_addr as usize).wrapping_mul(0x9E37_79B9) % n
+    }
+}
+
+/// Per-co-processor proxy-side channel endpoints.
+pub struct NetChannelHost {
+    /// Drains the co-processor's requests.
+    pub req_rx: Consumer,
+    /// Pushes replies.
+    pub resp_tx: Producer,
+    /// Pushes inbound events.
+    pub evt_tx: Producer,
+}
+
+/// Proxy statistics (per co-processor accepted counts drive the LB tests).
+#[derive(Debug, Default)]
+pub struct TcpProxyStats {
+    /// RPCs served.
+    pub rpcs: AtomicU64,
+    /// Events pushed.
+    pub events: AtomicU64,
+    /// Connections accepted, indexed by co-processor.
+    pub accepted: Vec<AtomicU64>,
+}
+
+enum SockState {
+    Fresh,
+    Bound(u16),
+    Listening(u16),
+    Conn { id: ConnId, end: EndKind },
+    Closed,
+}
+
+struct SockRec {
+    coproc: usize,
+    state: SockState,
+    evented: bool,
+    /// For evented conns: a Closed event has been delivered.
+    close_sent: bool,
+}
+
+struct PortRec {
+    /// Listener sockets in registration order.
+    listeners: Vec<SockId>,
+}
+
+/// The TCP proxy server.
+pub struct TcpProxy {
+    network: Arc<Network>,
+    lb: Box<dyn LoadBalancer>,
+    channels: Vec<NetChannelHost>,
+    stats: Arc<TcpProxyStats>,
+    socks: HashMap<SockId, SockRec>,
+    ports: HashMap<u16, PortRec>,
+    /// Live connections owned by evented sockets, polled for data.
+    evented_conns: Vec<SockId>,
+    /// Pending accepts for non-evented (RPC-polling) listeners.
+    pending_accepts: HashMap<SockId, VecDeque<(SockId, u64)>>,
+    next_sock: SockId,
+}
+
+/// Max bytes pulled from the fabric per connection per poll round.
+const RECV_CHUNK: usize = 64 * 1024;
+
+impl TcpProxy {
+    /// Creates a proxy over the NIC fabric and per-co-processor channels.
+    pub fn new(
+        network: Arc<Network>,
+        channels: Vec<NetChannelHost>,
+        lb: Box<dyn LoadBalancer>,
+    ) -> (Self, Arc<TcpProxyStats>) {
+        let stats = Arc::new(TcpProxyStats {
+            rpcs: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            accepted: (0..channels.len()).map(|_| AtomicU64::new(0)).collect(),
+        });
+        (
+            Self {
+                network,
+                lb,
+                channels,
+                stats: Arc::clone(&stats),
+                socks: HashMap::new(),
+                ports: HashMap::new(),
+                evented_conns: Vec::new(),
+                pending_accepts: HashMap::new(),
+                next_sock: 1,
+            },
+            stats,
+        )
+    }
+
+    /// Runs the proxy loop until `shutdown`.
+    pub fn run(mut self, shutdown: Arc<AtomicBool>) {
+        while !shutdown.load(Ordering::Relaxed) {
+            let mut idle = true;
+            for c in 0..self.channels.len() {
+                // Drain a bounded burst of requests per co-processor.
+                for _ in 0..32 {
+                    match self.channels[c].req_rx.recv() {
+                        Ok(frame) => {
+                            idle = false;
+                            self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+                            let reply = match NetRequest::decode(&frame) {
+                                Ok((tag, req)) => self.handle(c, req).encode(tag),
+                                Err(_) => NetResponse::Error {
+                                    err: RpcErr::Invalid,
+                                }
+                                .encode(0),
+                            };
+                            let _ = self.channels[c].resp_tx.send_blocking(&reply);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            if self.poll_accepts() {
+                idle = false;
+            }
+            if self.poll_data() {
+                idle = false;
+            }
+            if idle {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Executes one RPC from co-processor `coproc`.
+    pub fn handle(&mut self, coproc: usize, req: NetRequest) -> NetResponse {
+        match req {
+            NetRequest::Socket => {
+                let id = self.next_sock;
+                self.next_sock += 1;
+                self.socks.insert(
+                    id,
+                    SockRec {
+                        coproc,
+                        state: SockState::Fresh,
+                        evented: true,
+                        close_sent: false,
+                    },
+                );
+                NetResponse::Socket { sock: id }
+            }
+            NetRequest::Bind { sock, port } => match self.socks.get_mut(&sock) {
+                Some(rec) if matches!(rec.state, SockState::Fresh) => {
+                    rec.state = SockState::Bound(port);
+                    NetResponse::Ok
+                }
+                Some(_) => NetResponse::Error {
+                    err: RpcErr::Invalid,
+                },
+                None => NetResponse::Error {
+                    err: RpcErr::NotFound,
+                },
+            },
+            NetRequest::Listen { sock, backlog } => {
+                let port = match self.socks.get(&sock) {
+                    Some(SockRec {
+                        state: SockState::Bound(p),
+                        ..
+                    }) => *p,
+                    Some(_) => {
+                        return NetResponse::Error {
+                            err: RpcErr::Invalid,
+                        }
+                    }
+                    None => {
+                        return NetResponse::Error {
+                            err: RpcErr::NotFound,
+                        }
+                    }
+                };
+                let first = !self.ports.contains_key(&port);
+                if first {
+                    // Register the NIC-side listener once; later listeners
+                    // join the shared listening socket (§4.4.3).
+                    if self
+                        .network
+                        .listen(port, (backlog as usize).max(64))
+                        .is_err()
+                    {
+                        return NetResponse::Error {
+                            err: RpcErr::AddrInUse,
+                        };
+                    }
+                    self.ports.insert(
+                        port,
+                        PortRec {
+                            listeners: Vec::new(),
+                        },
+                    );
+                }
+                self.ports
+                    .get_mut(&port)
+                    .expect("port entry just ensured")
+                    .listeners
+                    .push(sock);
+                let rec = self.socks.get_mut(&sock).expect("checked above");
+                rec.state = SockState::Listening(port);
+                NetResponse::Ok
+            }
+            NetRequest::Accept { sock } => {
+                match self
+                    .pending_accepts
+                    .get_mut(&sock)
+                    .and_then(|q| q.pop_front())
+                {
+                    Some((conn_sock, peer_addr)) => NetResponse::Accepted {
+                        conn: conn_sock,
+                        peer_addr,
+                    },
+                    None => match self.socks.get(&sock) {
+                        Some(SockRec {
+                            state: SockState::Listening(_),
+                            ..
+                        }) => NetResponse::Error {
+                            err: RpcErr::WouldBlock,
+                        },
+                        Some(_) => NetResponse::Error {
+                            err: RpcErr::NotListening,
+                        },
+                        None => NetResponse::Error {
+                            err: RpcErr::NotFound,
+                        },
+                    },
+                }
+            }
+            NetRequest::Connect { sock, addr, port } => {
+                let Some(rec) = self.socks.get_mut(&sock) else {
+                    return NetResponse::Error {
+                        err: RpcErr::NotFound,
+                    };
+                };
+                if !matches!(rec.state, SockState::Fresh) {
+                    return NetResponse::Error {
+                        err: RpcErr::Invalid,
+                    };
+                }
+                match self.network.client_connect(port, addr) {
+                    Ok(id) => {
+                        rec.state = SockState::Conn {
+                            id,
+                            end: EndKind::Client,
+                        };
+                        if rec.evented {
+                            self.evented_conns.push(sock);
+                        }
+                        NetResponse::Ok
+                    }
+                    Err(_) => NetResponse::Error {
+                        err: RpcErr::ConnRefused,
+                    },
+                }
+            }
+            NetRequest::Send { sock, data } => {
+                let Some(rec) = self.socks.get(&sock) else {
+                    return NetResponse::Error {
+                        err: RpcErr::NotFound,
+                    };
+                };
+                let SockState::Conn { id, end } = rec.state else {
+                    return NetResponse::Error {
+                        err: RpcErr::NotConnected,
+                    };
+                };
+                match self.network.send(id, end, &data) {
+                    Ok(n) => NetResponse::Sent { count: n as u64 },
+                    Err(NetworkError::Closed) => NetResponse::Error { err: RpcErr::Reset },
+                    Err(_) => NetResponse::Error {
+                        err: RpcErr::NotConnected,
+                    },
+                }
+            }
+            NetRequest::Recv { sock, max } => {
+                let Some(rec) = self.socks.get(&sock) else {
+                    return NetResponse::Error {
+                        err: RpcErr::NotFound,
+                    };
+                };
+                let SockState::Conn { id, end } = rec.state else {
+                    return NetResponse::Error {
+                        err: RpcErr::NotConnected,
+                    };
+                };
+                match self.network.recv(id, end, max as usize) {
+                    Ok(data) => NetResponse::Data { data },
+                    Err(NetworkError::Closed) => NetResponse::Error { err: RpcErr::Reset },
+                    Err(_) => NetResponse::Error {
+                        err: RpcErr::NotConnected,
+                    },
+                }
+            }
+            NetRequest::Close { sock } => self.close_sock(sock),
+            NetRequest::Setsockopt { sock, opt, val } => {
+                let Some(rec) = self.socks.get_mut(&sock) else {
+                    return NetResponse::Error {
+                        err: RpcErr::NotFound,
+                    };
+                };
+                if opt == SOCKOPT_EVENTED {
+                    rec.evented = val != 0;
+                    NetResponse::Ok
+                } else {
+                    NetResponse::Error {
+                        err: RpcErr::Invalid,
+                    }
+                }
+            }
+            NetRequest::Shutdown { sock, how } => {
+                let Some(rec) = self.socks.get(&sock) else {
+                    return NetResponse::Error {
+                        err: RpcErr::NotFound,
+                    };
+                };
+                let SockState::Conn { id, end } = rec.state else {
+                    return NetResponse::Error {
+                        err: RpcErr::NotConnected,
+                    };
+                };
+                if how >= 1 {
+                    let _ = self.network.close(id, end);
+                }
+                NetResponse::Ok
+            }
+        }
+    }
+
+    fn close_sock(&mut self, sock: SockId) -> NetResponse {
+        let Some(rec) = self.socks.get_mut(&sock) else {
+            return NetResponse::Error {
+                err: RpcErr::NotFound,
+            };
+        };
+        match rec.state {
+            SockState::Conn { id, end } => {
+                let _ = self.network.close(id, end);
+                rec.state = SockState::Closed;
+                self.evented_conns.retain(|s| *s != sock);
+            }
+            SockState::Listening(port) => {
+                rec.state = SockState::Closed;
+                if let Some(p) = self.ports.get_mut(&port) {
+                    p.listeners.retain(|s| *s != sock);
+                    if p.listeners.is_empty() {
+                        self.ports.remove(&port);
+                        self.network.unlisten(port);
+                    }
+                }
+                self.pending_accepts.remove(&sock);
+            }
+            _ => rec.state = SockState::Closed,
+        }
+        NetResponse::Ok
+    }
+
+    /// Accepts incoming connections and routes them via the balancer.
+    /// Returns true when any work happened.
+    fn poll_accepts(&mut self) -> bool {
+        let ports: Vec<u16> = self.ports.keys().copied().collect();
+        let mut worked = false;
+        for port in ports {
+            while let Ok(Some((conn, client_addr))) = self.network.poll_accept(port) {
+                worked = true;
+                let listeners = &self.ports[&port].listeners;
+                debug_assert!(!listeners.is_empty());
+                let meta = ConnMeta { client_addr, port };
+                let idx = self.lb.pick(listeners.len(), &meta) % listeners.len();
+                let listener = listeners[idx];
+                let lrec = &self.socks[&listener];
+                let coproc = lrec.coproc;
+                let evented = lrec.evented;
+                // Create the connection socket owned by the same coproc.
+                let conn_sock = self.next_sock;
+                self.next_sock += 1;
+                self.socks.insert(
+                    conn_sock,
+                    SockRec {
+                        coproc,
+                        state: SockState::Conn {
+                            id: conn,
+                            end: EndKind::Server,
+                        },
+                        evented,
+                        close_sent: false,
+                    },
+                );
+                self.stats.accepted[coproc].fetch_add(1, Ordering::Relaxed);
+                if evented {
+                    self.evented_conns.push(conn_sock);
+                    let ev = NetEvent::Accepted {
+                        listen: listener,
+                        conn: conn_sock,
+                        peer_addr: client_addr,
+                    };
+                    self.push_event(coproc, &ev);
+                } else {
+                    self.pending_accepts
+                        .entry(listener)
+                        .or_default()
+                        .push_back((conn_sock, client_addr));
+                }
+            }
+        }
+        worked
+    }
+
+    /// Pulls inbound data for evented connections into event rings.
+    fn poll_data(&mut self) -> bool {
+        let mut worked = false;
+        let conns: Vec<SockId> = self.evented_conns.clone();
+        for sock in conns {
+            let Some(rec) = self.socks.get(&sock) else {
+                continue;
+            };
+            let SockState::Conn { id, end } = rec.state else {
+                continue;
+            };
+            let coproc = rec.coproc;
+            match self.network.recv(id, end, RECV_CHUNK) {
+                Ok(data) if data.is_empty() => {}
+                Ok(data) => {
+                    worked = true;
+                    self.push_event(coproc, &NetEvent::Data { sock, data });
+                }
+                Err(NetworkError::Closed) => {
+                    let rec = self.socks.get_mut(&sock).expect("checked above");
+                    if !rec.close_sent {
+                        rec.close_sent = true;
+                        worked = true;
+                        self.push_event(coproc, &NetEvent::Closed { sock });
+                    }
+                    self.evented_conns.retain(|s| *s != sock);
+                }
+                Err(_) => {
+                    self.evented_conns.retain(|s| *s != sock);
+                }
+            }
+        }
+        worked
+    }
+
+    fn push_event(&self, coproc: usize, ev: &NetEvent) {
+        self.stats.events.fetch_add(1, Ordering::Relaxed);
+        let _ = self.channels[coproc].evt_tx.send_blocking(&ev.encode());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proxy_with(n: usize) -> (TcpProxy, Arc<solros_netdev::Network>) {
+        use crate::transport::{event_ring, Channel};
+        use solros_pcie::PcieCounters;
+        let network = solros_netdev::Network::new();
+        let mut channels = Vec::new();
+        for _ in 0..n {
+            let counters = Arc::new(PcieCounters::new());
+            let ch = Channel::new(Arc::clone(&counters));
+            let (evt_tx, _evt_rx) = event_ring(counters);
+            channels.push(NetChannelHost {
+                req_rx: ch.req_rx,
+                resp_tx: ch.resp_tx,
+                evt_tx,
+            });
+        }
+        let (proxy, _stats) = TcpProxy::new(
+            Arc::clone(&network),
+            channels,
+            Box::new(RoundRobin::default()),
+        );
+        (proxy, network)
+    }
+
+    fn new_sock(p: &mut TcpProxy) -> SockId {
+        match p.handle(0, NetRequest::Socket) {
+            NetResponse::Socket { sock } => sock,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn socket_state_machine_rejects_bad_transitions() {
+        let (mut p, _net) = proxy_with(1);
+        let s = new_sock(&mut p);
+        // Listen before bind.
+        assert!(matches!(
+            p.handle(
+                0,
+                NetRequest::Listen {
+                    sock: s,
+                    backlog: 4
+                }
+            ),
+            NetResponse::Error {
+                err: RpcErr::Invalid
+            }
+        ));
+        // Bind works once; double bind rejected.
+        assert!(matches!(
+            p.handle(0, NetRequest::Bind { sock: s, port: 80 }),
+            NetResponse::Ok
+        ));
+        assert!(matches!(
+            p.handle(0, NetRequest::Bind { sock: s, port: 81 }),
+            NetResponse::Error {
+                err: RpcErr::Invalid
+            }
+        ));
+        // Send on a non-connection.
+        assert!(matches!(
+            p.handle(
+                0,
+                NetRequest::Send {
+                    sock: s,
+                    data: vec![1]
+                }
+            ),
+            NetResponse::Error {
+                err: RpcErr::NotConnected
+            }
+        ));
+        // Unknown socket ids.
+        assert!(matches!(
+            p.handle(0, NetRequest::Close { sock: 9999 }),
+            NetResponse::Error {
+                err: RpcErr::NotFound
+            }
+        ));
+        // Accept on a non-listening socket.
+        assert!(matches!(
+            p.handle(0, NetRequest::Accept { sock: s }),
+            NetResponse::Error {
+                err: RpcErr::NotListening
+            }
+        ));
+        // Unknown socket option.
+        assert!(matches!(
+            p.handle(
+                0,
+                NetRequest::Setsockopt {
+                    sock: s,
+                    opt: 99,
+                    val: 1
+                }
+            ),
+            NetResponse::Error {
+                err: RpcErr::Invalid
+            }
+        ));
+    }
+
+    #[test]
+    fn shared_port_closes_cleanly() {
+        let (mut p, net) = proxy_with(2);
+        // Two co-processors listen on the same port (shared socket).
+        let a = new_sock(&mut p);
+        assert!(matches!(
+            p.handle(0, NetRequest::Bind { sock: a, port: 90 }),
+            NetResponse::Ok
+        ));
+        assert!(matches!(
+            p.handle(
+                0,
+                NetRequest::Listen {
+                    sock: a,
+                    backlog: 4
+                }
+            ),
+            NetResponse::Ok
+        ));
+        let b = match p.handle(1, NetRequest::Socket) {
+            NetResponse::Socket { sock } => sock,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(matches!(
+            p.handle(1, NetRequest::Bind { sock: b, port: 90 }),
+            NetResponse::Ok
+        ));
+        assert!(matches!(
+            p.handle(
+                1,
+                NetRequest::Listen {
+                    sock: b,
+                    backlog: 4
+                }
+            ),
+            NetResponse::Ok
+        ));
+        // Closing one listener keeps the port open for the other.
+        assert!(matches!(
+            p.handle(0, NetRequest::Close { sock: a }),
+            NetResponse::Ok
+        ));
+        assert!(net.client_connect(90, 1).is_ok(), "port still listening");
+        // Closing the last listener releases the NIC port.
+        assert!(matches!(
+            p.handle(1, NetRequest::Close { sock: b }),
+            NetResponse::Ok
+        ));
+        assert!(net.client_connect(90, 2).is_err(), "port released");
+    }
+
+    #[test]
+    fn connect_send_recv_shutdown_via_rpc() {
+        let (mut p, net) = proxy_with(1);
+        // An "external server" listens on the fabric.
+        net.listen(7000, 4).unwrap();
+        let s = new_sock(&mut p);
+        assert!(matches!(
+            p.handle(
+                0,
+                NetRequest::Connect {
+                    sock: s,
+                    addr: 55,
+                    port: 7000
+                }
+            ),
+            NetResponse::Ok
+        ));
+        let (conn, addr) = net.poll_accept(7000).unwrap().expect("pending");
+        assert_eq!(addr, 55);
+        // Outbound data flows from the machine's Client end.
+        assert!(matches!(
+            p.handle(
+                0,
+                NetRequest::Send {
+                    sock: s,
+                    data: b"out".to_vec()
+                }
+            ),
+            NetResponse::Sent { count: 3 }
+        ));
+        assert_eq!(
+            net.recv(conn, solros_netdev::EndKind::Server, 16).unwrap(),
+            b"out"
+        );
+        // Inbound via the Recv RPC.
+        net.send(conn, solros_netdev::EndKind::Server, b"in!")
+            .unwrap();
+        match p.handle(0, NetRequest::Recv { sock: s, max: 16 }) {
+            NetResponse::Data { data } => assert_eq!(data, b"in!"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Shutdown(write) sends FIN; the server observes EOF.
+        assert!(matches!(
+            p.handle(0, NetRequest::Shutdown { sock: s, how: 1 }),
+            NetResponse::Ok
+        ));
+        assert!(matches!(
+            net.recv(conn, solros_netdev::EndKind::Server, 16),
+            Err(solros_netdev::NetworkError::Closed)
+        ));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::default();
+        let meta = ConnMeta {
+            client_addr: 1,
+            port: 80,
+        };
+        let picks: Vec<_> = (0..6).map(|_| rr.pick(3, &meta)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn addr_hash_is_sticky() {
+        let mut h = AddrHash;
+        for addr in 0..50u64 {
+            let meta = ConnMeta {
+                client_addr: addr,
+                port: 80,
+            };
+            let a = h.pick(4, &meta);
+            let b = h.pick(4, &meta);
+            assert_eq!(a, b, "same client must land on the same coproc");
+            assert!(a < 4);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! RPC channels over the transport service.
+//!
+//! Ring placement follows the paper:
+//!
+//! * FS / network *request* and *response* rings are mastered in
+//!   co-processor memory (§4.3.1): the data-plane's RPC operations touch
+//!   only local memory, while the host pulls requests and pushes replies
+//!   across PCIe with its faster DMA engines.
+//! * The network *inbound event* ring is mastered in host memory
+//!   (§4.4.1), so the co-processor's DMA engines pull inbound data from
+//!   the other end — both sides' DMA engines run in parallel.
+//!
+//! [`RpcClient`] gives many co-processor threads synchronous calls over
+//! one shared ring pair: each call gets a fresh tag; whichever waiter
+//! drains a reply routes it to the pending slot of its tag.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use solros_pcie::counter::PcieCounters;
+use solros_pcie::Side;
+use solros_proto::codec::decode_frame;
+use solros_ringbuf::ring::{RingBuf, RingConfig};
+use solros_ringbuf::{Consumer, Producer, RingError};
+
+/// Default request/response ring capacity (64 KiB each).
+pub const RPC_RING_BYTES: usize = 64 * 1024;
+/// Default inbound event ring capacity. The paper sizes this generously
+/// (128 MB) to backlog inbound data; the simulation uses 4 MiB.
+pub const EVENT_RING_BYTES: usize = 4 * 1024 * 1024;
+
+/// One co-processor's RPC plumbing for a service (FS or network).
+pub struct Channel {
+    /// Data-plane sends requests here.
+    pub req_tx: Producer,
+    /// Control plane drains requests here.
+    pub req_rx: Consumer,
+    /// Control plane sends replies here.
+    pub resp_tx: Producer,
+    /// Data-plane drains replies here.
+    pub resp_rx: Consumer,
+}
+
+impl Channel {
+    /// Builds the request/response pair with masters at the co-processor
+    /// (§4.3.1).
+    pub fn new(counters: Arc<PcieCounters>) -> Channel {
+        let req = RingBuf::new(
+            RingConfig::over_pcie(RPC_RING_BYTES, Side::Coproc, Side::Coproc, Side::Host),
+            Arc::clone(&counters),
+        );
+        let resp = RingBuf::new(
+            RingConfig::over_pcie(RPC_RING_BYTES, Side::Coproc, Side::Host, Side::Coproc),
+            counters,
+        );
+        let (req_tx, req_rx) = req.endpoints();
+        let (resp_tx, resp_rx) = resp.endpoints();
+        Channel {
+            req_tx,
+            req_rx,
+            resp_tx,
+            resp_rx,
+        }
+    }
+}
+
+/// Builds the inbound event ring: master at the host, consumed by the
+/// co-processor (§4.4.1).
+pub fn event_ring(counters: Arc<PcieCounters>) -> (Producer, Consumer) {
+    RingBuf::new(
+        RingConfig::over_pcie(EVENT_RING_BYTES, Side::Host, Side::Host, Side::Coproc),
+        counters,
+    )
+    .endpoints()
+}
+
+/// A synchronous, tag-routing RPC client shared by data-plane threads.
+pub struct RpcClient {
+    tx: Producer,
+    rx: Consumer,
+    next_tag: AtomicU32,
+    pending: Mutex<HashMap<u32, Option<Vec<u8>>>>,
+    arrived: Condvar,
+}
+
+impl RpcClient {
+    /// Wraps a request producer and response consumer.
+    pub fn new(tx: Producer, rx: Consumer) -> Arc<Self> {
+        Arc::new(Self {
+            tx,
+            rx,
+            next_tag: AtomicU32::new(1),
+            pending: Mutex::new(HashMap::new()),
+            arrived: Condvar::new(),
+        })
+    }
+
+    /// Allocates a tag for one call.
+    pub fn tag(&self) -> u32 {
+        self.next_tag.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Sends an encoded frame (which must carry `tag`) and blocks until
+    /// the matching reply arrives. Replies for other tags drained along
+    /// the way are handed to their waiters.
+    pub fn call(&self, tag: u32, frame: Vec<u8>) -> Vec<u8> {
+        self.pending.lock().insert(tag, None);
+        self.tx
+            .send_blocking(&frame)
+            .expect("RPC frame exceeds ring element limit");
+        let mut spins = 0u32;
+        loop {
+            {
+                let mut g = self.pending.lock();
+                if let Some(Some(_)) = g.get(&tag) {
+                    return g.remove(&tag).flatten().expect("checked Some");
+                }
+            }
+            match self.rx.recv() {
+                Ok(reply) => {
+                    let rtag = decode_frame(&reply).map(|f| f.tag).unwrap_or(0);
+                    if rtag == tag {
+                        self.pending.lock().remove(&tag);
+                        return reply;
+                    }
+                    let mut g = self.pending.lock();
+                    if let Some(slot) = g.get_mut(&rtag) {
+                        *slot = Some(reply);
+                        self.arrived.notify_all();
+                    }
+                    // Unknown tag: reply for a caller that vanished; drop.
+                }
+                Err(RingError::WouldBlock) | Err(RingError::TooBig) => {
+                    // Wait briefly for another thread to route our reply.
+                    let mut g = self.pending.lock();
+                    if let Some(Some(_)) = g.get(&tag) {
+                        continue;
+                    }
+                    self.arrived
+                        .wait_for(&mut g, std::time::Duration::from_micros(50));
+                    drop(g);
+                    spins += 1;
+                    if spins > 64 {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solros_proto::fs_msg::{FsRequest, FsResponse};
+
+    #[test]
+    fn rpc_roundtrip_single_thread() {
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(counters);
+        let client = RpcClient::new(ch.req_tx, ch.resp_rx);
+
+        // A trivial echo proxy on another thread.
+        let req_rx = ch.req_rx;
+        let resp_tx = ch.resp_tx;
+        let proxy = std::thread::spawn(move || {
+            for _ in 0..3 {
+                let frame = loop {
+                    match req_rx.recv() {
+                        Ok(f) => break f,
+                        Err(_) => std::thread::yield_now(),
+                    }
+                };
+                let (tag, req) = FsRequest::decode(&frame).unwrap();
+                let resp = match req {
+                    FsRequest::Fstat { ino } => FsResponse::Stat {
+                        ino,
+                        is_dir: false,
+                        size: ino * 10,
+                    },
+                    _ => FsResponse::Ok,
+                };
+                resp_tx.send_blocking(&resp.encode(tag)).unwrap();
+            }
+        });
+
+        for ino in 1..=3u64 {
+            let tag = client.tag();
+            let reply = client.call(tag, FsRequest::Fstat { ino }.encode(tag));
+            let (rtag, resp) = FsResponse::decode(&reply).unwrap();
+            assert_eq!(rtag, tag);
+            assert_eq!(
+                resp,
+                FsResponse::Stat {
+                    ino,
+                    is_dir: false,
+                    size: ino * 10
+                }
+            );
+        }
+        proxy.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_callers_get_their_own_replies() {
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(counters);
+        let client = RpcClient::new(ch.req_tx, ch.resp_rx);
+
+        let req_rx = ch.req_rx;
+        let resp_tx = ch.resp_tx;
+        let total = 8 * 200;
+        let proxy = std::thread::spawn(move || {
+            let mut served = 0;
+            let mut stash: Vec<(u32, FsRequest)> = Vec::new();
+            let flush = |stash: &mut Vec<(u32, FsRequest)>, served: &mut i32| {
+                // Reply in reverse order to stress tag routing.
+                stash.reverse();
+                for (tag, req) in stash.drain(..) {
+                    let ino = match req {
+                        FsRequest::Fstat { ino } => ino,
+                        _ => 0,
+                    };
+                    resp_tx
+                        .send_blocking(
+                            &FsResponse::Stat {
+                                ino,
+                                is_dir: false,
+                                size: ino ^ 0xABCD,
+                            }
+                            .encode(tag),
+                        )
+                        .unwrap();
+                    *served += 1;
+                }
+            };
+            while served < total {
+                match req_rx.recv() {
+                    Ok(f) => {
+                        let (tag, req) = FsRequest::decode(&f).unwrap();
+                        stash.push((tag, req));
+                        if stash.len() >= 4 {
+                            flush(&mut stash, &mut served);
+                        }
+                    }
+                    Err(_) => {
+                        if stash.is_empty() {
+                            std::thread::yield_now();
+                        } else {
+                            flush(&mut stash, &mut served);
+                        }
+                    }
+                }
+            }
+        });
+
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let client = Arc::clone(&client);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let ino = t * 1_000 + i;
+                        let tag = client.tag();
+                        let reply = client.call(tag, FsRequest::Fstat { ino }.encode(tag));
+                        let (rtag, resp) = FsResponse::decode(&reply).unwrap();
+                        assert_eq!(rtag, tag);
+                        assert_eq!(
+                            resp,
+                            FsResponse::Stat {
+                                ino,
+                                is_dir: false,
+                                size: ino ^ 0xABCD
+                            }
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        proxy.join().unwrap();
+    }
+}

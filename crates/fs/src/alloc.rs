@@ -1,0 +1,290 @@
+//! Block allocation bitmap.
+//!
+//! A word-per-64-blocks in-memory bitmap with first-fit contiguous-run
+//! allocation (extents want contiguity so P2P transfers need few NVMe
+//! commands). Dirty words are tracked so `sync` only rewrites changed
+//! bitmap blocks.
+
+use crate::error::FsError;
+
+/// In-memory block bitmap. Bit set = allocated.
+pub struct Bitmap {
+    words: Vec<u64>,
+    total: u64,
+    free: u64,
+    /// Allocation scan hint (word index).
+    hint: usize,
+    dirty_words: Vec<bool>,
+}
+
+impl Bitmap {
+    /// Creates an all-free bitmap over `total` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`.
+    pub fn new(total: u64) -> Self {
+        assert!(total > 0, "empty bitmap");
+        let nwords = total.div_ceil(64) as usize;
+        let mut bm = Bitmap {
+            words: vec![0; nwords],
+            total,
+            free: total,
+            hint: 0,
+            dirty_words: vec![false; nwords],
+        };
+        // Mark the padding bits past `total` as allocated so they are
+        // never handed out.
+        for b in total..(nwords as u64 * 64) {
+            bm.set(b);
+            bm.free += 1; // set() decremented; padding is not real space.
+        }
+        bm.free = total;
+        bm
+    }
+
+    /// Rebuilds from raw bitmap bytes (mount path).
+    pub fn from_bytes(bytes: &[u8], total: u64) -> Self {
+        let nwords = total.div_ceil(64) as usize;
+        let mut words = vec![0u64; nwords];
+        for (i, w) in words.iter_mut().enumerate() {
+            let off = i * 8;
+            if off + 8 <= bytes.len() {
+                *w = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+            }
+        }
+        let mut free = 0;
+        for b in 0..total {
+            if words[(b / 64) as usize] & (1 << (b % 64)) == 0 {
+                free += 1;
+            }
+        }
+        Bitmap {
+            dirty_words: vec![false; nwords],
+            words,
+            total,
+            free,
+            hint: 0,
+        }
+    }
+
+    /// Serializes to raw bytes (sync path).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 8);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Total blocks tracked.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Free blocks remaining.
+    pub fn free(&self) -> u64 {
+        self.free
+    }
+
+    /// Returns true if block `b` is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn is_set(&self, b: u64) -> bool {
+        assert!(b < self.total, "block {b} out of range");
+        self.words[(b / 64) as usize] & (1 << (b % 64)) != 0
+    }
+
+    /// Marks block `b` allocated.
+    fn set(&mut self, b: u64) {
+        let w = (b / 64) as usize;
+        let bit = 1u64 << (b % 64);
+        debug_assert_eq!(self.words[w] & bit, 0, "double allocation of block {b}");
+        self.words[w] |= bit;
+        if w < self.dirty_words.len() {
+            self.dirty_words[w] = true;
+        }
+        self.free -= 1;
+    }
+
+    /// Marks a specific block allocated (mkfs reserves metadata blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already allocated or out of range.
+    pub fn reserve(&mut self, b: u64) {
+        assert!(b < self.total, "block {b} out of range");
+        assert!(!self.is_set(b), "block {b} already allocated");
+        self.set(b);
+    }
+
+    /// Frees block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block was not allocated (double free) or out of range.
+    pub fn release(&mut self, b: u64) {
+        assert!(b < self.total, "block {b} out of range");
+        let w = (b / 64) as usize;
+        let bit = 1u64 << (b % 64);
+        assert!(self.words[w] & bit != 0, "double free of block {b}");
+        self.words[w] &= !bit;
+        self.dirty_words[w] = true;
+        self.free += 1;
+        self.hint = self.hint.min(w);
+    }
+
+    /// Allocates up to `want` blocks as a single contiguous run, returning
+    /// `(start, len)` with `1 <= len <= want`. First-fit from the scan
+    /// hint; prefers the longest run available at the found position.
+    pub fn alloc_run(&mut self, want: u32) -> Result<(u64, u32), FsError> {
+        if self.free == 0 || want == 0 {
+            return Err(FsError::NoSpace);
+        }
+        // Scan from hint, wrapping once.
+        let nwords = self.words.len();
+        for lap in 0..2 {
+            let (lo, hi) = if lap == 0 {
+                (self.hint, nwords)
+            } else {
+                (0, self.hint)
+            };
+            for w in lo..hi {
+                if self.words[w] == u64::MAX {
+                    continue;
+                }
+                // Find first free bit in this word.
+                let first = (!self.words[w]).trailing_zeros() as u64;
+                let start = w as u64 * 64 + first;
+                if start >= self.total {
+                    continue;
+                }
+                // Extend the run.
+                let mut len = 0u32;
+                while len < want {
+                    let b = start + len as u64;
+                    if b >= self.total || self.is_set(b) {
+                        break;
+                    }
+                    len += 1;
+                }
+                for i in 0..len {
+                    self.set(start + i as u64);
+                }
+                self.hint = w;
+                return Ok((start, len));
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    /// Returns indices of dirty bitmap words and clears the dirty marks.
+    pub fn take_dirty_words(&mut self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, d) in self.dirty_words.iter_mut().enumerate() {
+            if *d {
+                out.push(i);
+                *d = false;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_release_track_free_count() {
+        let mut bm = Bitmap::new(1000);
+        assert_eq!(bm.free(), 1000);
+        let (start, len) = bm.alloc_run(10).unwrap();
+        assert_eq!(len, 10);
+        assert_eq!(bm.free(), 990);
+        for i in 0..10 {
+            assert!(bm.is_set(start + i));
+            bm.release(start + i);
+        }
+        assert_eq!(bm.free(), 1000);
+    }
+
+    #[test]
+    fn partial_run_when_fragmented() {
+        let mut bm = Bitmap::new(64);
+        let (s, l) = bm.alloc_run(64).unwrap();
+        assert_eq!((s, l), (0, 64));
+        // Free blocks 5..8 (a 3-block hole).
+        for b in 5..8 {
+            bm.release(b);
+        }
+        let (s, l) = bm.alloc_run(10).unwrap();
+        assert_eq!((s, l), (5, 3), "only the hole is available");
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut bm = Bitmap::new(8);
+        assert_eq!(bm.alloc_run(8).unwrap(), (0, 8));
+        assert_eq!(bm.alloc_run(1), Err(FsError::NoSpace));
+        bm.release(3);
+        assert_eq!(bm.alloc_run(4).unwrap(), (3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut bm = Bitmap::new(8);
+        bm.alloc_run(1).unwrap();
+        bm.release(0);
+        bm.release(0);
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let mut bm = Bitmap::new(300);
+        bm.alloc_run(77).unwrap();
+        bm.reserve(200);
+        let bytes = bm.to_bytes();
+        let bm2 = Bitmap::from_bytes(&bytes, 300);
+        assert_eq!(bm2.free(), bm.free());
+        for b in 0..300 {
+            assert_eq!(bm.is_set(b), bm2.is_set(b), "block {b}");
+        }
+    }
+
+    #[test]
+    fn padding_bits_never_allocated() {
+        // 70 blocks: the second word has 54 padding bits.
+        let mut bm = Bitmap::new(70);
+        let mut total = 0;
+        while let Ok((s, l)) = bm.alloc_run(64) {
+            assert!(s + l as u64 <= 70, "allocated past end: {s}+{l}");
+            total += l as u64;
+        }
+        assert_eq!(total, 70);
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut bm = Bitmap::new(256);
+        assert!(bm.take_dirty_words().is_empty());
+        bm.alloc_run(1).unwrap();
+        assert_eq!(bm.take_dirty_words(), vec![0]);
+        assert!(bm.take_dirty_words().is_empty());
+        bm.reserve(129);
+        assert_eq!(bm.take_dirty_words(), vec![2]);
+    }
+
+    #[test]
+    fn hint_resets_on_release() {
+        let mut bm = Bitmap::new(128);
+        bm.alloc_run(64).unwrap();
+        bm.alloc_run(64).unwrap();
+        bm.release(10);
+        // Next allocation finds the released block despite the hint.
+        assert_eq!(bm.alloc_run(1).unwrap(), (10, 1));
+    }
+}

@@ -1,0 +1,322 @@
+//! Host-side shared buffer cache (§4.3.2).
+//!
+//! A write-through LRU page cache keyed by `(inode, page index)`. Being on
+//! the host, it is *shared by all co-processors*: a file that one Xeon Phi
+//! reads warms the cache for every other Phi — one of the system-wide
+//! optimizations only the control-plane OS can make. Write-through keeps
+//! the device authoritative, so concurrent P2P reads (which bypass the
+//! cache) never observe stale blocks.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::fs::Ino;
+
+/// Page size (one device block).
+pub const PAGE_SIZE: usize = solros_nvme::BLOCK_SIZE;
+
+type Key = (Ino, u64);
+
+struct Entry {
+    key: Key,
+    page: Box<[u8]>,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+struct LruInner {
+    map: HashMap<Key, usize>,
+    slots: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // Most recently used.
+    tail: usize, // Least recently used.
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl LruInner {
+    fn unlink(&mut self, idx: usize) {
+        let (p, n) = (self.slots[idx].prev, self.slots[idx].next);
+        if p != NIL {
+            self.slots[p].next = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.slots[n].prev = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+
+    fn insert(&mut self, key: Key, page: Box<[u8]>) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].page = page;
+            self.touch(idx);
+            return;
+        }
+        let idx = if self.map.len() >= self.capacity {
+            // Evict the LRU entry.
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.evictions += 1;
+            victim
+        } else if let Some(free) = self.free.pop() {
+            free
+        } else {
+            self.slots.push(Entry {
+                key,
+                page: Box::from(&[][..]),
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.slots[idx].key = key;
+        self.slots[idx].page = page;
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn get(&mut self, key: &Key) -> Option<Vec<u8>> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.touch(idx);
+                Some(self.slots[idx].page.to_vec())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &Key) {
+        if let Some(idx) = self.map.remove(key) {
+            self.unlink(idx);
+            self.slots[idx].page = Box::from(&[][..]);
+            self.free.push(idx);
+        }
+    }
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+    /// Pages currently resident.
+    pub resident: u64,
+}
+
+/// The shared write-through LRU page cache.
+///
+/// # Examples
+///
+/// ```
+/// use solros_fs::cache::{BufferCache, PAGE_SIZE};
+///
+/// let cache = BufferCache::new(2);
+/// cache.insert(1, 0, vec![7u8; PAGE_SIZE].into_boxed_slice());
+/// assert!(cache.get(1, 0).is_some());
+/// assert!(cache.get(1, 1).is_none());
+/// ```
+pub struct BufferCache {
+    inner: Mutex<LruInner>,
+}
+
+impl BufferCache {
+    /// Creates a cache holding up to `capacity_pages` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_pages == 0`.
+    pub fn new(capacity_pages: usize) -> Self {
+        assert!(capacity_pages > 0, "zero-capacity cache");
+        Self {
+            inner: Mutex::new(LruInner {
+                map: HashMap::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                capacity: capacity_pages,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Looks up a page copy; counts a hit or miss.
+    pub fn get(&self, ino: Ino, page: u64) -> Option<Vec<u8>> {
+        self.inner.lock().get(&(ino, page))
+    }
+
+    /// Returns whether a page is resident without touching LRU order or
+    /// hit/miss statistics (the proxy's path-decision probe, §4.3.2).
+    pub fn peek(&self, ino: Ino, page: u64) -> bool {
+        self.inner.lock().map.contains_key(&(ino, page))
+    }
+
+    /// Inserts (or refreshes) a page.
+    pub fn insert(&self, ino: Ino, page: u64, data: Box<[u8]>) {
+        self.inner.lock().insert((ino, page), data);
+    }
+
+    /// Drops one page.
+    pub fn invalidate_page(&self, ino: Ino, page: u64) {
+        self.inner.lock().remove(&(ino, page));
+    }
+
+    /// Drops every page of an inode (truncate/unlink path).
+    pub fn invalidate_ino(&self, ino: Ino) {
+        let mut g = self.inner.lock();
+        let keys: Vec<Key> = g.map.keys().filter(|(i, _)| *i == ino).copied().collect();
+        for k in keys {
+            g.remove(&k);
+        }
+    }
+
+    /// Returns a statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.inner.lock();
+        CacheStats {
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            resident: g.map.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(b: u8) -> Box<[u8]> {
+        vec![b; PAGE_SIZE].into_boxed_slice()
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let c = BufferCache::new(4);
+        assert!(c.get(1, 0).is_none());
+        c.insert(1, 0, page(1));
+        assert_eq!(c.get(1, 0).unwrap()[0], 1);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.resident), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let c = BufferCache::new(2);
+        c.insert(1, 0, page(10));
+        c.insert(1, 1, page(11));
+        // Touch page 0 so page 1 becomes LRU.
+        c.get(1, 0);
+        c.insert(1, 2, page(12));
+        assert!(c.get(1, 0).is_some(), "recently used survives");
+        assert!(c.get(1, 1).is_none(), "LRU evicted");
+        assert!(c.get(1, 2).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let c = BufferCache::new(2);
+        c.insert(1, 0, page(1));
+        c.insert(1, 0, page(2));
+        assert_eq!(c.get(1, 0).unwrap()[0], 2);
+        assert_eq!(c.stats().resident, 1);
+    }
+
+    #[test]
+    fn invalidate_ino_clears_only_that_inode() {
+        let c = BufferCache::new(8);
+        for p in 0..3 {
+            c.insert(5, p, page(p as u8));
+            c.insert(6, p, page(p as u8));
+        }
+        c.invalidate_ino(5);
+        for p in 0..3 {
+            assert!(c.get(5, p).is_none());
+            assert!(c.get(6, p).is_some());
+        }
+    }
+
+    #[test]
+    fn invalidate_page_then_slot_reuse() {
+        let c = BufferCache::new(4);
+        c.insert(1, 0, page(1));
+        c.invalidate_page(1, 0);
+        assert!(c.get(1, 0).is_none());
+        // Freed slot is reused without growing.
+        c.insert(1, 1, page(2));
+        c.insert(1, 2, page(3));
+        assert_eq!(c.stats().resident, 2);
+    }
+
+    #[test]
+    fn heavy_churn_stays_within_capacity() {
+        let c = BufferCache::new(16);
+        for i in 0..1000u64 {
+            c.insert(i % 7, i, page((i % 256) as u8));
+        }
+        let s = c.stats();
+        assert!(s.resident <= 16);
+        assert_eq!(s.evictions, 1000 - 16);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c = std::sync::Arc::new(BufferCache::new(64));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        c.insert(t, i, page((i % 256) as u8));
+                        let _ = c.get(t, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.stats().hits >= 4, "warm pages observed");
+    }
+}

@@ -1,0 +1,68 @@
+//! File-system errors.
+
+use std::fmt;
+
+use solros_nvme::NvmeError;
+
+/// Errors returned by [`crate::FileSystem`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsError {
+    /// Path component or file does not exist.
+    NotFound,
+    /// Creating something that already exists.
+    Exists,
+    /// A path component is not a directory.
+    NotDir,
+    /// Operation needs a file but found a directory.
+    IsDir,
+    /// Removing a non-empty directory.
+    NotEmpty,
+    /// Device or inode table exhausted.
+    NoSpace,
+    /// File grew beyond the maximum supported size.
+    TooLarge,
+    /// Malformed path (empty, relative, or bad component).
+    InvalidPath,
+    /// Malformed or incompatible on-disk structure.
+    Corrupt,
+    /// Underlying device error.
+    Io(NvmeError),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "no such file or directory"),
+            FsError::Exists => write!(f, "already exists"),
+            FsError::NotDir => write!(f, "not a directory"),
+            FsError::IsDir => write!(f, "is a directory"),
+            FsError::NotEmpty => write!(f, "directory not empty"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::TooLarge => write!(f, "file too large"),
+            FsError::InvalidPath => write!(f, "invalid path"),
+            FsError::Corrupt => write!(f, "corrupt file system"),
+            FsError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<NvmeError> for FsError {
+    fn from(e: NvmeError) -> Self {
+        FsError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(FsError::NotFound.to_string(), "no such file or directory");
+        let e: FsError = NvmeError::MediaError.into();
+        assert_eq!(e, FsError::Io(NvmeError::MediaError));
+        assert!(e.to_string().contains("media error"));
+    }
+}

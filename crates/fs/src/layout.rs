@@ -1,0 +1,402 @@
+//! On-disk structures and their codecs.
+//!
+//! Everything is little-endian and hand-packed; 256-byte inodes, 12-byte
+//! extents, and a 4 KiB superblock. The codec functions are pure so they
+//! can be property-tested in isolation.
+
+use crate::error::FsError;
+
+/// File-system magic number ("SOLROSFS" truncated).
+pub const MAGIC: u64 = 0x534F_4C52_4F53_4653;
+/// Layout version.
+pub const VERSION: u32 = 1;
+/// Bytes per on-disk inode.
+pub const INODE_SIZE: usize = 256;
+/// Direct extents per inode.
+pub const DIRECT_EXTENTS: usize = 10;
+/// Bytes per encoded extent.
+pub const EXTENT_SIZE: usize = 12;
+/// Extents per overflow (indirect) block.
+pub const EXTENTS_PER_BLOCK: usize = solros_nvme::BLOCK_SIZE / EXTENT_SIZE;
+
+/// A contiguous run of disk blocks belonging to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// First disk block of the run.
+    pub start: u64,
+    /// Number of blocks in the run.
+    pub len: u32,
+}
+
+impl Extent {
+    /// Encodes into 12 bytes.
+    pub fn encode(&self, out: &mut [u8]) {
+        out[0..8].copy_from_slice(&self.start.to_le_bytes());
+        out[8..12].copy_from_slice(&self.len.to_le_bytes());
+    }
+
+    /// Decodes from 12 bytes.
+    pub fn decode(b: &[u8]) -> Extent {
+        Extent {
+            start: u64::from_le_bytes(b[0..8].try_into().expect("8 bytes")),
+            len: u32::from_le_bytes(b[8..12].try_into().expect("4 bytes")),
+        }
+    }
+}
+
+/// Inode kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InodeKind {
+    /// Unallocated slot.
+    Free,
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+}
+
+impl InodeKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            InodeKind::Free => 0,
+            InodeKind::File => 1,
+            InodeKind::Dir => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, FsError> {
+        match v {
+            0 => Ok(InodeKind::Free),
+            1 => Ok(InodeKind::File),
+            2 => Ok(InodeKind::Dir),
+            _ => Err(FsError::Corrupt),
+        }
+    }
+}
+
+/// An in-memory inode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// File or directory.
+    pub kind: InodeKind,
+    /// Size in bytes (for directories: byte length of the dirent stream).
+    pub size: u64,
+    /// Direct extents, in file order.
+    pub extents: Vec<Extent>,
+    /// Block holding overflow extents (0 = none).
+    pub overflow_block: u64,
+    /// Number of extents stored in the overflow block.
+    pub overflow_count: u32,
+}
+
+impl Inode {
+    /// A fresh empty inode of the given kind.
+    pub fn empty(kind: InodeKind) -> Self {
+        Inode {
+            kind,
+            size: 0,
+            extents: Vec::new(),
+            overflow_block: 0,
+            overflow_count: 0,
+        }
+    }
+
+    /// Encodes into a 256-byte slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not exactly [`INODE_SIZE`] bytes or the inode
+    /// has more than [`DIRECT_EXTENTS`] direct extents.
+    pub fn encode(&self, out: &mut [u8]) {
+        assert_eq!(out.len(), INODE_SIZE);
+        assert!(
+            self.extents.len() <= DIRECT_EXTENTS,
+            "too many direct extents"
+        );
+        out.fill(0);
+        out[0] = self.kind.to_u8();
+        out[1] = self.extents.len() as u8;
+        out[8..16].copy_from_slice(&self.size.to_le_bytes());
+        out[16..24].copy_from_slice(&self.overflow_block.to_le_bytes());
+        out[24..28].copy_from_slice(&self.overflow_count.to_le_bytes());
+        let mut off = 32;
+        for e in &self.extents {
+            e.encode(&mut out[off..off + EXTENT_SIZE]);
+            off += EXTENT_SIZE;
+        }
+    }
+
+    /// Decodes a 256-byte slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not exactly [`INODE_SIZE`] bytes.
+    pub fn decode(b: &[u8]) -> Result<Inode, FsError> {
+        assert_eq!(b.len(), INODE_SIZE);
+        let kind = InodeKind::from_u8(b[0])?;
+        let n = b[1] as usize;
+        if n > DIRECT_EXTENTS {
+            return Err(FsError::Corrupt);
+        }
+        let size = u64::from_le_bytes(b[8..16].try_into().expect("8 bytes"));
+        let overflow_block = u64::from_le_bytes(b[16..24].try_into().expect("8 bytes"));
+        let overflow_count = u32::from_le_bytes(b[24..28].try_into().expect("4 bytes"));
+        let mut extents = Vec::with_capacity(n);
+        let mut off = 32;
+        for _ in 0..n {
+            extents.push(Extent::decode(&b[off..off + EXTENT_SIZE]));
+            off += EXTENT_SIZE;
+        }
+        Ok(Inode {
+            kind,
+            size,
+            extents,
+            overflow_block,
+            overflow_count,
+        })
+    }
+}
+
+/// The superblock (block 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Total device blocks.
+    pub total_blocks: u64,
+    /// First bitmap block.
+    pub bitmap_start: u64,
+    /// Bitmap length in blocks.
+    pub bitmap_blocks: u64,
+    /// First inode-table block.
+    pub itable_start: u64,
+    /// Inode-table length in blocks.
+    pub itable_blocks: u64,
+    /// Number of inodes.
+    pub inode_count: u64,
+    /// First data block.
+    pub data_start: u64,
+    /// Root directory inode number.
+    pub root_ino: u64,
+}
+
+impl Superblock {
+    /// Computes the layout for a device of `total_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is too small to hold any data blocks.
+    pub fn for_device(total_blocks: u64) -> Superblock {
+        let bits_per_block = (solros_nvme::BLOCK_SIZE * 8) as u64;
+        let bitmap_blocks = total_blocks.div_ceil(bits_per_block);
+        // One inode per 16 data blocks (64 KiB of data), at least 128.
+        let inode_count = (total_blocks / 16).max(128);
+        let inodes_per_block = (solros_nvme::BLOCK_SIZE / INODE_SIZE) as u64;
+        let itable_blocks = inode_count.div_ceil(inodes_per_block);
+        let bitmap_start = 1;
+        let itable_start = bitmap_start + bitmap_blocks;
+        let data_start = itable_start + itable_blocks;
+        assert!(
+            data_start < total_blocks,
+            "device too small: {total_blocks} blocks"
+        );
+        Superblock {
+            total_blocks,
+            bitmap_start,
+            bitmap_blocks,
+            itable_start,
+            itable_blocks,
+            inode_count,
+            data_start,
+            root_ino: 0,
+        }
+    }
+
+    /// Encodes into a block-sized buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is smaller than 80 bytes.
+    pub fn encode(&self, out: &mut [u8]) {
+        out.fill(0);
+        out[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        out[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        out[16..24].copy_from_slice(&self.total_blocks.to_le_bytes());
+        out[24..32].copy_from_slice(&self.bitmap_start.to_le_bytes());
+        out[32..40].copy_from_slice(&self.bitmap_blocks.to_le_bytes());
+        out[40..48].copy_from_slice(&self.itable_start.to_le_bytes());
+        out[48..56].copy_from_slice(&self.itable_blocks.to_le_bytes());
+        out[56..64].copy_from_slice(&self.inode_count.to_le_bytes());
+        out[64..72].copy_from_slice(&self.data_start.to_le_bytes());
+        out[72..80].copy_from_slice(&self.root_ino.to_le_bytes());
+    }
+
+    /// Decodes and validates a superblock.
+    pub fn decode(b: &[u8]) -> Result<Superblock, FsError> {
+        let magic = u64::from_le_bytes(b[0..8].try_into().expect("8 bytes"));
+        let version = u32::from_le_bytes(b[8..12].try_into().expect("4 bytes"));
+        if magic != MAGIC || version != VERSION {
+            return Err(FsError::Corrupt);
+        }
+        let f = |r: std::ops::Range<usize>| u64::from_le_bytes(b[r].try_into().expect("8 bytes"));
+        Ok(Superblock {
+            total_blocks: f(16..24),
+            bitmap_start: f(24..32),
+            bitmap_blocks: f(32..40),
+            itable_start: f(40..48),
+            itable_blocks: f(48..56),
+            inode_count: f(56..64),
+            data_start: f(64..72),
+            root_ino: f(72..80),
+        })
+    }
+}
+
+/// A directory entry in the dirent stream: `[ino u64][len u16][name]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dirent {
+    /// Inode number the entry points at.
+    pub ino: u64,
+    /// Entry name (no slashes, non-empty).
+    pub name: String,
+}
+
+/// Encodes a dirent stream.
+pub fn encode_dirents(entries: &[Dirent]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for e in entries {
+        out.extend_from_slice(&e.ino.to_le_bytes());
+        out.extend_from_slice(&(e.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(e.name.as_bytes());
+    }
+    out
+}
+
+/// Decodes a dirent stream.
+pub fn decode_dirents(mut b: &[u8]) -> Result<Vec<Dirent>, FsError> {
+    let mut out = Vec::new();
+    while !b.is_empty() {
+        if b.len() < 10 {
+            return Err(FsError::Corrupt);
+        }
+        let ino = u64::from_le_bytes(b[0..8].try_into().expect("8 bytes"));
+        let len = u16::from_le_bytes(b[8..10].try_into().expect("2 bytes")) as usize;
+        if b.len() < 10 + len {
+            return Err(FsError::Corrupt);
+        }
+        let name = std::str::from_utf8(&b[10..10 + len])
+            .map_err(|_| FsError::Corrupt)?
+            .to_string();
+        out.push(Dirent { ino, name });
+        b = &b[10 + len..];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extent_roundtrip() {
+        let e = Extent {
+            start: 0xDEAD_BEEF,
+            len: 42,
+        };
+        let mut buf = [0u8; EXTENT_SIZE];
+        e.encode(&mut buf);
+        assert_eq!(Extent::decode(&buf), e);
+    }
+
+    #[test]
+    fn inode_roundtrip() {
+        let mut ino = Inode::empty(InodeKind::File);
+        ino.size = 123_456_789;
+        ino.extents = (0..DIRECT_EXTENTS as u64)
+            .map(|i| Extent {
+                start: i * 100,
+                len: (i + 1) as u32,
+            })
+            .collect();
+        ino.overflow_block = 777;
+        ino.overflow_count = 3;
+        let mut buf = [0u8; INODE_SIZE];
+        ino.encode(&mut buf);
+        assert_eq!(Inode::decode(&buf).unwrap(), ino);
+    }
+
+    #[test]
+    fn free_inode_is_zeroes() {
+        let buf = [0u8; INODE_SIZE];
+        let ino = Inode::decode(&buf).unwrap();
+        assert_eq!(ino.kind, InodeKind::Free);
+        assert_eq!(ino.size, 0);
+        assert!(ino.extents.is_empty());
+    }
+
+    #[test]
+    fn corrupt_inode_rejected() {
+        let mut buf = [0u8; INODE_SIZE];
+        buf[0] = 9;
+        assert_eq!(Inode::decode(&buf), Err(FsError::Corrupt));
+        buf[0] = 1;
+        buf[1] = DIRECT_EXTENTS as u8 + 1;
+        assert_eq!(Inode::decode(&buf), Err(FsError::Corrupt));
+    }
+
+    #[test]
+    fn superblock_roundtrip_and_validation() {
+        let sb = Superblock::for_device(1 << 20);
+        let mut buf = vec![0u8; solros_nvme::BLOCK_SIZE];
+        sb.encode(&mut buf);
+        assert_eq!(Superblock::decode(&buf).unwrap(), sb);
+        buf[0] ^= 0xFF;
+        assert_eq!(Superblock::decode(&buf), Err(FsError::Corrupt));
+    }
+
+    #[test]
+    fn superblock_layout_is_consistent() {
+        for blocks in [1_000u64, 1 << 16, 1 << 22] {
+            let sb = Superblock::for_device(blocks);
+            assert!(sb.bitmap_start < sb.itable_start);
+            assert!(sb.itable_start < sb.data_start);
+            assert!(sb.data_start < sb.total_blocks);
+            // Bitmap covers every block.
+            assert!(sb.bitmap_blocks * (solros_nvme::BLOCK_SIZE as u64 * 8) >= blocks);
+            // Inode table holds the advertised count.
+            assert!(
+                sb.itable_blocks * (solros_nvme::BLOCK_SIZE / INODE_SIZE) as u64 >= sb.inode_count
+            );
+        }
+    }
+
+    #[test]
+    fn dirent_roundtrip() {
+        let entries = vec![
+            Dirent {
+                ino: 1,
+                name: "usr".into(),
+            },
+            Dirent {
+                ino: 42,
+                name: "a-longer-name.txt".into(),
+            },
+            Dirent {
+                ino: 7,
+                name: "x".into(),
+            },
+        ];
+        let enc = encode_dirents(&entries);
+        assert_eq!(decode_dirents(&enc).unwrap(), entries);
+        assert!(decode_dirents(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_dirents_rejected() {
+        let entries = vec![Dirent {
+            ino: 1,
+            name: "abc".into(),
+        }];
+        let enc = encode_dirents(&entries);
+        assert_eq!(decode_dirents(&enc[..enc.len() - 1]), Err(FsError::Corrupt));
+        assert_eq!(decode_dirents(&enc[..5]), Err(FsError::Corrupt));
+    }
+}

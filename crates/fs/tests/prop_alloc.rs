@@ -1,0 +1,68 @@
+//! Property tests for the block allocation bitmap.
+
+use std::collections::HashSet;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use solros_fs::alloc::Bitmap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Allocated runs never overlap and never exceed the device; frees
+    /// restore the exact free count.
+    #[test]
+    fn never_double_allocates(
+        total in 64u64..4096,
+        requests in vec(1u32..64, 1..100),
+    ) {
+        let mut bm = Bitmap::new(total);
+        let mut owned: Vec<(u64, u32)> = Vec::new();
+        let mut blocks = HashSet::new();
+        for want in requests {
+            match bm.alloc_run(want) {
+                Ok((start, len)) => {
+                    prop_assert!(len >= 1 && len <= want);
+                    prop_assert!(start + len as u64 <= total);
+                    for b in start..start + len as u64 {
+                        prop_assert!(blocks.insert(b), "block {b} handed out twice");
+                    }
+                    owned.push((start, len));
+                }
+                Err(_) => {
+                    // alloc_run returns partial runs, so NoSpace can only
+                    // mean a genuinely full device.
+                    prop_assert_eq!(bm.free(), total - blocks.len() as u64);
+                    prop_assert_eq!(bm.free(), 0, "NoSpace with free blocks");
+                }
+            }
+        }
+        // Free everything; the bitmap must be fully free again.
+        for (start, len) in owned {
+            for b in start..start + len as u64 {
+                bm.release(b);
+            }
+        }
+        prop_assert_eq!(bm.free(), total);
+        // And a full-device run is allocatable in pieces.
+        let mut regot = 0u64;
+        while let Ok((_, l)) = bm.alloc_run(u32::MAX.min(total as u32)) {
+            regot += l as u64;
+        }
+        prop_assert_eq!(regot, total);
+    }
+
+    /// Serialization round-trips the exact allocation state.
+    #[test]
+    fn bytes_roundtrip(total in 64u64..2048, allocs in vec(1u32..32, 0..40)) {
+        let mut bm = Bitmap::new(total);
+        for want in allocs {
+            let _ = bm.alloc_run(want);
+        }
+        let copy = Bitmap::from_bytes(&bm.to_bytes(), total);
+        prop_assert_eq!(copy.free(), bm.free());
+        for b in 0..total {
+            prop_assert_eq!(copy.is_set(b), bm.is_set(b), "block {}", b);
+        }
+    }
+}

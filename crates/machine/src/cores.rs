@@ -1,0 +1,119 @@
+//! Processor core performance models.
+//!
+//! The paper's thesis (§2, §4, Figure 13) is that I/O stacks — branchy,
+//! shared-state-heavy code — run poorly on lean co-processor cores: the
+//! profiled Xeon Phi file system spends ~5× more time than the Solros
+//! stub, and the full TCP/IP stack on the Phi is an order of magnitude
+//! slower than the host's. [`CoreModel`] captures that as a scalar
+//! slowdown for "I/O-stack-shaped" work plus a parallel-efficiency factor
+//! for data-parallel work (where the Phi's 244 threads shine).
+
+use solros_simkit::SimTime;
+
+/// A processor's performance profile.
+#[derive(Debug, Clone)]
+pub struct CoreModel {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: usize,
+    /// Hardware threads.
+    pub threads: usize,
+    /// Multiplier for branchy, control-flow-divergent systems code
+    /// relative to the host (host = 1.0).
+    pub io_stack_slowdown: f64,
+    /// Relative per-thread throughput on data-parallel kernels
+    /// (host thread = 1.0). Phi threads are slower each, but there are
+    /// 244 of them with wide SIMD.
+    pub parallel_thread_factor: f64,
+}
+
+impl CoreModel {
+    /// The testbed host: two Xeon E5-2670 v3 (24 cores/socket, §6).
+    pub fn host() -> Self {
+        CoreModel {
+            name: "Xeon E5-2670 v3 x2",
+            cores: 48,
+            threads: 96,
+            io_stack_slowdown: 1.0,
+            parallel_thread_factor: 1.0,
+        }
+    }
+
+    /// One Xeon Phi co-processor (61 cores, 244 hardware threads, §6).
+    pub fn xeon_phi() -> Self {
+        CoreModel {
+            name: "Xeon Phi 61c/244t",
+            cores: 61,
+            threads: 244,
+            // Figure 13a: the full file system on the Phi spends ~5x the
+            // time of the Solros stub; TCP is worse but the FS number is
+            // the directly profiled one.
+            io_stack_slowdown: 5.2,
+            // In-order 1.1 GHz cores with wide SIMD: each thread is much
+            // slower than a host thread on scalar code, but competitive
+            // per-chip on vectorizable kernels.
+            parallel_thread_factor: 0.22,
+        }
+    }
+
+    /// Scales a host-calibrated I/O-stack cost onto this processor.
+    pub fn io_stack_time(&self, host_time: SimTime) -> SimTime {
+        host_time * self.io_stack_slowdown
+    }
+
+    /// Aggregate data-parallel throughput in "host-thread equivalents"
+    /// when running `threads` workers.
+    pub fn parallel_capacity(&self, threads: usize) -> f64 {
+        threads.min(self.threads) as f64 * self.parallel_thread_factor
+    }
+
+    /// Time for a data-parallel kernel that takes `single_host_thread`
+    /// time on one host thread, run with `threads` workers here.
+    pub fn parallel_time(&self, single_host_thread: SimTime, threads: usize) -> SimTime {
+        let cap = self.parallel_capacity(threads).max(f64::MIN_POSITIVE);
+        SimTime::from_secs_f64(single_host_thread.as_secs_f64() / cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_stack_slowdown_matches_figure_13() {
+        let host = CoreModel::host();
+        let phi = CoreModel::xeon_phi();
+        let base = SimTime::from_us(100);
+        assert_eq!(host.io_stack_time(base), base);
+        let scaled = phi.io_stack_time(base);
+        let ratio = scaled.as_secs_f64() / base.as_secs_f64();
+        assert!((4.5..=6.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn phi_wins_on_wide_parallel_kernels() {
+        let host = CoreModel::host();
+        let phi = CoreModel::xeon_phi();
+        // With full thread counts, the Phi chip out-parallelizes a socket.
+        let phi_cap = phi.parallel_capacity(244);
+        let host_cap = host.parallel_capacity(24); // One socket's worth.
+        assert!(
+            phi_cap > host_cap,
+            "phi {phi_cap} vs host-socket {host_cap}"
+        );
+        // But a single Phi thread is far slower than a host thread.
+        assert!(phi.parallel_capacity(1) < 0.5 * host.parallel_capacity(1));
+    }
+
+    #[test]
+    fn parallel_time_scales_and_clamps() {
+        let phi = CoreModel::xeon_phi();
+        let base = SimTime::from_ms(100);
+        let t61 = phi.parallel_time(base, 61);
+        let t244 = phi.parallel_time(base, 244);
+        let t1000 = phi.parallel_time(base, 1000);
+        assert!(t244 < t61);
+        assert_eq!(t244, t1000, "thread count clamps at hardware threads");
+    }
+}

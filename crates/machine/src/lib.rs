@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Machine assembly for Solros-rs.
+//!
+//! Wires the simulated hardware into the paper's testbed (§6): a two-socket
+//! Xeon E5-2670 v3 host, four Xeon Phi co-processors (61 cores / 244
+//! hardware threads each) on PCIe Gen2 x16, an Intel 750 NVMe SSD, and a
+//! 100 GbE NIC reachable from a client machine — plus the per-device
+//! memory windows, transaction counters, and cost models everything above
+//! this layer consumes.
+
+pub mod cores;
+pub mod machine;
+pub mod walloc;
+
+pub use cores::CoreModel;
+pub use machine::{Coprocessor, Machine, MachineConfig};
+pub use walloc::WindowAlloc;

@@ -1,0 +1,202 @@
+//! The assembled machine.
+//!
+//! [`Machine::paper_testbed`] reproduces §6's hardware; custom shapes are
+//! built from a [`MachineConfig`]. The machine owns the simulated devices
+//! and per-co-processor resources that both the Solros stack and the
+//! baselines run against.
+
+use std::sync::Arc;
+
+use solros_netdev::Network;
+use solros_nvme::NvmeDevice;
+use solros_pcie::cost::CostModel;
+use solros_pcie::counter::PcieCounters;
+use solros_pcie::topo::{DeviceId, Topology};
+use solros_pcie::window::Window;
+use solros_pcie::Side;
+
+use crate::cores::CoreModel;
+use crate::walloc::WindowAlloc;
+
+/// Construction parameters.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// NUMA sockets.
+    pub sockets: u8,
+    /// Number of co-processors; attached round-robin split across sockets
+    /// (first half socket 0, second half socket 1, like the testbed).
+    pub coprocs: usize,
+    /// SSD capacity in blocks.
+    pub ssd_blocks: u64,
+    /// Exported memory per co-processor, in bytes.
+    pub coproc_window_bytes: usize,
+    /// Host-side shared buffer cache capacity, in pages (§4.3.2).
+    pub host_cache_pages: usize,
+}
+
+impl MachineConfig {
+    /// The paper testbed: 2 sockets, 4 Phis, 1.2 TB SSD (scaled down to a
+    /// simulation-friendly 8 GiB), 64 MiB exported per Phi.
+    pub fn paper_testbed() -> Self {
+        MachineConfig {
+            sockets: 2,
+            coprocs: 4,
+            ssd_blocks: (8u64 << 30) / solros_nvme::BLOCK_SIZE as u64,
+            coproc_window_bytes: 64 << 20,
+            host_cache_pages: 16_384, // 64 MiB
+        }
+    }
+
+    /// A small configuration for unit/integration tests.
+    pub fn small() -> Self {
+        MachineConfig {
+            sockets: 2,
+            coprocs: 2,
+            ssd_blocks: 16_384, // 64 MiB
+            coproc_window_bytes: 4 << 20,
+            host_cache_pages: 512,
+        }
+    }
+}
+
+/// One co-processor's resources.
+pub struct Coprocessor {
+    /// Index (also its [`DeviceId::Coproc`] number).
+    pub id: u8,
+    /// Exported memory region (PCIe window home = co-processor).
+    pub window: Arc<Window>,
+    /// Allocator over the exported region.
+    pub alloc: Arc<WindowAlloc>,
+    /// PCIe transaction ledger for this card's traffic.
+    pub counters: Arc<PcieCounters>,
+    /// Core performance model.
+    pub cores: CoreModel,
+}
+
+/// The simulated machine.
+pub struct Machine {
+    /// PCIe/QPI attachment map.
+    pub topology: Topology,
+    /// The NVMe SSD.
+    pub nvme: Arc<NvmeDevice>,
+    /// The NIC + outside world.
+    pub network: Arc<Network>,
+    /// Co-processor cards.
+    pub coprocs: Vec<Coprocessor>,
+    /// Host core model.
+    pub host_cores: CoreModel,
+    /// PCIe transfer cost model.
+    pub cost: Arc<CostModel>,
+}
+
+impl Machine {
+    /// Builds a machine from a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coprocs == 0` or `sockets == 0`.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let blocks = cfg.ssd_blocks;
+        Self::with_nvme(cfg, NvmeDevice::new(blocks))
+    }
+
+    /// Builds a machine around an existing SSD — the "same card, new boot"
+    /// path that lets a Solros system remount a previously formatted
+    /// device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coprocs == 0` or `sockets == 0`.
+    pub fn with_nvme(cfg: MachineConfig, nvme: Arc<NvmeDevice>) -> Self {
+        assert!(cfg.coprocs > 0, "need at least one co-processor");
+        let mut topology = Topology::new(cfg.sockets);
+        topology.attach(DeviceId::Nvme(0), 0);
+        topology.attach(DeviceId::Nic(0), 0);
+        let half = cfg.coprocs.div_ceil(2);
+        let mut coprocs = Vec::with_capacity(cfg.coprocs);
+        for i in 0..cfg.coprocs {
+            let socket = if cfg.sockets > 1 && i >= half { 1 } else { 0 };
+            topology.attach(DeviceId::Coproc(i as u8), socket);
+            let counters = Arc::new(PcieCounters::new());
+            coprocs.push(Coprocessor {
+                id: i as u8,
+                window: Window::new(cfg.coproc_window_bytes, Side::Coproc, Arc::clone(&counters)),
+                alloc: Arc::new(WindowAlloc::new(cfg.coproc_window_bytes)),
+                counters,
+                cores: CoreModel::xeon_phi(),
+            });
+        }
+        Machine {
+            topology,
+            nvme,
+            network: Network::new(),
+            coprocs,
+            host_cores: CoreModel::host(),
+            cost: Arc::new(CostModel::paper_default()),
+        }
+    }
+
+    /// The §6 testbed.
+    pub fn paper_testbed() -> Self {
+        Self::new(MachineConfig::paper_testbed())
+    }
+
+    /// True when P2P between the SSD and co-processor `id` crosses QPI
+    /// (the Figure 1a demotion condition).
+    pub fn ssd_p2p_crosses_numa(&self, id: u8) -> bool {
+        self.topology
+            .p2p_path(DeviceId::Nvme(0), DeviceId::Coproc(id))
+            == solros_pcie::topo::P2pPath::CrossSocket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let m = Machine::paper_testbed();
+        assert_eq!(m.coprocs.len(), 4);
+        assert!(!m.ssd_p2p_crosses_numa(0));
+        assert!(!m.ssd_p2p_crosses_numa(1));
+        assert!(m.ssd_p2p_crosses_numa(2));
+        assert!(m.ssd_p2p_crosses_numa(3));
+        assert_eq!(m.host_cores.io_stack_slowdown, 1.0);
+    }
+
+    #[test]
+    fn small_config_single_socket_fallback() {
+        let m = Machine::new(MachineConfig {
+            sockets: 1,
+            coprocs: 3,
+            ssd_blocks: 1024,
+            coproc_window_bytes: 1 << 20,
+            host_cache_pages: 64,
+        });
+        for c in &m.coprocs {
+            assert!(!m.ssd_p2p_crosses_numa(c.id));
+        }
+    }
+
+    #[test]
+    fn windows_are_independent() {
+        let m = Machine::new(MachineConfig::small());
+        let a = m.coprocs[0].alloc.alloc(4096).unwrap();
+        let b = m.coprocs[1].alloc.alloc(4096).unwrap();
+        assert_eq!(a, b, "separate allocators start at the same offset");
+        let ha = m.coprocs[0].window.map(Side::Coproc);
+        let hb = m.coprocs[1].window.map(Side::Coproc);
+        // SAFETY: test-local regions; disjoint windows.
+        unsafe {
+            ha.write(a, &[1u8; 64]);
+            hb.write(b, &[2u8; 64]);
+            let mut va = [0u8; 64];
+            let mut vb = [0u8; 64];
+            ha.read(a, &mut va);
+            hb.read(b, &mut vb);
+            assert_eq!(va, [1u8; 64]);
+            assert_eq!(vb, [2u8; 64]);
+        }
+    }
+}

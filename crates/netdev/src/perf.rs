@@ -1,0 +1,194 @@
+//! Network cost model (timed mode).
+//!
+//! Calibrated to Figure 1b and the testbed description (§6): a 100 GbE
+//! link between client and server; the host's TCP stack handles a 64-byte
+//! ping-pong in tens of microseconds; Solros adds a bounded
+//! transport-forwarding cost; the stock Xeon Phi runs the whole TCP/IP
+//! stack on slow, oversubscribed cores, giving both a much higher median
+//! and a heavy scheduler-induced tail — its 99th percentile is ~7× worse
+//! than Solros.
+
+use solros_simkit::time::transfer_time;
+use solros_simkit::{DetRng, SimTime};
+
+/// Which TCP stack terminates the connection on the machine under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackKind {
+    /// Host Linux stack (the `Host` curve).
+    Host,
+    /// Solros: host stack + proxy + transport to the co-processor.
+    Solros,
+    /// Stock co-processor: full TCP/IP on Xeon Phi cores, bridged.
+    PhiLinux,
+}
+
+/// The network cost model.
+#[derive(Debug, Clone)]
+pub struct NetPerf {
+    /// One-way wire latency (client NIC to server NIC).
+    pub wire_latency: SimTime,
+    /// Wire bandwidth in bytes/s (100 GbE = 12.5 GB/s).
+    pub wire_bw: f64,
+    /// Host stack per-message processing cost (rx or tx side).
+    pub host_per_msg: SimTime,
+    /// Host stack per-byte cost (checksum/copy).
+    pub host_ns_per_byte: f64,
+    /// Solros transport forwarding per message (proxy + ring + dispatch).
+    pub solros_forward: SimTime,
+    /// Phi stack per-message processing cost (branchy code on slow cores).
+    pub phi_per_msg: SimTime,
+    /// Phi stack per-byte cost.
+    pub phi_ns_per_byte: f64,
+    /// Probability of a scheduling stall on the Phi per message.
+    pub phi_stall_p: f64,
+    /// Mean stall duration when one occurs (exponential).
+    pub phi_stall_mean: SimTime,
+    /// Mean of the Solros transport jitter (combining batch variability).
+    pub solros_jitter_mean: SimTime,
+    /// Mean of the Phi baseline jitter (slow-core scheduling noise).
+    pub phi_jitter_mean: SimTime,
+}
+
+impl NetPerf {
+    /// The Figure 1b calibration.
+    pub fn paper_default() -> Self {
+        NetPerf {
+            wire_latency: SimTime::from_us(4),
+            wire_bw: 12.5e9,
+            host_per_msg: SimTime::from_us(6),
+            host_ns_per_byte: 0.4,
+            solros_forward: SimTime::from_us(11),
+            phi_per_msg: SimTime::from_us(70),
+            phi_ns_per_byte: 4.0,
+            phi_stall_p: 0.07,
+            phi_stall_mean: SimTime::from_us(300),
+            solros_jitter_mean: SimTime::from_us(12),
+            phi_jitter_mean: SimTime::from_us(40),
+        }
+    }
+
+    /// One-way wire time for a message of `bytes`.
+    pub fn wire_time(&self, bytes: u64) -> SimTime {
+        self.wire_latency + transfer_time(bytes, self.wire_bw)
+    }
+
+    /// Server-side processing time for one inbound-plus-outbound message
+    /// pass through the given stack (no queueing; add jitter separately).
+    pub fn stack_time(&self, stack: StackKind, bytes: u64) -> SimTime {
+        match stack {
+            StackKind::Host => {
+                self.host_per_msg * 2
+                    + SimTime::from_ns((bytes as f64 * self.host_ns_per_byte * 2.0) as u64)
+            }
+            StackKind::Solros => {
+                // Host stack does rx+tx, plus forwarding each way over the
+                // transport service to/from the co-processor.
+                self.stack_time(StackKind::Host, bytes) + self.solros_forward * 2
+            }
+            StackKind::PhiLinux => {
+                self.phi_per_msg * 2
+                    + SimTime::from_ns((bytes as f64 * self.phi_ns_per_byte * 2.0) as u64)
+            }
+        }
+    }
+
+    /// Samples one full ping-pong round-trip latency for a `bytes`-sized
+    /// message, including the Phi's heavy scheduling tail when applicable.
+    pub fn sample_rtt(&self, stack: StackKind, bytes: u64, rng: &mut DetRng) -> SimTime {
+        let mut t = self.wire_time(bytes) * 2 + self.stack_time(stack, bytes);
+        // Light universal jitter (NIC interrupt moderation etc.).
+        t += SimTime::from_ns((rng.exp(1.5e3)) as u64);
+        match stack {
+            StackKind::Host => {}
+            StackKind::Solros => {
+                t += SimTime::from_secs_f64(rng.exp(self.solros_jitter_mean.as_secs_f64()));
+            }
+            StackKind::PhiLinux => {
+                t += SimTime::from_secs_f64(rng.exp(self.phi_jitter_mean.as_secs_f64()));
+                if rng.chance(self.phi_stall_p) {
+                    t += SimTime::from_secs_f64(rng.exp(self.phi_stall_mean.as_secs_f64()));
+                }
+            }
+        }
+        t
+    }
+
+    /// Sustained per-connection stream throughput (bytes/s) for a one-way
+    /// stream of `bytes`-sized messages through the given stack.
+    pub fn stream_throughput(&self, stack: StackKind, bytes: u64) -> f64 {
+        // Per-message server cost is half a ping-pong pass.
+        let per_msg = self.stack_time(stack, bytes) / 2;
+        let wire = transfer_time(bytes, self.wire_bw);
+        let bottleneck = per_msg.max(wire);
+        bytes as f64 / bottleneck.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solros_simkit::Histogram;
+
+    fn p() -> NetPerf {
+        NetPerf::paper_default()
+    }
+
+    #[test]
+    fn host_beats_solros_beats_phi() {
+        let p = p();
+        let h = p.stack_time(StackKind::Host, 64);
+        let s = p.stack_time(StackKind::Solros, 64);
+        let l = p.stack_time(StackKind::PhiLinux, 64);
+        assert!(h < s && s < l, "{h} {s} {l}");
+    }
+
+    #[test]
+    fn tail_ratio_matches_figure_1b() {
+        let p = p();
+        let mut rng = DetRng::seed(42);
+        let mut solros = Histogram::new();
+        let mut phi = Histogram::new();
+        for _ in 0..20_000 {
+            solros.record(p.sample_rtt(StackKind::Solros, 64, &mut rng));
+            phi.record(p.sample_rtt(StackKind::PhiLinux, 64, &mut rng));
+        }
+        let ratio = phi.percentile(99.0).as_secs_f64() / solros.percentile(99.0).as_secs_f64();
+        assert!(
+            (4.0..=12.0).contains(&ratio),
+            "99th percentile ratio {ratio} should be ~7x"
+        );
+        // Absolute scales sane: Solros median well under 100us, Phi p99
+        // around a millisecond (Figure 1b's x-axis range).
+        assert!(solros.percentile(50.0) < SimTime::from_us(100));
+        assert!(phi.percentile(99.0) > SimTime::from_us(400));
+        assert!(phi.percentile(99.0) < SimTime::from_ms(4));
+    }
+
+    #[test]
+    fn stream_throughput_ordering_and_saturation() {
+        let p = p();
+        for bytes in [64u64, 1024, 64 * 1024] {
+            let h = p.stream_throughput(StackKind::Host, bytes);
+            let s = p.stream_throughput(StackKind::Solros, bytes);
+            let l = p.stream_throughput(StackKind::PhiLinux, bytes);
+            assert!(h >= s && s > l, "{bytes}: {h} {s} {l}");
+        }
+        // Large messages reach multi-GB/s on the host (a realistic
+        // single-stream ceiling; one connection does not fill 100 GbE).
+        let big = p.stream_throughput(StackKind::Host, 1 << 20);
+        assert!(big > 2e9, "host big-message throughput {big}");
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let p = p();
+        let mut a = DetRng::seed(7);
+        let mut b = DetRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(
+                p.sample_rtt(StackKind::PhiLinux, 64, &mut a),
+                p.sample_rtt(StackKind::PhiLinux, 64, &mut b)
+            );
+        }
+    }
+}

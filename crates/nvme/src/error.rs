@@ -1,0 +1,50 @@
+//! NVMe error types.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NvmeError {
+    /// The LBA range exceeds the device capacity.
+    OutOfRange,
+    /// A transfer exceeds the device's maximum data transfer size.
+    TransferTooLarge,
+    /// Injected media error (fault-injection hook).
+    MediaError,
+    /// The submission queue is full; ring the doorbell and retry.
+    QueueFull,
+    /// The completion queue has no new entry.
+    NoCompletion,
+}
+
+impl fmt::Display for NvmeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvmeError::OutOfRange => write!(f, "LBA out of range"),
+            NvmeError::TransferTooLarge => write!(f, "transfer exceeds MDTS"),
+            NvmeError::MediaError => write!(f, "media error"),
+            NvmeError::QueueFull => write!(f, "submission queue full"),
+            NvmeError::NoCompletion => write!(f, "no completion available"),
+        }
+    }
+}
+
+impl std::error::Error for NvmeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all() {
+        for (e, s) in [
+            (NvmeError::OutOfRange, "LBA out of range"),
+            (NvmeError::TransferTooLarge, "transfer exceeds MDTS"),
+            (NvmeError::MediaError, "media error"),
+            (NvmeError::QueueFull, "submission queue full"),
+            (NvmeError::NoCompletion, "no completion available"),
+        ] {
+            assert_eq!(e.to_string(), s);
+        }
+    }
+}

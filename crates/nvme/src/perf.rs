@@ -1,0 +1,155 @@
+//! NVMe performance model (timed mode).
+//!
+//! Calibrated to the paper's testbed SSD, an Intel 750 1.2 TB (§6):
+//! 2.4 GB/s sequential read, 1.2 GB/s sequential write, and command
+//! latencies consistent with the single-thread small-block throughput of
+//! Figure 11 (~0.25 GB/s at 32 KB means ~115 µs per operation end to
+//! end). Doorbell and interrupt costs are what the vectored-command
+//! optimization (§5) saves; the `channels` field models the device's
+//! internal parallelism, which is what lets throughput scale with client
+//! threads until the bandwidth cap (Figures 11/12).
+
+use solros_simkit::time::transfer_time;
+use solros_simkit::SimTime;
+
+/// The timed-mode cost model for the simulated SSD.
+#[derive(Debug, Clone)]
+pub struct NvmePerf {
+    /// Streaming read bandwidth (bytes/s).
+    pub read_bw: f64,
+    /// Streaming write bandwidth (bytes/s).
+    pub write_bw: f64,
+    /// Fixed per-command device latency (flash access + controller).
+    pub cmd_latency: SimTime,
+    /// Host-side cost of one doorbell MMIO write (incl. kernel path).
+    pub doorbell_cost: SimTime,
+    /// Host-side cost of taking one completion interrupt.
+    pub interrupt_cost: SimTime,
+    /// Internal parallelism: commands in flight concurrently.
+    pub channels: usize,
+}
+
+impl NvmePerf {
+    /// The Intel 750 calibration (see module docs).
+    pub fn paper_default() -> Self {
+        NvmePerf {
+            read_bw: 2.4e9,
+            write_bw: 1.2e9,
+            cmd_latency: SimTime::from_us(90),
+            doorbell_cost: SimTime::from_us(1),
+            interrupt_cost: SimTime::from_us(12),
+            channels: 4,
+        }
+    }
+
+    /// Device-side service time of a single command moving `bytes`.
+    pub fn command_time(&self, is_read: bool, bytes: u64) -> SimTime {
+        let bw = if is_read { self.read_bw } else { self.write_bw };
+        self.cmd_latency + transfer_time(bytes, bw)
+    }
+
+    /// Latency of a batch of `n` equal commands issued together (the
+    /// vectored path): commands overlap across `channels`, the transfer
+    /// shares the device bandwidth, and exactly one doorbell and one
+    /// interrupt are paid.
+    pub fn vectored_batch_time(&self, is_read: bool, n: u64, bytes_each: u64) -> SimTime {
+        if n == 0 {
+            return SimTime::ZERO;
+        }
+        let bw = if is_read { self.read_bw } else { self.write_bw };
+        let waves = n.div_ceil(self.channels as u64);
+        let latency = self.cmd_latency * waves;
+        let xfer = transfer_time(n * bytes_each, bw);
+        self.doorbell_cost + latency.max(xfer) + self.interrupt_cost
+    }
+
+    /// Latency of the same batch issued one command at a time (the
+    /// conventional path): no overlap, a doorbell and an interrupt per
+    /// command.
+    pub fn sequential_batch_time(&self, is_read: bool, n: u64, bytes_each: u64) -> SimTime {
+        (self.doorbell_cost + self.command_time(is_read, bytes_each) + self.interrupt_cost) * n
+    }
+
+    /// Steady-state device throughput (bytes/s) with `threads` concurrent
+    /// submitters of `bytes`-sized operations of `cmds_per_op` commands
+    /// each using the vectored path: bounded by both the bandwidth cap and
+    /// the channel-limited IOPS.
+    pub fn steady_throughput(
+        &self,
+        is_read: bool,
+        threads: usize,
+        bytes: u64,
+        cmds_per_op: u64,
+    ) -> f64 {
+        let bw = if is_read { self.read_bw } else { self.write_bw };
+        // Per-op latency seen by one thread.
+        let op_time = self.vectored_batch_time(is_read, cmds_per_op, bytes / cmds_per_op.max(1));
+        let per_thread = bytes as f64 / op_time.as_secs_f64();
+        // Latency-bound aggregate, capped by device bandwidth and by
+        // channel-limited command throughput.
+        let iops_cap = self.channels as f64 / self.cmd_latency.as_secs_f64();
+        let cmd_bytes = bytes as f64 / cmds_per_op.max(1) as f64;
+        (per_thread * threads as f64)
+            .min(bw)
+            .min(iops_cap * cmd_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> NvmePerf {
+        NvmePerf::paper_default()
+    }
+
+    #[test]
+    fn command_time_scales_with_size() {
+        let p = p();
+        let small = p.command_time(true, 4096);
+        let big = p.command_time(true, 128 * 1024);
+        assert!(big > small);
+        // 128 KB at 2.4 GB/s is ~53 us on top of the 90 us base.
+        assert!(big < SimTime::from_us(160));
+    }
+
+    #[test]
+    fn writes_slower_than_reads() {
+        let p = p();
+        assert!(p.command_time(false, 1 << 20) > p.command_time(true, 1 << 20));
+    }
+
+    #[test]
+    fn vectored_beats_sequential() {
+        let p = p();
+        let v = p.vectored_batch_time(true, 4, 128 * 1024);
+        let s = p.sequential_batch_time(true, 4, 128 * 1024);
+        assert!(
+            v.as_secs_f64() < s.as_secs_f64() / 2.0,
+            "vectored {v} vs sequential {s}"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        assert_eq!(p().vectored_batch_time(true, 0, 4096), SimTime::ZERO);
+    }
+
+    #[test]
+    fn steady_throughput_saturates_at_bandwidth() {
+        let p = p();
+        // Many threads with 512 KB reads reach the 2.4 GB/s cap.
+        let t = p.steady_throughput(true, 32, 512 * 1024, 4);
+        assert!((t - 2.4e9).abs() / 2.4e9 < 0.01, "read cap {t}");
+        let w = p.steady_throughput(false, 32, 512 * 1024, 4);
+        assert!((w - 1.2e9).abs() / 1.2e9 < 0.01, "write cap {w}");
+    }
+
+    #[test]
+    fn single_thread_small_block_is_latency_bound() {
+        let p = p();
+        let t = p.steady_throughput(true, 1, 32 * 1024, 1);
+        // ~32 KB / ~115 us ≈ 0.27 GB/s, far from the cap.
+        assert!(t > 0.15e9 && t < 0.5e9, "got {t}");
+    }
+}

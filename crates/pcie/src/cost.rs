@@ -1,0 +1,329 @@
+//! PCIe transfer cost model, calibrated against Figure 4 of the paper.
+//!
+//! The paper measures four transfer regimes over PCIe Gen2 x16 between a
+//! Xeon E5-2670 v3 host and a Xeon Phi: {DMA, load/store} × {host-initiated,
+//! Phi-initiated}. The headline calibration points (all from §4.2.1 and
+//! Figure 4):
+//!
+//! * 8 MB DMA is 150× (host) / 116× (Phi) faster than `memcpy`;
+//! * 64 B `memcpy` is 2.9× (host) / 12.6× (Phi) faster than DMA;
+//! * host-initiated transfers beat Phi-initiated ones: 2.3× for DMA and
+//!   1.8× for `memcpy` (steady state);
+//! * the adaptive copy thresholds Solros uses are 1 KB (host) and 16 KB
+//!   (Phi) (§4.2.4);
+//! * load/store saturates near 35 MB/s from the host (Figure 4b);
+//! * a peer-to-peer path that crosses a NUMA boundary is capped at
+//!   ~300 MB/s because one processor relays PCIe packets over QPI
+//!   (Figure 1a).
+//!
+//! `memcpy` has two regimes: small transfers ride the write-combining
+//! buffers at a fast marginal rate; past a window the sustained load/store
+//! rate dominates. This is what lets both "64 B memcpy beats DMA by only
+//! 2.9×" and "the memcpy/DMA crossover sits at 1 KB" hold simultaneously,
+//! as they do on the real hardware.
+
+use solros_simkit::time::transfer_time;
+use solros_simkit::SimTime;
+
+use crate::Side;
+
+/// PCIe cache-line (and thus load/store transaction) size in bytes.
+pub const LINE: u64 = 64;
+
+/// A transfer mechanism choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Xfer {
+    /// Load/store instructions on the mapped window: one PCIe transaction
+    /// per 64-byte line; no setup cost.
+    Memcpy,
+    /// A DMA engine: channel setup cost, then streaming at full bandwidth.
+    Dma,
+}
+
+/// Per-side memcpy parameters (two-regime model, see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct MemcpyParams {
+    /// Fixed per-call overhead (function call, fences).
+    pub base: SimTime,
+    /// Marginal cost per byte inside the write-combining window.
+    pub fast_ns_per_byte: f64,
+    /// Size of the fast window in bytes.
+    pub fast_window: u64,
+    /// Marginal cost per byte beyond the window (sustained rate).
+    pub slow_ns_per_byte: f64,
+}
+
+impl MemcpyParams {
+    /// Time to move `bytes` with load/store instructions.
+    pub fn time(&self, bytes: u64) -> SimTime {
+        let fast = bytes.min(self.fast_window);
+        let slow = bytes - fast;
+        let ns = fast as f64 * self.fast_ns_per_byte + slow as f64 * self.slow_ns_per_byte;
+        self.base + SimTime::from_ns(ns.ceil() as u64)
+    }
+
+    /// Sustained bandwidth in bytes/second (the Figure 4b asymptote).
+    pub fn sustained_bw(&self) -> f64 {
+        1e9 / self.slow_ns_per_byte
+    }
+}
+
+/// Per-side DMA parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DmaParams {
+    /// Channel setup + descriptor + completion overhead per operation.
+    pub setup: SimTime,
+    /// Streaming bandwidth in bytes/second.
+    pub bytes_per_sec: f64,
+    /// Number of DMA channels on this side (both Xeon and Xeon Phi have 8).
+    pub channels: usize,
+}
+
+impl DmaParams {
+    /// Time for one DMA operation moving `bytes`.
+    pub fn time(&self, bytes: u64) -> SimTime {
+        self.setup + transfer_time(bytes, self.bytes_per_sec)
+    }
+}
+
+/// The full calibrated model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Host-initiated memcpy.
+    pub host_memcpy: MemcpyParams,
+    /// Phi-initiated memcpy.
+    pub coproc_memcpy: MemcpyParams,
+    /// Host-initiated DMA.
+    pub host_dma: DmaParams,
+    /// Phi-initiated DMA.
+    pub coproc_dma: DmaParams,
+    /// Latency of a remote control-variable read (PCIe round trip).
+    pub ctrl_read: SimTime,
+    /// Latency of a remote control-variable posted write.
+    pub ctrl_write: SimTime,
+    /// Latency of a remote atomic read-modify-write.
+    pub rmw: SimTime,
+    /// Adaptive copy threshold when the host initiates (bytes).
+    pub host_adaptive_threshold: u64,
+    /// Adaptive copy threshold when the co-processor initiates (bytes).
+    pub coproc_adaptive_threshold: u64,
+    /// Per-direction PCIe link ceiling, co-processor → host (bytes/s).
+    pub link_to_host_bw: f64,
+    /// Per-direction PCIe link ceiling, host → co-processor (bytes/s).
+    pub link_to_coproc_bw: f64,
+    /// Bandwidth cap for P2P traffic relayed across a NUMA boundary (QPI).
+    pub cross_numa_p2p_bw: f64,
+    /// Extra latency for each cross-NUMA relayed transfer.
+    pub cross_numa_latency: SimTime,
+}
+
+impl CostModel {
+    /// The model calibrated to the paper's testbed (see module docs).
+    pub fn paper_default() -> Self {
+        CostModel {
+            // Calibrated so that: memcpy(64B) = 2.06us (2.9x faster than a
+            // 6us DMA), memcpy(1KB) ~ DMA(1KB) (the 1 KB threshold), and
+            // the sustained rate is 35 MB/s (Fig 4b).
+            host_memcpy: MemcpyParams {
+                base: SimTime::from_ns(1_800),
+                fast_ns_per_byte: 4.1,
+                fast_window: 4 * 1024,
+                slow_ns_per_byte: 28.6, // 35 MB/s sustained
+            },
+            // Calibrated so that: memcpy(64B) = 3.3us (12.6x faster than a
+            // 42us DMA), crossover near 16 KB, sustained 19.4 MB/s
+            // (35 / 1.8, the paper's host-vs-Phi memcpy ratio).
+            coproc_memcpy: MemcpyParams {
+                base: SimTime::from_ns(3_150),
+                fast_ns_per_byte: 2.9,
+                fast_window: 16 * 1024,
+                slow_ns_per_byte: 51.5, // 19.4 MB/s sustained
+            },
+            // Host DMA: ~5.25 GB/s streaming (Fig 4a plateau), 6us setup.
+            host_dma: DmaParams {
+                setup: SimTime::from_us(6),
+                bytes_per_sec: 5.25e9,
+                channels: 8,
+            },
+            // Phi DMA: host rate / 2.3 (the initiator asymmetry), and the
+            // "longer initialization of the DMA channel" (§4.2.4): 42us.
+            coproc_dma: DmaParams {
+                setup: SimTime::from_us(42),
+                bytes_per_sec: 5.25e9 / 2.3,
+                channels: 8,
+            },
+            // A dependent (non-posted) PCIe read round trip ~0.9us; posted
+            // writes ~0.25us; remote RMW needs a round trip plus lock phase.
+            ctrl_read: SimTime::from_ns(900),
+            ctrl_write: SimTime::from_ns(250),
+            rmw: SimTime::from_ns(1_300),
+            host_adaptive_threshold: 1024,
+            coproc_adaptive_threshold: 16 * 1024,
+            // §6: "maximum bandwidth from Xeon Phi to host is 6.5 GB/s and
+            // the other direction 6.0 GB/s".
+            link_to_host_bw: 6.5e9,
+            link_to_coproc_bw: 6.0e9,
+            // Figure 1a: cross-NUMA P2P capped at ~300 MB/s.
+            cross_numa_p2p_bw: 300e6,
+            cross_numa_latency: SimTime::from_us(2),
+        }
+    }
+
+    /// Returns the memcpy parameters for the given initiator.
+    pub fn memcpy(&self, initiator: Side) -> &MemcpyParams {
+        match initiator {
+            Side::Host => &self.host_memcpy,
+            Side::Coproc => &self.coproc_memcpy,
+        }
+    }
+
+    /// Returns the DMA parameters for the given initiator.
+    pub fn dma(&self, initiator: Side) -> &DmaParams {
+        match initiator {
+            Side::Host => &self.host_dma,
+            Side::Coproc => &self.coproc_dma,
+        }
+    }
+
+    /// Time to move `bytes` with the given mechanism and initiator.
+    pub fn copy_time(&self, initiator: Side, mech: Xfer, bytes: u64) -> SimTime {
+        match mech {
+            Xfer::Memcpy => self.memcpy(initiator).time(bytes),
+            Xfer::Dma => self.dma(initiator).time(bytes),
+        }
+    }
+
+    /// The adaptive copy threshold Solros uses for this initiator (§4.2.4).
+    pub fn adaptive_threshold(&self, initiator: Side) -> u64 {
+        match initiator {
+            Side::Host => self.host_adaptive_threshold,
+            Side::Coproc => self.coproc_adaptive_threshold,
+        }
+    }
+
+    /// The mechanism the adaptive scheme picks for a transfer of `bytes`.
+    pub fn adaptive_choice(&self, initiator: Side, bytes: u64) -> Xfer {
+        if bytes <= self.adaptive_threshold(initiator) {
+            Xfer::Memcpy
+        } else {
+            Xfer::Dma
+        }
+    }
+
+    /// Time for the adaptive copy of `bytes`.
+    pub fn adaptive_time(&self, initiator: Side, bytes: u64) -> SimTime {
+        self.copy_time(initiator, self.adaptive_choice(initiator, bytes), bytes)
+    }
+
+    /// Number of 64-byte line transactions for a load/store copy of `bytes`.
+    pub fn lines(bytes: u64) -> u64 {
+        bytes.div_ceil(LINE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> CostModel {
+        CostModel::paper_default()
+    }
+
+    #[test]
+    fn small_memcpy_beats_dma_by_paper_ratios() {
+        let m = m();
+        let host_ratio = m.copy_time(Side::Host, Xfer::Dma, 64).as_secs_f64()
+            / m.copy_time(Side::Host, Xfer::Memcpy, 64).as_secs_f64();
+        assert!((2.5..=3.3).contains(&host_ratio), "host ratio {host_ratio}");
+
+        let phi_ratio = m.copy_time(Side::Coproc, Xfer::Dma, 64).as_secs_f64()
+            / m.copy_time(Side::Coproc, Xfer::Memcpy, 64).as_secs_f64();
+        assert!((10.0..=15.0).contains(&phi_ratio), "phi ratio {phi_ratio}");
+    }
+
+    #[test]
+    fn large_dma_beats_memcpy_by_paper_ratios() {
+        let m = m();
+        let sz = 8 * 1024 * 1024;
+        let host_ratio = m.copy_time(Side::Host, Xfer::Memcpy, sz).as_secs_f64()
+            / m.copy_time(Side::Host, Xfer::Dma, sz).as_secs_f64();
+        assert!(
+            (130.0..=170.0).contains(&host_ratio),
+            "host ratio {host_ratio}"
+        );
+
+        let phi_ratio = m.copy_time(Side::Coproc, Xfer::Memcpy, sz).as_secs_f64()
+            / m.copy_time(Side::Coproc, Xfer::Dma, sz).as_secs_f64();
+        assert!(
+            (100.0..=135.0).contains(&phi_ratio),
+            "phi ratio {phi_ratio}"
+        );
+    }
+
+    #[test]
+    fn host_initiation_is_faster() {
+        let m = m();
+        let sz = 4 * 1024 * 1024;
+        let dma = m.copy_time(Side::Coproc, Xfer::Dma, sz).as_secs_f64()
+            / m.copy_time(Side::Host, Xfer::Dma, sz).as_secs_f64();
+        assert!((2.0..=2.6).contains(&dma), "dma asymmetry {dma}");
+
+        let mc = m.copy_time(Side::Coproc, Xfer::Memcpy, sz).as_secs_f64()
+            / m.copy_time(Side::Host, Xfer::Memcpy, sz).as_secs_f64();
+        assert!((1.6..=2.0).contains(&mc), "memcpy asymmetry {mc}");
+    }
+
+    #[test]
+    fn crossover_near_thresholds() {
+        let m = m();
+        // At the threshold the two mechanisms should be within ~2x of each
+        // other (the paper picks round numbers, not exact crossovers).
+        for side in [Side::Host, Side::Coproc] {
+            let t = m.adaptive_threshold(side);
+            let mc = m.copy_time(side, Xfer::Memcpy, t).as_secs_f64();
+            let dma = m.copy_time(side, Xfer::Dma, t).as_secs_f64();
+            let ratio = mc / dma;
+            assert!((0.5..=2.0).contains(&ratio), "{side:?} ratio {ratio}");
+            // Below threshold memcpy clearly wins; above, DMA clearly wins.
+            assert!(m.copy_time(side, Xfer::Memcpy, 64) < m.copy_time(side, Xfer::Dma, 64));
+            let big = 4 * 1024 * 1024;
+            assert!(m.copy_time(side, Xfer::Dma, big) < m.copy_time(side, Xfer::Memcpy, big));
+        }
+    }
+
+    #[test]
+    fn adaptive_picks_best_of_both() {
+        let m = m();
+        for side in [Side::Host, Side::Coproc] {
+            for sz in [64u64, 512, 4096, 65536, 1 << 20, 8 << 20] {
+                let adaptive = m.adaptive_time(side, sz);
+                let best =
+                    m.copy_time(side, Xfer::Memcpy, sz)
+                        .min(m.copy_time(side, Xfer::Dma, sz));
+                // Adaptive is within 2.2x of the oracle for every size (the
+                // paper's fixed thresholds are not exact crossovers).
+                assert!(
+                    adaptive.as_secs_f64() <= best.as_secs_f64() * 2.2,
+                    "{side:?} {sz}: adaptive {adaptive} vs best {best}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sustained_memcpy_rates() {
+        let m = m();
+        let host = m.host_memcpy.sustained_bw();
+        assert!((33e6..=37e6).contains(&host), "host {host}");
+        let ratio = host / m.coproc_memcpy.sustained_bw();
+        assert!((1.7..=1.9).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn line_count() {
+        assert_eq!(CostModel::lines(1), 1);
+        assert_eq!(CostModel::lines(64), 1);
+        assert_eq!(CostModel::lines(65), 2);
+        assert_eq!(CostModel::lines(4096), 64);
+    }
+}

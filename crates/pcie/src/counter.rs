@@ -1,0 +1,145 @@
+//! PCIe transaction accounting.
+//!
+//! Every remote access through a [`crate::WindowHandle`] increments these
+//! counters, mirroring what a PCIe protocol analyzer would see on real
+//! hardware. The benchmark harness converts snapshots into virtual time via
+//! [`crate::CostModel`], which is how the lazy-update experiment (Figure 9)
+//! demonstrates its reduction in PCIe transactions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe PCIe transaction counters.
+#[derive(Debug, Default)]
+pub struct PcieCounters {
+    /// 64-byte read transactions issued by load instructions.
+    pub read_lines: AtomicU64,
+    /// 64-byte write transactions issued by store instructions.
+    pub write_lines: AtomicU64,
+    /// DMA operations (each pays one channel setup).
+    pub dma_ops: AtomicU64,
+    /// Total bytes moved by DMA.
+    pub dma_bytes: AtomicU64,
+    /// Remote control-variable reads (one PCIe round trip each).
+    pub ctrl_reads: AtomicU64,
+    /// Remote control-variable writes (one posted transaction each).
+    pub ctrl_writes: AtomicU64,
+    /// Remote atomic read-modify-write operations (swap / CAS).
+    pub rmw_ops: AtomicU64,
+}
+
+impl PcieCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a consistent-enough snapshot for reporting (individual loads
+    /// are atomic; exactness across fields is not required by any caller).
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            read_lines: self.read_lines.load(Ordering::Relaxed),
+            write_lines: self.write_lines.load(Ordering::Relaxed),
+            dma_ops: self.dma_ops.load(Ordering::Relaxed),
+            dma_bytes: self.dma_bytes.load(Ordering::Relaxed),
+            ctrl_reads: self.ctrl_reads.load(Ordering::Relaxed),
+            ctrl_writes: self.ctrl_writes.load(Ordering::Relaxed),
+            rmw_ops: self.rmw_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.read_lines.store(0, Ordering::Relaxed);
+        self.write_lines.store(0, Ordering::Relaxed);
+        self.dma_ops.store(0, Ordering::Relaxed);
+        self.dma_bytes.store(0, Ordering::Relaxed);
+        self.ctrl_reads.store(0, Ordering::Relaxed);
+        self.ctrl_writes.store(0, Ordering::Relaxed);
+        self.rmw_ops.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`PcieCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// See [`PcieCounters::read_lines`].
+    pub read_lines: u64,
+    /// See [`PcieCounters::write_lines`].
+    pub write_lines: u64,
+    /// See [`PcieCounters::dma_ops`].
+    pub dma_ops: u64,
+    /// See [`PcieCounters::dma_bytes`].
+    pub dma_bytes: u64,
+    /// See [`PcieCounters::ctrl_reads`].
+    pub ctrl_reads: u64,
+    /// See [`PcieCounters::ctrl_writes`].
+    pub ctrl_writes: u64,
+    /// See [`PcieCounters::rmw_ops`].
+    pub rmw_ops: u64,
+}
+
+impl CounterSnapshot {
+    /// Returns `self - earlier` field-wise (saturating), i.e. the traffic
+    /// between two snapshots.
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            read_lines: self.read_lines.saturating_sub(earlier.read_lines),
+            write_lines: self.write_lines.saturating_sub(earlier.write_lines),
+            dma_ops: self.dma_ops.saturating_sub(earlier.dma_ops),
+            dma_bytes: self.dma_bytes.saturating_sub(earlier.dma_bytes),
+            ctrl_reads: self.ctrl_reads.saturating_sub(earlier.ctrl_reads),
+            ctrl_writes: self.ctrl_writes.saturating_sub(earlier.ctrl_writes),
+            rmw_ops: self.rmw_ops.saturating_sub(earlier.rmw_ops),
+        }
+    }
+
+    /// Total number of discrete PCIe transactions (lines + control accesses
+    /// + RMWs + one per DMA op).
+    pub fn total_transactions(&self) -> u64 {
+        self.read_lines
+            + self.write_lines
+            + self.ctrl_reads
+            + self.ctrl_writes
+            + self.rmw_ops
+            + self.dma_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let c = PcieCounters::new();
+        c.read_lines.fetch_add(3, Ordering::Relaxed);
+        c.dma_ops.fetch_add(1, Ordering::Relaxed);
+        c.dma_bytes.fetch_add(4096, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.read_lines, 3);
+        assert_eq!(s.dma_ops, 1);
+        assert_eq!(s.dma_bytes, 4096);
+        assert_eq!(s.total_transactions(), 4);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn since_diff() {
+        let a = CounterSnapshot {
+            read_lines: 10,
+            ctrl_writes: 4,
+            ..Default::default()
+        };
+        let b = CounterSnapshot {
+            read_lines: 25,
+            ctrl_writes: 4,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.read_lines, 15);
+        assert_eq!(d.ctrl_writes, 0);
+        // Saturating: reversed diff clamps at zero.
+        assert_eq!(a.since(&b).read_lines, 0);
+    }
+}

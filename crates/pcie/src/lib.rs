@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+
+//! PCIe fabric model for Solros-rs.
+//!
+//! The paper's transport, file-system, and network services are built on
+//! system-mapped PCIe windows: a device (Xeon Phi, NVMe SSD, NIC) exposes
+//! its physical memory into the host physical address space, and either
+//! side moves data with load/store instructions (one 64-byte PCIe
+//! transaction per cache line) or DMA engines (§4.1–§4.2.1 of the paper).
+//!
+//! This crate reproduces that substrate in software:
+//!
+//! * [`mem::SharedRegion`] — a chunk of "device memory" that both sides can
+//!   map, with atomic control slots carved out of it (the moral equivalent
+//!   of Intel SCIF's `scif_mmap`).
+//! * [`window::Window`] / [`window::WindowHandle`] — a mapped view of a
+//!   region from one side of the bus, counting every PCIe transaction it
+//!   would have issued on real hardware.
+//! * [`counter::PcieCounters`] — the transaction ledger used by the
+//!   benchmark harness to convert operation counts into virtual time.
+//! * [`cost::CostModel`] — transfer-time model calibrated against Figure 4
+//!   of the paper (DMA vs. load/store, host- vs. Phi-initiated).
+//! * [`topo::Topology`] — PCIe/QPI topology used by the control-plane OS to
+//!   decide P2P vs. host-staged data paths (Figure 1a's cross-NUMA cliff).
+
+pub mod cost;
+pub mod counter;
+pub mod mem;
+pub mod topo;
+pub mod window;
+
+pub use cost::{CostModel, Xfer};
+pub use counter::{CounterSnapshot, PcieCounters};
+pub use mem::SharedRegion;
+pub use topo::{DeviceId, P2pPath, Topology};
+pub use window::{RemoteAtomicU64, Window, WindowHandle};
+
+/// Which side of the PCIe bus an agent executes on.
+///
+/// Costs are asymmetric: the host has faster cores, a faster DMA engine and
+/// memory controller (§4.2.1), so the initiator of a transfer matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The host processor (control-plane OS).
+    Host,
+    /// A co-processor (data-plane OS), e.g. a Xeon Phi.
+    Coproc,
+}
+
+impl Side {
+    /// Returns the opposite side.
+    pub fn peer(self) -> Side {
+        match self {
+            Side::Host => Side::Coproc,
+            Side::Coproc => Side::Host,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_peer() {
+        assert_eq!(Side::Host.peer(), Side::Coproc);
+        assert_eq!(Side::Coproc.peer(), Side::Host);
+    }
+}

@@ -1,0 +1,211 @@
+//! PCIe/QPI topology.
+//!
+//! The control-plane OS owns a global view of the machine: which socket
+//! each PCIe device hangs off, and therefore whether a peer-to-peer
+//! transfer between two devices stays inside one root complex or must be
+//! relayed across the QPI interconnect. Figure 1a of the paper shows why
+//! this matters: cross-NUMA P2P is capped at ~300 MB/s, so the file-system
+//! proxy demotes such transfers to buffered (host-staged) I/O (§4.3.2).
+
+use std::collections::HashMap;
+
+/// Identifies a PCIe device in the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceId {
+    /// A co-processor card (index).
+    Coproc(u8),
+    /// An NVMe SSD (index).
+    Nvme(u8),
+    /// A network interface card (index).
+    Nic(u8),
+}
+
+/// The kind of path P2P traffic between two devices takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum P2pPath {
+    /// Both devices sit under the same root complex; full-speed P2P.
+    SameSocket,
+    /// The transfer is relayed by a processor across QPI; severely capped.
+    CrossSocket,
+}
+
+/// The machine's PCIe attachment map.
+///
+/// # Examples
+///
+/// ```
+/// use solros_pcie::{DeviceId, P2pPath, Topology};
+///
+/// let mut topo = Topology::new(2);
+/// topo.attach(DeviceId::Coproc(0), 0);
+/// topo.attach(DeviceId::Coproc(1), 1);
+/// topo.attach(DeviceId::Nvme(0), 0);
+/// assert_eq!(
+///     topo.p2p_path(DeviceId::Nvme(0), DeviceId::Coproc(0)),
+///     P2pPath::SameSocket
+/// );
+/// assert_eq!(
+///     topo.p2p_path(DeviceId::Nvme(0), DeviceId::Coproc(1)),
+///     P2pPath::CrossSocket
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    sockets: u8,
+    attachment: HashMap<DeviceId, u8>,
+}
+
+impl Topology {
+    /// Creates a topology with `sockets` NUMA domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sockets == 0`.
+    pub fn new(sockets: u8) -> Self {
+        assert!(sockets > 0, "a machine has at least one socket");
+        Self {
+            sockets,
+            attachment: HashMap::new(),
+        }
+    }
+
+    /// The paper's testbed: two sockets, four Xeon Phis (two per socket),
+    /// one NVMe SSD and the NIC on socket 0.
+    pub fn paper_testbed() -> Self {
+        let mut t = Topology::new(2);
+        t.attach(DeviceId::Coproc(0), 0);
+        t.attach(DeviceId::Coproc(1), 0);
+        t.attach(DeviceId::Coproc(2), 1);
+        t.attach(DeviceId::Coproc(3), 1);
+        t.attach(DeviceId::Nvme(0), 0);
+        t.attach(DeviceId::Nic(0), 0);
+        t
+    }
+
+    /// Returns the number of sockets.
+    pub fn sockets(&self) -> u8 {
+        self.sockets
+    }
+
+    /// Attaches `dev` to `socket`, replacing any previous attachment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` does not exist.
+    pub fn attach(&mut self, dev: DeviceId, socket: u8) {
+        assert!(socket < self.sockets, "socket {socket} out of range");
+        self.attachment.insert(dev, socket);
+    }
+
+    /// Returns the socket a device is attached to, if known.
+    pub fn socket_of(&self, dev: DeviceId) -> Option<u8> {
+        self.attachment.get(&dev).copied()
+    }
+
+    /// Returns all devices attached to a socket, sorted for determinism.
+    pub fn devices_on(&self, socket: u8) -> Vec<DeviceId> {
+        let mut v: Vec<_> = self
+            .attachment
+            .iter()
+            .filter(|(_, s)| **s == socket)
+            .map(|(d, _)| *d)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Returns all attached co-processors, sorted by index.
+    pub fn coprocs(&self) -> Vec<DeviceId> {
+        let mut v: Vec<_> = self
+            .attachment
+            .keys()
+            .filter(|d| matches!(d, DeviceId::Coproc(_)))
+            .copied()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Classifies the P2P path between two devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either device is not attached (the control plane always
+    /// knows its own topology; asking about an unknown device is a bug).
+    pub fn p2p_path(&self, a: DeviceId, b: DeviceId) -> P2pPath {
+        let sa = self
+            .socket_of(a)
+            .unwrap_or_else(|| panic!("{a:?} not attached"));
+        let sb = self
+            .socket_of(b)
+            .unwrap_or_else(|| panic!("{b:?} not attached"));
+        if sa == sb {
+            P2pPath::SameSocket
+        } else {
+            P2pPath::CrossSocket
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_layout() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.sockets(), 2);
+        assert_eq!(t.coprocs().len(), 4);
+        assert_eq!(t.socket_of(DeviceId::Nvme(0)), Some(0));
+        // SSD and Phi 0/1 share a socket; Phi 2/3 are across QPI.
+        assert_eq!(
+            t.p2p_path(DeviceId::Nvme(0), DeviceId::Coproc(0)),
+            P2pPath::SameSocket
+        );
+        assert_eq!(
+            t.p2p_path(DeviceId::Nvme(0), DeviceId::Coproc(2)),
+            P2pPath::CrossSocket
+        );
+        assert_eq!(
+            t.p2p_path(DeviceId::Nic(0), DeviceId::Coproc(3)),
+            P2pPath::CrossSocket
+        );
+    }
+
+    #[test]
+    fn devices_on_sorted() {
+        let t = Topology::paper_testbed();
+        let s0 = t.devices_on(0);
+        assert_eq!(
+            s0,
+            vec![
+                DeviceId::Coproc(0),
+                DeviceId::Coproc(1),
+                DeviceId::Nvme(0),
+                DeviceId::Nic(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn reattach_moves_device() {
+        let mut t = Topology::new(2);
+        t.attach(DeviceId::Coproc(0), 0);
+        t.attach(DeviceId::Coproc(0), 1);
+        assert_eq!(t.socket_of(DeviceId::Coproc(0)), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not attached")]
+    fn unknown_device_panics() {
+        let t = Topology::new(1);
+        let _ = t.p2p_path(DeviceId::Nvme(0), DeviceId::Coproc(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_socket_panics() {
+        let mut t = Topology::new(1);
+        t.attach(DeviceId::Nvme(0), 1);
+    }
+}

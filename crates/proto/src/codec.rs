@@ -1,0 +1,272 @@
+//! Frame layout and encoding primitives.
+//!
+//! Every RPC message is one ring-buffer element:
+//!
+//! ```text
+//! [u32 body_len][u8 msg_type][u32 tag][body...]
+//! ```
+//!
+//! The tag lets many co-processor threads share one request ring: the stub
+//! assigns a fresh tag per call and the proxy echoes it in the reply.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Frame header length in bytes.
+pub const HEADER_LEN: usize = 4 + 1 + 4;
+
+/// Maximum accepted string length (paths, names) on the wire.
+pub const MAX_STR: usize = 4096;
+
+/// Decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Frame shorter than its header or declared body length.
+    Truncated,
+    /// Unknown message type byte.
+    BadType,
+    /// Malformed body (bad string, bad enum code, trailing bytes).
+    Malformed,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::BadType => write!(f, "unknown message type"),
+            ProtoError::Malformed => write!(f, "malformed message body"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A decoded frame: type byte, tag, and body slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// Message type discriminator.
+    pub msg_type: u8,
+    /// Caller-chosen tag echoed in the reply.
+    pub tag: u32,
+    /// Message body.
+    pub body: &'a [u8],
+}
+
+/// Encodes a frame.
+pub fn encode_frame(msg_type: u8, tag: u32, body: &[u8]) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
+    out.put_u32_le(body.len() as u32);
+    out.put_u8(msg_type);
+    out.put_u32_le(tag);
+    out.put_slice(body);
+    out.to_vec()
+}
+
+/// Decodes and validates a frame.
+pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, ProtoError> {
+    if buf.len() < HEADER_LEN {
+        return Err(ProtoError::Truncated);
+    }
+    let body_len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    let msg_type = buf[4];
+    let tag = u32::from_le_bytes(buf[5..9].try_into().expect("4 bytes"));
+    if buf.len() != HEADER_LEN + body_len {
+        return Err(ProtoError::Truncated);
+    }
+    Ok(Frame {
+        msg_type,
+        tag,
+        body: &buf[HEADER_LEN..],
+    })
+}
+
+/// Body reader with bounds-checked accessors.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a body slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, ProtoError> {
+        if self.buf.is_empty() {
+            return Err(ProtoError::Malformed);
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, ProtoError> {
+        if self.buf.len() < 4 {
+            return Err(ProtoError::Malformed);
+        }
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, ProtoError> {
+        if self.buf.len() < 8 {
+            return Err(ProtoError::Malformed);
+        }
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a length-prefixed UTF-8 string (≤ [`MAX_STR`]).
+    pub fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        if len > MAX_STR || self.buf.len() < len {
+            return Err(ProtoError::Malformed);
+        }
+        let s = std::str::from_utf8(&self.buf[..len]).map_err(|_| ProtoError::Malformed)?;
+        let s = s.to_string();
+        self.buf.advance(len);
+        Ok(s)
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let len = self.u32()? as usize;
+        if self.buf.len() < len {
+            return Err(ProtoError::Malformed);
+        }
+        let v = self.buf[..len].to_vec();
+        self.buf.advance(len);
+        Ok(v)
+    }
+
+    /// Asserts the body is fully consumed.
+    pub fn finish(self) -> Result<(), ProtoError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed)
+        }
+    }
+}
+
+/// Body writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a `u8`.
+    pub fn u8(mut self, v: u8) -> Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Writes a `u32`.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Writes a `u64`.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Writes a length-prefixed string.
+    pub fn string(mut self, s: &str) -> Self {
+        self.buf.put_u32_le(s.len() as u32);
+        self.buf.put_slice(s.as_bytes());
+        self
+    }
+
+    /// Writes a length-prefixed byte blob.
+    pub fn bytes(mut self, b: &[u8]) -> Self {
+        self.buf.put_u32_le(b.len() as u32);
+        self.buf.put_slice(b);
+        self
+    }
+
+    /// Finalizes the body.
+    pub fn build(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = encode_frame(7, 0xDEAD, b"body!");
+        let d = decode_frame(&f).unwrap();
+        assert_eq!(d.msg_type, 7);
+        assert_eq!(d.tag, 0xDEAD);
+        assert_eq!(d.body, b"body!");
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let f = encode_frame(1, 2, b"abcdef");
+        assert_eq!(decode_frame(&f[..3]), Err(ProtoError::Truncated));
+        assert_eq!(decode_frame(&f[..f.len() - 1]), Err(ProtoError::Truncated));
+        // Extra trailing bytes are also rejected (length must be exact).
+        let mut long = f.clone();
+        long.push(0);
+        assert_eq!(decode_frame(&long), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn reader_writer_roundtrip() {
+        let body = Writer::new()
+            .u8(3)
+            .u32(70_000)
+            .u64(1 << 40)
+            .string("/path/to/file")
+            .bytes(&[9, 8, 7])
+            .build();
+        let mut r = Reader::new(&body);
+        assert_eq!(r.u8().unwrap(), 3);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.string().unwrap(), "/path/to/file");
+        assert_eq!(r.bytes().unwrap(), vec![9, 8, 7]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_malformed() {
+        let mut r = Reader::new(&[1]);
+        assert_eq!(r.u32(), Err(ProtoError::Malformed));
+
+        // String length exceeding the buffer.
+        let bad = Writer::new().u32(100).build();
+        let mut r = Reader::new(&bad);
+        assert_eq!(r.string(), Err(ProtoError::Malformed));
+
+        // Invalid UTF-8.
+        let mut bad = Writer::new().u32(2).build();
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = Reader::new(&bad);
+        assert_eq!(r.string(), Err(ProtoError::Malformed));
+
+        // Oversized string length.
+        let mut huge = Writer::new().u32(MAX_STR as u32 + 1).build();
+        huge.extend(vec![b'a'; MAX_STR + 1]);
+        let mut r = Reader::new(&huge);
+        assert_eq!(r.string(), Err(ProtoError::Malformed));
+
+        // Trailing garbage.
+        let body = Writer::new().u8(1).build();
+        let mut extra = body.clone();
+        extra.push(0);
+        let mut r = Reader::new(&extra);
+        r.u8().unwrap();
+        assert_eq!(r.finish(), Err(ProtoError::Malformed));
+    }
+}

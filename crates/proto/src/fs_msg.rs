@@ -1,0 +1,447 @@
+//! File-system RPC messages (9P-flavoured, §5).
+//!
+//! `Read` and `Write` are the paper's extended `Tread`/`Twrite`: instead of
+//! carrying file data, they carry the *address* of co-processor memory
+//! (`buf_addr`, an offset into the co-processor's exported data window).
+//! The proxy programs the NVMe DMA engine (or its own host DMA in buffered
+//! mode) to move the data — the RPC ring only ever carries control
+//! messages, which is the zero-copy property.
+
+use crate::codec::{decode_frame, encode_frame, ProtoError, Reader, Writer};
+use crate::rpc_error::RpcErr;
+
+/// Requests sent by the data-plane FS stub.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsRequest {
+    /// Open (optionally create/truncate) a file.
+    Open {
+        /// Absolute path.
+        path: String,
+        /// Create if missing.
+        create: bool,
+        /// Truncate on open.
+        truncate: bool,
+        /// Force buffered I/O (the paper's `O_BUFFER`).
+        buffered: bool,
+    },
+    /// Create a file.
+    Create {
+        /// Absolute path.
+        path: String,
+    },
+    /// Extended Tread: read into co-processor memory at `buf_addr`.
+    Read {
+        /// Target inode.
+        ino: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        count: u64,
+        /// Destination offset in the co-processor data window.
+        buf_addr: u64,
+    },
+    /// Extended Twrite: write from co-processor memory at `buf_addr`.
+    Write {
+        /// Target inode.
+        ino: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        count: u64,
+        /// Source offset in the co-processor data window.
+        buf_addr: u64,
+    },
+    /// Stat by path.
+    Stat {
+        /// Absolute path.
+        path: String,
+    },
+    /// Stat by inode.
+    Fstat {
+        /// Inode.
+        ino: u64,
+    },
+    /// Unlink a file or empty directory.
+    Unlink {
+        /// Absolute path.
+        path: String,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Absolute path.
+        path: String,
+    },
+    /// List a directory.
+    Readdir {
+        /// Absolute path.
+        path: String,
+    },
+    /// Rename.
+    Rename {
+        /// Source path.
+        from: String,
+        /// Destination path.
+        to: String,
+    },
+    /// Truncate to a size.
+    Truncate {
+        /// Inode.
+        ino: u64,
+        /// New size.
+        size: u64,
+    },
+    /// Flush metadata.
+    Fsync {
+        /// Inode.
+        ino: u64,
+    },
+}
+
+const T_OPEN: u8 = 10;
+const T_CREATE: u8 = 11;
+const T_READ: u8 = 12;
+const T_WRITE: u8 = 13;
+const T_STAT: u8 = 14;
+const T_FSTAT: u8 = 15;
+const T_UNLINK: u8 = 16;
+const T_MKDIR: u8 = 17;
+const T_READDIR: u8 = 18;
+const T_RENAME: u8 = 19;
+const T_TRUNCATE: u8 = 20;
+const T_FSYNC: u8 = 21;
+
+impl FsRequest {
+    /// Encodes with a caller tag.
+    pub fn encode(&self, tag: u32) -> Vec<u8> {
+        let (ty, body) = match self {
+            FsRequest::Open {
+                path,
+                create,
+                truncate,
+                buffered,
+            } => (
+                T_OPEN,
+                Writer::new()
+                    .string(path)
+                    .u8(*create as u8)
+                    .u8(*truncate as u8)
+                    .u8(*buffered as u8)
+                    .build(),
+            ),
+            FsRequest::Create { path } => (T_CREATE, Writer::new().string(path).build()),
+            FsRequest::Read {
+                ino,
+                offset,
+                count,
+                buf_addr,
+            } => (
+                T_READ,
+                Writer::new()
+                    .u64(*ino)
+                    .u64(*offset)
+                    .u64(*count)
+                    .u64(*buf_addr)
+                    .build(),
+            ),
+            FsRequest::Write {
+                ino,
+                offset,
+                count,
+                buf_addr,
+            } => (
+                T_WRITE,
+                Writer::new()
+                    .u64(*ino)
+                    .u64(*offset)
+                    .u64(*count)
+                    .u64(*buf_addr)
+                    .build(),
+            ),
+            FsRequest::Stat { path } => (T_STAT, Writer::new().string(path).build()),
+            FsRequest::Fstat { ino } => (T_FSTAT, Writer::new().u64(*ino).build()),
+            FsRequest::Unlink { path } => (T_UNLINK, Writer::new().string(path).build()),
+            FsRequest::Mkdir { path } => (T_MKDIR, Writer::new().string(path).build()),
+            FsRequest::Readdir { path } => (T_READDIR, Writer::new().string(path).build()),
+            FsRequest::Rename { from, to } => {
+                (T_RENAME, Writer::new().string(from).string(to).build())
+            }
+            FsRequest::Truncate { ino, size } => {
+                (T_TRUNCATE, Writer::new().u64(*ino).u64(*size).build())
+            }
+            FsRequest::Fsync { ino } => (T_FSYNC, Writer::new().u64(*ino).build()),
+        };
+        encode_frame(ty, tag, &body)
+    }
+
+    /// Decodes a request frame, returning `(tag, request)`.
+    pub fn decode(buf: &[u8]) -> Result<(u32, FsRequest), ProtoError> {
+        let f = decode_frame(buf)?;
+        let mut r = Reader::new(f.body);
+        let req = match f.msg_type {
+            T_OPEN => {
+                let path = r.string()?;
+                let create = r.u8()? != 0;
+                let truncate = r.u8()? != 0;
+                let buffered = r.u8()? != 0;
+                FsRequest::Open {
+                    path,
+                    create,
+                    truncate,
+                    buffered,
+                }
+            }
+            T_CREATE => FsRequest::Create { path: r.string()? },
+            T_READ => FsRequest::Read {
+                ino: r.u64()?,
+                offset: r.u64()?,
+                count: r.u64()?,
+                buf_addr: r.u64()?,
+            },
+            T_WRITE => FsRequest::Write {
+                ino: r.u64()?,
+                offset: r.u64()?,
+                count: r.u64()?,
+                buf_addr: r.u64()?,
+            },
+            T_STAT => FsRequest::Stat { path: r.string()? },
+            T_FSTAT => FsRequest::Fstat { ino: r.u64()? },
+            T_UNLINK => FsRequest::Unlink { path: r.string()? },
+            T_MKDIR => FsRequest::Mkdir { path: r.string()? },
+            T_READDIR => FsRequest::Readdir { path: r.string()? },
+            T_RENAME => FsRequest::Rename {
+                from: r.string()?,
+                to: r.string()?,
+            },
+            T_TRUNCATE => FsRequest::Truncate {
+                ino: r.u64()?,
+                size: r.u64()?,
+            },
+            T_FSYNC => FsRequest::Fsync { ino: r.u64()? },
+            _ => return Err(ProtoError::BadType),
+        };
+        r.finish()?;
+        Ok((f.tag, req))
+    }
+}
+
+/// Replies sent by the control-plane FS proxy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsResponse {
+    /// Open succeeded.
+    Open {
+        /// Inode.
+        ino: u64,
+        /// Current size.
+        size: u64,
+    },
+    /// Create succeeded.
+    Create {
+        /// Inode.
+        ino: u64,
+    },
+    /// Read completed; data already placed in co-processor memory.
+    Read {
+        /// Bytes actually read.
+        count: u64,
+    },
+    /// Write completed.
+    Write {
+        /// Bytes written.
+        count: u64,
+    },
+    /// Stat result.
+    Stat {
+        /// Inode.
+        ino: u64,
+        /// Directory flag.
+        is_dir: bool,
+        /// Size in bytes.
+        size: u64,
+    },
+    /// Directory listing.
+    Readdir {
+        /// Sorted entry names.
+        names: Vec<String>,
+    },
+    /// Generic success (unlink/mkdir/rename/truncate/fsync).
+    Ok,
+    /// Mkdir success with inode.
+    Mkdir {
+        /// Inode.
+        ino: u64,
+    },
+    /// Failure.
+    Error {
+        /// Error code.
+        err: RpcErr,
+    },
+}
+
+const R_OPEN: u8 = 110;
+const R_CREATE: u8 = 111;
+const R_READ: u8 = 112;
+const R_WRITE: u8 = 113;
+const R_STAT: u8 = 114;
+const R_READDIR: u8 = 118;
+const R_OK: u8 = 120;
+const R_MKDIR: u8 = 117;
+const R_ERROR: u8 = 127;
+
+impl FsResponse {
+    /// Encodes with the echoed tag.
+    pub fn encode(&self, tag: u32) -> Vec<u8> {
+        let (ty, body) = match self {
+            FsResponse::Open { ino, size } => (R_OPEN, Writer::new().u64(*ino).u64(*size).build()),
+            FsResponse::Create { ino } => (R_CREATE, Writer::new().u64(*ino).build()),
+            FsResponse::Read { count } => (R_READ, Writer::new().u64(*count).build()),
+            FsResponse::Write { count } => (R_WRITE, Writer::new().u64(*count).build()),
+            FsResponse::Stat { ino, is_dir, size } => (
+                R_STAT,
+                Writer::new().u64(*ino).u8(*is_dir as u8).u64(*size).build(),
+            ),
+            FsResponse::Readdir { names } => {
+                let mut w = Writer::new().u32(names.len() as u32);
+                for n in names {
+                    w = w.string(n);
+                }
+                (R_READDIR, w.build())
+            }
+            FsResponse::Ok => (R_OK, Vec::new()),
+            FsResponse::Mkdir { ino } => (R_MKDIR, Writer::new().u64(*ino).build()),
+            FsResponse::Error { err } => (R_ERROR, Writer::new().u32(err.code()).build()),
+        };
+        encode_frame(ty, tag, &body)
+    }
+
+    /// Decodes a reply frame, returning `(tag, response)`.
+    pub fn decode(buf: &[u8]) -> Result<(u32, FsResponse), ProtoError> {
+        let f = decode_frame(buf)?;
+        let mut r = Reader::new(f.body);
+        let resp = match f.msg_type {
+            R_OPEN => FsResponse::Open {
+                ino: r.u64()?,
+                size: r.u64()?,
+            },
+            R_CREATE => FsResponse::Create { ino: r.u64()? },
+            R_READ => FsResponse::Read { count: r.u64()? },
+            R_WRITE => FsResponse::Write { count: r.u64()? },
+            R_STAT => FsResponse::Stat {
+                ino: r.u64()?,
+                is_dir: r.u8()? != 0,
+                size: r.u64()?,
+            },
+            R_READDIR => {
+                let n = r.u32()? as usize;
+                if n > 1_000_000 {
+                    return Err(ProtoError::Malformed);
+                }
+                let mut names = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    names.push(r.string()?);
+                }
+                FsResponse::Readdir { names }
+            }
+            R_OK => FsResponse::Ok,
+            R_MKDIR => FsResponse::Mkdir { ino: r.u64()? },
+            R_ERROR => FsResponse::Error {
+                err: RpcErr::from_code(r.u32()?).ok_or(ProtoError::Malformed)?,
+            },
+            _ => return Err(ProtoError::BadType),
+        };
+        r.finish()?;
+        Ok((f.tag, resp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req_roundtrip(req: FsRequest) {
+        let buf = req.encode(42);
+        let (tag, got) = FsRequest::decode(&buf).unwrap();
+        assert_eq!(tag, 42);
+        assert_eq!(got, req);
+    }
+
+    fn resp_roundtrip(resp: FsResponse) {
+        let buf = resp.encode(7);
+        let (tag, got) = FsResponse::decode(&buf).unwrap();
+        assert_eq!(tag, 7);
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn all_requests_roundtrip() {
+        req_roundtrip(FsRequest::Open {
+            path: "/a/b".into(),
+            create: true,
+            truncate: false,
+            buffered: true,
+        });
+        req_roundtrip(FsRequest::Create { path: "/x".into() });
+        req_roundtrip(FsRequest::Read {
+            ino: 3,
+            offset: 1 << 33,
+            count: 4096,
+            buf_addr: 64,
+        });
+        req_roundtrip(FsRequest::Write {
+            ino: 3,
+            offset: 0,
+            count: 1,
+            buf_addr: 1 << 20,
+        });
+        req_roundtrip(FsRequest::Stat { path: "/s".into() });
+        req_roundtrip(FsRequest::Fstat { ino: 9 });
+        req_roundtrip(FsRequest::Unlink { path: "/u".into() });
+        req_roundtrip(FsRequest::Mkdir { path: "/d".into() });
+        req_roundtrip(FsRequest::Readdir { path: "/".into() });
+        req_roundtrip(FsRequest::Rename {
+            from: "/a".into(),
+            to: "/b".into(),
+        });
+        req_roundtrip(FsRequest::Truncate { ino: 1, size: 0 });
+        req_roundtrip(FsRequest::Fsync { ino: 2 });
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        resp_roundtrip(FsResponse::Open { ino: 1, size: 2 });
+        resp_roundtrip(FsResponse::Create { ino: 3 });
+        resp_roundtrip(FsResponse::Read { count: 512 });
+        resp_roundtrip(FsResponse::Write { count: 512 });
+        resp_roundtrip(FsResponse::Stat {
+            ino: 4,
+            is_dir: true,
+            size: 0,
+        });
+        resp_roundtrip(FsResponse::Readdir {
+            names: vec!["a".into(), "bb".into()],
+        });
+        resp_roundtrip(FsResponse::Readdir { names: vec![] });
+        resp_roundtrip(FsResponse::Ok);
+        resp_roundtrip(FsResponse::Mkdir { ino: 5 });
+        for err in RpcErr::all() {
+            resp_roundtrip(FsResponse::Error { err });
+        }
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let buf = encode_frame(200, 0, &[]);
+        assert_eq!(FsRequest::decode(&buf), Err(ProtoError::BadType));
+        let buf = encode_frame(5, 0, &[]);
+        assert_eq!(FsResponse::decode(&buf), Err(ProtoError::BadType));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = FsRequest::Fsync { ino: 1 }.encode(0);
+        // Grow the body and fix the length prefix.
+        buf.push(0);
+        let n = (buf.len() - crate::codec::HEADER_LEN) as u32;
+        buf[0..4].copy_from_slice(&n.to_le_bytes());
+        assert_eq!(FsRequest::decode(&buf), Err(ProtoError::Malformed));
+    }
+}

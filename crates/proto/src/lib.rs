@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Solros RPC wire protocol.
+//!
+//! The data-plane OS talks to the control-plane OS over the transport
+//! service using two message families, both modelled on the paper (§5):
+//!
+//! * **File system** — a 9P-flavoured protocol (the paper extends the diod
+//!   9P server) whose `Tread`/`Twrite` carry a *physical address* of
+//!   co-processor memory instead of data, enabling zero-copy P2P disk
+//!   transfers straight into the co-processor.
+//! * **Network** — ten request messages with a one-to-one mapping to
+//!   socket system calls, plus two event messages (new connection, data
+//!   arrival) delivered over the inbound event channel (§4.4).
+//!
+//! Frames are length-prefixed, tagged (so concurrent co-processor threads
+//! can share one ring and match replies), and hand-packed little-endian.
+
+pub mod codec;
+pub mod fs_msg;
+pub mod net_msg;
+pub mod rpc_error;
+
+pub use codec::{Frame, ProtoError};
+pub use fs_msg::{FsRequest, FsResponse};
+pub use net_msg::{NetEvent, NetRequest, NetResponse};
+pub use rpc_error::RpcErr;

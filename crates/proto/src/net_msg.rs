@@ -1,0 +1,436 @@
+//! Network RPC messages and events (§4.4, §5).
+//!
+//! The paper defines ten RPC messages with a one-to-one mapping to socket
+//! system calls, and two event messages for the inbound channel: a new
+//! connection (for `accept`) and data arrival (for `recv`). Outbound data
+//! rides in the `Send` element itself (the outbound ring master is at the
+//! co-processor so host DMA engines pull it, §4.4.1); inbound data rides
+//! in the event element (the inbound ring master is at the host so
+//! co-processor DMA engines pull it).
+
+use crate::codec::{decode_frame, encode_frame, ProtoError, Reader, Writer};
+use crate::rpc_error::RpcErr;
+
+/// Socket identifier assigned by the proxy.
+pub type SockId = u64;
+
+/// Requests sent by the data-plane TCP stub (the ten socket RPCs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetRequest {
+    /// Create a socket.
+    Socket,
+    /// Bind to a port.
+    Bind {
+        /// Socket.
+        sock: SockId,
+        /// TCP port.
+        port: u16,
+    },
+    /// Start listening. A listening socket may be *shared*: multiple
+    /// co-processors listening on the same port (§4.4.3).
+    Listen {
+        /// Socket.
+        sock: SockId,
+        /// Backlog hint.
+        backlog: u32,
+    },
+    /// Accept a pending connection (normally driven by events).
+    Accept {
+        /// Listening socket.
+        sock: SockId,
+    },
+    /// Connect to a remote address.
+    Connect {
+        /// Socket.
+        sock: SockId,
+        /// Remote host id.
+        addr: u64,
+        /// Remote port.
+        port: u16,
+    },
+    /// Send data (payload inline; host DMA pulls it from the outbound
+    /// ring).
+    Send {
+        /// Socket.
+        sock: SockId,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Poll for received data (normally driven by events).
+    Recv {
+        /// Socket.
+        sock: SockId,
+        /// Max bytes.
+        max: u32,
+    },
+    /// Close a socket.
+    Close {
+        /// Socket.
+        sock: SockId,
+    },
+    /// Set a socket option.
+    Setsockopt {
+        /// Socket.
+        sock: SockId,
+        /// Option code.
+        opt: u32,
+        /// Option value.
+        val: u64,
+    },
+    /// Shut down one or both directions.
+    Shutdown {
+        /// Socket.
+        sock: SockId,
+        /// 0 = read, 1 = write, 2 = both.
+        how: u8,
+    },
+}
+
+const T_SOCKET: u8 = 40;
+const T_BIND: u8 = 41;
+const T_LISTEN: u8 = 42;
+const T_ACCEPT: u8 = 43;
+const T_CONNECT: u8 = 44;
+const T_SEND: u8 = 45;
+const T_RECV: u8 = 46;
+const T_CLOSE: u8 = 47;
+const T_SETSOCKOPT: u8 = 48;
+const T_SHUTDOWN: u8 = 49;
+
+impl NetRequest {
+    /// Encodes with a caller tag.
+    pub fn encode(&self, tag: u32) -> Vec<u8> {
+        let (ty, body) = match self {
+            NetRequest::Socket => (T_SOCKET, Vec::new()),
+            NetRequest::Bind { sock, port } => {
+                (T_BIND, Writer::new().u64(*sock).u32(*port as u32).build())
+            }
+            NetRequest::Listen { sock, backlog } => {
+                (T_LISTEN, Writer::new().u64(*sock).u32(*backlog).build())
+            }
+            NetRequest::Accept { sock } => (T_ACCEPT, Writer::new().u64(*sock).build()),
+            NetRequest::Connect { sock, addr, port } => (
+                T_CONNECT,
+                Writer::new()
+                    .u64(*sock)
+                    .u64(*addr)
+                    .u32(*port as u32)
+                    .build(),
+            ),
+            NetRequest::Send { sock, data } => {
+                (T_SEND, Writer::new().u64(*sock).bytes(data).build())
+            }
+            NetRequest::Recv { sock, max } => (T_RECV, Writer::new().u64(*sock).u32(*max).build()),
+            NetRequest::Close { sock } => (T_CLOSE, Writer::new().u64(*sock).build()),
+            NetRequest::Setsockopt { sock, opt, val } => (
+                T_SETSOCKOPT,
+                Writer::new().u64(*sock).u32(*opt).u64(*val).build(),
+            ),
+            NetRequest::Shutdown { sock, how } => {
+                (T_SHUTDOWN, Writer::new().u64(*sock).u8(*how).build())
+            }
+        };
+        encode_frame(ty, tag, &body)
+    }
+
+    /// Decodes a request frame, returning `(tag, request)`.
+    pub fn decode(buf: &[u8]) -> Result<(u32, NetRequest), ProtoError> {
+        let f = decode_frame(buf)?;
+        let mut r = Reader::new(f.body);
+        let req = match f.msg_type {
+            T_SOCKET => NetRequest::Socket,
+            T_BIND => NetRequest::Bind {
+                sock: r.u64()?,
+                port: r.u32()? as u16,
+            },
+            T_LISTEN => NetRequest::Listen {
+                sock: r.u64()?,
+                backlog: r.u32()?,
+            },
+            T_ACCEPT => NetRequest::Accept { sock: r.u64()? },
+            T_CONNECT => NetRequest::Connect {
+                sock: r.u64()?,
+                addr: r.u64()?,
+                port: r.u32()? as u16,
+            },
+            T_SEND => NetRequest::Send {
+                sock: r.u64()?,
+                data: r.bytes()?,
+            },
+            T_RECV => NetRequest::Recv {
+                sock: r.u64()?,
+                max: r.u32()?,
+            },
+            T_CLOSE => NetRequest::Close { sock: r.u64()? },
+            T_SETSOCKOPT => NetRequest::Setsockopt {
+                sock: r.u64()?,
+                opt: r.u32()?,
+                val: r.u64()?,
+            },
+            T_SHUTDOWN => NetRequest::Shutdown {
+                sock: r.u64()?,
+                how: r.u8()?,
+            },
+            _ => return Err(ProtoError::BadType),
+        };
+        r.finish()?;
+        Ok((f.tag, req))
+    }
+}
+
+/// Replies from the TCP proxy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetResponse {
+    /// Socket created.
+    Socket {
+        /// New socket id.
+        sock: SockId,
+    },
+    /// Connection accepted (RPC path).
+    Accepted {
+        /// New connection socket.
+        conn: SockId,
+        /// Remote host id.
+        peer_addr: u64,
+    },
+    /// Data sent.
+    Sent {
+        /// Bytes accepted by the stack.
+        count: u64,
+    },
+    /// Data received (RPC poll path).
+    Data {
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Generic success.
+    Ok,
+    /// Failure.
+    Error {
+        /// Error code.
+        err: RpcErr,
+    },
+}
+
+const R_SOCKET: u8 = 140;
+const R_ACCEPTED: u8 = 143;
+const R_SENT: u8 = 145;
+const R_DATA: u8 = 146;
+const R_NOK: u8 = 150;
+const R_NERROR: u8 = 157;
+
+impl NetResponse {
+    /// Encodes with the echoed tag.
+    pub fn encode(&self, tag: u32) -> Vec<u8> {
+        let (ty, body) = match self {
+            NetResponse::Socket { sock } => (R_SOCKET, Writer::new().u64(*sock).build()),
+            NetResponse::Accepted { conn, peer_addr } => {
+                (R_ACCEPTED, Writer::new().u64(*conn).u64(*peer_addr).build())
+            }
+            NetResponse::Sent { count } => (R_SENT, Writer::new().u64(*count).build()),
+            NetResponse::Data { data } => (R_DATA, Writer::new().bytes(data).build()),
+            NetResponse::Ok => (R_NOK, Vec::new()),
+            NetResponse::Error { err } => (R_NERROR, Writer::new().u32(err.code()).build()),
+        };
+        encode_frame(ty, tag, &body)
+    }
+
+    /// Decodes a reply frame, returning `(tag, response)`.
+    pub fn decode(buf: &[u8]) -> Result<(u32, NetResponse), ProtoError> {
+        let f = decode_frame(buf)?;
+        let mut r = Reader::new(f.body);
+        let resp = match f.msg_type {
+            R_SOCKET => NetResponse::Socket { sock: r.u64()? },
+            R_ACCEPTED => NetResponse::Accepted {
+                conn: r.u64()?,
+                peer_addr: r.u64()?,
+            },
+            R_SENT => NetResponse::Sent { count: r.u64()? },
+            R_DATA => NetResponse::Data { data: r.bytes()? },
+            R_NOK => NetResponse::Ok,
+            R_NERROR => NetResponse::Error {
+                err: RpcErr::from_code(r.u32()?).ok_or(ProtoError::Malformed)?,
+            },
+            _ => return Err(ProtoError::BadType),
+        };
+        r.finish()?;
+        Ok((f.tag, resp))
+    }
+}
+
+/// Inbound events delivered on the event channel (§4.4.2). Tag is unused
+/// (events are unsolicited); the dispatcher routes by socket id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A new client connected to a listening socket.
+    Accepted {
+        /// The listening socket.
+        listen: SockId,
+        /// The new connection socket.
+        conn: SockId,
+        /// Remote host id.
+        peer_addr: u64,
+    },
+    /// Data arrived on a connection; the payload rides in the inbound
+    /// ring element itself.
+    Data {
+        /// Connection socket.
+        sock: SockId,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// The remote side closed the connection.
+    Closed {
+        /// Connection socket.
+        sock: SockId,
+    },
+}
+
+const E_ACCEPTED: u8 = 200;
+const E_DATA: u8 = 201;
+const E_CLOSED: u8 = 202;
+
+impl NetEvent {
+    /// Encodes the event.
+    pub fn encode(&self) -> Vec<u8> {
+        let (ty, body) = match self {
+            NetEvent::Accepted {
+                listen,
+                conn,
+                peer_addr,
+            } => (
+                E_ACCEPTED,
+                Writer::new()
+                    .u64(*listen)
+                    .u64(*conn)
+                    .u64(*peer_addr)
+                    .build(),
+            ),
+            NetEvent::Data { sock, data } => (E_DATA, Writer::new().u64(*sock).bytes(data).build()),
+            NetEvent::Closed { sock } => (E_CLOSED, Writer::new().u64(*sock).build()),
+        };
+        encode_frame(ty, 0, &body)
+    }
+
+    /// Decodes an event frame.
+    pub fn decode(buf: &[u8]) -> Result<NetEvent, ProtoError> {
+        let f = decode_frame(buf)?;
+        let mut r = Reader::new(f.body);
+        let ev = match f.msg_type {
+            E_ACCEPTED => NetEvent::Accepted {
+                listen: r.u64()?,
+                conn: r.u64()?,
+                peer_addr: r.u64()?,
+            },
+            E_DATA => NetEvent::Data {
+                sock: r.u64()?,
+                data: r.bytes()?,
+            },
+            E_CLOSED => NetEvent::Closed { sock: r.u64()? },
+            _ => return Err(ProtoError::BadType),
+        };
+        r.finish()?;
+        Ok(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_requests_roundtrip() {
+        let reqs = vec![
+            NetRequest::Socket,
+            NetRequest::Bind {
+                sock: 1,
+                port: 8080,
+            },
+            NetRequest::Listen {
+                sock: 1,
+                backlog: 128,
+            },
+            NetRequest::Accept { sock: 1 },
+            NetRequest::Connect {
+                sock: 2,
+                addr: 0xC0A80001,
+                port: 80,
+            },
+            NetRequest::Send {
+                sock: 2,
+                data: vec![1, 2, 3],
+            },
+            NetRequest::Recv {
+                sock: 2,
+                max: 65536,
+            },
+            NetRequest::Close { sock: 2 },
+            NetRequest::Setsockopt {
+                sock: 1,
+                opt: 7,
+                val: 1,
+            },
+            NetRequest::Shutdown { sock: 2, how: 2 },
+        ];
+        assert_eq!(reqs.len(), 10, "the paper defines exactly ten socket RPCs");
+        for (i, req) in reqs.into_iter().enumerate() {
+            let buf = req.encode(i as u32);
+            let (tag, got) = NetRequest::decode(&buf).unwrap();
+            assert_eq!(tag, i as u32);
+            assert_eq!(got, req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            NetResponse::Socket { sock: 9 },
+            NetResponse::Accepted {
+                conn: 10,
+                peer_addr: 1,
+            },
+            NetResponse::Sent { count: 4096 },
+            NetResponse::Data { data: vec![0; 64] },
+            NetResponse::Ok,
+            NetResponse::Error {
+                err: RpcErr::ConnRefused,
+            },
+        ] {
+            let buf = resp.encode(3);
+            let (tag, got) = NetResponse::decode(&buf).unwrap();
+            assert_eq!(tag, 3);
+            assert_eq!(got, resp);
+        }
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        for ev in [
+            NetEvent::Accepted {
+                listen: 1,
+                conn: 5,
+                peer_addr: 77,
+            },
+            NetEvent::Data {
+                sock: 5,
+                data: b"ping".to_vec(),
+            },
+            NetEvent::Data {
+                sock: 5,
+                data: vec![],
+            },
+            NetEvent::Closed { sock: 5 },
+        ] {
+            let buf = ev.encode();
+            assert_eq!(NetEvent::decode(&buf).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn cross_family_frames_rejected() {
+        let fsreq = crate::fs_msg::FsRequest::Fsync { ino: 1 }.encode(0);
+        assert_eq!(NetRequest::decode(&fsreq), Err(ProtoError::BadType));
+        let netreq = NetRequest::Socket.encode(0);
+        assert_eq!(NetEvent::decode(&netreq), Err(ProtoError::BadType));
+    }
+}

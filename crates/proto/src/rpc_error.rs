@@ -1,0 +1,139 @@
+//! RPC-level error codes carried in `Rerror`-style replies.
+
+use std::fmt;
+
+/// Errors a proxy can return to a stub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcErr {
+    /// No such file, directory, socket, or connection.
+    NotFound,
+    /// Already exists.
+    Exists,
+    /// Not a directory.
+    NotDir,
+    /// Is a directory.
+    IsDir,
+    /// Directory not empty.
+    NotEmpty,
+    /// Device or table exhausted.
+    NoSpace,
+    /// Object too large.
+    TooLarge,
+    /// Malformed path or argument.
+    Invalid,
+    /// Underlying device I/O failure.
+    Io,
+    /// Operation would block; retry.
+    WouldBlock,
+    /// Connection refused by the remote end.
+    ConnRefused,
+    /// Socket is not connected.
+    NotConnected,
+    /// Socket is not listening.
+    NotListening,
+    /// Connection reset.
+    Reset,
+    /// Address/port already bound.
+    AddrInUse,
+}
+
+impl RpcErr {
+    /// Wire encoding.
+    pub fn code(self) -> u32 {
+        match self {
+            RpcErr::NotFound => 1,
+            RpcErr::Exists => 2,
+            RpcErr::NotDir => 3,
+            RpcErr::IsDir => 4,
+            RpcErr::NotEmpty => 5,
+            RpcErr::NoSpace => 6,
+            RpcErr::TooLarge => 7,
+            RpcErr::Invalid => 8,
+            RpcErr::Io => 9,
+            RpcErr::WouldBlock => 10,
+            RpcErr::ConnRefused => 11,
+            RpcErr::NotConnected => 12,
+            RpcErr::NotListening => 13,
+            RpcErr::Reset => 14,
+            RpcErr::AddrInUse => 15,
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_code(c: u32) -> Option<RpcErr> {
+        Some(match c {
+            1 => RpcErr::NotFound,
+            2 => RpcErr::Exists,
+            3 => RpcErr::NotDir,
+            4 => RpcErr::IsDir,
+            5 => RpcErr::NotEmpty,
+            6 => RpcErr::NoSpace,
+            7 => RpcErr::TooLarge,
+            8 => RpcErr::Invalid,
+            9 => RpcErr::Io,
+            10 => RpcErr::WouldBlock,
+            11 => RpcErr::ConnRefused,
+            12 => RpcErr::NotConnected,
+            13 => RpcErr::NotListening,
+            14 => RpcErr::Reset,
+            15 => RpcErr::AddrInUse,
+            _ => return None,
+        })
+    }
+
+    /// Every variant, for exhaustive round-trip tests.
+    pub fn all() -> [RpcErr; 15] {
+        [
+            RpcErr::NotFound,
+            RpcErr::Exists,
+            RpcErr::NotDir,
+            RpcErr::IsDir,
+            RpcErr::NotEmpty,
+            RpcErr::NoSpace,
+            RpcErr::TooLarge,
+            RpcErr::Invalid,
+            RpcErr::Io,
+            RpcErr::WouldBlock,
+            RpcErr::ConnRefused,
+            RpcErr::NotConnected,
+            RpcErr::NotListening,
+            RpcErr::Reset,
+            RpcErr::AddrInUse,
+        ]
+    }
+}
+
+impl fmt::Display for RpcErr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for RpcErr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for e in RpcErr::all() {
+            assert_eq!(RpcErr::from_code(e.code()), Some(e));
+        }
+        assert_eq!(RpcErr::from_code(0), None);
+        assert_eq!(RpcErr::from_code(999), None);
+    }
+
+    #[test]
+    fn codes_unique() {
+        let mut codes: Vec<u32> = RpcErr::all().iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), RpcErr::all().len());
+    }
+
+    #[test]
+    fn display_symbolic() {
+        assert_eq!(RpcErr::NotFound.to_string(), "NotFound");
+    }
+}

@@ -1,0 +1,363 @@
+//! Combining request queue (§4.2.3 of the paper).
+//!
+//! Queue operations do not contend on the ring's control variables
+//! directly. Instead, each thread appends a request node to an MCS-style
+//! queue with one `atomic_swap`; the thread at the head becomes the
+//! *combiner* and executes a batch of requests (its own plus up to
+//! `threshold - 1` of its successors) against the ring state, toggling a
+//! status flag in each request node as it completes. Non-combining threads
+//! spin locally on their own flag. When the batch limit is reached the
+//! combiner hands the role to the next waiter, after invoking the
+//! batch-end hook (which the ring uses to publish its lazily updated
+//! control variables, §4.2.4).
+//!
+//! Requires exactly the paper's two atomic instructions: `atomic_swap`
+//! (queue append, role transfer) and `compare_and_swap` (queue drain).
+
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+use crate::locks::spin_backoff;
+
+const WAITING: u32 = 0;
+const DONE: u32 = 1;
+const HANDOFF: u32 = 2;
+
+struct Node<Op, Res> {
+    next: AtomicPtr<Node<Op, Res>>,
+    status: AtomicU32,
+    op: UnsafeCell<Option<Op>>,
+    res: UnsafeCell<Option<Res>>,
+}
+
+/// A flat combiner over operations of type `Op` producing `Res`.
+///
+/// The *combiner-protected state* of type `S` is owned by the combiner
+/// role: exactly one thread at a time executes `apply`/`at_batch_end`
+/// closures, and those closures receive `&mut S`.
+///
+/// # Examples
+///
+/// ```
+/// use solros_ringbuf::combiner::Combiner;
+/// use std::sync::Arc;
+///
+/// let c = Arc::new(Combiner::<u64, u64, u64>::new(0, 16));
+/// let handles: Vec<_> = (0..4)
+///     .map(|_| {
+///         let c = Arc::clone(&c);
+///         std::thread::spawn(move || {
+///             for _ in 0..1000 {
+///                 c.submit(1, |state, op| { *state += op; *state }, |_| {});
+///             }
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// let total = c.submit(0, |state, op| { *state += op; *state }, |_| {});
+/// assert_eq!(total, 4000);
+/// ```
+pub struct Combiner<S, Op, Res> {
+    tail: AtomicPtr<Node<Op, Res>>,
+    state: UnsafeCell<S>,
+    threshold: usize,
+    batches: AtomicU64,
+    combined_ops: AtomicU64,
+}
+
+// SAFETY: `state` is only accessed by the unique combiner (see module
+// docs); request nodes are stack-owned by blocked submitters and accessed
+// through atomics plus the DONE-flag protocol.
+unsafe impl<S: Send, Op: Send, Res: Send> Send for Combiner<S, Op, Res> {}
+// SAFETY: see above.
+unsafe impl<S: Send, Op: Send, Res: Send> Sync for Combiner<S, Op, Res> {}
+
+impl<S, Op, Res> Combiner<S, Op, Res> {
+    /// Creates a combiner owning `state`, batching up to `threshold` ops
+    /// per combiner tenure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0`.
+    pub fn new(state: S, threshold: usize) -> Self {
+        assert!(threshold > 0, "combining threshold must be positive");
+        Self {
+            tail: AtomicPtr::new(ptr::null_mut()),
+            state: UnsafeCell::new(state),
+            threshold,
+            batches: AtomicU64::new(0),
+            combined_ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the number of combiner tenures so far (for instrumentation).
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Returns the total operations executed (for instrumentation).
+    pub fn combined_ops(&self) -> u64 {
+        self.combined_ops.load(Ordering::Relaxed)
+    }
+
+    /// Submits `op`, blocking (spinning) until it has been executed by
+    /// some combiner — possibly this thread. Returns the result.
+    ///
+    /// `apply` executes one operation against the combiner-protected
+    /// state; `at_batch_end` runs once per combiner tenure, after the last
+    /// operation of the batch and before the role is released or handed
+    /// off (the ring publishes control variables here).
+    pub fn submit(
+        &self,
+        op: Op,
+        mut apply: impl FnMut(&mut S, Op) -> Res,
+        mut at_batch_end: impl FnMut(&mut S),
+    ) -> Res {
+        let node = Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            status: AtomicU32::new(WAITING),
+            op: UnsafeCell::new(Some(op)),
+            res: UnsafeCell::new(None),
+        };
+        let node_ptr = &node as *const Node<Op, Res> as *mut Node<Op, Res>;
+
+        let prev = self.tail.swap(node_ptr, Ordering::AcqRel);
+        if !prev.is_null() {
+            // SAFETY: `prev`'s owner is blocked in `submit` until its
+            // status turns DONE, so the node is alive.
+            unsafe { (*prev).next.store(node_ptr, Ordering::Release) };
+            let mut spins = 0;
+            loop {
+                match node.status.load(Ordering::Acquire) {
+                    WAITING => spin_backoff(&mut spins),
+                    DONE => {
+                        // SAFETY: the combiner wrote `res` before setting
+                        // DONE (Release), which we observed (Acquire).
+                        return unsafe { (*node.res.get()).take().expect("combiner set result") };
+                    }
+                    HANDOFF => break, // We are the new combiner.
+                    s => unreachable!("bad combiner status {s}"),
+                }
+            }
+        }
+
+        // This thread is the combiner.
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: combiner exclusivity — only one thread at a time holds
+        // the role (it is created by swapping an empty tail or by explicit
+        // HANDOFF, and released only in `run_combiner`).
+        let state = unsafe { &mut *self.state.get() };
+        // SAFETY: our own `op` is still present; no other thread touches it.
+        let own_op = unsafe { (*node.op.get()).take().expect("own op present") };
+        let own_res = apply(state, own_op);
+        self.combined_ops.fetch_add(1, Ordering::Relaxed);
+
+        self.run_combiner(node_ptr, state, &mut apply, &mut at_batch_end);
+        own_res
+    }
+
+    /// Walks the request chain starting *after* `own`, executing up to the
+    /// batch threshold, then releases or hands off the combiner role.
+    fn run_combiner(
+        &self,
+        own: *mut Node<Op, Res>,
+        state: &mut S,
+        apply: &mut impl FnMut(&mut S, Op) -> Res,
+        at_batch_end: &mut impl FnMut(&mut S),
+    ) {
+        let mut cur = own; // Last node whose op has been applied.
+        let mut count = 1usize;
+        loop {
+            // Find the successor of `cur` before we may release `cur`.
+            // SAFETY: `cur` is alive: it is either our own node or a node
+            // whose owner still spins (we have not set its DONE flag).
+            let mut next = unsafe { (*cur).next.load(Ordering::Acquire) };
+            if next.is_null() {
+                // Possibly the end of the queue. Publish state first so a
+                // successor combiner never observes unpublished batches.
+                at_batch_end(state);
+                if self
+                    .tail
+                    .compare_exchange(cur, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // Queue drained; release `cur`'s owner if it is a peer.
+                    self.finish(cur, own);
+                    return;
+                }
+                // Someone swapped in behind `cur`; wait for the link.
+                let mut spins = 0;
+                loop {
+                    // SAFETY: `cur` still alive (DONE not yet set).
+                    next = unsafe { (*cur).next.load(Ordering::Acquire) };
+                    if !next.is_null() {
+                        break;
+                    }
+                    spin_backoff(&mut spins);
+                }
+            }
+
+            // Successor known: `cur` can now be released safely.
+            self.finish(cur, own);
+
+            if count >= self.threshold {
+                // Batch limit: publish, then hand the role to `next`.
+                at_batch_end(state);
+                // SAFETY: `next`'s owner spins on its status; alive.
+                unsafe { (*next).status.store(HANDOFF, Ordering::Release) };
+                return;
+            }
+
+            // Execute the successor's op.
+            // SAFETY: `next` is alive (owner spinning) and its `op` was
+            // written before it was linked (Release/Acquire on `next`).
+            let op = unsafe { (*(*next).op.get()).take().expect("peer op present") };
+            let res = apply(state, op);
+            // SAFETY: as above; owner only reads `res` after DONE.
+            unsafe { *(*next).res.get() = Some(res) };
+            self.combined_ops.fetch_add(1, Ordering::Relaxed);
+            cur = next;
+            count += 1;
+        }
+    }
+
+    /// Marks `cur` DONE unless it is the combiner's own node.
+    fn finish(&self, cur: *mut Node<Op, Res>, own: *mut Node<Op, Res>) {
+        if cur != own {
+            // SAFETY: `cur` is alive until this very store; its owner
+            // returns (and may deallocate) only after observing DONE.
+            unsafe { (*cur).status.store(DONE, Ordering::Release) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_ops() {
+        let c = Combiner::<Vec<u32>, u32, usize>::new(Vec::new(), 8);
+        for i in 0..100 {
+            let len = c.submit(
+                i,
+                |v, op| {
+                    v.push(op);
+                    v.len()
+                },
+                |_| {},
+            );
+            assert_eq!(len, i as usize + 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_sum_is_exact() {
+        let c = Arc::new(Combiner::<u64, u64, u64>::new(0, 8));
+        let threads = 16;
+        let iters = 5_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..iters {
+                        c.submit(
+                            t * iters + i,
+                            |s, op| {
+                                *s += op;
+                                0
+                            },
+                            |_| {},
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = threads * iters;
+        let expect: u64 = (0..n).sum();
+        let total = c.submit(0, |s, _| *s, |_| {});
+        assert_eq!(total, expect);
+        assert_eq!(c.combined_ops(), n + 1);
+    }
+
+    #[test]
+    fn batch_end_runs_between_batches() {
+        // With a single thread, every submit is its own batch.
+        let c = Combiner::<(u64, u64), (), (u64, u64)>::new((0, 0), 4);
+        for _ in 0..10 {
+            c.submit(
+                (),
+                |s, _| {
+                    s.0 += 1;
+                    *s
+                },
+                |s| s.1 += 1,
+            );
+        }
+        let (ops, batch_ends) = c.submit((), |s, _| *s, |_| {});
+        assert_eq!(ops, 10);
+        // Every single-thread tenure publishes at least once.
+        assert!(batch_ends >= 10, "batch ends {batch_ends}");
+    }
+
+    #[test]
+    fn results_routed_to_correct_thread() {
+        let c = Arc::new(Combiner::<(), u64, u64>::new((), 4));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let token = t * 1_000_000 + i;
+                        let echoed = c.submit(token, |_, op| op.wrapping_mul(3), |_| {});
+                        assert_eq!(echoed, token.wrapping_mul(3));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn tiny_threshold_forces_handoffs() {
+        let c = Arc::new(Combiner::<u64, u64, ()>::new(0, 1));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        c.submit(1, |s, op| *s += op, |_| {});
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut observed = 0;
+        c.submit(
+            0,
+            |s, op| {
+                *s += op;
+                observed = *s;
+            },
+            |_| {},
+        );
+        assert_eq!(observed, 16_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_panics() {
+        let _ = Combiner::<(), (), ()>::new((), 0);
+    }
+}

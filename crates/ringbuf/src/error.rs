@@ -1,0 +1,38 @@
+//! Transport-layer errors.
+
+use std::fmt;
+
+/// Errors returned by ring-buffer operations.
+///
+/// The ring is non-blocking by design (§4.2.2): callers decide whether to
+/// retry on [`RingError::WouldBlock`], exactly like the paper's
+/// `EWOULDBLOCK` contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingError {
+    /// The ring is full (enqueue) or empty / mid-publish (dequeue); retry.
+    WouldBlock,
+    /// The element exceeds the per-element maximum for this ring.
+    TooBig,
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::WouldBlock => write!(f, "operation would block"),
+            RingError::TooBig => write!(f, "element too large for ring"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(RingError::WouldBlock.to_string(), "operation would block");
+        assert_eq!(RingError::TooBig.to_string(), "element too large for ring");
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests for the combining infrastructure and locks.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use solros_ringbuf::combiner::Combiner;
+use solros_ringbuf::locks::{LockedCounter, McsLock, RawLock, TicketLock};
+
+proptest! {
+    // Each case spawns threads; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The combiner applies every submitted operation exactly once, for
+    /// any thread count, op count, and batching threshold.
+    #[test]
+    fn combiner_exactly_once(
+        threads in 1usize..6,
+        ops in 1u64..800,
+        threshold in 1usize..128,
+    ) {
+        let c = Arc::new(Combiner::<u64, u64, u64>::new(0, threshold));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..ops {
+                        c.submit(1, |state, op| { *state += op; *state }, |_| {});
+                    }
+                });
+            }
+        });
+        let total = c.submit(0, |state, op| { *state += op; *state }, |_| {});
+        prop_assert_eq!(total, threads as u64 * ops);
+        prop_assert_eq!(c.combined_ops(), threads as u64 * ops + 1);
+    }
+
+    /// Locks provide mutual exclusion for arbitrary contender counts.
+    #[test]
+    fn locks_exclusive(threads in 2usize..6, iters in 100u64..2_000) {
+        fn hammer<L: RawLock>(threads: usize, iters: u64) -> u64 {
+            let counter = Arc::new(LockedCounter::<L>::default());
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let c = Arc::clone(&counter);
+                    s.spawn(move || {
+                        for _ in 0..iters {
+                            c.increment();
+                        }
+                    });
+                }
+            });
+            counter.get()
+        }
+        prop_assert_eq!(hammer::<TicketLock>(threads, iters), threads as u64 * iters);
+        prop_assert_eq!(hammer::<McsLock>(threads, iters), threads as u64 * iters);
+    }
+}

@@ -1,0 +1,238 @@
+//! Event-driven simulation engine.
+//!
+//! The engine owns a priority queue of scheduled events; each event is a
+//! boxed closure invoked with the engine itself (so handlers can schedule
+//! follow-up events) and the current virtual time. Events scheduled for the
+//! same instant fire in schedule order, which keeps runs deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+type Action = Box<dyn FnOnce(&mut Engine, SimTime)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event
+        // (ties broken by schedule order) on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation engine.
+///
+/// # Examples
+///
+/// ```
+/// use solros_simkit::{Engine, SimTime};
+///
+/// let mut engine = Engine::new();
+/// engine.schedule(SimTime::from_us(1), |engine, _| {
+///     // Handlers may schedule more events.
+///     engine.schedule(SimTime::from_us(1), |_, now| {
+///         assert_eq!(now, SimTime::from_us(2));
+///     });
+/// });
+/// let events = engine.run();
+/// assert_eq!(events, 2);
+/// ```
+#[derive(Default)]
+pub struct Engine {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl Engine {
+    /// Creates an engine at time zero with no pending events.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of events processed so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Returns the number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` to run `delay` after the current time.
+    pub fn schedule<F>(&mut self, delay: SimTime, action: F)
+    where
+        F: FnOnce(&mut Engine, SimTime) + 'static,
+    {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Schedules `action` to run at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past; scheduling backwards in time is always
+    /// a logic error in a discrete-event model.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut Engine, SimTime) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "scheduled event in the past: {at} < {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Runs a single event if one is pending; returns whether one ran.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.processed += 1;
+                (ev.action)(self, ev.at);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue drains; returns the number of events run.
+    pub fn run(&mut self) -> u64 {
+        let start = self.processed;
+        while self.step() {}
+        self.processed - start
+    }
+
+    /// Runs events until (and including) time `until`, leaving later events
+    /// queued. The clock is advanced to `until` even if no event fires then.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let start = self.processed;
+        while let Some(head) = self.queue.peek() {
+            if head.at > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+        self.processed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut e = Engine::new();
+        for (delay, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let seen = Rc::clone(&seen);
+            e.schedule(SimTime::from_ns(delay), move |_, _| {
+                seen.borrow_mut().push(tag);
+            });
+        }
+        e.run();
+        assert_eq!(*seen.borrow(), vec!['a', 'b', 'c']);
+        assert_eq!(e.now(), SimTime::from_ns(30));
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut e = Engine::new();
+        for tag in 0..100 {
+            let seen = Rc::clone(&seen);
+            e.schedule(SimTime::from_us(7), move |_, _| {
+                seen.borrow_mut().push(tag);
+            });
+        }
+        e.run();
+        assert_eq!(*seen.borrow(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_chain() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_us(1), |e, _| {
+            e.schedule(SimTime::from_us(2), |e, now| {
+                assert_eq!(now, SimTime::from_us(3));
+                e.schedule(SimTime::ZERO, |_, now| {
+                    assert_eq!(now, SimTime::from_us(3));
+                });
+            });
+        });
+        assert_eq!(e.run(), 3);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let seen = Rc::new(RefCell::new(0));
+        let mut e = Engine::new();
+        for delay in [5u64, 15, 25] {
+            let seen = Rc::clone(&seen);
+            e.schedule(SimTime::from_us(delay), move |_, _| {
+                *seen.borrow_mut() += 1;
+            });
+        }
+        e.run_until(SimTime::from_us(20));
+        assert_eq!(*seen.borrow(), 2);
+        assert_eq!(e.now(), SimTime::from_us(20));
+        assert_eq!(e.pending(), 1);
+        e.run();
+        assert_eq!(*seen.borrow(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_us(10), |e, _| {
+            e.schedule_at(SimTime::from_us(5), |_, _| {});
+        });
+        e.run();
+    }
+}

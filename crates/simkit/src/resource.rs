@@ -1,0 +1,340 @@
+//! Analytic resource models for serialized hardware.
+//!
+//! Devices like PCIe links, DMA channels, and SSD internals serve requests
+//! one at a time (or one per channel). Rather than simulating blocking
+//! processes, these resources compute completion times analytically: a
+//! request arriving at `now` with service time `s` on a FIFO resource
+//! completes at `max(now, busy_until) + s`. Callers schedule the completion
+//! event themselves. This is the standard "server with a work-conserving
+//! queue" abstraction and is exact for FIFO service disciplines.
+
+use crate::time::{transfer_time, SimTime};
+
+/// A single-server FIFO resource (e.g. one DMA channel, the SSD's internal
+/// data path, a single PCIe link direction).
+///
+/// # Examples
+///
+/// ```
+/// use solros_simkit::{FifoResource, SimTime};
+///
+/// let mut r = FifoResource::new("dma");
+/// let c1 = r.acquire(SimTime::ZERO, SimTime::from_us(10));
+/// let c2 = r.acquire(SimTime::from_us(3), SimTime::from_us(10));
+/// assert_eq!(c1, SimTime::from_us(10));
+/// assert_eq!(c2, SimTime::from_us(20)); // queued behind the first
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoResource {
+    name: &'static str,
+    busy_until: SimTime,
+    busy_time: SimTime,
+    served: u64,
+}
+
+impl FifoResource {
+    /// Creates an idle resource.
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            busy_until: SimTime::ZERO,
+            busy_time: SimTime::ZERO,
+            served: 0,
+        }
+    }
+
+    /// Returns the resource name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Submits a request at `now` needing `service` time; returns its
+    /// completion time and records utilization.
+    pub fn acquire(&mut self, now: SimTime, service: SimTime) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done = start + service;
+        self.busy_until = done;
+        self.busy_time += service;
+        self.served += 1;
+        done
+    }
+
+    /// Returns the time at which the resource next becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Returns total busy (service) time accumulated.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy_time
+    }
+
+    /// Returns the number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Returns utilization in `[0, 1]` over the window ending at `now`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now.is_zero() {
+            return 0.0;
+        }
+        (self.busy_time.as_secs_f64() / now.as_secs_f64()).min(1.0)
+    }
+
+    /// Resets the resource to idle, keeping the name.
+    pub fn reset(&mut self) {
+        self.busy_until = SimTime::ZERO;
+        self.busy_time = SimTime::ZERO;
+        self.served = 0;
+    }
+}
+
+/// A bank of identical channels served earliest-free-first (e.g. the eight
+/// DMA engines of a Xeon or Xeon Phi, or an SSD's internal parallelism).
+///
+/// # Examples
+///
+/// ```
+/// use solros_simkit::{MultiChannel, SimTime};
+///
+/// let mut dma = MultiChannel::new("dma-engines", 2);
+/// let a = dma.acquire(SimTime::ZERO, SimTime::from_us(10));
+/// let b = dma.acquire(SimTime::ZERO, SimTime::from_us(10));
+/// let c = dma.acquire(SimTime::ZERO, SimTime::from_us(10));
+/// assert_eq!(a, SimTime::from_us(10));
+/// assert_eq!(b, SimTime::from_us(10)); // second channel
+/// assert_eq!(c, SimTime::from_us(20)); // queued
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiChannel {
+    name: &'static str,
+    channels: Vec<SimTime>,
+    busy_time: SimTime,
+    served: u64,
+}
+
+impl MultiChannel {
+    /// Creates `n` idle channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(name: &'static str, n: usize) -> Self {
+        assert!(n > 0, "MultiChannel needs at least one channel");
+        Self {
+            name,
+            channels: vec![SimTime::ZERO; n],
+            busy_time: SimTime::ZERO,
+            served: 0,
+        }
+    }
+
+    /// Returns the resource name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Returns the number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Submits a request at `now` needing `service` time on the
+    /// earliest-free channel; returns its completion time.
+    pub fn acquire(&mut self, now: SimTime, service: SimTime) -> SimTime {
+        let (idx, _) = self
+            .channels
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("at least one channel");
+        let start = now.max(self.channels[idx]);
+        let done = start + service;
+        self.channels[idx] = done;
+        self.busy_time += service;
+        self.served += 1;
+        done
+    }
+
+    /// Returns the number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Returns aggregate utilization in `[0, 1]` over the window ending at
+    /// `now` (1.0 = all channels busy the whole time).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now.is_zero() {
+            return 0.0;
+        }
+        let cap = now.as_secs_f64() * self.channels.len() as f64;
+        (self.busy_time.as_secs_f64() / cap).min(1.0)
+    }
+
+    /// Resets all channels to idle.
+    pub fn reset(&mut self) {
+        self.channels.fill(SimTime::ZERO);
+        self.busy_time = SimTime::ZERO;
+        self.served = 0;
+    }
+}
+
+/// A unidirectional bandwidth-limited link with fixed propagation latency.
+///
+/// Transfers are serialized FIFO at `bytes_per_sec`; each transfer
+/// additionally pays `latency` once (propagation + arbitration). This models
+/// one direction of a PCIe link or the QPI inter-socket interconnect.
+///
+/// # Examples
+///
+/// ```
+/// use solros_simkit::{Link, SimTime};
+///
+/// // 1 GB/s, 1 us latency.
+/// let mut link = Link::new("pcie", 1e9, SimTime::from_us(1));
+/// let done = link.transfer(SimTime::ZERO, 1_000_000);
+/// assert_eq!(done, SimTime::from_us(1) + SimTime::from_ms(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    inner: FifoResource,
+    bytes_per_sec: f64,
+    latency: SimTime,
+    bytes_moved: u64,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(name: &'static str, bytes_per_sec: f64, latency: SimTime) -> Self {
+        Self {
+            inner: FifoResource::new(name),
+            bytes_per_sec,
+            latency,
+            bytes_moved: 0,
+        }
+    }
+
+    /// Returns the link name.
+    pub fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    /// Returns the configured bandwidth in bytes/second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Returns the configured per-transfer latency.
+    pub fn latency(&self) -> SimTime {
+        self.latency
+    }
+
+    /// Submits a `bytes`-sized transfer at `now`; returns completion time.
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.bytes_moved += bytes;
+        let service = self.latency + transfer_time(bytes, self.bytes_per_sec);
+        self.inner.acquire(now, service)
+    }
+
+    /// Returns total bytes moved over this link.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Returns the time at which the link next becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.inner.busy_until()
+    }
+
+    /// Returns link utilization over the window ending at `now`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.inner.utilization(now)
+    }
+
+    /// Resets the link to idle.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+        self.bytes_moved = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_serializes() {
+        let mut r = FifoResource::new("t");
+        let c1 = r.acquire(SimTime::ZERO, SimTime::from_us(5));
+        let c2 = r.acquire(SimTime::ZERO, SimTime::from_us(5));
+        // Arrives after the first two are done: no queueing.
+        let c3 = r.acquire(SimTime::from_us(30), SimTime::from_us(5));
+        assert_eq!(c1, SimTime::from_us(5));
+        assert_eq!(c2, SimTime::from_us(10));
+        assert_eq!(c3, SimTime::from_us(35));
+        assert_eq!(r.served(), 3);
+        assert_eq!(r.busy_time(), SimTime::from_us(15));
+    }
+
+    #[test]
+    fn fifo_utilization() {
+        let mut r = FifoResource::new("t");
+        r.acquire(SimTime::ZERO, SimTime::from_us(25));
+        let u = r.utilization(SimTime::from_us(100));
+        assert!((u - 0.25).abs() < 1e-9);
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn multichannel_overlaps_then_queues() {
+        let mut m = MultiChannel::new("m", 3);
+        let done: Vec<_> = (0..6)
+            .map(|_| m.acquire(SimTime::ZERO, SimTime::from_us(10)))
+            .collect();
+        assert_eq!(&done[..3], &[SimTime::from_us(10); 3]);
+        assert_eq!(&done[3..], &[SimTime::from_us(20); 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn multichannel_zero_panics() {
+        let _ = MultiChannel::new("m", 0);
+    }
+
+    #[test]
+    fn link_applies_latency_and_bandwidth() {
+        let mut l = Link::new("l", 1e9, SimTime::from_us(2));
+        // 1000 bytes at 1 GB/s = 1 us + 2 us latency.
+        assert_eq!(l.transfer(SimTime::ZERO, 1_000), SimTime::from_us(3));
+        assert_eq!(l.bytes_moved(), 1_000);
+        // Second transfer queues behind the first.
+        assert_eq!(l.transfer(SimTime::ZERO, 1_000), SimTime::from_us(6));
+    }
+
+    #[test]
+    fn link_throughput_converges_to_bandwidth() {
+        let mut l = Link::new("l", 2e9, SimTime::from_ns(500));
+        let mut done = SimTime::ZERO;
+        let chunk = 1 << 20;
+        for _ in 0..64 {
+            done = l.transfer(SimTime::ZERO, chunk);
+        }
+        let gbps = 64.0 * chunk as f64 / done.as_secs_f64() / 1e9;
+        assert!(gbps > 1.8 && gbps <= 2.0, "got {gbps}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut r = FifoResource::new("t");
+        r.acquire(SimTime::ZERO, SimTime::from_us(5));
+        r.reset();
+        assert_eq!(r.busy_until(), SimTime::ZERO);
+        assert_eq!(r.served(), 0);
+
+        let mut l = Link::new("l", 1e9, SimTime::ZERO);
+        l.transfer(SimTime::ZERO, 10);
+        l.reset();
+        assert_eq!(l.bytes_moved(), 0);
+    }
+}

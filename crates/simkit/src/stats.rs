@@ -1,0 +1,366 @@
+//! Statistics collection: streaming summaries and log-scaled histograms.
+//!
+//! Latency distributions in the paper are reported as percentiles (e.g. the
+//! 99th-percentile TCP latency in Figure 1b), so [`Histogram`] supports
+//! percentile queries over a log-spaced binning from 1 ns to ~17 minutes
+//! with bounded relative error.
+
+use crate::time::SimTime;
+
+/// Streaming summary: count, mean, min, max, and sum.
+///
+/// # Examples
+///
+/// ```
+/// use solros_simkit::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Returns the number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Returns the mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Returns the minimum, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Returns the maximum, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Number of log2 buckets; covers 1 ns .. 2^40 ns (~18 minutes).
+const BUCKETS: usize = 40;
+/// Sub-buckets per power of two (linear within a bucket).
+const SUB: usize = 16;
+
+/// A log-scaled latency histogram with percentile queries.
+///
+/// Values are recorded in nanoseconds. Relative error of a percentile query
+/// is bounded by `1/SUB` (6.25%), comfortably below the factor-level
+/// differences the paper reports.
+///
+/// # Examples
+///
+/// ```
+/// use solros_simkit::{Histogram, SimTime};
+///
+/// let mut h = Histogram::new();
+/// for us in 1..=100u64 {
+///     h.record(SimTime::from_us(us));
+/// }
+/// let p50 = h.percentile(50.0).as_us_f64();
+/// assert!((45.0..=56.0).contains(&p50), "p50 {p50}");
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            bins: vec![0; BUCKETS * SUB],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    fn bin_of(ns: u64) -> usize {
+        if ns < SUB as u64 {
+            // The first bucket is linear in [0, SUB).
+            return ns as usize;
+        }
+        let msb = 63 - ns.leading_zeros() as usize;
+        let bucket = msb.min(BUCKETS - 1);
+        let sub = ((ns >> (bucket.saturating_sub(4))) as usize) & (SUB - 1);
+        (bucket * SUB + sub).min(BUCKETS * SUB - 1)
+    }
+
+    fn bin_value(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let bucket = idx / SUB;
+        let sub = (idx % SUB) as u64;
+        // Midpoint of the sub-bucket range.
+        let base = 1u64 << bucket;
+        let step = base / SUB as u64;
+        base + sub * step.max(1) + step / 2
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, t: SimTime) {
+        let ns = t.as_ns();
+        self.bins[Self::bin_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    /// Returns the number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the mean latency, or zero when empty.
+    pub fn mean(&self) -> SimTime {
+        if self.count == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_ns((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Returns the exact maximum sample, or zero when empty.
+    pub fn max(&self) -> SimTime {
+        if self.count == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_ns(self.max_ns)
+        }
+    }
+
+    /// Returns the exact minimum sample, or zero when empty.
+    pub fn min(&self) -> SimTime {
+        if self.count == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::from_ns(self.min_ns)
+        }
+    }
+
+    /// Returns the latency at percentile `p` (0–100), approximated to the
+    /// containing sub-bucket; zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> SimTime {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.count == 0 {
+            return SimTime::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if rank <= 1 {
+            return SimTime::from_ns(self.min_ns);
+        }
+        if rank >= self.count {
+            return SimTime::from_ns(self.max_ns);
+        }
+        let mut seen = 0;
+        for (idx, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the true extremes for the tails.
+                return SimTime::from_ns(Self::bin_value(idx).clamp(self.min_ns, self.max_ns));
+            }
+        }
+        SimTime::from_ns(self.max_ns)
+    }
+
+    /// Returns the cumulative fraction of samples at or below `t`, in
+    /// `[0, 1]`; used to plot CDFs (Figure 1b).
+    pub fn cdf_at(&self, t: SimTime) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let limit = Self::bin_of(t.as_ns());
+        let below: u64 = self.bins[..=limit].iter().sum();
+        below as f64 / self.count as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        if other.count > 0 {
+            self.min_ns = self.min_ns.min(other.min_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        s.record(10.0);
+        s.record(20.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.sum(), 30.0);
+        assert_eq!(s.mean(), 15.0);
+        assert_eq!(s.min(), 10.0);
+        assert_eq!(s.max(), 20.0);
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a = Summary::new();
+        a.record(1.0);
+        let mut b = Summary::new();
+        b.record(9.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 9.0);
+        let empty = Summary::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn histogram_percentiles_bounded_error() {
+        let mut h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record(SimTime::from_us(us));
+        }
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let want = p * 10.0; // us
+            let got = h.percentile(p).as_us_f64();
+            let err = (got - want).abs() / want;
+            assert!(err < 0.10, "p{p}: want {want} got {got}");
+        }
+    }
+
+    #[test]
+    fn histogram_extremes_exact() {
+        let mut h = Histogram::new();
+        h.record(SimTime::from_ns(17));
+        h.record(SimTime::from_ms(3));
+        assert_eq!(h.min(), SimTime::from_ns(17));
+        assert_eq!(h.max(), SimTime::from_ms(3));
+        assert_eq!(h.percentile(0.0), SimTime::from_ns(17));
+        assert_eq!(h.percentile(100.0), SimTime::from_ms(3));
+    }
+
+    #[test]
+    fn histogram_cdf_monotone() {
+        let mut h = Histogram::new();
+        for us in [10u64, 20, 30, 40, 50] {
+            h.record(SimTime::from_us(us));
+        }
+        let a = h.cdf_at(SimTime::from_us(15));
+        let b = h.cdf_at(SimTime::from_us(35));
+        let c = h.cdf_at(SimTime::from_us(100));
+        assert!(a <= b && b <= c);
+        assert!((c - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), SimTime::ZERO);
+        assert_eq!(h.mean(), SimTime::ZERO);
+        assert_eq!(h.cdf_at(SimTime::from_us(1)), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimTime::from_us(10));
+        b.record(SimTime::from_us(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), SimTime::from_us(1000));
+        assert_eq!(a.min(), SimTime::from_us(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_percentile_panics() {
+        let h = Histogram::new();
+        let _ = h.percentile(101.0);
+    }
+}

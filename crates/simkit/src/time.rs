@@ -1,0 +1,276 @@
+//! Virtual time for the simulation engine.
+//!
+//! [`SimTime`] is a nanosecond-resolution instant/duration hybrid (the
+//! simulation origin is time zero, so instants and durations share a
+//! representation, as is conventional in discrete-event simulators).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in nanoseconds since simulation start.
+///
+/// Arithmetic is saturating on subtraction and panics on addition overflow in
+/// debug builds; simulations run for far less than `u64::MAX` nanoseconds
+/// (~584 years), so overflow indicates a logic bug.
+///
+/// # Examples
+///
+/// ```
+/// use solros_simkit::SimTime;
+///
+/// let t = SimTime::from_us(3) + SimTime::from_ns(500);
+/// assert_eq!(t.as_ns(), 3_500);
+/// assert!(t < SimTime::from_ms(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero instant (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Creates a time from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative and non-finite inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Returns the time in whole nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time in fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the time in fractional milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the time in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns `self - other`, or zero when `other > self`.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns true if this is the zero time.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// Computes the virtual time to move `bytes` at `bytes_per_sec`, rounded up
+/// to the nearest nanosecond.
+///
+/// Returns [`SimTime::MAX`] when the rate is zero or non-finite, modelling a
+/// link that never completes.
+///
+/// # Examples
+///
+/// ```
+/// use solros_simkit::time::transfer_time;
+/// use solros_simkit::SimTime;
+///
+/// // 1 MiB over 1 GiB/s takes ~976.6 us.
+/// let t = transfer_time(1 << 20, (1u64 << 30) as f64);
+/// assert!(t > SimTime::from_us(976) && t < SimTime::from_us(977));
+/// ```
+pub fn transfer_time(bytes: u64, bytes_per_sec: f64) -> SimTime {
+    if !bytes_per_sec.is_finite() || bytes_per_sec <= 0.0 {
+        return SimTime::MAX;
+    }
+    SimTime::from_ns((bytes as f64 * 1e9 / bytes_per_sec).ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_us(1), SimTime::from_ns(1_000));
+        assert_eq!(SimTime::from_ms(1), SimTime::from_us(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_ms(1_000));
+    }
+
+    #[test]
+    fn from_secs_f64_clamps() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(1.5), SimTime::from_ms(1_500));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_us(10);
+        let b = SimTime::from_us(4);
+        assert_eq!(a + b, SimTime::from_us(14));
+        assert_eq!(a - b, SimTime::from_us(6));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a * 3, SimTime::from_us(30));
+        assert_eq!(a / 2, SimTime::from_us(5));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn transfer_time_basics() {
+        assert_eq!(transfer_time(1_000, 1e9), SimTime::from_us(1));
+        assert_eq!(transfer_time(0, 1e9), SimTime::ZERO);
+        assert_eq!(transfer_time(1, 0.0), SimTime::MAX);
+        assert_eq!(transfer_time(1, f64::NAN), SimTime::MAX);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimTime::from_ns(42)), "42ns");
+        assert_eq!(format!("{}", SimTime::from_us(42)), "42.000us");
+        assert_eq!(format!("{}", SimTime::from_ms(42)), "42.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(42)), "42.000s");
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: SimTime = (1..=4).map(SimTime::from_us).sum();
+        assert_eq!(total, SimTime::from_us(10));
+    }
+}

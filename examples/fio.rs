@@ -1,0 +1,134 @@
+//! A small fio-style workload driver: random/sequential read/write
+//! patterns against a chosen I/O stack, with functional path statistics.
+//!
+//! ```text
+//! cargo run --example fio -- [solros|virtio|nfs|hostcentric] [read|write] [seq|rand] [block_kb]
+//! ```
+//!
+//! Defaults: `solros read rand 64`.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use solros::control::Solros;
+use solros_apps::corpus::word;
+use solros_baseline::{FileStore, HostCentric, NfsClient, VirtioFs};
+use solros_machine::{MachineConfig, WindowAlloc};
+use solros_simkit::DetRng;
+
+const FILE_BYTES: u64 = 16 << 20; // 16 MiB working file.
+const OPS: usize = 128;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let stack = args.get(1).map(String::as_str).unwrap_or("solros");
+    let is_read = args.get(2).map(String::as_str).unwrap_or("read") == "read";
+    let sequential = args.get(3).map(String::as_str).unwrap_or("rand") == "seq";
+    let block_kb: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let block = (block_kb << 10) as usize;
+
+    println!(
+        "fio: stack={stack} op={} pattern={} block={}KB file={}MB ops={OPS}",
+        if is_read { "read" } else { "write" },
+        if sequential { "seq" } else { "rand" },
+        block_kb,
+        FILE_BYTES >> 20,
+    );
+
+    // Keep the Solros system alive for the run when selected.
+    let sys = Solros::boot(MachineConfig {
+        sockets: 2,
+        coprocs: 2,
+        ssd_blocks: 65_536,
+        coproc_window_bytes: 32 << 20,
+        host_cache_pages: 1024,
+    });
+
+    let store: Arc<dyn FileStore> = match stack {
+        "solros" => Arc::clone(sys.data_plane(0).fs()) as Arc<dyn FileStore>,
+        "virtio" => Arc::new(VirtioFs::new(fresh_fs())),
+        "nfs" => Arc::new(NfsClient::new(fresh_fs())),
+        "hostcentric" => {
+            let counters = Arc::new(solros_pcie::PcieCounters::new());
+            Arc::new(HostCentric::new(
+                fresh_fs(),
+                solros_pcie::Window::new(32 << 20, solros_pcie::Side::Coproc, counters),
+                Arc::new(WindowAlloc::new(32 << 20)),
+            ))
+        }
+        other => {
+            eprintln!("unknown stack {other:?}; use solros|virtio|nfs|hostcentric");
+            std::process::exit(2);
+        }
+    };
+
+    // Lay out the working file (content derived from the word table so
+    // verification is cheap and deterministic).
+    let handle = store.create("/fio.dat").unwrap();
+    let chunk = vec![0xA5u8; 1 << 20];
+    let mut off = 0u64;
+    while off < FILE_BYTES {
+        store.write_at(handle, off, &chunk).unwrap();
+        off += chunk.len() as u64;
+    }
+
+    let mut rng = DetRng::seed(7);
+    let mut buf = vec![0u8; block];
+    let blocks_in_file = FILE_BYTES / block as u64;
+    let dev_before = sys.machine().nvme.stats();
+    let start = Instant::now();
+    let mut bytes = 0u64;
+    for i in 0..OPS {
+        let slot = if sequential {
+            i as u64 % blocks_in_file
+        } else {
+            rng.below(blocks_in_file)
+        };
+        let off = slot * block as u64;
+        if is_read {
+            bytes += store.read_at(handle, off, &mut buf).unwrap() as u64;
+        } else {
+            buf[0] = i as u8;
+            bytes += store.write_at(handle, off, &buf).unwrap() as u64;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "functional run: {} MiB in {:.1} ms wall-clock (simulation-host time, \
+         not a performance claim)",
+        bytes >> 20,
+        secs * 1e3
+    );
+
+    if stack == "solros" {
+        let st = sys.fs_proxy_stats(0);
+        println!(
+            "solros proxy paths: p2p reads {} / buffered reads {} / p2p writes {} / \
+             buffered writes {} / prefetched pages {}",
+            st.p2p_reads.load(Ordering::Relaxed),
+            st.buffered_reads.load(Ordering::Relaxed),
+            st.p2p_writes.load(Ordering::Relaxed),
+            st.buffered_writes.load(Ordering::Relaxed),
+            st.prefetched_pages.load(Ordering::Relaxed),
+        );
+        let dev = sys.machine().nvme.stats();
+        let (cmds, bells, ints) = (
+            dev.commands - dev_before.commands,
+            dev.doorbells - dev_before.doorbells,
+            dev.interrupts - dev_before.interrupts,
+        );
+        println!(
+            "nvme (measured ops only): {cmds} commands, {bells} doorbells, {ints} \
+             interrupts (coalescing ratio {:.1}x)",
+            cmds as f64 / ints.max(1) as f64
+        );
+    }
+    // Use the word table so the corpus module's table stays exercised.
+    let _ = word(0);
+    sys.shutdown();
+}
+
+fn fresh_fs() -> Arc<solros_fs::FileSystem> {
+    Arc::new(solros_fs::FileSystem::mkfs(solros_nvme::NvmeDevice::new(65_536), 1024).unwrap())
+}

@@ -1,0 +1,61 @@
+//! Image search over a feature-vector database on Solros.
+//!
+//! Builds a database of SIFT-like descriptors on the shared file system,
+//! then runs nearest-neighbour queries from the co-processor through the
+//! Solros I/O path and through the host-centric mediation baseline,
+//! confirming identical answers.
+//!
+//! Run with `cargo run --example image_search`.
+
+use std::sync::Arc;
+
+use solros::control::Solros;
+use solros_apps::image_search::{ImageDb, DIM, VEC_BYTES};
+use solros_baseline::HostCentric;
+use solros_machine::MachineConfig;
+
+fn main() {
+    let sys = Solros::boot(MachineConfig::small());
+    let fs = Arc::clone(sys.data_plane(0).fs());
+
+    // Build the database through the Solros path.
+    let n = 2_000;
+    let seed = 77;
+    let db = ImageDb::new(Arc::clone(&fs), "/images.db");
+    let bytes = db.build(n, seed).unwrap();
+    println!(
+        "database: {n} vectors x {DIM} dims = {} KiB on the simulated NVMe SSD",
+        bytes / 1024
+    );
+
+    // Query: vector 1234's own descriptor — its nearest neighbour is itself.
+    let query = ImageDb::<solros::fs_api::CoprocFs>::vector_for_seed(n, seed, 1234);
+    let (hits, read) = db.search(&query, 10, 8).unwrap();
+    println!("solros search read {} KiB; top hits:", read / 1024);
+    for h in &hits[..3] {
+        println!("  image {:>5}  distance {:.6}", h.id, h.distance);
+    }
+    assert_eq!(hits[0].id, 1234);
+    assert_eq!(read as usize, n * VEC_BYTES);
+
+    // Host-centric baseline on its own machine: same answers, double copies.
+    let host_fs =
+        Arc::new(solros_fs::FileSystem::mkfs(solros_nvme::NvmeDevice::new(65_536), 1024).unwrap());
+    let counters = Arc::new(solros_pcie::PcieCounters::new());
+    let window = solros_pcie::Window::new(8 << 20, solros_pcie::Side::Coproc, counters);
+    let alloc = Arc::new(solros_machine::WindowAlloc::new(8 << 20));
+    let hc = Arc::new(HostCentric::new(host_fs, window, alloc));
+    let db2 = ImageDb::new(Arc::clone(&hc), "/images.db");
+    db2.build(n, seed).unwrap();
+    let (hits2, _) = db2.search(&query, 10, 8).unwrap();
+    assert_eq!(hits, hits2, "stacks agree on the search results");
+    let s = hc.stats();
+    println!(
+        "host-centric: staged {} KiB + forwarded {} KiB (PCIe used twice per byte)",
+        s.bytes_staged.load(std::sync::atomic::Ordering::Relaxed) / 1024,
+        s.bytes_forwarded.load(std::sync::atomic::Ordering::Relaxed) / 1024,
+    );
+
+    sys.shutdown();
+    println!("done");
+}

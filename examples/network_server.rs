@@ -1,0 +1,97 @@
+//! A network server scaled across co-processors with a shared listening
+//! socket (§4.4.3).
+//!
+//! Both co-processors listen on the same port; the control-plane OS
+//! load-balances incoming connections round-robin. Each co-processor runs
+//! a tiny key/value-flavoured request handler; a simulated client machine
+//! hammers the port and verifies every reply.
+//!
+//! Run with `cargo run --example network_server`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use solros::control::Solros;
+use solros_machine::MachineConfig;
+use solros_netdev::EndKind;
+
+fn main() {
+    let sys = Solros::boot(MachineConfig::small());
+    let coprocs = sys.coprocs();
+    println!("{coprocs} co-processors share one listening socket on port 9090");
+
+    // Each co-processor accepts and serves on its own thread.
+    let mut servers = Vec::new();
+    for i in 0..coprocs {
+        let net = sys.data_plane(i).net().clone();
+        servers.push(std::thread::spawn(move || {
+            let listener = net.listen(9090, 128).unwrap();
+            let mut served = 0u32;
+            // Serve until connections stop arriving.
+            while let Some((stream, _peer)) = listener.accept_timeout(Duration::from_millis(700)) {
+                let mut buf = [0u8; 64];
+                let n = stream.recv(&mut buf);
+                if n == 0 {
+                    continue;
+                }
+                // "GET <key>" -> "VAL <key>@cp<i>"
+                let req = String::from_utf8_lossy(&buf[..n]).to_string();
+                let key = req.strip_prefix("GET ").unwrap_or("?");
+                let reply = format!("VAL {key}@cp{i}");
+                stream.send(reply.as_bytes()).unwrap();
+                served += 1;
+            }
+            served
+        }));
+    }
+
+    // The client machine: 30 connections, one request each.
+    let fabric = Arc::clone(sys.network());
+    let total = 30u64;
+    let client = std::thread::spawn(move || {
+        let mut ok = 0;
+        for c in 0..total {
+            let conn = loop {
+                if let Ok(x) = fabric.client_connect(9090, c) {
+                    break x;
+                }
+                std::thread::yield_now();
+            };
+            let req = format!("GET key{c}");
+            fabric.send(conn, EndKind::Client, req.as_bytes()).unwrap();
+            let reply = loop {
+                let got = fabric.recv(conn, EndKind::Client, 128).unwrap();
+                if !got.is_empty() {
+                    break String::from_utf8_lossy(&got).to_string();
+                }
+                std::thread::yield_now();
+            };
+            assert!(
+                reply.starts_with(&format!("VAL key{c}@cp")),
+                "bad reply {reply:?}"
+            );
+            ok += 1;
+            let _ = fabric.close(conn, EndKind::Client);
+        }
+        ok
+    });
+
+    let ok = client.join().unwrap();
+    let served: Vec<u32> = servers.into_iter().map(|s| s.join().unwrap()).collect();
+    println!("client verified {ok}/{total} replies");
+    for (i, s) in served.iter().enumerate() {
+        println!("co-processor {i} served {s} connections");
+    }
+    let spread = served.iter().max().unwrap() - served.iter().min().unwrap();
+    println!(
+        "round-robin balance spread: {spread} (proxy accepted: {:?})",
+        sys.tcp_proxy_stats()
+            .accepted
+            .iter()
+            .map(|a| a.load(std::sync::atomic::Ordering::Relaxed))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(served.iter().sum::<u32>() as u64, total);
+    assert!(spread <= 1, "round-robin should balance within one");
+    sys.shutdown();
+}

@@ -1,0 +1,112 @@
+//! Text indexing on Solros vs. the co-processor-centric baselines.
+//!
+//! Builds a synthetic corpus, then constructs the same inverted index
+//! through three I/O stacks — the Solros data plane, Phi-virtio, and
+//! Phi-NFS — verifying identical results and reporting each stack's I/O
+//! activity (the *functional* view; the timed reproduction of Figure 16
+//! lives in `solros-bench`).
+//!
+//! Run with `cargo run --example text_indexing`.
+
+use std::sync::Arc;
+
+use solros::control::Solros;
+use solros_apps::{generate_corpus, CorpusSpec, TextIndexer};
+use solros_baseline::{NfsClient, VirtioFs};
+use solros_machine::MachineConfig;
+
+fn main() {
+    let spec = CorpusSpec {
+        docs: 40,
+        doc_bytes: 16_000,
+        vocab: 2_000,
+        skew: 0.8,
+        seed: 2024,
+    };
+
+    // --- Solros path: the app runs on the co-processor's data plane ---
+    let sys = Solros::boot(MachineConfig::small());
+    let solros_fs = Arc::clone(sys.data_plane(0).fs());
+    let bytes = generate_corpus(&*solros_fs, "/corpus", &spec).unwrap();
+    println!("corpus: {} docs, {} KiB total", spec.docs, bytes / 1024);
+
+    let (solros_index, solros_stats) = TextIndexer::new(Arc::clone(&solros_fs), 8)
+        .run("/corpus")
+        .unwrap();
+    println!(
+        "solros:    {} terms, {} tokens, {} KiB read (p2p reads: {})",
+        solros_stats.unique_terms,
+        solros_stats.tokens,
+        solros_stats.bytes_read / 1024,
+        sys.fs_proxy_stats(0)
+            .p2p_reads
+            .load(std::sync::atomic::Ordering::Relaxed)
+    );
+
+    // --- Phi-virtio baseline: same app body, relayed block device ---
+    let virtio = Arc::new(VirtioFs::new(Arc::new(
+        solros_fs::FileSystem::mkfs(solros_nvme::NvmeDevice::new(32_768), 512).unwrap(),
+    )));
+    generate_corpus(&*virtio, "/corpus", &spec).unwrap();
+    let (virtio_index, virtio_stats) = TextIndexer::new(Arc::clone(&virtio), 8)
+        .run("/corpus")
+        .unwrap();
+    println!(
+        "phi-virtio: {} terms, {} tokens, {} requests relayed, {} KiB CPU-copied",
+        virtio_stats.unique_terms,
+        virtio_stats.tokens,
+        virtio
+            .stats()
+            .requests
+            .load(std::sync::atomic::Ordering::Relaxed),
+        virtio
+            .stats()
+            .bytes_copied
+            .load(std::sync::atomic::Ordering::Relaxed)
+            / 1024,
+    );
+
+    // --- Phi-NFS baseline ---
+    let nfs = Arc::new(NfsClient::new(Arc::new(
+        solros_fs::FileSystem::mkfs(solros_nvme::NvmeDevice::new(32_768), 512).unwrap(),
+    )));
+    generate_corpus(&*nfs, "/corpus", &spec).unwrap();
+    let (nfs_index, nfs_stats) = TextIndexer::new(Arc::clone(&nfs), 8)
+        .run("/corpus")
+        .unwrap();
+    println!(
+        "phi-nfs:   {} terms, {} tokens, {} READ RPCs, {} GETATTRs",
+        nfs_stats.unique_terms,
+        nfs_stats.tokens,
+        nfs.stats().reads.load(std::sync::atomic::Ordering::Relaxed),
+        nfs.stats()
+            .getattrs
+            .load(std::sync::atomic::Ordering::Relaxed),
+    );
+
+    // All three stacks index the same corpus identically.
+    assert_eq!(solros_index, virtio_index);
+    assert_eq!(solros_index, nfs_index);
+    assert_eq!(solros_stats.tokens, virtio_stats.tokens);
+    println!("all stacks produced identical indexes over identical corpora");
+
+    // Persist the index through the Solros path and reload it.
+    let solros_fs = Arc::clone(sys.data_plane(0).fs());
+    let bytes = solros_apps::write_index(&solros_index, &*solros_fs, "/index.bin").unwrap();
+    let reloaded = solros_apps::read_index(&*solros_fs, "/index.bin").unwrap();
+    assert_eq!(reloaded, solros_index);
+    println!(
+        "index persisted and reloaded through Solros ({} KiB)",
+        bytes / 1024
+    );
+
+    // Quick query demo.
+    let term = solros_apps::corpus::word(0);
+    let postings = solros_index.get(&term).unwrap();
+    println!(
+        "most common term {term:?} appears in {}/{} documents",
+        postings.len(),
+        spec.docs
+    );
+    sys.shutdown();
+}

@@ -1,0 +1,2 @@
+//! Umbrella library for the Solros-rs workspace; integration tests live
+//! in `tests/` and runnable examples in `examples/`.

@@ -1,0 +1,124 @@
+//! The example applications produce identical results on every I/O stack
+//! (the paper runs the same binaries on Solros and the stock Phi).
+
+use std::sync::Arc;
+
+use solros::control::Solros;
+use solros_apps::image_search::ImageDb;
+use solros_apps::{generate_corpus, CorpusSpec, TextIndexer};
+use solros_baseline::{FileStore, HostCentric, NfsClient, VirtioFs};
+use solros_fs::FileSystem;
+use solros_machine::{MachineConfig, WindowAlloc};
+use solros_nvme::NvmeDevice;
+use solros_pcie::{PcieCounters, Side, Window};
+
+fn fresh_fs() -> Arc<FileSystem> {
+    Arc::new(FileSystem::mkfs(NvmeDevice::new(65_536), 512).unwrap())
+}
+
+fn host_centric() -> Arc<HostCentric> {
+    let counters = Arc::new(PcieCounters::new());
+    Arc::new(HostCentric::new(
+        fresh_fs(),
+        Window::new(8 << 20, Side::Coproc, counters),
+        Arc::new(WindowAlloc::new(8 << 20)),
+    ))
+}
+
+#[test]
+fn text_indexing_identical_on_all_stacks() {
+    let spec = CorpusSpec {
+        docs: 24,
+        doc_bytes: 6_000,
+        vocab: 800,
+        skew: 0.8,
+        seed: 99,
+    };
+
+    // Solros (full system).
+    let sys = Solros::boot(MachineConfig::small());
+    let solros_fs = Arc::clone(sys.data_plane(0).fs());
+    generate_corpus(&*solros_fs, "/c", &spec).unwrap();
+    let (idx_solros, st_solros) = TextIndexer::new(solros_fs, 4).run("/c").unwrap();
+
+    // Baselines.
+    let virtio = Arc::new(VirtioFs::new(fresh_fs()));
+    generate_corpus(&*virtio, "/c", &spec).unwrap();
+    let (idx_virtio, st_virtio) = TextIndexer::new(virtio, 4).run("/c").unwrap();
+
+    let nfs = Arc::new(NfsClient::new(fresh_fs()));
+    generate_corpus(&*nfs, "/c", &spec).unwrap();
+    let (idx_nfs, st_nfs) = TextIndexer::new(nfs, 4).run("/c").unwrap();
+
+    let hc = host_centric();
+    generate_corpus(&*hc, "/c", &spec).unwrap();
+    let (idx_hc, st_hc) = TextIndexer::new(hc, 4).run("/c").unwrap();
+
+    assert_eq!(idx_solros, idx_virtio);
+    assert_eq!(idx_solros, idx_nfs);
+    assert_eq!(idx_solros, idx_hc);
+    assert_eq!(st_solros, st_virtio);
+    assert_eq!(st_solros, st_nfs);
+    assert_eq!(st_solros, st_hc);
+    assert_eq!(st_solros.docs, spec.docs);
+    sys.shutdown();
+}
+
+#[test]
+fn image_search_identical_on_all_stacks() {
+    let n = 800;
+    let seed = 1234;
+    let query = ImageDb::<VirtioFs>::vector_for_seed(n, seed, 321);
+
+    // Solros.
+    let sys = Solros::boot(MachineConfig::small());
+    let solros_fs = Arc::clone(sys.data_plane(0).fs());
+    let db = ImageDb::new(solros_fs, "/db");
+    db.build(n, seed).unwrap();
+    let (hits_solros, bytes) = db.search(&query, 7, 4).unwrap();
+    assert_eq!(hits_solros[0].id, 321);
+    assert_eq!(bytes as usize, n * solros_apps::image_search::VEC_BYTES);
+
+    // Virtio.
+    let virtio = Arc::new(VirtioFs::new(fresh_fs()));
+    let db = ImageDb::new(virtio, "/db");
+    db.build(n, seed).unwrap();
+    let (hits_virtio, _) = db.search(&query, 7, 4).unwrap();
+
+    // Host-centric.
+    let hc = host_centric();
+    let db = ImageDb::new(hc, "/db");
+    db.build(n, seed).unwrap();
+    let (hits_hc, _) = db.search(&query, 7, 2).unwrap();
+
+    assert_eq!(hits_solros, hits_virtio);
+    assert_eq!(hits_solros, hits_hc);
+    sys.shutdown();
+}
+
+#[test]
+fn filestore_trait_api_consistency() {
+    // Every stack honours the same error and size semantics.
+    let sys = Solros::boot(MachineConfig::small());
+    let stacks: Vec<(&str, Arc<dyn FileStore>)> = vec![
+        (
+            "solros",
+            Arc::clone(sys.data_plane(0).fs()) as Arc<dyn FileStore>,
+        ),
+        ("virtio", Arc::new(VirtioFs::new(fresh_fs()))),
+        ("nfs", Arc::new(NfsClient::new(fresh_fs()))),
+        ("host-centric", host_centric()),
+    ];
+    for (name, s) in &stacks {
+        assert!(s.open("/missing", false).is_err(), "{name}");
+        let h = s.create("/x").unwrap();
+        assert_eq!(s.write_at(h, 3, b"abc").unwrap(), 3, "{name}");
+        assert_eq!(s.size_of("/x").unwrap(), 6, "{name}");
+        let mut buf = [0u8; 6];
+        assert_eq!(s.read_at(h, 0, &mut buf).unwrap(), 6, "{name}");
+        assert_eq!(&buf, b"\0\0\0abc", "{name}");
+        s.mkdir("/d").unwrap();
+        assert!(s.readdir("/").unwrap().contains(&"d".to_string()), "{name}");
+    }
+    sys.shutdown();
+}

@@ -1,0 +1,209 @@
+//! End-to-end network integration: data-plane stub → RPC/event rings →
+//! TCP proxy → NIC fabric → simulated client machine.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use solros::control::Solros;
+use solros::tcp_proxy::AddrHash;
+use solros_machine::MachineConfig;
+use solros_netdev::EndKind;
+
+fn connect_client(
+    fabric: &Arc<solros_netdev::Network>,
+    port: u16,
+    addr: u64,
+) -> solros_netdev::ConnId {
+    loop {
+        match fabric.client_connect(port, addr) {
+            Ok(c) => return c,
+            Err(_) => std::thread::yield_now(),
+        }
+    }
+}
+
+fn client_recv(
+    fabric: &Arc<solros_netdev::Network>,
+    conn: solros_netdev::ConnId,
+    want: usize,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    while out.len() < want {
+        match fabric.recv(conn, EndKind::Client, want - out.len()) {
+            Ok(chunk) if chunk.is_empty() => std::thread::yield_now(),
+            Ok(chunk) => out.extend(chunk),
+            Err(e) => panic!("client recv: {e}"),
+        }
+    }
+    out
+}
+
+#[test]
+fn request_response_with_large_payloads() {
+    let sys = Solros::boot(MachineConfig::small());
+    let net = sys.data_plane(0).net().clone();
+    let listener = net.listen(5000, 32).unwrap();
+
+    let fabric = Arc::clone(sys.network());
+    let client = std::thread::spawn(move || {
+        let conn = connect_client(&fabric, 5000, 1);
+        // 200 KB request (crosses many event-ring elements).
+        let req: Vec<u8> = (0..200_000).map(|i| (i % 249) as u8).collect();
+        fabric.send(conn, EndKind::Client, &req).unwrap();
+        let reply = client_recv(&fabric, conn, req.len());
+        assert_eq!(reply.len(), req.len());
+        // The server echoes bytes incremented by one.
+        assert!(reply
+            .iter()
+            .zip(req.iter())
+            .all(|(r, q)| *r == q.wrapping_add(1)));
+        fabric.close(conn, EndKind::Client).unwrap();
+    });
+
+    let (stream, _) = listener.accept_timeout(Duration::from_secs(10)).unwrap();
+    let data = stream.recv_exact(200_000).expect("full request");
+    let reply: Vec<u8> = data.iter().map(|b| b.wrapping_add(1)).collect();
+    stream.send(&reply).unwrap();
+    client.join().unwrap();
+    sys.shutdown();
+}
+
+#[test]
+fn eof_propagates_to_the_data_plane() {
+    let sys = Solros::boot(MachineConfig::small());
+    let net = sys.data_plane(0).net().clone();
+    let listener = net.listen(5001, 8).unwrap();
+    let fabric = Arc::clone(sys.network());
+    let conn = connect_client(&fabric, 5001, 9);
+    fabric.send(conn, EndKind::Client, b"tail").unwrap();
+    fabric.close(conn, EndKind::Client).unwrap();
+
+    let (stream, _) = listener.accept_timeout(Duration::from_secs(10)).unwrap();
+    let mut buf = [0u8; 16];
+    let n = stream.recv(&mut buf);
+    assert_eq!(&buf[..n], b"tail");
+    // After the data drains, recv reports end-of-stream.
+    let n = stream.recv(&mut buf);
+    assert_eq!(n, 0, "EOF after peer close");
+    sys.shutdown();
+}
+
+#[test]
+fn pluggable_content_based_balancing_is_sticky() {
+    // §4.4.3: forwarding rules are pluggable; AddrHash pins a client to a
+    // co-processor.
+    let sys = Solros::boot_with_lb(MachineConfig::small(), Box::new(AddrHash));
+    let l0 = sys.data_plane(0).net().listen(5002, 64).unwrap();
+    let l1 = sys.data_plane(1).net().listen(5002, 64).unwrap();
+    let fabric = Arc::clone(sys.network());
+
+    // The same client address connects 6 times: all land on one listener.
+    for _ in 0..6 {
+        connect_client(&fabric, 5002, 0xBEEF);
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let a0 = sys.tcp_proxy_stats().accepted[0].load(std::sync::atomic::Ordering::Relaxed);
+    let a1 = sys.tcp_proxy_stats().accepted[1].load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(a0 + a1, 6);
+    assert!(a0 == 6 || a1 == 6, "sticky hashing: got {a0}/{a1}");
+    drop((l0, l1));
+    sys.shutdown();
+}
+
+#[test]
+fn rpc_polling_accept_and_recv_path() {
+    // The non-evented path: Accept and Recv as explicit RPCs (§5's
+    // one-to-one syscall mapping), used instead of the event channel.
+    use solros_proto::net_msg::{NetRequest, NetResponse};
+    use solros_proto::rpc_error::RpcErr;
+
+    let sys = Solros::boot(MachineConfig::small());
+    let net = sys.data_plane(0).net().clone();
+    let listener = net.listen(5003, 8).unwrap();
+    net.set_evented(listener.id(), false).unwrap();
+
+    let fabric = Arc::clone(sys.network());
+    let conn = connect_client(&fabric, 5003, 77);
+    fabric.send(conn, EndKind::Client, b"poll me").unwrap();
+
+    // Poll Accept until the proxy assigns the connection.
+    let raw = |req: NetRequest| -> NetResponse { net.raw_call(req) };
+    let conn_sock = loop {
+        match raw(NetRequest::Accept {
+            sock: listener.id(),
+        }) {
+            NetResponse::Accepted { conn, peer_addr } => {
+                assert_eq!(peer_addr, 77);
+                break conn;
+            }
+            NetResponse::Error {
+                err: RpcErr::WouldBlock,
+            } => std::thread::yield_now(),
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+    // Poll Recv.
+    let data = loop {
+        match raw(NetRequest::Recv {
+            sock: conn_sock,
+            max: 64,
+        }) {
+            NetResponse::Data { data } if data.is_empty() => std::thread::yield_now(),
+            NetResponse::Data { data } => break data,
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+    assert_eq!(data, b"poll me");
+    // Send via RPC and close.
+    match raw(NetRequest::Send {
+        sock: conn_sock,
+        data: b"ok".to_vec(),
+    }) {
+        NetResponse::Sent { count } => assert_eq!(count, 2),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(client_recv(&fabric, conn, 2), b"ok");
+    assert!(matches!(
+        raw(NetRequest::Close { sock: conn_sock }),
+        NetResponse::Ok
+    ));
+    sys.shutdown();
+}
+
+#[test]
+fn many_connections_round_robin_across_four_coprocs() {
+    let sys = Solros::boot(MachineConfig {
+        sockets: 2,
+        coprocs: 4,
+        ssd_blocks: 4096,
+        coproc_window_bytes: 1 << 20,
+        host_cache_pages: 64,
+    });
+    let listeners: Vec<_> = (0..4)
+        .map(|i| sys.data_plane(i).net().listen(5004, 256).unwrap())
+        .collect();
+    let fabric = Arc::clone(sys.network());
+    for c in 0..40 {
+        connect_client(&fabric, 5004, c);
+    }
+    // Wait for assignment.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let total: u64 = (0..4)
+            .map(|i| sys.tcp_proxy_stats().accepted[i].load(std::sync::atomic::Ordering::Relaxed))
+            .sum();
+        if total == 40 || std::time::Instant::now() > deadline {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    for i in 0..4 {
+        assert_eq!(
+            sys.tcp_proxy_stats().accepted[i].load(std::sync::atomic::Ordering::Relaxed),
+            10,
+            "round robin share for coproc {i}"
+        );
+    }
+    drop(listeners);
+    sys.shutdown();
+}

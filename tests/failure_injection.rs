@@ -1,0 +1,145 @@
+//! Failure-injection integration tests: device faults, connection
+//! teardown, and transport backpressure on the full system.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use solros::control::Solros;
+use solros_machine::MachineConfig;
+use solros_netdev::EndKind;
+use solros_proto::rpc_error::RpcErr;
+
+#[test]
+fn nvme_faults_are_retried_transparently() {
+    let sys = Solros::boot(MachineConfig::small());
+    let fs = sys.data_plane(0).fs();
+    let f = fs.create("/flaky").unwrap();
+    let data = vec![0x42u8; 128 * 1024];
+    fs.write_at(f, 0, &data).unwrap();
+    sys.host_fs().cache().invalidate_ino(f.0);
+
+    // Two transient media errors: the proxy's retry absorbs them.
+    sys.machine().nvme.inject_faults(2);
+    let back = fs.read_to_vec(f, 0, data.len()).unwrap();
+    assert_eq!(back, data);
+    assert!(sys.machine().nvme.stats().failures >= 2);
+    sys.shutdown();
+}
+
+#[test]
+fn persistent_nvme_failure_surfaces_as_io_error() {
+    let sys = Solros::boot(MachineConfig::small());
+    let fs = sys.data_plane(0).fs();
+    let f = fs.create("/doomed").unwrap();
+    fs.write_at(f, 0, &vec![1u8; 4096]).unwrap();
+    sys.host_fs().cache().invalidate_ino(f.0);
+
+    // More failures than the retry budget: the error must reach the app.
+    sys.machine().nvme.inject_faults(50);
+    let err = fs.read_to_vec(f, 0, 4096).unwrap_err();
+    assert_eq!(err, RpcErr::Io);
+    // Clear the injector; the system recovers.
+    sys.machine().nvme.inject_faults(0);
+    let back = fs.read_to_vec(f, 0, 4096).unwrap();
+    assert_eq!(back, vec![1u8; 4096]);
+    sys.shutdown();
+}
+
+#[test]
+fn send_after_peer_close_reports_reset() {
+    let sys = Solros::boot(MachineConfig::small());
+    let net = sys.data_plane(0).net().clone();
+    let listener = net.listen(6001, 8).unwrap();
+    let fabric = Arc::clone(sys.network());
+    let conn = loop {
+        if let Ok(c) = fabric.client_connect(6001, 5) {
+            break c;
+        }
+        std::thread::yield_now();
+    };
+    let (stream, _) = listener.accept_timeout(Duration::from_secs(10)).unwrap();
+    // The client half-closes its write side; the server can still send.
+    fabric.close(conn, EndKind::Client).unwrap();
+    assert!(stream.send(b"still fine").unwrap() > 0);
+    // The server closes too; now its sends fail.
+    let id = stream.id();
+    stream.close().unwrap();
+    use solros_proto::net_msg::{NetRequest, NetResponse};
+    let resp = net.raw_call(NetRequest::Send {
+        sock: id,
+        data: b"x".to_vec(),
+    });
+    assert!(
+        matches!(
+            resp,
+            NetResponse::Error {
+                err: RpcErr::NotConnected
+            }
+        ),
+        "got {resp:?}"
+    );
+    sys.shutdown();
+}
+
+#[test]
+fn connect_to_closed_port_refused() {
+    let sys = Solros::boot(MachineConfig::small());
+    let net = sys.data_plane(0).net();
+    let err = match net.connect(1, 59999) {
+        Err(e) => e,
+        Ok(_) => panic!("connect to a closed port must fail"),
+    };
+    assert_eq!(err, RpcErr::ConnRefused);
+    sys.shutdown();
+}
+
+#[test]
+fn oversized_send_chunks_through_the_bounded_ring() {
+    // Ring elements are bounded (64 KiB ring, 16 KiB max element); a
+    // 1 MiB send must chunk transparently and deliver every byte.
+    let sys = Solros::boot(MachineConfig::small());
+    let net = sys.data_plane(0).net().clone();
+    let listener = net.listen(6002, 8).unwrap();
+    let fabric = Arc::clone(sys.network());
+    let conn = loop {
+        if let Ok(c) = fabric.client_connect(6002, 5) {
+            break c;
+        }
+        std::thread::yield_now();
+    };
+    let (stream, _) = listener.accept_timeout(Duration::from_secs(10)).unwrap();
+    let big: Vec<u8> = (0..1usize << 20).map(|i| (i % 241) as u8).collect();
+    assert_eq!(stream.send(&big).unwrap(), big.len());
+    let mut got = Vec::new();
+    while got.len() < big.len() {
+        match fabric.recv(conn, EndKind::Client, 64 * 1024) {
+            Ok(chunk) if chunk.is_empty() => std::thread::yield_now(),
+            Ok(chunk) => got.extend(chunk),
+            Err(e) => panic!("client recv: {e}"),
+        }
+    }
+    assert_eq!(got, big);
+    sys.shutdown();
+}
+
+#[test]
+fn ring_backpressure_recovers() {
+    // Flood one co-processor's FS proxy with concurrent small writes so
+    // the request ring repeatedly fills; everything must still complete.
+    let sys = Solros::boot(MachineConfig::small());
+    let fs = Arc::clone(sys.data_plane(0).fs());
+    fs.mkdir("/flood").unwrap();
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let fs = Arc::clone(&fs);
+            s.spawn(move || {
+                let f = fs.create(&format!("/flood/{t}")).unwrap();
+                for i in 0..50u64 {
+                    fs.write_at(f, i * 512, &[t as u8; 512]).unwrap();
+                }
+                assert_eq!(fs.fstat(f).unwrap().size, 50 * 512);
+            });
+        }
+    });
+    sys.shutdown();
+}

@@ -1,0 +1,140 @@
+//! Randomized full-system soak: file-system and network traffic from
+//! every co-processor concurrently, checked for integrity throughout.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use solros::control::Solros;
+use solros_machine::MachineConfig;
+use solros_netdev::EndKind;
+use solros_simkit::DetRng;
+
+#[test]
+fn fs_and_net_soak() {
+    let sys = Solros::boot(MachineConfig {
+        sockets: 2,
+        coprocs: 2,
+        ssd_blocks: 32_768,
+        coproc_window_bytes: 8 << 20,
+        host_cache_pages: 256,
+    });
+
+    // --- Network half: an echo server on co-processor 1 + client storm ---
+    let net = sys.data_plane(1).net().clone();
+    let listener = net.listen(4242, 128).unwrap();
+    let server = std::thread::spawn(move || {
+        let mut served = 0u32;
+        while let Some((stream, _)) = listener.accept_timeout(Duration::from_millis(800)) {
+            // Echo a framed message: [u32 len][payload].
+            let hdr = stream.recv_exact(4).expect("length header");
+            let len = u32::from_le_bytes(hdr.try_into().expect("4 bytes")) as usize;
+            let body = stream.recv_exact(len).expect("body");
+            stream.send(&body).unwrap();
+            served += 1;
+        }
+        served
+    });
+
+    let fabric = Arc::clone(sys.network());
+    let clients = 3usize;
+    let per_client = 10usize;
+    let mut client_threads = Vec::new();
+    for c in 0..clients {
+        let fabric = Arc::clone(&fabric);
+        client_threads.push(std::thread::spawn(move || {
+            let mut rng = DetRng::seed(100 + c as u64);
+            for i in 0..per_client {
+                let conn = loop {
+                    if let Ok(x) = fabric.client_connect(4242, (c * 100 + i) as u64) {
+                        break x;
+                    }
+                    std::thread::yield_now();
+                };
+                let len = 1 + rng.index(3000);
+                let mut msg = vec![(c * 7 + i) as u8; len];
+                rng.fill(&mut msg[..len.min(16)]);
+                let mut framed = (len as u32).to_le_bytes().to_vec();
+                framed.extend_from_slice(&msg);
+                fabric.send(conn, EndKind::Client, &framed).unwrap();
+                let mut echo = Vec::new();
+                while echo.len() < len {
+                    match fabric.recv(conn, EndKind::Client, len - echo.len()) {
+                        Ok(chunk) if chunk.is_empty() => std::thread::yield_now(),
+                        Ok(chunk) => echo.extend(chunk),
+                        Err(e) => panic!("client recv: {e}"),
+                    }
+                }
+                assert_eq!(echo, msg, "client {c} message {i}");
+                fabric.close(conn, EndKind::Client).unwrap();
+            }
+        }));
+    }
+
+    // --- FS half: both co-processors churn files concurrently ---
+    let mut fs_threads = Vec::new();
+    for cp in 0..2usize {
+        let fs = Arc::clone(sys.data_plane(cp).fs());
+        fs_threads.push(std::thread::spawn(move || {
+            let mut rng = DetRng::seed(7 + cp as u64);
+            fs.mkdir(&format!("/soak{cp}")).unwrap();
+            let mut live: Vec<(String, solros::fs_api::FileHandle, Vec<u8>)> = Vec::new();
+            for op in 0..120 {
+                match rng.index(4) {
+                    0 | 1 => {
+                        // Create or overwrite a file with random content.
+                        let name = format!("/soak{cp}/f{}", rng.index(10));
+                        let mut data = vec![0u8; 1 + rng.index(40_000)];
+                        rng.fill(&mut data);
+                        let (h, _) = fs.open(&name, true, true, false).unwrap();
+                        fs.write_at(h, 0, &data).unwrap();
+                        live.retain(|(n, _, _)| *n != name);
+                        live.push((name, h, data));
+                    }
+                    2 => {
+                        // Read back a random live file and verify.
+                        if let Some((name, h, data)) = live.get(
+                            rng.index(live.len().max(1))
+                                .min(live.len().saturating_sub(1)),
+                        ) {
+                            if !live.is_empty() {
+                                let got = fs.read_to_vec(*h, 0, data.len()).unwrap();
+                                assert_eq!(&got, data, "cp{cp} op{op} file {name}");
+                            }
+                        }
+                    }
+                    _ => {
+                        // Unlink one.
+                        if !live.is_empty() {
+                            let (name, _, _) = live.remove(rng.index(live.len()));
+                            fs.unlink(&name).unwrap();
+                        }
+                    }
+                }
+            }
+            // Final verification of every surviving file.
+            for (name, h, data) in &live {
+                let got = fs.read_to_vec(*h, 0, data.len()).unwrap();
+                assert_eq!(&got, data, "final check {name}");
+            }
+            live.len()
+        }));
+    }
+
+    for t in client_threads {
+        t.join().unwrap();
+    }
+    for t in fs_threads {
+        assert!(t.join().unwrap() <= 10);
+    }
+    let served = server.join().unwrap();
+    assert_eq!(served as usize, clients * per_client);
+    // The proxies stayed coherent throughout.
+    let total_rpcs: u64 = (0..2)
+        .map(|i| sys.fs_proxy_stats(i).rpcs.load(Ordering::Relaxed))
+        .sum();
+    assert!(total_rpcs > 200, "fs traffic flowed: {total_rpcs}");
+    // The file system is structurally consistent after the storm.
+    sys.host_fs().fsck().expect("fsck clean after soak");
+    sys.shutdown();
+}

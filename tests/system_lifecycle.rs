@@ -1,0 +1,70 @@
+//! System lifecycle: persistence across reboots and multi-co-processor
+//! application scaling on one shared file system.
+
+use std::sync::Arc;
+
+use solros::control::Solros;
+use solros_apps::{distributed_index, generate_corpus, CorpusSpec, TextIndexer};
+use solros_machine::MachineConfig;
+
+#[test]
+fn files_survive_a_reboot() {
+    let cfg = MachineConfig::small();
+    let payload: Vec<u8> = (0..150_000).map(|i| (i % 251) as u8).collect();
+
+    // First boot: create state through the data plane and sync.
+    let nvme = {
+        let sys = Solros::boot(cfg.clone());
+        let fs = sys.data_plane(0).fs();
+        fs.mkdir("/persist").unwrap();
+        let f = fs.create("/persist/state.bin").unwrap();
+        fs.write_at(f, 0, &payload).unwrap();
+        fs.fsync(f).unwrap();
+        let nvme = Arc::clone(&sys.machine().nvme);
+        sys.shutdown();
+        nvme
+    };
+
+    // Second boot: mount the same device; the other co-processor reads.
+    let sys = Solros::boot_mounted(cfg, nvme).expect("remount");
+    let fs = sys.data_plane(1).fs();
+    let (f, size) = fs.open("/persist/state.bin", false, false, false).unwrap();
+    assert_eq!(size, payload.len() as u64);
+    let back = fs.read_to_vec(f, 0, payload.len()).unwrap();
+    assert_eq!(back, payload);
+    // And the remounted system keeps working for new writes.
+    let g = fs.create("/persist/second-boot").unwrap();
+    fs.write_at(g, 0, b"still alive").unwrap();
+    assert_eq!(fs.read_to_vec(g, 0, 11).unwrap(), b"still alive");
+    sys.shutdown();
+}
+
+#[test]
+fn distributed_indexing_across_data_planes() {
+    // One corpus on the shared file system, indexed by both co-processors
+    // in parallel (each through its own stub/proxy/rings), merged.
+    let sys = Solros::boot(MachineConfig::small());
+    let spec = CorpusSpec {
+        docs: 16,
+        doc_bytes: 5_000,
+        vocab: 600,
+        skew: 0.8,
+        seed: 5,
+    };
+    let fs0 = Arc::clone(sys.data_plane(0).fs());
+    let fs1 = Arc::clone(sys.data_plane(1).fs());
+    generate_corpus(&*fs0, "/corpus", &spec).unwrap();
+
+    let (single, _) = TextIndexer::new(Arc::clone(&fs0), 2)
+        .run("/corpus")
+        .unwrap();
+    let (dist, stats) = distributed_index(&[fs0, fs1], "/corpus", 2).unwrap();
+    assert_eq!(single, dist, "sharded result identical to single-card");
+    assert_eq!(stats.docs, spec.docs);
+    // Both proxies actually served part of the work.
+    use std::sync::atomic::Ordering;
+    let r0 = sys.fs_proxy_stats(0).rpcs.load(Ordering::Relaxed);
+    let r1 = sys.fs_proxy_stats(1).rpcs.load(Ordering::Relaxed);
+    assert!(r0 > 0 && r1 > 0, "both proxies participated: {r0}/{r1}");
+    sys.shutdown();
+}
