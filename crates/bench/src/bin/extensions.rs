@@ -1,5 +1,20 @@
 //! Regenerates the extension experiments (beyond the paper's figures).
+//!
+//! With no arguments, renders every extension. `extensions e3` renders
+//! only the QoS overload experiment — the cheap deterministic one CI
+//! runs as a smoke test.
 
 fn main() {
-    print!("{}", solros_bench::extensions::run_all());
+    let only = std::env::args().nth(1);
+    match only.as_deref() {
+        Some("e3") => print!(
+            "## E3 — QoS gate under overload\n\n{}",
+            solros_bench::extensions::qos_overload()
+        ),
+        Some(other) => {
+            eprintln!("unknown experiment {other:?}; expected `e3` or no argument");
+            std::process::exit(2);
+        }
+        None => print!("{}", solros_bench::extensions::run_all()),
+    }
 }

@@ -14,6 +14,7 @@ use std::thread::JoinHandle;
 use solros_fs::FileSystem;
 use solros_machine::{Machine, MachineConfig};
 use solros_netdev::Network;
+use solros_qos::{CreditPool, DwrrScheduler, QosConfig, QosStats};
 
 use crate::fs_api::CoprocFs;
 use crate::fs_proxy::{FsProxy, FsProxyStats};
@@ -46,6 +47,8 @@ pub struct Solros {
     data_planes: Vec<DataPlane>,
     fs_stats: Vec<Arc<FsProxyStats>>,
     tcp_stats: Arc<TcpProxyStats>,
+    fs_qos_stats: Vec<Arc<QosStats>>,
+    tcp_qos_stats: Option<Arc<QosStats>>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -58,10 +61,26 @@ impl Solros {
 
     /// Boots with a custom shared-listening-socket policy (§4.4.3).
     pub fn boot_with_lb(cfg: MachineConfig, lb: Box<dyn LoadBalancer>) -> Solros {
+        Self::boot_with_lb_qos(cfg, lb, QosConfig::default())
+    }
+
+    /// Boots with an explicit QoS configuration. The default config is
+    /// pass-through (no gate, no credits); [`QosConfig::enforcing`] or a
+    /// custom config turns the proxies' service loops into QoS gates.
+    pub fn boot_qos(cfg: MachineConfig, qos: QosConfig) -> Solros {
+        Self::boot_with_lb_qos(cfg, Box::new(RoundRobin::default()), qos)
+    }
+
+    /// Boots with both a custom load balancer and a QoS configuration.
+    pub fn boot_with_lb_qos(
+        cfg: MachineConfig,
+        lb: Box<dyn LoadBalancer>,
+        qos: QosConfig,
+    ) -> Solros {
         let cache_pages = cfg.host_cache_pages;
         let machine = Machine::new(cfg);
         let fs = Arc::new(FileSystem::mkfs(Arc::clone(&machine.nvme), cache_pages).expect("mkfs"));
-        Self::assemble(machine, fs, lb)
+        Self::assemble(machine, fs, lb, qos)
     }
 
     /// Boots against an already-formatted SSD, mounting it instead of
@@ -78,15 +97,33 @@ impl Solros {
         let cache_pages = cfg.host_cache_pages;
         let machine = Machine::with_nvme(cfg, Arc::clone(&nvme));
         let fs = Arc::new(FileSystem::mount(nvme, cache_pages)?);
-        Ok(Self::assemble(machine, fs, Box::new(RoundRobin::default())))
+        Ok(Self::assemble(
+            machine,
+            fs,
+            Box::new(RoundRobin::default()),
+            QosConfig::default(),
+        ))
     }
 
-    fn assemble(machine: Machine, fs: Arc<FileSystem>, lb: Box<dyn LoadBalancer>) -> Solros {
+    fn assemble(
+        machine: Machine,
+        fs: Arc<FileSystem>,
+        lb: Box<dyn LoadBalancer>,
+        qos: QosConfig,
+    ) -> Solros {
         let shutdown = Arc::new(AtomicBool::new(false));
         let mut threads = Vec::new();
         let mut data_planes = Vec::new();
         let mut fs_stats = Vec::new();
+        let mut fs_qos_stats = Vec::new();
         let mut net_host_channels = Vec::new();
+        let credit_pool = |_: &str| -> Option<Arc<CreditPool>> {
+            if qos.enabled && qos.credit_window > 0 {
+                Some(Arc::new(CreditPool::new(qos.credit_window)))
+            } else {
+                None
+            }
+        };
 
         for coproc in &machine.coprocs {
             // ---- File-system service ----
@@ -101,13 +138,21 @@ impl Solros {
             );
             let sd = Arc::clone(&shutdown);
             let (req_rx, resp_tx) = (fs_ch.req_rx, fs_ch.resp_tx);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("solros-fs-proxy-{}", coproc.id))
+            let builder =
+                std::thread::Builder::new().name(format!("solros-fs-proxy-{}", coproc.id));
+            let handle = if qos.enabled {
+                let gate = DwrrScheduler::per_class(&format!("fs{}", coproc.id), &qos);
+                fs_qos_stats.push(gate.stats());
+                builder
+                    .spawn(move || proxy.serve_qos(req_rx, resp_tx, sd, gate))
+                    .expect("spawn fs proxy")
+            } else {
+                builder
                     .spawn(move || proxy.serve(req_rx, resp_tx, sd))
-                    .expect("spawn fs proxy"),
-            );
-            let fs_client = RpcClient::new(fs_ch.req_tx, fs_ch.resp_rx);
+                    .expect("spawn fs proxy")
+            };
+            threads.push(handle);
+            let fs_client = RpcClient::with_credits(fs_ch.req_tx, fs_ch.resp_rx, credit_pool("fs"));
             let coproc_fs = Arc::new(CoprocFs::new(
                 fs_client,
                 Arc::clone(&coproc.window),
@@ -122,7 +167,8 @@ impl Solros {
                 resp_tx: net_ch.resp_tx,
                 evt_tx,
             });
-            let net_client = RpcClient::new(net_ch.req_tx, net_ch.resp_rx);
+            let net_client =
+                RpcClient::with_credits(net_ch.req_tx, net_ch.resp_rx, credit_pool("net"));
             let (coproc_net, dispatcher) =
                 CoprocNet::start(net_client, evt_rx, Arc::clone(&shutdown));
             threads.push(dispatcher);
@@ -134,8 +180,13 @@ impl Solros {
         }
 
         // ---- TCP proxy (one thread for the whole machine) ----
-        let (tcp_proxy, tcp_stats) =
+        let (mut tcp_proxy, tcp_stats) =
             TcpProxy::new(Arc::clone(&machine.network), net_host_channels, lb);
+        let tcp_qos_stats = if qos.enabled {
+            Some(tcp_proxy.enable_qos(&qos))
+        } else {
+            None
+        };
         let sd = Arc::clone(&shutdown);
         threads.push(
             std::thread::Builder::new()
@@ -150,6 +201,8 @@ impl Solros {
             data_planes,
             fs_stats,
             tcp_stats,
+            fs_qos_stats,
+            tcp_qos_stats,
             shutdown,
             threads,
         }
@@ -193,6 +246,17 @@ impl Solros {
     /// TCP-proxy statistics.
     pub fn tcp_proxy_stats(&self) -> &Arc<TcpProxyStats> {
         &self.tcp_stats
+    }
+
+    /// QoS ledger for co-processor `i`'s FS gate, or `None` when the
+    /// system was booted pass-through (QoS disabled).
+    pub fn fs_qos_stats(&self, i: usize) -> Option<&Arc<QosStats>> {
+        self.fs_qos_stats.get(i)
+    }
+
+    /// QoS ledger for the TCP proxy's gate, or `None` when pass-through.
+    pub fn tcp_qos_stats(&self) -> Option<&Arc<QosStats>> {
+        self.tcp_qos_stats.as_ref()
     }
 
     /// Stops all proxy threads and joins them.
@@ -280,6 +344,80 @@ mod tests {
         assert_eq!(&buf[..n], b"ping");
         stream.send(b"pong").unwrap();
         client.join().unwrap();
+        sys.shutdown();
+    }
+
+    #[test]
+    fn boot_qos_enforcing_roundtrips_fs_and_net() {
+        let sys = Solros::boot_qos(MachineConfig::small(), QosConfig::enforcing());
+        // FS ops flow through the DWRR gate and still round-trip.
+        let fs = sys.data_plane(0).fs();
+        let f = fs.create("/gated").unwrap();
+        let payload: Vec<u8> = (0..20_000).map(|x| (x % 241) as u8).collect();
+        assert_eq!(fs.write_at(f, 0, &payload).unwrap(), payload.len());
+        assert_eq!(fs.read_to_vec(f, 0, payload.len()).unwrap(), payload);
+
+        // Network echo still works through the gated TCP proxy.
+        let net = sys.data_plane(0).net().clone();
+        let listener = net.listen(7788, 16).unwrap();
+        let fabric = Arc::clone(sys.network());
+        let client = std::thread::spawn(move || {
+            let conn = loop {
+                match fabric.client_connect(7788, 7) {
+                    Ok(c) => break c,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            fabric
+                .send(conn, solros_netdev::EndKind::Client, b"hi")
+                .unwrap();
+            loop {
+                let got = fabric
+                    .recv(conn, solros_netdev::EndKind::Client, 16)
+                    .unwrap();
+                if !got.is_empty() {
+                    assert_eq!(got, b"ok");
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        });
+        let (stream, _) = listener
+            .accept_timeout(Duration::from_secs(5))
+            .expect("accept");
+        let mut buf = [0u8; 16];
+        let n = stream.recv(&mut buf);
+        assert_eq!(&buf[..n], b"hi");
+        stream.send(b"ok").unwrap();
+        client.join().unwrap();
+
+        // The QoS ledgers saw the traffic and shed nothing at this load.
+        let ledger = sys.fs_qos_stats(0).expect("qos enabled");
+        let snaps = ledger.snapshot();
+        assert!(snaps.iter().map(|s| s.dispatched).sum::<u64>() > 0);
+        assert_eq!(ledger.total_shed(), 0);
+        assert!(snaps.iter().all(|s| s.accounted()));
+        let net_ledger = sys.tcp_qos_stats().expect("qos enabled");
+        assert!(
+            net_ledger
+                .snapshot()
+                .iter()
+                .map(|s| s.dispatched)
+                .sum::<u64>()
+                > 0
+        );
+        sys.shutdown();
+    }
+
+    #[test]
+    fn default_qos_config_is_pass_through() {
+        let sys = Solros::boot_qos(MachineConfig::small(), QosConfig::default());
+        assert!(sys.fs_qos_stats(0).is_none());
+        assert!(sys.tcp_qos_stats().is_none());
+        let fs = sys.data_plane(0).fs();
+        let f = fs.create("/plain").unwrap();
+        assert_eq!(fs.write_at(f, 0, b"abc").unwrap(), 3);
+        assert_eq!(fs.read_to_vec(f, 0, 3).unwrap(), b"abc");
         sys.shutdown();
     }
 

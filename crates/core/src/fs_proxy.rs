@@ -23,8 +23,10 @@ use solros_fs::{FileSystem, FsError};
 use solros_nvme::{DmaPtr, NvmeCommand, NvmeError, BLOCK_SIZE};
 use solros_pcie::window::Window;
 use solros_pcie::Side;
+use solros_proto::codec::stamp_credit;
 use solros_proto::fs_msg::{FsRequest, FsResponse};
 use solros_proto::rpc_error::RpcErr;
+use solros_qos::{Dispatch, DwrrScheduler, QosClass, Verdict};
 use solros_ringbuf::{Consumer, Producer};
 
 /// NVMe MDTS in blocks (mirrors `solros_nvme::device::MDTS_BLOCKS`).
@@ -59,6 +61,27 @@ fn rpc_err(e: FsError) -> RpcErr {
         FsError::TooLarge => RpcErr::TooLarge,
         FsError::InvalidPath => RpcErr::Invalid,
         FsError::Corrupt | FsError::Io(_) => RpcErr::Io,
+    }
+}
+
+/// Data transfers above this size are classed best-effort (bulk) by the
+/// QoS gate; smaller transfers ride the normal class.
+pub const QOS_BULK_BYTES: u64 = 256 * 1024;
+
+/// Maps an FS request onto a (flow index, payload bytes) pair for the
+/// QoS gate. Flow indices follow [`QosClass::index`]: metadata is
+/// latency-sensitive (the paper's proxies serve it inline), data moves
+/// by size.
+fn classify(req: &FsRequest) -> (usize, u64) {
+    match req {
+        FsRequest::Read { count, .. } | FsRequest::Write { count, .. } => {
+            if *count > QOS_BULK_BYTES {
+                (QosClass::BestEffort.index(), *count)
+            } else {
+                (QosClass::Normal.index(), *count)
+            }
+        }
+        _ => (QosClass::High.index(), 0),
     }
 }
 
@@ -119,6 +142,91 @@ impl FsProxy {
                     let _ = resp_tx.send_blocking(&reply);
                 }
                 Err(_) => std::thread::yield_now(),
+            }
+        }
+    }
+
+    /// Serves requests through a QoS gate until `shutdown` is set.
+    ///
+    /// Ring arrivals are admitted into per-class queues (metadata ops are
+    /// [`QosClass::High`]; small data ops [`QosClass::Normal`]; bulk data
+    /// [`QosClass::BestEffort`]) and drained in DWRR order. Shed requests
+    /// — overload, full queue, or expired deadline — are answered
+    /// immediately with [`RpcErr::Overloaded`]; nothing is dropped
+    /// silently. Every reply carries the flow's current credit window so
+    /// stubs feel backpressure before the rings fill.
+    pub fn serve_qos(
+        mut self,
+        req_rx: Consumer,
+        resp_tx: Producer,
+        shutdown: Arc<AtomicBool>,
+        mut gate: DwrrScheduler<(u32, FsRequest)>,
+    ) {
+        let epoch = std::time::Instant::now();
+        while !shutdown.load(Ordering::Relaxed) {
+            let mut progressed = false;
+            // Admit a bounded burst from the ring into the class queues.
+            for _ in 0..32 {
+                let Ok(frame) = req_rx.recv() else { break };
+                progressed = true;
+                match FsRequest::decode(&frame) {
+                    Ok((tag, req)) => {
+                        let (flow, bytes) = classify(&req);
+                        let now = epoch.elapsed().as_nanos() as u64;
+                        if let Verdict::Shed { item, .. } =
+                            gate.submit(flow, bytes, now, (tag, req))
+                        {
+                            let mut reply = FsResponse::Error {
+                                err: RpcErr::Overloaded,
+                            }
+                            .encode(item.0);
+                            stamp_credit(&mut reply, gate.credit(flow));
+                            let _ = resp_tx.send_blocking(&reply);
+                        }
+                    }
+                    Err(_) => {
+                        let _ = resp_tx.send_blocking(
+                            &FsResponse::Error {
+                                err: RpcErr::Invalid,
+                            }
+                            .encode(0),
+                        );
+                    }
+                }
+            }
+            // Drain a bounded burst of scheduled work.
+            for _ in 0..32 {
+                let now = epoch.elapsed().as_nanos() as u64;
+                match gate.dispatch(now) {
+                    Dispatch::Run {
+                        flow,
+                        item: (tag, req),
+                        ..
+                    } => {
+                        progressed = true;
+                        self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+                        let mut reply = self.handle(req).encode(tag);
+                        stamp_credit(&mut reply, gate.credit(flow));
+                        let _ = resp_tx.send_blocking(&reply);
+                    }
+                    Dispatch::Shed {
+                        flow,
+                        item: (tag, _),
+                        ..
+                    } => {
+                        progressed = true;
+                        let mut reply = FsResponse::Error {
+                            err: RpcErr::Overloaded,
+                        }
+                        .encode(tag);
+                        stamp_credit(&mut reply, gate.credit(flow));
+                        let _ = resp_tx.send_blocking(&reply);
+                    }
+                    Dispatch::Idle => break,
+                }
+            }
+            if !progressed {
+                std::thread::yield_now();
             }
         }
     }

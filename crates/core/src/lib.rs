@@ -46,4 +46,5 @@ pub mod transport;
 pub use control::Solros;
 pub use fs_api::CoprocFs;
 pub use net_api::{CoprocNet, TcpListener, TcpStream};
-pub use tcp_proxy::{ConnMeta, LoadBalancer, RoundRobin};
+pub use solros_qos::{ClassConfig, QosClass, QosConfig, QosStats};
+pub use tcp_proxy::{ConnMeta, LeastLoaded, LoadBalancer, RoundRobin};

@@ -16,8 +16,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use solros_netdev::{ConnId, EndKind, Network, NetworkError};
+use solros_proto::codec::stamp_credit;
 use solros_proto::net_msg::{NetEvent, NetRequest, NetResponse, SockId};
 use solros_proto::rpc_error::RpcErr;
+use solros_qos::{Dispatch, DwrrScheduler, FlowSpec, QosClass, QosConfig, QosStats, Verdict};
 use solros_ringbuf::{Consumer, Producer};
 
 /// Socket option: event-driven delivery (1 = events, 0 = RPC polling).
@@ -37,6 +39,18 @@ pub trait LoadBalancer: Send {
     /// Picks the index of the listener (among `n` candidates, in
     /// registration order) that receives this connection.
     fn pick(&mut self, n: usize, meta: &ConnMeta) -> usize;
+
+    /// Informs the policy that the connection went to listener `idx`
+    /// (the value returned by [`LoadBalancer::pick`]). Default: ignored.
+    fn conn_assigned(&mut self, idx: usize) {
+        let _ = idx;
+    }
+
+    /// Informs the policy that a connection previously assigned to
+    /// listener `idx` has closed. Default: ignored.
+    fn conn_closed(&mut self, idx: usize) {
+        let _ = idx;
+    }
 }
 
 /// The paper's connection-based round-robin policy.
@@ -61,6 +75,43 @@ pub struct AddrHash;
 impl LoadBalancer for AddrHash {
     fn pick(&mut self, n: usize, meta: &ConnMeta) -> usize {
         (meta.client_addr as usize).wrapping_mul(0x9E37_79B9) % n
+    }
+}
+
+/// Routes each connection to the listener with the fewest in-flight
+/// connections, so a co-processor stuck on long-lived transfers stops
+/// receiving new work while its siblings stay busy. Ties break with a
+/// rotating cursor, which degrades to round-robin under uniform load.
+#[derive(Default)]
+pub struct LeastLoaded {
+    in_flight: Vec<u64>,
+    next: usize,
+}
+
+impl LoadBalancer for LeastLoaded {
+    fn pick(&mut self, n: usize, _meta: &ConnMeta) -> usize {
+        if self.in_flight.len() < n {
+            self.in_flight.resize(n, 0);
+        }
+        let winner = (0..n)
+            .map(|k| (self.next + k) % n)
+            .min_by_key(|&i| self.in_flight[i])
+            .unwrap_or(0);
+        self.next = (winner + 1) % n.max(1);
+        winner
+    }
+
+    fn conn_assigned(&mut self, idx: usize) {
+        if self.in_flight.len() <= idx {
+            self.in_flight.resize(idx + 1, 0);
+        }
+        self.in_flight[idx] += 1;
+    }
+
+    fn conn_closed(&mut self, idx: usize) {
+        if let Some(c) = self.in_flight.get_mut(idx) {
+            *c = c.saturating_sub(1);
+        }
     }
 }
 
@@ -99,6 +150,9 @@ struct SockRec {
     evented: bool,
     /// For evented conns: a Closed event has been delivered.
     close_sent: bool,
+    /// For accepted conns: the balancer slot this connection counts
+    /// against, so [`LoadBalancer::conn_closed`] fires exactly once.
+    lb_slot: Option<usize>,
 }
 
 struct PortRec {
@@ -119,10 +173,23 @@ pub struct TcpProxy {
     /// Pending accepts for non-evented (RPC-polling) listeners.
     pending_accepts: HashMap<SockId, VecDeque<(SockId, u64)>>,
     next_sock: SockId,
+    /// QoS gate over per-(co-processor, class) flows; None = FIFO.
+    qos: Option<DwrrScheduler<(u32, NetRequest)>>,
 }
 
 /// Max bytes pulled from the fabric per connection per poll round.
 const RECV_CHUNK: usize = 64 * 1024;
+
+/// Maps a net request to (class offset within a co-processor's flow
+/// pair, payload bytes): data movement is normal class (offset 1),
+/// connection management is high (offset 0).
+fn classify_net(req: &NetRequest) -> (usize, u64) {
+    match req {
+        NetRequest::Send { data, .. } => (1, data.len() as u64),
+        NetRequest::Recv { max, .. } => (1, *max as u64),
+        _ => (0, 0),
+    }
+}
 
 impl TcpProxy {
     /// Creates a proxy over the NIC fabric and per-co-processor channels.
@@ -147,13 +214,41 @@ impl TcpProxy {
                 evented_conns: Vec::new(),
                 pending_accepts: HashMap::new(),
                 next_sock: 1,
+                qos: None,
             },
             stats,
         )
     }
 
+    /// Installs a QoS gate with one (high, normal) flow pair per
+    /// co-processor, built from `cfg`. Returns the gate's stats ledger.
+    /// Must be called before [`TcpProxy::run`].
+    pub fn enable_qos(&mut self, cfg: &QosConfig) -> Arc<QosStats> {
+        let mut specs = Vec::new();
+        for c in 0..self.channels.len() {
+            for class in [QosClass::High, QosClass::Normal] {
+                specs.push(FlowSpec::from_class(
+                    format!("net{c}/{}", class.label()),
+                    class,
+                    cfg.class(class),
+                ));
+            }
+        }
+        let gate = DwrrScheduler::new(specs, cfg.quantum_bytes, cfg.overload_threshold);
+        let stats = gate.stats();
+        self.qos = Some(gate);
+        stats
+    }
+
     /// Runs the proxy loop until `shutdown`.
     pub fn run(mut self, shutdown: Arc<AtomicBool>) {
+        match self.qos.take() {
+            Some(gate) => self.run_qos(shutdown, gate),
+            None => self.run_fifo(shutdown),
+        }
+    }
+
+    fn run_fifo(mut self, shutdown: Arc<AtomicBool>) {
         while !shutdown.load(Ordering::Relaxed) {
             let mut idle = true;
             for c in 0..self.channels.len() {
@@ -188,6 +283,90 @@ impl TcpProxy {
         }
     }
 
+    /// The QoS service loop: admit ring arrivals into per-(coproc, class)
+    /// flows, serve in DWRR order, answer shed requests with
+    /// [`RpcErr::Overloaded`], and piggyback credit windows on replies.
+    fn run_qos(mut self, shutdown: Arc<AtomicBool>, mut gate: DwrrScheduler<(u32, NetRequest)>) {
+        let epoch = std::time::Instant::now();
+        while !shutdown.load(Ordering::Relaxed) {
+            let mut idle = true;
+            for c in 0..self.channels.len() {
+                for _ in 0..32 {
+                    let Ok(frame) = self.channels[c].req_rx.recv() else {
+                        break;
+                    };
+                    idle = false;
+                    match NetRequest::decode(&frame) {
+                        Ok((tag, req)) => {
+                            let (class_off, bytes) = classify_net(&req);
+                            let flow = c * 2 + class_off;
+                            let now = epoch.elapsed().as_nanos() as u64;
+                            if let Verdict::Shed { item: (tag, _), .. } =
+                                gate.submit(flow, bytes, now, (tag, req))
+                            {
+                                let mut reply = NetResponse::Error {
+                                    err: RpcErr::Overloaded,
+                                }
+                                .encode(tag);
+                                stamp_credit(&mut reply, gate.credit(flow));
+                                let _ = self.channels[c].resp_tx.send_blocking(&reply);
+                            }
+                        }
+                        Err(_) => {
+                            let _ = self.channels[c].resp_tx.send_blocking(
+                                &NetResponse::Error {
+                                    err: RpcErr::Invalid,
+                                }
+                                .encode(0),
+                            );
+                        }
+                    }
+                }
+            }
+            for _ in 0..64 {
+                let now = epoch.elapsed().as_nanos() as u64;
+                match gate.dispatch(now) {
+                    Dispatch::Run {
+                        flow,
+                        item: (tag, req),
+                        ..
+                    } => {
+                        idle = false;
+                        let c = flow / 2;
+                        self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+                        let mut reply = self.handle(c, req).encode(tag);
+                        stamp_credit(&mut reply, gate.credit(flow));
+                        let _ = self.channels[c].resp_tx.send_blocking(&reply);
+                    }
+                    Dispatch::Shed {
+                        flow,
+                        item: (tag, _),
+                        ..
+                    } => {
+                        idle = false;
+                        let c = flow / 2;
+                        let mut reply = NetResponse::Error {
+                            err: RpcErr::Overloaded,
+                        }
+                        .encode(tag);
+                        stamp_credit(&mut reply, gate.credit(flow));
+                        let _ = self.channels[c].resp_tx.send_blocking(&reply);
+                    }
+                    Dispatch::Idle => break,
+                }
+            }
+            if self.poll_accepts() {
+                idle = false;
+            }
+            if self.poll_data() {
+                idle = false;
+            }
+            if idle {
+                std::thread::yield_now();
+            }
+        }
+    }
+
     /// Executes one RPC from co-processor `coproc`.
     pub fn handle(&mut self, coproc: usize, req: NetRequest) -> NetResponse {
         match req {
@@ -201,6 +380,7 @@ impl TcpProxy {
                         state: SockState::Fresh,
                         evented: true,
                         close_sent: false,
+                        lb_slot: None,
                     },
                 );
                 NetResponse::Socket { sock: id }
@@ -399,6 +579,9 @@ impl TcpProxy {
             SockState::Conn { id, end } => {
                 let _ = self.network.close(id, end);
                 rec.state = SockState::Closed;
+                if let Some(slot) = rec.lb_slot.take() {
+                    self.lb.conn_closed(slot);
+                }
                 self.evented_conns.retain(|s| *s != sock);
             }
             SockState::Listening(port) => {
@@ -430,6 +613,7 @@ impl TcpProxy {
                 let meta = ConnMeta { client_addr, port };
                 let idx = self.lb.pick(listeners.len(), &meta) % listeners.len();
                 let listener = listeners[idx];
+                self.lb.conn_assigned(idx);
                 let lrec = &self.socks[&listener];
                 let coproc = lrec.coproc;
                 let evented = lrec.evented;
@@ -446,6 +630,7 @@ impl TcpProxy {
                         },
                         evented,
                         close_sent: false,
+                        lb_slot: Some(idx),
                     },
                 );
                 self.stats.accepted[coproc].fetch_add(1, Ordering::Relaxed);
@@ -488,10 +673,14 @@ impl TcpProxy {
                 }
                 Err(NetworkError::Closed) => {
                     let rec = self.socks.get_mut(&sock).expect("checked above");
+                    let slot = rec.lb_slot.take();
                     if !rec.close_sent {
                         rec.close_sent = true;
                         worked = true;
                         self.push_event(coproc, &NetEvent::Closed { sock });
+                    }
+                    if let Some(slot) = slot {
+                        self.lb.conn_closed(slot);
                     }
                     self.evented_conns.retain(|s| *s != sock);
                 }
@@ -741,5 +930,50 @@ mod tests {
             assert_eq!(a, b, "same client must land on the same coproc");
             assert!(a < 4);
         }
+    }
+
+    #[test]
+    fn least_loaded_stays_fair_under_skewed_lifetimes() {
+        // Connections landing on co-processor 0 are long-lived (never
+        // close); everywhere else they close immediately. Round-robin
+        // keeps feeding the overloaded co-processor; least-loaded must
+        // divert new work away from it.
+        let run = |lb: &mut dyn LoadBalancer, n: usize, arrivals: u64| -> Vec<u64> {
+            let mut assigned = vec![0u64; n];
+            for addr in 0..arrivals {
+                let meta = ConnMeta {
+                    client_addr: addr,
+                    port: 80,
+                };
+                let idx = lb.pick(n, &meta);
+                lb.conn_assigned(idx);
+                assigned[idx] += 1;
+                if idx != 0 {
+                    lb.conn_closed(idx);
+                }
+            }
+            assigned
+        };
+
+        let mut ll = LeastLoaded::default();
+        let fair = run(&mut ll, 3, 300);
+        // Co-processor 0 accumulates in-flight connections, so it should
+        // receive almost nothing beyond its first few picks while the
+        // siblings absorb the rest of the skewed arrival stream.
+        assert!(
+            fair[0] <= 3,
+            "least-loaded kept feeding the loaded coproc: {fair:?}"
+        );
+        assert!(
+            fair[1] >= 100 && fair[2] >= 100,
+            "siblings starved: {fair:?}"
+        );
+
+        let mut rr = RoundRobin::default();
+        let skewed = run(&mut rr, 3, 300);
+        assert_eq!(
+            skewed[0], 100,
+            "round-robin should ignore load, proving the contrast: {skewed:?}"
+        );
     }
 }

@@ -22,6 +22,7 @@ use parking_lot::{Condvar, Mutex};
 use solros_pcie::counter::PcieCounters;
 use solros_pcie::Side;
 use solros_proto::codec::decode_frame;
+use solros_qos::CreditPool;
 use solros_ringbuf::ring::{RingBuf, RingConfig};
 use solros_ringbuf::{Consumer, Producer, RingError};
 
@@ -83,17 +84,37 @@ pub struct RpcClient {
     next_tag: AtomicU32,
     pending: Mutex<HashMap<u32, Option<Vec<u8>>>>,
     arrived: Condvar,
+    /// QoS backpressure: when present, each call holds one in-flight
+    /// credit and replies carry window updates from the proxy.
+    credits: Option<Arc<CreditPool>>,
 }
+
+/// Reply-wait tuning: spin briefly (cheap when the proxy answers within
+/// a few microseconds), then yield the CPU, then park on the condvar with
+/// an escalating timeout. The previous implementation re-armed a fixed
+/// 50 µs condvar wait in a tight loop, which degenerated into busy-waiting
+/// whenever the proxy was slower than the ring poll.
+const SPIN_LIMIT: u32 = 64;
+const YIELD_LIMIT: u32 = 16;
+const PARK_MIN_US: u64 = 50;
+const PARK_MAX_US: u64 = 1_000;
 
 impl RpcClient {
     /// Wraps a request producer and response consumer.
     pub fn new(tx: Producer, rx: Consumer) -> Arc<Self> {
+        Self::with_credits(tx, rx, None)
+    }
+
+    /// Wraps a ring pair with an optional QoS credit pool limiting
+    /// in-flight requests.
+    pub fn with_credits(tx: Producer, rx: Consumer, credits: Option<Arc<CreditPool>>) -> Arc<Self> {
         Arc::new(Self {
             tx,
             rx,
             next_tag: AtomicU32::new(1),
             pending: Mutex::new(HashMap::new()),
             arrived: Condvar::new(),
+            credits,
         })
     }
 
@@ -102,28 +123,49 @@ impl RpcClient {
         self.next_tag.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// This client's credit pool, if flow control is enabled.
+    pub fn credits(&self) -> Option<&Arc<CreditPool>> {
+        self.credits.as_ref()
+    }
+
+    /// Applies the credit grant piggybacked on `reply` and releases the
+    /// in-flight slot taken at send time.
+    fn settle(&self, reply: Vec<u8>) -> Vec<u8> {
+        if let Some(pool) = &self.credits {
+            let grant = decode_frame(&reply).map(|f| f.credit).unwrap_or(0);
+            pool.complete(grant);
+        }
+        reply
+    }
+
     /// Sends an encoded frame (which must carry `tag`) and blocks until
     /// the matching reply arrives. Replies for other tags drained along
     /// the way are handed to their waiters.
     pub fn call(&self, tag: u32, frame: Vec<u8>) -> Vec<u8> {
+        if let Some(pool) = &self.credits {
+            pool.acquire();
+        }
         self.pending.lock().insert(tag, None);
         self.tx
             .send_blocking(&frame)
             .expect("RPC frame exceeds ring element limit");
-        let mut spins = 0u32;
+        let mut attempts = 0u32;
         loop {
             {
                 let mut g = self.pending.lock();
                 if let Some(Some(_)) = g.get(&tag) {
-                    return g.remove(&tag).flatten().expect("checked Some");
+                    let reply = g.remove(&tag).flatten().expect("checked Some");
+                    drop(g);
+                    return self.settle(reply);
                 }
             }
             match self.rx.recv() {
                 Ok(reply) => {
+                    attempts = 0;
                     let rtag = decode_frame(&reply).map(|f| f.tag).unwrap_or(0);
                     if rtag == tag {
                         self.pending.lock().remove(&tag);
-                        return reply;
+                        return self.settle(reply);
                     }
                     let mut g = self.pending.lock();
                     if let Some(slot) = g.get_mut(&rtag) {
@@ -133,17 +175,23 @@ impl RpcClient {
                     // Unknown tag: reply for a caller that vanished; drop.
                 }
                 Err(RingError::WouldBlock) | Err(RingError::TooBig) => {
-                    // Wait briefly for another thread to route our reply.
-                    let mut g = self.pending.lock();
-                    if let Some(Some(_)) = g.get(&tag) {
-                        continue;
-                    }
-                    self.arrived
-                        .wait_for(&mut g, std::time::Duration::from_micros(50));
-                    drop(g);
-                    spins += 1;
-                    if spins > 64 {
+                    attempts += 1;
+                    if attempts <= SPIN_LIMIT {
+                        std::hint::spin_loop();
+                    } else if attempts <= SPIN_LIMIT + YIELD_LIMIT {
                         std::thread::yield_now();
+                    } else {
+                        // Park until another caller routes a reply or the
+                        // timeout elapses; escalate the timeout so an idle
+                        // waiter backs off instead of spinning on the ring.
+                        let over = (attempts - SPIN_LIMIT - YIELD_LIMIT) as u64;
+                        let park_us = (PARK_MIN_US * over).min(PARK_MAX_US);
+                        let mut g = self.pending.lock();
+                        if let Some(Some(_)) = g.get(&tag) {
+                            continue;
+                        }
+                        self.arrived
+                            .wait_for(&mut g, std::time::Duration::from_micros(park_us));
                     }
                 }
             }
@@ -280,6 +328,41 @@ mod tests {
             .collect();
         for h in handles {
             h.join().unwrap();
+        }
+        proxy.join().unwrap();
+    }
+
+    #[test]
+    fn replies_update_credit_window() {
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(counters);
+        let pool = Arc::new(CreditPool::new(8));
+        let client = RpcClient::with_credits(ch.req_tx, ch.resp_rx, Some(Arc::clone(&pool)));
+
+        let req_rx = ch.req_rx;
+        let resp_tx = ch.resp_tx;
+        // A proxy that advertises a shrinking, then recovering, window.
+        let proxy = std::thread::spawn(move || {
+            for window in [3u8, 1, 5] {
+                let frame = loop {
+                    match req_rx.recv() {
+                        Ok(f) => break f,
+                        Err(_) => std::thread::yield_now(),
+                    }
+                };
+                let (tag, _req) = FsRequest::decode(&frame).unwrap();
+                let mut reply = FsResponse::Ok.encode(tag);
+                solros_proto::codec::stamp_credit(&mut reply, window);
+                resp_tx.send_blocking(&reply).unwrap();
+            }
+        });
+
+        for expect in [3u32, 1, 5] {
+            let tag = client.tag();
+            client.call(tag, FsRequest::Fsync { ino: 1 }.encode(tag));
+            let (in_flight, window) = pool.levels();
+            assert_eq!(in_flight, 0);
+            assert_eq!(window, expect);
         }
         proxy.join().unwrap();
     }

@@ -3,16 +3,24 @@
 //! Every RPC message is one ring-buffer element:
 //!
 //! ```text
-//! [u32 body_len][u8 msg_type][u32 tag][body...]
+//! [u32 body_len][u8 msg_type][u32 tag][u8 credit][body...]
 //! ```
 //!
 //! The tag lets many co-processor threads share one request ring: the stub
 //! assigns a fresh tag per call and the proxy echoes it in the reply.
+//!
+//! The credit byte carries QoS backpressure grants piggybacked on replies:
+//! a proxy stamps how many new in-flight request slots the stub may use.
+//! Requests and pre-QoS peers leave it zero, which grants nothing and is
+//! ignored by receivers that do not participate in flow control.
 
 use bytes::{Buf, BufMut, BytesMut};
 
 /// Frame header length in bytes.
-pub const HEADER_LEN: usize = 4 + 1 + 4;
+pub const HEADER_LEN: usize = 4 + 1 + 4 + 1;
+
+/// Byte offset of the credit field inside the header.
+const CREDIT_OFFSET: usize = 9;
 
 /// Maximum accepted string length (paths, names) on the wire.
 pub const MAX_STR: usize = 4096;
@@ -40,25 +48,37 @@ impl std::fmt::Display for ProtoError {
 
 impl std::error::Error for ProtoError {}
 
-/// A decoded frame: type byte, tag, and body slice.
+/// A decoded frame: type byte, tag, credit grant, and body slice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Frame<'a> {
     /// Message type discriminator.
     pub msg_type: u8,
     /// Caller-chosen tag echoed in the reply.
     pub tag: u32,
+    /// QoS credit grant piggybacked on a reply (0 = none).
+    pub credit: u8,
     /// Message body.
     pub body: &'a [u8],
 }
 
-/// Encodes a frame.
+/// Encodes a frame with no credit grant.
 pub fn encode_frame(msg_type: u8, tag: u32, body: &[u8]) -> Vec<u8> {
     let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
     out.put_u32_le(body.len() as u32);
     out.put_u8(msg_type);
     out.put_u32_le(tag);
+    out.put_u8(0);
     out.put_slice(body);
     out.to_vec()
+}
+
+/// Stamps a credit grant into an already-encoded frame, in place.
+///
+/// Proxies use this to piggyback backpressure grants on replies built by
+/// the regular encode paths without re-serializing the body.
+pub fn stamp_credit(frame: &mut [u8], credit: u8) {
+    assert!(frame.len() >= HEADER_LEN, "not a frame");
+    frame[CREDIT_OFFSET] = credit;
 }
 
 /// Decodes and validates a frame.
@@ -69,12 +89,14 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, ProtoError> {
     let body_len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
     let msg_type = buf[4];
     let tag = u32::from_le_bytes(buf[5..9].try_into().expect("4 bytes"));
+    let credit = buf[CREDIT_OFFSET];
     if buf.len() != HEADER_LEN + body_len {
         return Err(ProtoError::Truncated);
     }
     Ok(Frame {
         msg_type,
         tag,
+        credit,
         body: &buf[HEADER_LEN..],
     })
 }
@@ -207,7 +229,18 @@ mod tests {
         let d = decode_frame(&f).unwrap();
         assert_eq!(d.msg_type, 7);
         assert_eq!(d.tag, 0xDEAD);
+        assert_eq!(d.credit, 0);
         assert_eq!(d.body, b"body!");
+    }
+
+    #[test]
+    fn credit_stamp_roundtrip() {
+        let mut f = encode_frame(7, 42, b"payload");
+        stamp_credit(&mut f, 9);
+        let d = decode_frame(&f).unwrap();
+        assert_eq!(d.credit, 9);
+        assert_eq!(d.tag, 42);
+        assert_eq!(d.body, b"payload");
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub enum RpcErr {
     Reset,
     /// Address/port already bound.
     AddrInUse,
+    /// Proxy shed the request under overload; back off and retry (EAGAIN).
+    Overloaded,
 }
 
 impl RpcErr {
@@ -56,6 +58,7 @@ impl RpcErr {
             RpcErr::NotListening => 13,
             RpcErr::Reset => 14,
             RpcErr::AddrInUse => 15,
+            RpcErr::Overloaded => 16,
         }
     }
 
@@ -77,12 +80,13 @@ impl RpcErr {
             13 => RpcErr::NotListening,
             14 => RpcErr::Reset,
             15 => RpcErr::AddrInUse,
+            16 => RpcErr::Overloaded,
             _ => return None,
         })
     }
 
     /// Every variant, for exhaustive round-trip tests.
-    pub fn all() -> [RpcErr; 15] {
+    pub fn all() -> [RpcErr; 16] {
         [
             RpcErr::NotFound,
             RpcErr::Exists,
@@ -99,6 +103,7 @@ impl RpcErr {
             RpcErr::NotListening,
             RpcErr::Reset,
             RpcErr::AddrInUse,
+            RpcErr::Overloaded,
         ]
     }
 }

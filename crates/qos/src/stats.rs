@@ -1,0 +1,130 @@
+//! QoS accounting ledger, exposed alongside the existing proxy stats.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use solros_simkit::stats::{Histogram, Summary};
+use solros_simkit::time::SimTime;
+
+/// Per-flow counters and distributions.
+///
+/// Counters are atomics so proxies can bump them from their service loop
+/// while experiment harnesses read a consistent-enough snapshot; the
+/// distributions live behind a mutex because `simkit` histograms are
+/// plain values.
+#[derive(Default)]
+pub struct FlowStats {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    dispatched: AtomicU64,
+    dispatched_bytes: AtomicU64,
+    wait: Mutex<Histogram>,
+    depth: Mutex<Summary>,
+}
+
+/// A point-in-time copy of one flow's ledger.
+#[derive(Clone)]
+pub struct FlowSnapshot {
+    /// Flow name (e.g. `"mic0/high"`).
+    pub name: String,
+    /// Requests offered to the gate.
+    pub submitted: u64,
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests shed (at submit or at dispatch).
+    pub shed: u64,
+    /// Requests handed to the proxy handler.
+    pub dispatched: u64,
+    /// Payload bytes across dispatched requests.
+    pub dispatched_bytes: u64,
+    /// Queue wait time distribution of dispatched requests.
+    pub wait: Histogram,
+    /// Queue depth observed at each submit.
+    pub depth: Summary,
+}
+
+/// Ledger covering every flow of one QoS gate.
+pub struct QosStats {
+    names: Vec<String>,
+    flows: Vec<FlowStats>,
+}
+
+impl QosStats {
+    /// Creates a ledger for the given flow names.
+    pub fn new(names: Vec<String>) -> Self {
+        let flows = names.iter().map(|_| FlowStats::default()).collect();
+        Self { names, flows }
+    }
+
+    /// Number of flows tracked.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    pub(crate) fn on_submit(&self, flow: usize, depth_after: usize) {
+        let f = &self.flows[flow];
+        f.submitted.fetch_add(1, Ordering::Relaxed);
+        f.admitted.fetch_add(1, Ordering::Relaxed);
+        f.depth.lock().unwrap().record(depth_after as f64);
+    }
+
+    pub(crate) fn on_shed(&self, flow: usize, was_admitted: bool) {
+        let f = &self.flows[flow];
+        if !was_admitted {
+            f.submitted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Deadline sheds leave the admitted count alone but move the
+            // request from the queue to the shed column.
+            f.admitted.fetch_sub(1, Ordering::Relaxed);
+        }
+        f.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_dispatch(&self, flow: usize, bytes: u64, wait_ns: u64) {
+        let f = &self.flows[flow];
+        f.dispatched.fetch_add(1, Ordering::Relaxed);
+        f.dispatched_bytes.fetch_add(bytes, Ordering::Relaxed);
+        f.wait.lock().unwrap().record(SimTime::from_ns(wait_ns));
+    }
+
+    /// Snapshot of one flow's ledger.
+    pub fn flow(&self, flow: usize) -> FlowSnapshot {
+        let f = &self.flows[flow];
+        FlowSnapshot {
+            name: self.names[flow].clone(),
+            submitted: f.submitted.load(Ordering::Relaxed),
+            admitted: f.admitted.load(Ordering::Relaxed),
+            shed: f.shed.load(Ordering::Relaxed),
+            dispatched: f.dispatched.load(Ordering::Relaxed),
+            dispatched_bytes: f.dispatched_bytes.load(Ordering::Relaxed),
+            wait: f.wait.lock().unwrap().clone(),
+            depth: f.depth.lock().unwrap().clone(),
+        }
+    }
+
+    /// Snapshots for every flow, in registration order.
+    pub fn snapshot(&self) -> Vec<FlowSnapshot> {
+        (0..self.flows.len()).map(|i| self.flow(i)).collect()
+    }
+
+    /// Total requests shed across all flows.
+    pub fn total_shed(&self) -> u64 {
+        self.flows
+            .iter()
+            .map(|f| f.shed.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl FlowSnapshot {
+    /// Accounting invariant: everything offered was either admitted or
+    /// shed; nothing disappears silently.
+    ///
+    /// `admitted` here counts requests still credited to the queue/handler
+    /// path (deadline sheds are re-classified from admitted to shed), so
+    /// `admitted + shed == submitted` must hold at quiescence.
+    pub fn accounted(&self) -> bool {
+        self.admitted + self.shed == self.submitted
+    }
+}
