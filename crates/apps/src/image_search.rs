@@ -18,6 +18,8 @@ use solros_simkit::DetRng;
 pub const DIM: usize = 128;
 /// Bytes per vector.
 pub const VEC_BYTES: usize = DIM * 4;
+/// Pipelined sub-reads each worker splits one database batch into.
+const SUB_READS: usize = 8;
 
 /// One search hit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,11 +136,25 @@ impl<S: FileStore + ?Sized + 'static> ImageDb<S> {
                         let count = batch.min(n - start_vec);
                         let want = count * VEC_BYTES;
                         let off = (start_vec * VEC_BYTES) as u64;
-                        match store.read_at(handle, off, &mut buf[..want]) {
-                            Ok(got) if got == want => {}
-                            Ok(_) => {
-                                first_err.lock().get_or_insert(RpcErr::Io);
-                                break;
+                        // Split the batch into pipelined sub-reads so stacks
+                        // with a submission queue keep several requests in
+                        // flight per batch instead of one serial round trip.
+                        let sub = (want / SUB_READS).max(VEC_BYTES);
+                        let reqs: Vec<(u64, usize)> = (0..want)
+                            .step_by(sub)
+                            .map(|rel| (off + rel as u64, sub.min(want - rel)))
+                            .collect();
+                        match store.read_at_batch(handle, &reqs) {
+                            Ok(pieces) => {
+                                let mut at = 0usize;
+                                for piece in &pieces {
+                                    buf[at..at + piece.len()].copy_from_slice(piece);
+                                    at += piece.len();
+                                }
+                                if at != want {
+                                    first_err.lock().get_or_insert(RpcErr::Io);
+                                    break;
+                                }
                             }
                             Err(e) => {
                                 first_err.lock().get_or_insert(e);

@@ -127,16 +127,16 @@ impl<S: FileStore + ?Sized + 'static> TextIndexer<S> {
         local: &mut Index,
     ) -> Result<(u64, u64), RpcErr> {
         let (handle, size) = store.open(path, false)?;
+        // The size is known from open, so the whole document's chunk
+        // reads are issued as one pipelined batch (a queue-depth the
+        // Solros proxy coalesces; other stacks walk them sequentially).
+        let reqs: Vec<(u64, usize)> = (0..size)
+            .step_by(chunk.max(1))
+            .map(|off| (off, chunk.min((size - off) as usize)))
+            .collect();
         let mut text = Vec::with_capacity(size as usize);
-        let mut off = 0u64;
-        let mut buf = vec![0u8; chunk];
-        loop {
-            let n = store.read_at(handle, off, &mut buf)?;
-            if n == 0 {
-                break;
-            }
-            text.extend_from_slice(&buf[..n]);
-            off += n as u64;
+        for piece in store.read_at_batch(handle, &reqs)? {
+            text.extend_from_slice(&piece);
         }
         let mut counts: HashMap<&str, u32> = HashMap::new();
         let text_str = std::str::from_utf8(&text).map_err(|_| RpcErr::Io)?;
@@ -189,14 +189,17 @@ pub fn write_index<S: FileStore + ?Sized>(
 /// Loads an index previously written by [`write_index`].
 pub fn read_index<S: FileStore + ?Sized>(store: &S, path: &str) -> Result<Index, RpcErr> {
     let (handle, size) = store.open(path, false)?;
-    let mut buf = vec![0u8; size as usize];
-    let mut off = 0usize;
-    while off < buf.len() {
-        let n = store.read_at(handle, off as u64, &mut buf[off..])?;
-        if n == 0 {
+    const CHUNK: usize = 256 * 1024;
+    let reqs: Vec<(u64, usize)> = (0..size)
+        .step_by(CHUNK)
+        .map(|off| (off, CHUNK.min((size - off) as usize)))
+        .collect();
+    let mut buf = Vec::with_capacity(size as usize);
+    for (piece, &(_, want)) in store.read_at_batch(handle, &reqs)?.iter().zip(&reqs) {
+        if piece.len() != want {
             return Err(RpcErr::Io);
         }
-        off += n;
+        buf.extend_from_slice(piece);
     }
     let take_u32 = |b: &[u8], p: &mut usize| -> Result<u32, RpcErr> {
         let v = b

@@ -24,6 +24,23 @@ pub trait FileStore: Send + Sync {
     fn readdir(&self, path: &str) -> Result<Vec<String>, RpcErr>;
     /// Creates a directory.
     fn mkdir(&self, path: &str) -> Result<(), RpcErr>;
+
+    /// Reads a batch of `(offset, len)` ranges from one file, returning
+    /// one payload per range (short at EOF).
+    ///
+    /// The default walks the ranges sequentially; stacks with a
+    /// submission pipeline (the Solros data plane) override it to keep
+    /// the whole batch in flight at once.
+    fn read_at_batch(&self, handle: u64, reqs: &[(u64, usize)]) -> Result<Vec<Vec<u8>>, RpcErr> {
+        let mut out = Vec::with_capacity(reqs.len());
+        for &(offset, len) in reqs {
+            let mut buf = vec![0u8; len];
+            let n = self.read_at(handle, offset, &mut buf)?;
+            buf.truncate(n);
+            out.push(buf);
+        }
+        Ok(out)
+    }
 }
 
 impl FileStore for CoprocFs {
@@ -53,6 +70,33 @@ impl FileStore for CoprocFs {
 
     fn mkdir(&self, path: &str) -> Result<(), RpcErr> {
         CoprocFs::mkdir(self, path)
+    }
+
+    fn read_at_batch(&self, handle: u64, reqs: &[(u64, usize)]) -> Result<Vec<Vec<u8>>, RpcErr> {
+        // Pipeline the whole batch through the submission API: the proxy
+        // sees every read at once and coalesces their NVMe commands.
+        let mut batch = self.batch();
+        for &(offset, len) in reqs {
+            if len == 0 {
+                // The Batch builder rejects empty ops; splice in an empty
+                // payload below.
+                continue;
+            }
+            batch = batch.read(solros::fs_api::FileHandle(handle), offset, len);
+        }
+        let mut results = batch.run().into_iter();
+        let mut out = Vec::with_capacity(reqs.len());
+        for &(_, len) in reqs {
+            if len == 0 {
+                out.push(Vec::new());
+                continue;
+            }
+            match results.next().expect("one result per submitted read") {
+                solros::fs_api::BatchResult::Read(r) => out.push(r?),
+                solros::fs_api::BatchResult::Write(_) => return Err(RpcErr::Io),
+            }
+        }
+        Ok(out)
     }
 }
 

@@ -1,8 +1,8 @@
 //! Regenerates the extension experiments (beyond the paper's figures).
 //!
 //! With no arguments, renders every extension. `extensions e3` renders
-//! only the QoS overload experiment — the cheap deterministic one CI
-//! runs as a smoke test.
+//! only the QoS overload experiment and `extensions e4` only the
+//! queue-depth sweep — the cheap ones CI runs as smoke tests.
 
 fn main() {
     let only = std::env::args().nth(1);
@@ -11,8 +11,12 @@ fn main() {
             "## E3 — QoS gate under overload\n\n{}",
             solros_bench::extensions::qos_overload()
         ),
+        Some("e4") => print!(
+            "## E4 — submission pipeline vs queue depth\n\n{}",
+            solros_bench::extensions::queue_depth()
+        ),
         Some(other) => {
-            eprintln!("unknown experiment {other:?}; expected `e3` or no argument");
+            eprintln!("unknown experiment {other:?}; expected `e3`, `e4`, or no argument");
             std::process::exit(2);
         }
         None => print!("{}", solros_bench::extensions::run_all()),

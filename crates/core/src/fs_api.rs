@@ -6,6 +6,13 @@
 //! addresses into `Tread`/`Twrite`, and — because the buffers live in
 //! *local* co-processor memory — the final copy between the window buffer
 //! and the caller's slice is an ordinary local `memcpy`.
+//!
+//! Besides the synchronous API, the stub exposes the submission half of
+//! the RPC pipeline: [`CoprocFs::submit_read_at`] /
+//! [`CoprocFs::submit_write_at`] enqueue an operation and return a
+//! pending handle, and the [`Batch`] builder keeps N operations in flight
+//! at once — the queue depth the host proxy converts into coalesced NVMe
+//! doorbells (Fig 11 of the paper).
 
 use std::sync::Arc;
 
@@ -13,10 +20,11 @@ use solros_machine::WindowAlloc;
 use solros_nvme::BLOCK_SIZE;
 use solros_pcie::window::{Window, WindowHandle};
 use solros_pcie::Side;
+use solros_proto::codec::FLAG_BARRIER;
 use solros_proto::fs_msg::{FsRequest, FsResponse};
 use solros_proto::rpc_error::RpcErr;
 
-use crate::transport::RpcClient;
+use crate::transport::{RpcClient, Token};
 
 /// A file handle on the data plane (an inode number under the hood).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,5 +245,365 @@ impl CoprocFs {
             FsResponse::Error { err } => Err(err),
             _ => Err(RpcErr::Io),
         }
+    }
+
+    /// The RPC client under this stub (for draining completions or tenant
+    /// configuration).
+    pub fn client(&self) -> &Arc<RpcClient> {
+        &self.client
+    }
+
+    /// A fresh [`Batch`] builder over this stub.
+    pub fn batch(&self) -> Batch<'_> {
+        Batch {
+            fs: self,
+            ops: Vec::new(),
+            barrier_next: false,
+        }
+    }
+
+    fn submit_read_flags(
+        &self,
+        f: FileHandle,
+        offset: u64,
+        len: usize,
+        flags: u8,
+    ) -> Result<PendingRead, RpcErr> {
+        if len == 0 {
+            return Err(RpcErr::Invalid);
+        }
+        let alloc_len = len.div_ceil(BLOCK_SIZE) * BLOCK_SIZE + BLOCK_SIZE;
+        let off = self.alloc.alloc(alloc_len).ok_or(RpcErr::NoSpace)?;
+        let tag = self.client.tag();
+        let frame = FsRequest::Read {
+            ino: f.0,
+            offset,
+            count: len as u64,
+            buf_addr: off as u64,
+        }
+        .encode(tag);
+        match self.client.submit_with_flags(tag, frame, flags) {
+            Ok(token) => Ok(PendingRead {
+                token,
+                off,
+                alloc_len,
+                want: len,
+            }),
+            Err(e) => {
+                // Nothing was enqueued, so the window range is ours again.
+                self.alloc.free(off, alloc_len);
+                Err(e)
+            }
+        }
+    }
+
+    /// Enqueues a read of `len` bytes at `offset` without waiting.
+    ///
+    /// The returned [`PendingRead`] owns a window buffer for the transfer;
+    /// redeem it with [`PendingRead::wait`] or [`PendingRead::wait_into`].
+    /// Fails with [`RpcErr::WouldBlock`] / [`RpcErr::Overloaded`] when the
+    /// request ring or the flow-control window is full — the caller should
+    /// harvest a completion and retry (the [`Batch`] builder does this
+    /// automatically).
+    pub fn submit_read_at(
+        &self,
+        f: FileHandle,
+        offset: u64,
+        len: usize,
+    ) -> Result<PendingRead, RpcErr> {
+        self.submit_read_flags(f, offset, len, 0)
+    }
+
+    fn submit_write_flags(
+        &self,
+        f: FileHandle,
+        offset: u64,
+        data: &[u8],
+        flags: u8,
+    ) -> Result<PendingWrite, RpcErr> {
+        if data.is_empty() {
+            return Err(RpcErr::Invalid);
+        }
+        let alloc_len = data.len().div_ceil(BLOCK_SIZE) * BLOCK_SIZE;
+        let off = self.alloc.alloc(alloc_len).ok_or(RpcErr::NoSpace)?;
+        // SAFETY: exclusively allocated range (see `write_at`).
+        unsafe {
+            if alloc_len > data.len() {
+                self.local()
+                    .write(off + data.len(), &vec![0u8; alloc_len - data.len()]);
+            }
+            self.local().write(off, data);
+        }
+        let tag = self.client.tag();
+        let frame = FsRequest::Write {
+            ino: f.0,
+            offset,
+            count: data.len() as u64,
+            buf_addr: off as u64,
+        }
+        .encode(tag);
+        match self.client.submit_with_flags(tag, frame, flags) {
+            Ok(token) => Ok(PendingWrite {
+                token,
+                off,
+                alloc_len,
+            }),
+            Err(e) => {
+                self.alloc.free(off, alloc_len);
+                Err(e)
+            }
+        }
+    }
+
+    /// Enqueues a write of `data` at `offset` without waiting. The payload
+    /// is staged into a window buffer up front, so `data` need not outlive
+    /// the returned [`PendingWrite`].
+    pub fn submit_write_at(
+        &self,
+        f: FileHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<PendingWrite, RpcErr> {
+        self.submit_write_flags(f, offset, data, 0)
+    }
+}
+
+/// An in-flight read submitted with [`CoprocFs::submit_read_at`].
+///
+/// Owns the window buffer the proxy transfers into. Redeeming the handle
+/// frees the buffer; dropping it unredeemed abandons the RPC and leaks
+/// the buffer intentionally — the proxy may still be DMA-ing into it, so
+/// returning the range to the allocator would hand a racing transfer to
+/// the next caller.
+#[must_use = "a submitted read completes only when waited on"]
+pub struct PendingRead {
+    token: Token,
+    off: usize,
+    alloc_len: usize,
+    want: usize,
+}
+
+impl PendingRead {
+    /// The wire tag of this submission.
+    pub fn tag(&self) -> u32 {
+        self.token.tag()
+    }
+
+    /// Blocks until the read completes and copies the payload into `buf`
+    /// (which should be at least the submitted length); returns bytes
+    /// read (short at EOF).
+    pub fn wait_into(self, fs: &CoprocFs, buf: &mut [u8]) -> Result<usize, RpcErr> {
+        let reply = fs.client.wait(self.token);
+        let result = match FsResponse::decode(&reply) {
+            Ok((_, FsResponse::Read { count })) => {
+                let n = (count as usize).min(self.want).min(buf.len());
+                // SAFETY: the proxy's transfer into this exclusively
+                // allocated range completed before the reply was sent.
+                unsafe { fs.local().read(self.off, &mut buf[..n]) };
+                Ok(n)
+            }
+            Ok((_, FsResponse::Error { err })) => Err(err),
+            _ => Err(RpcErr::Io),
+        };
+        fs.alloc.free(self.off, self.alloc_len);
+        result
+    }
+
+    /// Blocks until the read completes and returns the payload.
+    pub fn wait(self, fs: &CoprocFs) -> Result<Vec<u8>, RpcErr> {
+        let want = self.want;
+        let mut v = vec![0u8; want];
+        let n = self.wait_into(fs, &mut v)?;
+        v.truncate(n);
+        Ok(v)
+    }
+}
+
+/// An in-flight write submitted with [`CoprocFs::submit_write_at`].
+///
+/// Owns the window buffer holding the staged payload until completion;
+/// the same drop semantics as [`PendingRead`] apply.
+#[must_use = "a submitted write completes only when waited on"]
+pub struct PendingWrite {
+    token: Token,
+    off: usize,
+    alloc_len: usize,
+}
+
+impl PendingWrite {
+    /// The wire tag of this submission.
+    pub fn tag(&self) -> u32 {
+        self.token.tag()
+    }
+
+    /// Blocks until the write completes; returns bytes written.
+    pub fn wait(self, fs: &CoprocFs) -> Result<usize, RpcErr> {
+        let reply = fs.client.wait(self.token);
+        let result = match FsResponse::decode(&reply) {
+            Ok((_, FsResponse::Write { count })) => Ok(count as usize),
+            Ok((_, FsResponse::Error { err })) => Err(err),
+            _ => Err(RpcErr::Io),
+        };
+        fs.alloc.free(self.off, self.alloc_len);
+        result
+    }
+}
+
+enum BatchOp {
+    Read {
+        f: FileHandle,
+        offset: u64,
+        len: usize,
+    },
+    Write {
+        f: FileHandle,
+        offset: u64,
+        data: Vec<u8>,
+    },
+}
+
+enum PendingOp {
+    Read(PendingRead),
+    Write(PendingWrite),
+}
+
+/// The outcome of one [`Batch`] operation, in submission order.
+#[derive(Debug)]
+pub enum BatchResult {
+    /// A read's payload (short at EOF) or error.
+    Read(Result<Vec<u8>, RpcErr>),
+    /// A write's byte count or error.
+    Write(Result<usize, RpcErr>),
+}
+
+impl BatchResult {
+    /// The read payload; panics on a write result or an error.
+    pub fn into_read(self) -> Vec<u8> {
+        match self {
+            BatchResult::Read(r) => r.expect("batched read failed"),
+            BatchResult::Write(_) => panic!("batch slot holds a write result"),
+        }
+    }
+
+    /// The written byte count; panics on a read result or an error.
+    pub fn into_write(self) -> usize {
+        match self {
+            BatchResult::Write(r) => r.expect("batched write failed"),
+            BatchResult::Read(_) => panic!("batch slot holds a read result"),
+        }
+    }
+}
+
+/// A builder that submits N file operations and waits for all of them,
+/// keeping the whole set in flight so the proxy sees real queue depth.
+///
+/// Operations between barriers are independent and may complete in any
+/// order; [`Batch::barrier`] marks the *next* operation so the proxy
+/// finishes everything already drained before starting it. When the ring,
+/// credit window, or buffer space fills mid-submission, the builder
+/// harvests its oldest in-flight operation and retries — depth degrades
+/// gracefully instead of deadlocking.
+pub struct Batch<'a> {
+    fs: &'a CoprocFs,
+    ops: Vec<(BatchOp, bool)>,
+    barrier_next: bool,
+}
+
+impl Batch<'_> {
+    /// Queues a read of `len` bytes at `offset`.
+    pub fn read(mut self, f: FileHandle, offset: u64, len: usize) -> Self {
+        let barrier = std::mem::take(&mut self.barrier_next);
+        self.ops.push((BatchOp::Read { f, offset, len }, barrier));
+        self
+    }
+
+    /// Queues a write of `data` at `offset`.
+    pub fn write(mut self, f: FileHandle, offset: u64, data: &[u8]) -> Self {
+        let barrier = std::mem::take(&mut self.barrier_next);
+        self.ops.push((
+            BatchOp::Write {
+                f,
+                offset,
+                data: data.to_vec(),
+            },
+            barrier,
+        ));
+        self
+    }
+
+    /// Marks the next queued operation as a barrier: the proxy completes
+    /// every earlier operation it has drained before executing it.
+    pub fn barrier(mut self) -> Self {
+        self.barrier_next = true;
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Submits every queued operation and waits for all completions.
+    /// Results are in queue order even though completions may arrive out
+    /// of order.
+    pub fn run(self) -> Vec<BatchResult> {
+        let fs = self.fs;
+        let mut results: Vec<Option<BatchResult>> = Vec::new();
+        results.resize_with(self.ops.len(), || None);
+        let mut inflight: Vec<(usize, PendingOp)> = Vec::new();
+
+        let harvest = |slot: (usize, PendingOp), results: &mut Vec<Option<BatchResult>>| {
+            let (idx, op) = slot;
+            results[idx] = Some(match op {
+                PendingOp::Read(p) => BatchResult::Read(p.wait(fs)),
+                PendingOp::Write(p) => BatchResult::Write(p.wait(fs)),
+            });
+        };
+
+        for (idx, (op, barrier)) in self.ops.into_iter().enumerate() {
+            let flags = if barrier { FLAG_BARRIER } else { 0 };
+            loop {
+                let attempt = match &op {
+                    BatchOp::Read { f, offset, len } => fs
+                        .submit_read_flags(*f, *offset, *len, flags)
+                        .map(PendingOp::Read),
+                    BatchOp::Write { f, offset, data } => fs
+                        .submit_write_flags(*f, *offset, data, flags)
+                        .map(PendingOp::Write),
+                };
+                match attempt {
+                    Ok(p) => {
+                        inflight.push((idx, p));
+                        break;
+                    }
+                    Err(RpcErr::WouldBlock | RpcErr::Overloaded | RpcErr::NoSpace)
+                        if !inflight.is_empty() =>
+                    {
+                        // Free ring space / credits / window buffers by
+                        // completing the oldest in-flight operation.
+                        harvest(inflight.remove(0), &mut results);
+                    }
+                    Err(e) => {
+                        results[idx] = Some(match op {
+                            BatchOp::Read { .. } => BatchResult::Read(Err(e)),
+                            BatchOp::Write { .. } => BatchResult::Write(Err(e)),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        for slot in inflight {
+            harvest(slot, &mut results);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch slot is filled"))
+            .collect()
     }
 }

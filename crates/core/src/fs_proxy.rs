@@ -14,20 +14,36 @@
 //!   with host DMA. Chosen on a cache hit, when the P2P path would cross
 //!   a NUMA boundary (Figure 1a), when the file was opened with
 //!   `O_BUFFER`, or when the request is not block-aligned.
+//!
+//! Since the data plane pipelines submissions, the server loops drain the
+//! request ring in *waves*: every P2P-eligible read in a wave contributes
+//! its NVMe commands to one combined vectored submission — a single
+//! doorbell and a single interrupt across ops *from different calls*, the
+//! cross-call generalisation of the §5 batching — while the remaining ops
+//! go to a small worker pool and complete out of order (the stub's tag
+//! table reorders). A frame flagged [`FLAG_BARRIER`] quiesces both before
+//! it runs.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::{Condvar, Mutex};
 use solros_fs::{FileSystem, FsError};
 use solros_nvme::{DmaPtr, NvmeCommand, NvmeError, BLOCK_SIZE};
 use solros_pcie::window::Window;
 use solros_pcie::Side;
-use solros_proto::codec::stamp_credit;
+use solros_proto::codec::{decode_frame, stamp_credit, FLAG_BARRIER};
 use solros_proto::fs_msg::{FsRequest, FsResponse};
 use solros_proto::rpc_error::RpcErr;
 use solros_qos::{Dispatch, DwrrScheduler, QosClass, Verdict};
 use solros_ringbuf::{Consumer, Producer};
+
+/// Worker threads per proxy executing non-coalesced operations.
+pub const PROXY_WORKERS: usize = 3;
+/// Frames drained from the request ring per wave.
+pub const DRAIN_BURST: usize = 64;
 
 /// NVMe MDTS in blocks (mirrors `solros_nvme::device::MDTS_BLOCKS`).
 const MDTS_BLOCKS: u64 = solros_nvme::device::MDTS_BLOCKS as u64;
@@ -85,16 +101,33 @@ fn classify(req: &FsRequest) -> (usize, u64) {
     }
 }
 
+/// One admitted FS request with its frame metadata, as queued through
+/// the QoS gate.
+#[derive(Debug)]
+pub struct FsJob {
+    /// Wire tag of the frame.
+    pub tag: u32,
+    /// Submission flags ([`FLAG_BARRIER`] today).
+    pub flags: u8,
+    /// Tenant id from the frame header (0 = default tenant).
+    pub tenant: u8,
+    /// The decoded request.
+    pub req: FsRequest,
+}
+
 /// One co-processor's proxy server.
+///
+/// Shared-state fields are lock-protected so a worker pool can execute
+/// independent operations concurrently through [`FsProxy::handle`].
 pub struct FsProxy {
     fs: Arc<FileSystem>,
     coproc_window: Arc<Window>,
     crosses_numa: bool,
     stats: Arc<FsProxyStats>,
     /// Inodes opened with `O_BUFFER` by this co-processor.
-    buffered_open: HashSet<u64>,
+    buffered_open: Mutex<HashSet<u64>>,
     /// Per-inode end offset of the last read, for sequential detection.
-    last_read_end: std::collections::HashMap<u64, u64>,
+    last_read_end: Mutex<HashMap<u64, u64>>,
     /// Pages to read ahead on a sequential buffered stream (0 disables).
     readahead_pages: u64,
 }
@@ -112,8 +145,8 @@ impl FsProxy {
             coproc_window,
             crosses_numa,
             stats,
-            buffered_open: HashSet::new(),
-            last_read_end: std::collections::HashMap::new(),
+            buffered_open: Mutex::new(HashSet::new()),
+            last_read_end: Mutex::new(HashMap::new()),
             readahead_pages: 8,
         }
     }
@@ -123,116 +156,271 @@ impl FsProxy {
         self.readahead_pages = pages;
     }
 
-    /// Serves requests until `shutdown` is set. Runs on a host thread.
-    pub fn serve(mut self, req_rx: Consumer, resp_tx: Producer, shutdown: Arc<AtomicBool>) {
-        while !shutdown.load(Ordering::Relaxed) {
-            match req_rx.recv() {
-                Ok(frame) => {
-                    let reply = match FsRequest::decode(&frame) {
-                        Ok((tag, req)) => {
-                            self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-                            let resp = self.handle(req);
-                            resp.encode(tag)
-                        }
-                        Err(_) => FsResponse::Error {
-                            err: RpcErr::Invalid,
-                        }
-                        .encode(0),
-                    };
-                    let _ = resp_tx.send_blocking(&reply);
-                }
-                Err(_) => std::thread::yield_now(),
+    /// Serves requests until `shutdown` is set. Runs on a host thread
+    /// plus [`PROXY_WORKERS`] pool threads.
+    ///
+    /// Each loop iteration drains up to [`DRAIN_BURST`] frames from the
+    /// ring into one wave: P2P-eligible reads are coalesced into a single
+    /// vectored NVMe submission, everything else is executed by the
+    /// worker pool out of order.
+    pub fn serve(self, req_rx: Consumer, resp_tx: Producer, shutdown: Arc<AtomicBool>) {
+        let jobs = JobQueue::default();
+        std::thread::scope(|s| {
+            for _ in 0..PROXY_WORKERS {
+                let jobs = &jobs;
+                let resp_tx = resp_tx.clone();
+                let this = &self;
+                s.spawn(move || this.worker(jobs, &resp_tx));
             }
-        }
+            let mut wave = Wave::default();
+            while !shutdown.load(Ordering::Relaxed) {
+                let mut drained = 0;
+                while drained < DRAIN_BURST {
+                    let Ok(frame) = req_rx.recv() else { break };
+                    drained += 1;
+                    match FsRequest::decode(&frame) {
+                        Ok((tag, req)) => {
+                            let flags = decode_frame(&frame).map(|f| f.flags).unwrap_or(0);
+                            self.admit(tag, flags, req, None, &mut wave, &jobs, &resp_tx);
+                        }
+                        Err(_) => {
+                            let _ = resp_tx.send_blocking(
+                                &FsResponse::Error {
+                                    err: RpcErr::Invalid,
+                                }
+                                .encode(0),
+                            );
+                        }
+                    }
+                }
+                self.flush_wave(&mut wave, &resp_tx);
+                if drained == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            jobs.close();
+        });
     }
 
     /// Serves requests through a QoS gate until `shutdown` is set.
     ///
     /// Ring arrivals are admitted into per-class queues (metadata ops are
     /// [`QosClass::High`]; small data ops [`QosClass::Normal`]; bulk data
-    /// [`QosClass::BestEffort`]) and drained in DWRR order. Shed requests
-    /// — overload, full queue, or expired deadline — are answered
-    /// immediately with [`RpcErr::Overloaded`]; nothing is dropped
-    /// silently. Every reply carries the flow's current credit window so
-    /// stubs feel backpressure before the rings fill.
+    /// [`QosClass::BestEffort`]; a non-zero frame tenant re-keys the flow
+    /// via [`DwrrScheduler::flow_for_tenant`]) and drained in DWRR order.
+    /// Shed requests — overload, full queue, or expired deadline — are
+    /// answered immediately with [`RpcErr::Overloaded`]; nothing is
+    /// dropped silently. Every reply carries the flow's current credit
+    /// window so stubs feel backpressure before the rings fill.
+    /// Dispatched work runs through the same wave machinery as
+    /// [`FsProxy::serve`]: coalesced P2P reads plus a worker pool.
     pub fn serve_qos(
-        mut self,
+        self,
         req_rx: Consumer,
         resp_tx: Producer,
         shutdown: Arc<AtomicBool>,
-        mut gate: DwrrScheduler<(u32, FsRequest)>,
+        mut gate: DwrrScheduler<FsJob>,
     ) {
         let epoch = std::time::Instant::now();
-        while !shutdown.load(Ordering::Relaxed) {
-            let mut progressed = false;
-            // Admit a bounded burst from the ring into the class queues.
-            for _ in 0..32 {
-                let Ok(frame) = req_rx.recv() else { break };
-                progressed = true;
-                match FsRequest::decode(&frame) {
-                    Ok((tag, req)) => {
-                        let (flow, bytes) = classify(&req);
-                        let now = epoch.elapsed().as_nanos() as u64;
-                        if let Verdict::Shed { item, .. } =
-                            gate.submit(flow, bytes, now, (tag, req))
-                        {
+        let jobs = JobQueue::default();
+        std::thread::scope(|s| {
+            for _ in 0..PROXY_WORKERS {
+                let jobs = &jobs;
+                let resp_tx = resp_tx.clone();
+                let this = &self;
+                s.spawn(move || this.worker(jobs, &resp_tx));
+            }
+            let mut wave = Wave::default();
+            while !shutdown.load(Ordering::Relaxed) {
+                let mut progressed = false;
+                // Admit a bounded burst from the ring into the class queues.
+                for _ in 0..32 {
+                    let Ok(frame) = req_rx.recv() else { break };
+                    progressed = true;
+                    match FsRequest::decode(&frame) {
+                        Ok((tag, req)) => {
+                            let (flags, tenant) = decode_frame(&frame)
+                                .map(|f| (f.flags, f.tenant))
+                                .unwrap_or((0, 0));
+                            let (class_flow, bytes) = classify(&req);
+                            let flow = gate.flow_for_tenant(tenant, class_flow);
+                            let now = epoch.elapsed().as_nanos() as u64;
+                            let job = FsJob {
+                                tag,
+                                flags,
+                                tenant,
+                                req,
+                            };
+                            if let Verdict::Shed { item, .. } = gate.submit(flow, bytes, now, job) {
+                                let mut reply = FsResponse::Error {
+                                    err: RpcErr::Overloaded,
+                                }
+                                .encode(item.tag);
+                                stamp_credit(&mut reply, gate.credit(flow));
+                                let _ = resp_tx.send_blocking(&reply);
+                            }
+                        }
+                        Err(_) => {
+                            let _ = resp_tx.send_blocking(
+                                &FsResponse::Error {
+                                    err: RpcErr::Invalid,
+                                }
+                                .encode(0),
+                            );
+                        }
+                    }
+                }
+                // Drain a bounded burst of scheduled work into one wave.
+                for _ in 0..32 {
+                    let now = epoch.elapsed().as_nanos() as u64;
+                    match gate.dispatch(now) {
+                        Dispatch::Run { flow, item, .. } => {
+                            progressed = true;
+                            let credit = Some(gate.credit(flow));
+                            self.admit(
+                                item.tag, item.flags, item.req, credit, &mut wave, &jobs, &resp_tx,
+                            );
+                        }
+                        Dispatch::Shed { flow, item, .. } => {
+                            progressed = true;
                             let mut reply = FsResponse::Error {
                                 err: RpcErr::Overloaded,
                             }
-                            .encode(item.0);
+                            .encode(item.tag);
                             stamp_credit(&mut reply, gate.credit(flow));
                             let _ = resp_tx.send_blocking(&reply);
                         }
-                    }
-                    Err(_) => {
-                        let _ = resp_tx.send_blocking(
-                            &FsResponse::Error {
-                                err: RpcErr::Invalid,
-                            }
-                            .encode(0),
-                        );
+                        Dispatch::Idle => break,
                     }
                 }
-            }
-            // Drain a bounded burst of scheduled work.
-            for _ in 0..32 {
-                let now = epoch.elapsed().as_nanos() as u64;
-                match gate.dispatch(now) {
-                    Dispatch::Run {
-                        flow,
-                        item: (tag, req),
-                        ..
-                    } => {
-                        progressed = true;
-                        self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-                        let mut reply = self.handle(req).encode(tag);
-                        stamp_credit(&mut reply, gate.credit(flow));
-                        let _ = resp_tx.send_blocking(&reply);
-                    }
-                    Dispatch::Shed {
-                        flow,
-                        item: (tag, _),
-                        ..
-                    } => {
-                        progressed = true;
-                        let mut reply = FsResponse::Error {
-                            err: RpcErr::Overloaded,
-                        }
-                        .encode(tag);
-                        stamp_credit(&mut reply, gate.credit(flow));
-                        let _ = resp_tx.send_blocking(&reply);
-                    }
-                    Dispatch::Idle => break,
+                self.flush_wave(&mut wave, &resp_tx);
+                if !progressed {
+                    std::thread::yield_now();
                 }
             }
-            if !progressed {
-                std::thread::yield_now();
+            jobs.close();
+        });
+    }
+
+    /// Routes one decoded request: barrier frames quiesce everything and
+    /// run inline; P2P-eligible reads join the wave's combined NVMe
+    /// batch; the rest goes to the worker pool.
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &self,
+        tag: u32,
+        flags: u8,
+        req: FsRequest,
+        credit: Option<u8>,
+        wave: &mut Wave,
+        jobs: &JobQueue,
+        resp_tx: &Producer,
+    ) {
+        if flags & FLAG_BARRIER != 0 {
+            // Everything submitted before the barrier completes first.
+            self.flush_wave(wave, resp_tx);
+            jobs.quiesce();
+            self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+            let mut reply = self.handle(req).encode(tag);
+            if let Some(c) = credit {
+                stamp_credit(&mut reply, c);
             }
+            let _ = resp_tx.send_blocking(&reply);
+            return;
+        }
+        if let FsRequest::Read {
+            ino,
+            offset,
+            count,
+            buf_addr,
+        } = &req
+        {
+            if let Some((count, span)) = self.stage_p2p_read(*ino, *offset, *count, *buf_addr, wave)
+            {
+                self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+                wave.reads.push(StagedRead {
+                    tag,
+                    count,
+                    span,
+                    credit,
+                });
+                return;
+            }
+        }
+        jobs.push(Job { tag, req, credit });
+    }
+
+    /// Stages a read into the wave's combined command list if it takes
+    /// the P2P path; `None` falls the request through to the worker pool
+    /// (buffered path, EOF handling, and errors all live in `do_read`).
+    fn stage_p2p_read(
+        &self,
+        ino: u64,
+        offset: u64,
+        count: u64,
+        buf_addr: u64,
+        wave: &mut Wave,
+    ) -> Option<(u64, Range<usize>)> {
+        let size = self.fs.size_of(ino).ok()?;
+        if offset >= size {
+            return None;
+        }
+        let count = count.min(size - offset);
+        if !self.read_path_is_p2p(ino, offset, count) {
+            return None;
+        }
+        let extents = self.fs.fiemap(ino, offset, count).ok()?;
+        self.last_read_end.lock().insert(ino, offset + count);
+        self.stats.p2p_reads.fetch_add(1, Ordering::Relaxed);
+        let start = wave.cmds.len();
+        wave.cmds.extend(Self::extent_cmds(
+            &extents,
+            &self.coproc_window,
+            buf_addr,
+            true,
+        ));
+        Some((count, start..wave.cmds.len()))
+    }
+
+    /// Submits the wave's combined command list as one vectored batch —
+    /// one doorbell, one interrupt for every staged read — and replies
+    /// per read.
+    fn flush_wave(&self, wave: &mut Wave, resp_tx: &Producer) {
+        if wave.reads.is_empty() {
+            wave.cmds.clear();
+            return;
+        }
+        let results = self.fs.device().submit_vectored(&wave.cmds);
+        for r in wave.reads.drain(..) {
+            let resp = match self.settle_span(&wave.cmds, &results, r.span) {
+                Ok(()) => FsResponse::Read { count: r.count },
+                Err(e) => FsResponse::Error { err: e },
+            };
+            let mut reply = resp.encode(r.tag);
+            if let Some(c) = r.credit {
+                stamp_credit(&mut reply, c);
+            }
+            let _ = resp_tx.send_blocking(&reply);
+        }
+        wave.cmds.clear();
+    }
+
+    /// Worker-pool loop: executes queued operations until the queue
+    /// closes, replying out of order.
+    fn worker(&self, jobs: &JobQueue, resp_tx: &Producer) {
+        while let Some(job) = jobs.pop() {
+            self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+            let mut reply = self.handle(job.req).encode(job.tag);
+            if let Some(c) = job.credit {
+                stamp_credit(&mut reply, c);
+            }
+            let _ = resp_tx.send_blocking(&reply);
+            jobs.done();
         }
     }
 
     /// Executes one RPC.
-    pub fn handle(&mut self, req: FsRequest) -> FsResponse {
+    pub fn handle(&self, req: FsRequest) -> FsResponse {
         match req {
             FsRequest::Open {
                 path,
@@ -248,9 +436,9 @@ impl FsProxy {
                 match self.fs.open(&path, flags) {
                     Ok(ino) => {
                         if buffered {
-                            self.buffered_open.insert(ino);
+                            self.buffered_open.lock().insert(ino);
                         } else {
-                            self.buffered_open.remove(&ino);
+                            self.buffered_open.lock().remove(&ino);
                         }
                         let size = self.fs.size_of(ino).unwrap_or(0);
                         FsResponse::Open { ino, size }
@@ -325,7 +513,7 @@ impl FsProxy {
 
     /// Chooses the data path for a read (§4.3.2).
     fn read_path_is_p2p(&self, ino: u64, offset: u64, count: u64) -> bool {
-        if self.crosses_numa || self.buffered_open.contains(&ino) {
+        if self.crosses_numa || self.buffered_open.lock().contains(&ino) {
             return false;
         }
         if !offset.is_multiple_of(BLOCK_SIZE as u64) {
@@ -339,14 +527,18 @@ impl FsProxy {
         count > 0
     }
 
-    fn do_read(&mut self, ino: u64, offset: u64, count: u64, buf_addr: u64) -> Result<u64, RpcErr> {
+    fn do_read(&self, ino: u64, offset: u64, count: u64, buf_addr: u64) -> Result<u64, RpcErr> {
         let size = self.fs.size_of(ino).map_err(rpc_err)?;
         if offset >= size {
             return Ok(0);
         }
         let count = count.min(size - offset);
-        let sequential = self.last_read_end.get(&ino) == Some(&offset);
-        self.last_read_end.insert(ino, offset + count);
+        let sequential = {
+            let mut ends = self.last_read_end.lock();
+            let sequential = ends.get(&ino) == Some(&offset);
+            ends.insert(ino, offset + count);
+            sequential
+        };
         if self.read_path_is_p2p(ino, offset, count) {
             self.stats.p2p_reads.fetch_add(1, Ordering::Relaxed);
             self.p2p_read(ino, offset, count, buf_addr)?;
@@ -388,13 +580,7 @@ impl FsProxy {
         self.submit_with_retry(&cmds)
     }
 
-    fn do_write(
-        &mut self,
-        ino: u64,
-        offset: u64,
-        count: u64,
-        buf_addr: u64,
-    ) -> Result<u64, RpcErr> {
+    fn do_write(&self, ino: u64, offset: u64, count: u64, buf_addr: u64) -> Result<u64, RpcErr> {
         if count == 0 {
             return Ok(0);
         }
@@ -404,7 +590,8 @@ impl FsProxy {
         // A partial tail block is only safe P2P when it extends the file
         // (padding lands beyond EOF and is never read back).
         let tail_ok = count.is_multiple_of(bs) || offset + count >= size;
-        let p2p = !self.crosses_numa && !self.buffered_open.contains(&ino) && aligned && tail_ok;
+        let p2p =
+            !self.crosses_numa && !self.buffered_open.lock().contains(&ino) && aligned && tail_ok;
         if p2p {
             self.stats.p2p_writes.fetch_add(1, Ordering::Relaxed);
             self.fs
@@ -475,11 +662,26 @@ impl FsProxy {
     /// Submits one vectored batch; retries individual transient failures.
     fn submit_with_retry(&self, cmds: &[NvmeCommand]) -> Result<(), RpcErr> {
         let results = self.fs.device().submit_vectored(cmds);
-        for (cmd, res) in cmds.iter().zip(results) {
-            if let Err(mut e) = res {
+        self.settle_span(cmds, &results, 0..cmds.len())
+    }
+
+    /// Checks one operation's slice of a combined batch's results,
+    /// retrying individual transient failures.
+    fn settle_span(
+        &self,
+        cmds: &[NvmeCommand],
+        results: &[Result<(), NvmeError>],
+        span: Range<usize>,
+    ) -> Result<(), RpcErr> {
+        for i in span {
+            if let Err(mut e) = results[i] {
                 let mut ok = false;
                 for _ in 0..2 {
-                    match self.fs.device().submit_vectored(std::slice::from_ref(cmd))[0] {
+                    match self
+                        .fs
+                        .device()
+                        .submit_vectored(std::slice::from_ref(&cmds[i]))[0]
+                    {
                         Ok(()) => {
                             ok = true;
                             break;
@@ -496,6 +698,93 @@ impl FsProxy {
             }
         }
         Ok(())
+    }
+}
+
+/// One read staged into a wave's combined NVMe batch.
+struct StagedRead {
+    tag: u32,
+    /// Clamped byte count to report on success.
+    count: u64,
+    /// This read's commands within the wave's `cmds`.
+    span: Range<usize>,
+    /// Credit byte to stamp on the reply (QoS path only).
+    credit: Option<u8>,
+}
+
+/// One drain cycle's worth of coalesced P2P reads.
+#[derive(Default)]
+struct Wave {
+    cmds: Vec<NvmeCommand>,
+    reads: Vec<StagedRead>,
+}
+
+/// One operation handed to the worker pool.
+struct Job {
+    tag: u32,
+    req: FsRequest,
+    credit: Option<u8>,
+}
+
+#[derive(Default)]
+struct JobQueueInner {
+    q: VecDeque<Job>,
+    /// Jobs popped but not yet `done()`.
+    active: usize,
+    closed: bool,
+}
+
+/// The proxy's work queue: a mutex-protected deque with a condvar pair —
+/// `work` wakes workers, `idle` wakes a barrier waiting for quiescence.
+#[derive(Default)]
+struct JobQueue {
+    inner: Mutex<JobQueueInner>,
+    work: Condvar,
+    idle: Condvar,
+}
+
+impl JobQueue {
+    fn push(&self, job: Job) {
+        self.inner.lock().q.push_back(job);
+        self.work.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(job) = g.q.pop_front() {
+                g.active += 1;
+                return Some(job);
+            }
+            if g.closed {
+                return None;
+            }
+            self.work.wait(&mut g);
+        }
+    }
+
+    /// Marks a popped job complete.
+    fn done(&self) {
+        let mut g = self.inner.lock();
+        g.active -= 1;
+        if g.active == 0 && g.q.is_empty() {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Blocks until no job is queued or executing (the barrier).
+    fn quiesce(&self) {
+        let mut g = self.inner.lock();
+        while g.active > 0 || !g.q.is_empty() {
+            self.idle.wait(&mut g);
+        }
+    }
+
+    /// Wakes every worker to exit once the queue drains.
+    fn close(&self) {
+        self.inner.lock().closed = true;
+        self.work.notify_all();
     }
 }
 
@@ -532,7 +821,7 @@ mod tests {
 
     #[test]
     fn aligned_read_goes_p2p_and_coalesces() {
-        let (mut proxy, fs, window, stats) = setup(false);
+        let (proxy, fs, window, stats) = setup(false);
         let ino = fs.create("/f").unwrap();
         let data: Vec<u8> = (0..4 * BLOCK_SIZE).map(|i| (i % 253) as u8).collect();
         fs.write(ino, 0, &data).unwrap();
@@ -561,7 +850,7 @@ mod tests {
 
     #[test]
     fn cross_numa_demotes_to_buffered() {
-        let (mut proxy, fs, window, stats) = setup(true);
+        let (proxy, fs, window, stats) = setup(true);
         let ino = fs.create("/f").unwrap();
         let data = vec![7u8; 2 * BLOCK_SIZE];
         fs.write(ino, 0, &data).unwrap();
@@ -585,7 +874,7 @@ mod tests {
 
     #[test]
     fn cache_hit_prefers_buffered() {
-        let (mut proxy, fs, _window, stats) = setup(false);
+        let (proxy, fs, _window, stats) = setup(false);
         let ino = fs.create("/f").unwrap();
         let data = vec![9u8; BLOCK_SIZE];
         fs.write(ino, 0, &data).unwrap(); // Write-through warms the cache.
@@ -607,7 +896,7 @@ mod tests {
 
     #[test]
     fn unaligned_read_demotes() {
-        let (mut proxy, fs, window, stats) = setup(false);
+        let (proxy, fs, window, stats) = setup(false);
         let ino = fs.create("/f").unwrap();
         let data: Vec<u8> = (0..2 * BLOCK_SIZE).map(|i| (i % 251) as u8).collect();
         fs.write(ino, 0, &data).unwrap();
@@ -625,7 +914,7 @@ mod tests {
 
     #[test]
     fn p2p_write_roundtrips_and_invalidates_cache() {
-        let (mut proxy, fs, window, stats) = setup(false);
+        let (proxy, fs, window, stats) = setup(false);
         let ino = fs.create("/f").unwrap();
         // Seed stale data through the cache.
         fs.write(ino, 0, &vec![1u8; 2 * BLOCK_SIZE]).unwrap();
@@ -653,7 +942,7 @@ mod tests {
 
     #[test]
     fn p2p_write_extends_file() {
-        let (mut proxy, fs, window, _stats) = setup(false);
+        let (proxy, fs, window, _stats) = setup(false);
         let ino = fs.create("/f").unwrap();
         let data = vec![5u8; 1000]; // Partial tail, extending: P2P-safe.
         window_write(&window, 0, &data);
@@ -672,7 +961,7 @@ mod tests {
 
     #[test]
     fn unaligned_overwrite_demotes_to_buffered() {
-        let (mut proxy, fs, window, stats) = setup(false);
+        let (proxy, fs, window, stats) = setup(false);
         let ino = fs.create("/f").unwrap();
         fs.write(ino, 0, &vec![1u8; 2 * BLOCK_SIZE]).unwrap();
         // Overwrite 10 bytes mid-file: partial tail NOT extending => buffered.
@@ -693,7 +982,7 @@ mod tests {
 
     #[test]
     fn o_buffer_forces_buffered_io() {
-        let (mut proxy, fs, _window, stats) = setup(false);
+        let (proxy, fs, _window, stats) = setup(false);
         let resp = proxy.handle(FsRequest::Open {
             path: "/b".into(),
             create: true,
@@ -718,7 +1007,7 @@ mod tests {
 
     #[test]
     fn read_beyond_eof_returns_zero() {
-        let (mut proxy, fs, _window, _stats) = setup(false);
+        let (proxy, fs, _window, _stats) = setup(false);
         let ino = fs.create("/f").unwrap();
         fs.write(ino, 0, b"xy").unwrap();
         let resp = proxy.handle(FsRequest::Read {
@@ -732,7 +1021,7 @@ mod tests {
 
     #[test]
     fn metadata_rpcs_roundtrip() {
-        let (mut proxy, _fs, _window, _stats) = setup(false);
+        let (proxy, _fs, _window, _stats) = setup(false);
         assert!(matches!(
             proxy.handle(FsRequest::Mkdir { path: "/d".into() }),
             FsResponse::Mkdir { .. }
@@ -783,7 +1072,7 @@ mod tests {
     fn sequential_buffered_reads_trigger_readahead() {
         // Cross-NUMA proxy: everything is buffered, so the readahead path
         // is exercised by a sequential scan.
-        let (mut proxy, fs, _window, stats) = setup(true);
+        let (proxy, fs, _window, stats) = setup(true);
         let ino = fs.create("/seq").unwrap();
         fs.write(ino, 0, &vec![7u8; 32 * BLOCK_SIZE]).unwrap();
         fs.cache().invalidate_ino(ino);
@@ -816,7 +1105,7 @@ mod tests {
 
     #[test]
     fn device_fault_recovery() {
-        let (mut proxy, fs, _window, _stats) = setup(false);
+        let (proxy, fs, _window, _stats) = setup(false);
         let ino = fs.create("/f").unwrap();
         fs.write(ino, 0, &vec![1u8; BLOCK_SIZE]).unwrap();
         fs.cache().invalidate_ino(ino);

@@ -42,9 +42,11 @@ pub mod fs_proxy;
 pub mod net_api;
 pub mod tcp_proxy;
 pub mod transport;
+pub mod waitpolicy;
 
 pub use control::Solros;
-pub use fs_api::CoprocFs;
+pub use fs_api::{Batch, BatchResult, CoprocFs, PendingRead, PendingWrite};
 pub use net_api::{CoprocNet, TcpListener, TcpStream};
 pub use solros_qos::{ClassConfig, QosClass, QosConfig, QosStats};
 pub use tcp_proxy::{ConnMeta, LeastLoaded, LoadBalancer, RoundRobin};
+pub use transport::Token;

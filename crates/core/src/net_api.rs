@@ -18,7 +18,8 @@ use solros_proto::rpc_error::RpcErr;
 use solros_ringbuf::Consumer;
 
 use crate::tcp_proxy::SOCKOPT_EVENTED;
-use crate::transport::RpcClient;
+use crate::transport::{RpcClient, Token};
+use crate::waitpolicy::{Wait, WaitPolicy};
 
 #[derive(Default)]
 struct NetInner {
@@ -154,6 +155,63 @@ impl CoprocNet {
             val: evented as u64,
         })
     }
+
+    /// Enqueues a socket RPC without waiting — the submission half of
+    /// [`CoprocNet::raw_call`]. Redeem with [`PendingNet::wait`].
+    pub fn submit_call(&self, req: NetRequest) -> Result<PendingNet, RpcErr> {
+        let tag = self.client.tag();
+        let token = self.client.submit(tag, req.encode(tag))?;
+        Ok(PendingNet { token })
+    }
+}
+
+/// An in-flight socket RPC submitted with [`CoprocNet::submit_call`],
+/// [`TcpStream::submit_send`], or [`TcpStream::submit_recv`].
+#[must_use = "a submitted socket RPC completes only when waited on"]
+pub struct PendingNet {
+    token: Token,
+}
+
+impl PendingNet {
+    /// The wire tag of this submission.
+    pub fn tag(&self) -> u32 {
+        self.token.tag()
+    }
+
+    /// Blocks until the reply arrives and decodes it.
+    pub fn wait(self, net: &CoprocNet) -> NetResponse {
+        let reply = net.client.wait(self.token);
+        match NetResponse::decode(&reply) {
+            Ok((_, resp)) => resp,
+            Err(_) => NetResponse::Error { err: RpcErr::Io },
+        }
+    }
+}
+
+/// A pipelined [`TcpStream::send`]: one token per transport-sized chunk,
+/// all in flight at once.
+#[must_use = "a submitted send completes only when waited on"]
+pub struct PendingSend {
+    chunks: Vec<PendingNet>,
+}
+
+impl PendingSend {
+    /// Blocks until every chunk is acknowledged; returns total bytes sent.
+    pub fn wait(self, net: &CoprocNet) -> Result<usize, RpcErr> {
+        let mut sent = 0;
+        let mut first_err = None;
+        for p in self.chunks {
+            match p.wait(net) {
+                NetResponse::Sent { count } => sent += count as usize,
+                NetResponse::Error { err } => first_err = first_err.or(Some(err)),
+                _ => first_err = first_err.or(Some(RpcErr::Io)),
+            }
+        }
+        match first_err {
+            None => Ok(sent),
+            Some(err) => Err(err),
+        }
+    }
 }
 
 /// A listening socket on the data plane.
@@ -192,10 +250,40 @@ impl TcpListener {
     }
 
     /// Blocking accept.
+    ///
+    /// Escalates spin→yield→park via [`WaitPolicy`] instead of re-arming a
+    /// fixed timeout: a busy listener takes connections off the queue
+    /// without ever sleeping, while an idle one parks on the dispatcher's
+    /// condition variable.
     pub fn accept(&self) -> (TcpStream, u64) {
+        let mut policy = WaitPolicy::new();
         loop {
-            if let Some(r) = self.accept_timeout(Duration::from_millis(100)) {
-                return r;
+            let mut g = self.net.shared.inner.lock();
+            if let Some((conn, peer)) = g.accept_q.entry(self.sock).or_default().pop_front() {
+                return (
+                    TcpStream {
+                        net: self.net.clone(),
+                        sock: conn,
+                    },
+                    peer,
+                );
+            }
+            match policy.advance() {
+                Wait::Park(d) => {
+                    if !self.net.shared.arrived.wait_for(&mut g, d).timed_out() {
+                        policy.reset();
+                    }
+                }
+                // Spin/yield with the lock released so the dispatcher can
+                // deliver.
+                Wait::Spin => {
+                    drop(g);
+                    std::hint::spin_loop();
+                }
+                Wait::Yield => {
+                    drop(g);
+                    std::thread::yield_now();
+                }
             }
         }
     }
@@ -264,12 +352,74 @@ impl TcpStream {
     }
 
     /// Blocking receive; `Ok(0)` = end-of-stream.
+    ///
+    /// Uses the shared [`WaitPolicy`] escalation (spin→yield→park) rather
+    /// than re-arming a fixed timeout in a tight loop.
     pub fn recv(&self, buf: &mut [u8]) -> usize {
+        let mut policy = WaitPolicy::new();
         loop {
-            if let Some(n) = self.recv_timeout(buf, Duration::from_millis(100)) {
+            let mut g = self.net.shared.inner.lock();
+            let q = g.data_q.entry(self.sock).or_default();
+            if !q.is_empty() {
+                let n = buf.len().min(q.len());
+                for b in buf[..n].iter_mut() {
+                    *b = q.pop_front().expect("checked non-empty");
+                }
                 return n;
             }
+            if g.closed.contains(&self.sock) {
+                return 0;
+            }
+            match policy.advance() {
+                Wait::Park(d) => {
+                    if !self.net.shared.arrived.wait_for(&mut g, d).timed_out() {
+                        policy.reset();
+                    }
+                }
+                Wait::Spin => {
+                    drop(g);
+                    std::hint::spin_loop();
+                }
+                Wait::Yield => {
+                    drop(g);
+                    std::thread::yield_now();
+                }
+            }
         }
+    }
+
+    /// Enqueues a send of all of `data` without waiting: each
+    /// transport-sized chunk becomes one in-flight RPC, so a large send
+    /// keeps the request ring full instead of round-tripping per chunk.
+    pub fn submit_send(&self, data: &[u8]) -> Result<PendingSend, RpcErr> {
+        const CHUNK: usize = 8 * 1024;
+        let mut chunks = Vec::new();
+        for chunk in data.chunks(CHUNK) {
+            match self.net.submit_call(NetRequest::Send {
+                sock: self.sock,
+                data: chunk.to_vec(),
+            }) {
+                Ok(p) => chunks.push(p),
+                Err(e) => {
+                    // Ring or window full: settle what is already in
+                    // flight, then report.
+                    let _ = PendingSend { chunks }.wait(&self.net);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(PendingSend { chunks })
+    }
+
+    /// Enqueues a polled-path receive of up to `max` bytes without
+    /// waiting (the RPC `Recv`, for sockets taken off evented delivery
+    /// with [`CoprocNet::set_evented`]). Redeem with [`PendingNet::wait`];
+    /// the reply is `Data { data }`.
+    pub fn submit_recv(&self, max: u32) -> Result<PendingNet, RpcErr> {
+        self.net.submit_call(NetRequest::Recv {
+            sock: self.sock,
+            max,
+        })
     }
 
     /// Receives exactly `n` bytes (blocking); returns `None` on EOF.

@@ -174,7 +174,7 @@ pub struct TcpProxy {
     pending_accepts: HashMap<SockId, VecDeque<(SockId, u64)>>,
     next_sock: SockId,
     /// QoS gate over per-(co-processor, class) flows; None = FIFO.
-    qos: Option<DwrrScheduler<(u32, NetRequest)>>,
+    qos: Option<DwrrScheduler<(usize, u32, NetRequest)>>,
 }
 
 /// Max bytes pulled from the fabric per connection per poll round.
@@ -284,9 +284,16 @@ impl TcpProxy {
     }
 
     /// The QoS service loop: admit ring arrivals into per-(coproc, class)
-    /// flows, serve in DWRR order, answer shed requests with
-    /// [`RpcErr::Overloaded`], and piggyback credit windows on replies.
-    fn run_qos(mut self, shutdown: Arc<AtomicBool>, mut gate: DwrrScheduler<(u32, NetRequest)>) {
+    /// flows — re-keyed per tenant via
+    /// [`DwrrScheduler::flow_for_tenant`] when the frame carries a
+    /// non-zero tenant id — serve in DWRR order, answer shed requests
+    /// with [`RpcErr::Overloaded`], and piggyback credit windows on
+    /// replies.
+    fn run_qos(
+        mut self,
+        shutdown: Arc<AtomicBool>,
+        mut gate: DwrrScheduler<(usize, u32, NetRequest)>,
+    ) {
         let epoch = std::time::Instant::now();
         while !shutdown.load(Ordering::Relaxed) {
             let mut idle = true;
@@ -298,11 +305,15 @@ impl TcpProxy {
                     idle = false;
                     match NetRequest::decode(&frame) {
                         Ok((tag, req)) => {
+                            let tenant = solros_proto::codec::decode_frame(&frame)
+                                .map(|f| f.tenant)
+                                .unwrap_or(0);
                             let (class_off, bytes) = classify_net(&req);
-                            let flow = c * 2 + class_off;
+                            let flow = gate.flow_for_tenant(tenant, c * 2 + class_off);
                             let now = epoch.elapsed().as_nanos() as u64;
-                            if let Verdict::Shed { item: (tag, _), .. } =
-                                gate.submit(flow, bytes, now, (tag, req))
+                            if let Verdict::Shed {
+                                item: (_, tag, _), ..
+                            } = gate.submit(flow, bytes, now, (c, tag, req))
                             {
                                 let mut reply = NetResponse::Error {
                                     err: RpcErr::Overloaded,
@@ -328,11 +339,10 @@ impl TcpProxy {
                 match gate.dispatch(now) {
                     Dispatch::Run {
                         flow,
-                        item: (tag, req),
+                        item: (c, tag, req),
                         ..
                     } => {
                         idle = false;
-                        let c = flow / 2;
                         self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
                         let mut reply = self.handle(c, req).encode(tag);
                         stamp_credit(&mut reply, gate.credit(flow));
@@ -340,11 +350,10 @@ impl TcpProxy {
                     }
                     Dispatch::Shed {
                         flow,
-                        item: (tag, _),
+                        item: (c, tag, _),
                         ..
                     } => {
                         idle = false;
-                        let c = flow / 2;
                         let mut reply = NetResponse::Error {
                             err: RpcErr::Overloaded,
                         }

@@ -10,21 +10,31 @@
 //!   (§4.4.1), so the co-processor's DMA engines pull inbound data from
 //!   the other end — both sides' DMA engines run in parallel.
 //!
-//! [`RpcClient`] gives many co-processor threads synchronous calls over
-//! one shared ring pair: each call gets a fresh tag; whichever waiter
-//! drains a reply routes it to the pending slot of its tag.
+//! [`RpcClient`] is a submission/completion pipeline shared by many
+//! data-plane threads: [`RpcClient::submit`] enqueues a tagged frame
+//! without waiting and returns a [`Token`]; [`RpcClient::wait`],
+//! [`RpcClient::wait_any`], and [`RpcClient::poll`] harvest replies.
+//! Whichever waiter drains a reply routes it to the pending slot of its
+//! tag, so completions may arrive in any order and a few threads can keep
+//! a deep queue outstanding — the depth the proxies exploit to coalesce
+//! NVMe doorbells across independent calls. The synchronous
+//! [`RpcClient::call`] is `wait(submit(..))`.
 
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::{Arc, Weak};
 
 use parking_lot::{Condvar, Mutex};
 use solros_pcie::counter::PcieCounters;
 use solros_pcie::Side;
-use solros_proto::codec::decode_frame;
+use solros_proto::codec::{decode_frame, stamp_flags, stamp_tenant};
+use solros_proto::rpc_error::RpcErr;
 use solros_qos::CreditPool;
 use solros_ringbuf::ring::{RingBuf, RingConfig};
 use solros_ringbuf::{Consumer, Producer, RingError};
+
+use crate::waitpolicy::WaitPolicy;
 
 /// Default request/response ring capacity (64 KiB each).
 pub const RPC_RING_BYTES: usize = 64 * 1024;
@@ -77,27 +87,102 @@ pub fn event_ring(counters: Arc<PcieCounters>) -> (Producer, Consumer) {
     .endpoints()
 }
 
-/// A synchronous, tag-routing RPC client shared by data-plane threads.
+/// State of one in-flight tag in the routing table.
+enum Slot {
+    /// Submitted; no reply yet.
+    Waiting,
+    /// Reply arrived (already credit-settled) and awaits its waiter.
+    Ready(Vec<u8>),
+    /// The token was dropped before its reply arrived; the reply is
+    /// discarded (and the slot removed) by whichever waiter drains it.
+    Abandoned,
+}
+
+/// The tag-routing table and flow-control state shared between the client
+/// and its outstanding [`Token`]s.
+struct Shared {
+    pending: Mutex<HashMap<u32, Slot>>,
+    arrived: Condvar,
+    /// QoS backpressure: when present, each submission holds one in-flight
+    /// credit from submit until its reply arrives, and replies carry
+    /// window updates from the proxy.
+    credits: Option<Arc<CreditPool>>,
+}
+
+impl Shared {
+    /// Applies the credit grant piggybacked on an arrived reply and
+    /// releases the in-flight slot taken at submit time. Called exactly
+    /// once per reply, at arrival.
+    fn settle_credit(&self, reply: &[u8]) {
+        if let Some(pool) = &self.credits {
+            let grant = decode_frame(reply).map(|f| f.credit).unwrap_or(0);
+            pool.complete(grant);
+        }
+    }
+
+    /// Forgets a tag whose token was dropped before completion. If the
+    /// reply already arrived the slot is simply removed (its credit was
+    /// settled at arrival); otherwise the slot is marked abandoned so the
+    /// eventual reply settles the credit instead of leaking it.
+    fn abandon(&self, tag: u32) {
+        let mut g = self.pending.lock();
+        match g.remove(&tag) {
+            Some(Slot::Waiting) | Some(Slot::Abandoned) => {
+                g.insert(tag, Slot::Abandoned);
+            }
+            Some(Slot::Ready(_)) | None => {}
+        }
+    }
+}
+
+/// A handle to one in-flight submission.
+///
+/// Obtained from [`RpcClient::submit`]; redeemed exactly once through
+/// [`RpcClient::wait`], [`RpcClient::wait_any`], or [`RpcClient::poll`].
+/// Dropping an unredeemed token abandons the tag: the eventual reply is
+/// discarded and its flow-control credit returned, so a caller that gives
+/// up early leaks nothing.
+#[must_use = "a submission completes only when its token is waited on"]
+#[derive(Debug)]
+pub struct Token {
+    tag: u32,
+    shared: Weak<Shared>,
+    done: Cell<bool>,
+}
+
+impl Token {
+    /// The wire tag of this submission.
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+
+    /// True once the token has been redeemed by `wait`/`wait_any`/`poll`.
+    pub fn is_done(&self) -> bool {
+        self.done.get()
+    }
+}
+
+impl Drop for Token {
+    fn drop(&mut self) {
+        if !self.done.get() {
+            if let Some(shared) = self.shared.upgrade() {
+                shared.abandon(self.tag);
+            }
+        }
+    }
+}
+
+/// A tag-routing RPC client shared by data-plane threads: a non-blocking
+/// submission half and a completion half over one shared ring pair.
 pub struct RpcClient {
     tx: Producer,
     rx: Consumer,
     next_tag: AtomicU32,
-    pending: Mutex<HashMap<u32, Option<Vec<u8>>>>,
-    arrived: Condvar,
-    /// QoS backpressure: when present, each call holds one in-flight
-    /// credit and replies carry window updates from the proxy.
-    credits: Option<Arc<CreditPool>>,
+    /// Tenant id stamped into every submitted frame (0 = default tenant,
+    /// which proxies treat exactly as the pre-tenant wire format).
+    tenant: AtomicU8,
+    shared: Arc<Shared>,
 }
-
-/// Reply-wait tuning: spin briefly (cheap when the proxy answers within
-/// a few microseconds), then yield the CPU, then park on the condvar with
-/// an escalating timeout. The previous implementation re-armed a fixed
-/// 50 µs condvar wait in a tight loop, which degenerated into busy-waiting
-/// whenever the proxy was slower than the ring poll.
-const SPIN_LIMIT: u32 = 64;
-const YIELD_LIMIT: u32 = 16;
-const PARK_MIN_US: u64 = 50;
-const PARK_MAX_US: u64 = 1_000;
 
 impl RpcClient {
     /// Wraps a request producer and response consumer.
@@ -112,9 +197,12 @@ impl RpcClient {
             tx,
             rx,
             next_tag: AtomicU32::new(1),
-            pending: Mutex::new(HashMap::new()),
-            arrived: Condvar::new(),
-            credits,
+            tenant: AtomicU8::new(0),
+            shared: Arc::new(Shared {
+                pending: Mutex::new(HashMap::new()),
+                arrived: Condvar::new(),
+                credits,
+            }),
         })
     }
 
@@ -125,77 +213,313 @@ impl RpcClient {
 
     /// This client's credit pool, if flow control is enabled.
     pub fn credits(&self) -> Option<&Arc<CreditPool>> {
-        self.credits.as_ref()
+        self.shared.credits.as_ref()
     }
 
-    /// Applies the credit grant piggybacked on `reply` and releases the
-    /// in-flight slot taken at send time.
-    fn settle(&self, reply: Vec<u8>) -> Vec<u8> {
-        if let Some(pool) = &self.credits {
-            let grant = decode_frame(&reply).map(|f| f.credit).unwrap_or(0);
-            pool.complete(grant);
+    /// Sets the tenant id stamped into subsequent submissions.
+    pub fn set_tenant(&self, tenant: u8) {
+        self.tenant.store(tenant, Ordering::Relaxed);
+    }
+
+    /// The tenant id currently stamped into submissions.
+    pub fn tenant(&self) -> u8 {
+        self.tenant.load(Ordering::Relaxed)
+    }
+
+    /// Number of tags in the routing table (in-flight + unredeemed).
+    /// Exposed for leak assertions in tests.
+    pub fn pending_len(&self) -> usize {
+        self.shared.pending.lock().len()
+    }
+
+    /// Drains one reply from the ring, routing it to its tag's slot.
+    ///
+    /// Returns `Ok(Some(reply))` only when the reply matches `want`
+    /// (fast path: handed straight to the caller, slot removed).
+    /// `Ok(None)` means some other tag progressed; `Err` means the ring
+    /// had nothing ready. Credits settle here, on arrival, so a submitter
+    /// blocked on the credit window can free credits by pumping.
+    fn pump(&self, want: Option<u32>) -> Result<Option<Vec<u8>>, RingError> {
+        let reply = self.rx.recv()?;
+        let rtag = decode_frame(&reply).map(|f| f.tag).unwrap_or(0);
+        let mut g = self.shared.pending.lock();
+        if Some(rtag) == want {
+            g.remove(&rtag);
+            drop(g);
+            self.shared.settle_credit(&reply);
+            return Ok(Some(reply));
         }
-        reply
+        match g.get_mut(&rtag) {
+            Some(slot @ Slot::Waiting) => {
+                *slot = Slot::Ready(reply.clone());
+                drop(g);
+                self.shared.settle_credit(&reply);
+                self.shared.arrived.notify_all();
+            }
+            Some(Slot::Abandoned) => {
+                g.remove(&rtag);
+                drop(g);
+                self.shared.settle_credit(&reply);
+            }
+            // Duplicate or unknown tag: nobody owns it; drop the reply
+            // without touching the credit ledger.
+            Some(Slot::Ready(_)) | None => {}
+        }
+        Ok(None)
+    }
+
+    /// Drains every reply currently available on the ring, routing each.
+    /// Returns how many replies were routed.
+    pub fn drain_now(&self) -> usize {
+        let mut n = 0;
+        while let Ok(None) = self.pump(None) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Takes `tag`'s stashed reply if one has been routed to it.
+    fn take_ready(&self, tag: u32) -> Option<Vec<u8>> {
+        let mut g = self.shared.pending.lock();
+        if matches!(g.get(&tag), Some(Slot::Ready(_))) {
+            match g.remove(&tag) {
+                Some(Slot::Ready(reply)) => Some(reply),
+                _ => unreachable!("checked Ready under the lock"),
+            }
+        } else {
+            None
+        }
+    }
+
+    fn mint_token(&self, tag: u32) -> Token {
+        Token {
+            tag,
+            shared: Arc::downgrade(&self.shared),
+            done: Cell::new(false),
+        }
+    }
+
+    /// Acquires one in-flight credit, pumping the completion ring while
+    /// the window is closed so a single thread with a deep queue cannot
+    /// deadlock against its own unharvested completions.
+    fn acquire_credit_pumping(&self, pool: &Arc<CreditPool>) {
+        let mut policy = WaitPolicy::new();
+        while !pool.try_acquire() {
+            match self.pump(None) {
+                Ok(_) => policy.reset(),
+                Err(_) => {
+                    if let Some(park) = policy.pause() {
+                        std::thread::sleep(park);
+                    }
+                }
+            }
+        }
+    }
+
+    fn prep_frame(&self, frame: &mut [u8], flags: u8) {
+        if flags != 0 {
+            stamp_flags(frame, flags);
+        }
+        let tenant = self.tenant.load(Ordering::Relaxed);
+        if tenant != 0 {
+            stamp_tenant(frame, tenant);
+        }
+    }
+
+    /// Cleans up after an enqueue failure: the tag leaves the routing
+    /// table and the credit taken at submit is returned, so a shed or
+    /// full-ring submission never leaks either.
+    fn scrub_failed_submit(&self, tag: u32) {
+        self.shared.pending.lock().remove(&tag);
+        if let Some(pool) = &self.shared.credits {
+            pool.complete(0);
+        }
+    }
+
+    fn do_submit(
+        &self,
+        tag: u32,
+        mut frame: Vec<u8>,
+        flags: u8,
+        block: bool,
+    ) -> Result<Token, RpcErr> {
+        if let Some(pool) = &self.shared.credits {
+            if block {
+                self.acquire_credit_pumping(&Arc::clone(pool));
+            } else if !pool.try_acquire() {
+                return Err(RpcErr::Overloaded);
+            }
+        }
+        self.prep_frame(&mut frame, flags);
+        self.shared.pending.lock().insert(tag, Slot::Waiting);
+        let sent = if block {
+            self.tx.send_blocking(&frame)
+        } else {
+            // Bounded retries: spin and yield through one escalation of
+            // the wait policy, then report the ring full.
+            let mut policy = WaitPolicy::new();
+            loop {
+                match self.tx.send(&frame) {
+                    Err(RingError::WouldBlock) => {
+                        if policy.pause().is_some() {
+                            break Err(RingError::WouldBlock);
+                        }
+                    }
+                    other => break other,
+                }
+            }
+        };
+        match sent {
+            Ok(()) => Ok(self.mint_token(tag)),
+            Err(e) => {
+                self.scrub_failed_submit(tag);
+                Err(match e {
+                    RingError::WouldBlock => RpcErr::WouldBlock,
+                    RingError::TooBig => RpcErr::TooLarge,
+                })
+            }
+        }
+    }
+
+    /// Enqueues an encoded frame (which must carry `tag`) without waiting
+    /// for the reply.
+    ///
+    /// Acquires a flow-control credit when QoS is enabled (pumping the
+    /// completion ring while the window is closed). Fails with
+    /// [`RpcErr::WouldBlock`] if the request ring stays full through the
+    /// retry policy — in that case the tag and credit are fully released.
+    pub fn submit(&self, tag: u32, frame: Vec<u8>) -> Result<Token, RpcErr> {
+        self.do_submit(tag, frame, 0, false)
+    }
+
+    /// As [`RpcClient::submit`], stamping submission `flags`
+    /// (e.g. [`solros_proto::codec::FLAG_BARRIER`]) into the frame.
+    pub fn submit_with_flags(&self, tag: u32, frame: Vec<u8>, flags: u8) -> Result<Token, RpcErr> {
+        self.do_submit(tag, frame, flags, false)
+    }
+
+    /// As [`RpcClient::submit`], but refuses immediately with
+    /// [`RpcErr::Overloaded`] when no flow-control credit is available
+    /// instead of waiting for the window to open.
+    pub fn try_submit(&self, tag: u32, frame: Vec<u8>) -> Result<Token, RpcErr> {
+        if let Some(pool) = &self.shared.credits {
+            if !pool.try_acquire() {
+                return Err(RpcErr::Overloaded);
+            }
+            // Hand the acquired credit to the common path by releasing it
+            // and re-acquiring: cheaper to inline the send here.
+            pool.complete(0);
+        }
+        self.do_submit(tag, frame, 0, false)
+    }
+
+    /// As [`RpcClient::submit`], spinning until ring space frees up; only
+    /// an oversized frame can fail. Used by the synchronous [`call`] path.
+    ///
+    /// [`call`]: RpcClient::call
+    pub fn submit_blocking(&self, tag: u32, frame: Vec<u8>) -> Result<Token, RpcErr> {
+        self.do_submit(tag, frame, 0, true)
+    }
+
+    /// Blocks until `token`'s reply arrives and returns it. Replies for
+    /// other tags drained along the way are handed to their waiters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token was already redeemed.
+    pub fn wait(&self, token: Token) -> Vec<u8> {
+        assert!(!token.done.get(), "token redeemed twice");
+        let tag = token.tag;
+        token.done.set(true);
+        let mut policy = WaitPolicy::new();
+        loop {
+            if let Some(reply) = self.take_ready(tag) {
+                return reply;
+            }
+            match self.pump(Some(tag)) {
+                Ok(Some(reply)) => return reply,
+                Ok(None) => policy.reset(),
+                Err(_) => {
+                    if let Some(park) = policy.pause() {
+                        // Park until another waiter routes a reply or the
+                        // timeout elapses; escalating timeouts stop an
+                        // idle waiter from spinning on the ring.
+                        let mut g = self.shared.pending.lock();
+                        if matches!(g.get(&tag), Some(Slot::Ready(_))) {
+                            continue;
+                        }
+                        self.shared.arrived.wait_for(&mut g, park);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks until any of `tokens` completes; returns the index of the
+    /// completed token and its reply, and marks that token redeemed
+    /// (tokens already redeemed are skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every token in `tokens` was already redeemed.
+    pub fn wait_any(&self, tokens: &[Token]) -> (usize, Vec<u8>) {
+        assert!(
+            tokens.iter().any(|t| !t.done.get()),
+            "wait_any needs at least one unredeemed token"
+        );
+        let mut policy = WaitPolicy::new();
+        loop {
+            for (i, t) in tokens.iter().enumerate() {
+                if t.done.get() {
+                    continue;
+                }
+                if let Some(reply) = self.take_ready(t.tag) {
+                    t.done.set(true);
+                    return (i, reply);
+                }
+            }
+            match self.pump(None) {
+                Ok(_) => policy.reset(),
+                Err(_) => {
+                    if let Some(park) = policy.pause() {
+                        let mut g = self.shared.pending.lock();
+                        let any_ready = tokens.iter().any(|t| {
+                            !t.done.get() && matches!(g.get(&t.tag), Some(Slot::Ready(_)))
+                        });
+                        if any_ready {
+                            continue;
+                        }
+                        self.shared.arrived.wait_for(&mut g, park);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking completion check: drains whatever the ring has and
+    /// returns `token`'s reply if it has arrived (marking the token
+    /// redeemed), or `None` if it is still in flight or already redeemed.
+    pub fn poll(&self, token: &Token) -> Option<Vec<u8>> {
+        if token.done.get() {
+            return None;
+        }
+        self.drain_now();
+        let reply = self.take_ready(token.tag)?;
+        token.done.set(true);
+        Some(reply)
     }
 
     /// Sends an encoded frame (which must carry `tag`) and blocks until
-    /// the matching reply arrives. Replies for other tags drained along
-    /// the way are handed to their waiters.
+    /// the matching reply arrives: `wait(submit(..))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame exceeds the ring element limit.
     pub fn call(&self, tag: u32, frame: Vec<u8>) -> Vec<u8> {
-        if let Some(pool) = &self.credits {
-            pool.acquire();
-        }
-        self.pending.lock().insert(tag, None);
-        self.tx
-            .send_blocking(&frame)
+        let token = self
+            .submit_blocking(tag, frame)
             .expect("RPC frame exceeds ring element limit");
-        let mut attempts = 0u32;
-        loop {
-            {
-                let mut g = self.pending.lock();
-                if let Some(Some(_)) = g.get(&tag) {
-                    let reply = g.remove(&tag).flatten().expect("checked Some");
-                    drop(g);
-                    return self.settle(reply);
-                }
-            }
-            match self.rx.recv() {
-                Ok(reply) => {
-                    attempts = 0;
-                    let rtag = decode_frame(&reply).map(|f| f.tag).unwrap_or(0);
-                    if rtag == tag {
-                        self.pending.lock().remove(&tag);
-                        return self.settle(reply);
-                    }
-                    let mut g = self.pending.lock();
-                    if let Some(slot) = g.get_mut(&rtag) {
-                        *slot = Some(reply);
-                        self.arrived.notify_all();
-                    }
-                    // Unknown tag: reply for a caller that vanished; drop.
-                }
-                Err(RingError::WouldBlock) | Err(RingError::TooBig) => {
-                    attempts += 1;
-                    if attempts <= SPIN_LIMIT {
-                        std::hint::spin_loop();
-                    } else if attempts <= SPIN_LIMIT + YIELD_LIMIT {
-                        std::thread::yield_now();
-                    } else {
-                        // Park until another caller routes a reply or the
-                        // timeout elapses; escalate the timeout so an idle
-                        // waiter backs off instead of spinning on the ring.
-                        let over = (attempts - SPIN_LIMIT - YIELD_LIMIT) as u64;
-                        let park_us = (PARK_MIN_US * over).min(PARK_MAX_US);
-                        let mut g = self.pending.lock();
-                        if let Some(Some(_)) = g.get(&tag) {
-                            continue;
-                        }
-                        self.arrived
-                            .wait_for(&mut g, std::time::Duration::from_micros(park_us));
-                    }
-                }
-            }
-        }
+        self.wait(token)
     }
 }
 
@@ -249,6 +573,7 @@ mod tests {
             );
         }
         proxy.join().unwrap();
+        assert_eq!(client.pending_len(), 0);
     }
 
     #[test]
@@ -330,6 +655,7 @@ mod tests {
             h.join().unwrap();
         }
         proxy.join().unwrap();
+        assert_eq!(client.pending_len(), 0);
     }
 
     #[test]
@@ -364,6 +690,245 @@ mod tests {
             assert_eq!(in_flight, 0);
             assert_eq!(window, expect);
         }
+        proxy.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_submissions_complete_out_of_order() {
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(counters);
+        let client = RpcClient::new(ch.req_tx, ch.resp_rx);
+
+        // Proxy collects all requests, then replies in reverse order.
+        let req_rx = ch.req_rx;
+        let resp_tx = ch.resp_tx;
+        let depth = 16u64;
+        let proxy = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while got.len() < depth as usize {
+                match req_rx.recv() {
+                    Ok(f) => got.push(FsRequest::decode(&f).unwrap()),
+                    Err(_) => std::thread::yield_now(),
+                }
+            }
+            for (tag, req) in got.into_iter().rev() {
+                let ino = match req {
+                    FsRequest::Fstat { ino } => ino,
+                    _ => 0,
+                };
+                resp_tx
+                    .send_blocking(
+                        &FsResponse::Stat {
+                            ino,
+                            is_dir: false,
+                            size: ino + 7,
+                        }
+                        .encode(tag),
+                    )
+                    .unwrap();
+            }
+        });
+
+        let mut tokens = Vec::new();
+        let mut inos = Vec::new();
+        for ino in 0..depth {
+            let tag = client.tag();
+            tokens.push(
+                client
+                    .submit(tag, FsRequest::Fstat { ino }.encode(tag))
+                    .unwrap(),
+            );
+            inos.push(ino);
+        }
+        // Harvest half via wait_any, the rest via wait, in any order.
+        for _ in 0..depth / 2 {
+            let (i, reply) = client.wait_any(&tokens);
+            let (_, resp) = FsResponse::decode(&reply).unwrap();
+            assert_eq!(
+                resp,
+                FsResponse::Stat {
+                    ino: inos[i],
+                    is_dir: false,
+                    size: inos[i] + 7
+                }
+            );
+        }
+        for (i, t) in tokens.into_iter().enumerate() {
+            if t.is_done() {
+                continue;
+            }
+            let reply = client.wait(t);
+            let (_, resp) = FsResponse::decode(&reply).unwrap();
+            assert_eq!(
+                resp,
+                FsResponse::Stat {
+                    ino: inos[i],
+                    is_dir: false,
+                    size: inos[i] + 7
+                }
+            );
+        }
+        proxy.join().unwrap();
+        assert_eq!(client.pending_len(), 0);
+    }
+
+    #[test]
+    fn failed_enqueue_scrubs_tag_and_returns_credit() {
+        // No proxy: nothing drains the request ring, so submissions
+        // eventually fail with a full ring. The failures must leave no
+        // trace in the pending map and no held credits.
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(counters);
+        let pool = Arc::new(CreditPool::new(u32::MAX));
+        let client = RpcClient::with_credits(ch.req_tx, ch.resp_rx, Some(Arc::clone(&pool)));
+
+        let mut ok = 0u32;
+        let mut failed = 0u32;
+        let mut tokens = Vec::new();
+        while failed < 8 {
+            let tag = client.tag();
+            let frame = FsRequest::Fstat { ino: 1 }.encode(tag);
+            match client.submit(tag, frame) {
+                Ok(t) => {
+                    ok += 1;
+                    tokens.push(t);
+                }
+                Err(e) => {
+                    assert_eq!(e, RpcErr::WouldBlock);
+                    failed += 1;
+                }
+            }
+            assert!(ok < 100_000, "ring never filled");
+        }
+        // Only the successful submissions remain pending, each holding
+        // exactly one credit.
+        assert_eq!(client.pending_len(), ok as usize);
+        assert_eq!(pool.levels().0, ok);
+
+        // A proxy appears and answers everything; the map returns to
+        // empty and every credit comes back.
+        let req_rx = ch.req_rx;
+        let resp_tx = ch.resp_tx;
+        let proxy = std::thread::spawn(move || {
+            let mut served = 0;
+            while served < ok {
+                match req_rx.recv() {
+                    Ok(f) => {
+                        let (tag, _) = FsRequest::decode(&f).unwrap();
+                        resp_tx.send_blocking(&FsResponse::Ok.encode(tag)).unwrap();
+                        served += 1;
+                    }
+                    Err(_) => std::thread::yield_now(),
+                }
+            }
+        });
+        for t in tokens {
+            let reply = client.wait(t);
+            let (_, resp) = FsResponse::decode(&reply).unwrap();
+            assert_eq!(resp, FsResponse::Ok);
+        }
+        proxy.join().unwrap();
+        assert_eq!(client.pending_len(), 0);
+        assert_eq!(pool.levels().0, 0);
+    }
+
+    #[test]
+    fn try_submit_without_credit_is_overloaded() {
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(counters);
+        let pool = Arc::new(CreditPool::new(1));
+        let client = RpcClient::with_credits(ch.req_tx, ch.resp_rx, Some(Arc::clone(&pool)));
+
+        let tag = client.tag();
+        let t = client
+            .try_submit(tag, FsRequest::Fsync { ino: 1 }.encode(tag))
+            .unwrap();
+        // Window of 1 is spent; the next try_submit is refused cleanly.
+        let tag2 = client.tag();
+        let err = client
+            .try_submit(tag2, FsRequest::Fsync { ino: 2 }.encode(tag2))
+            .unwrap_err();
+        assert_eq!(err, RpcErr::Overloaded);
+        assert_eq!(client.pending_len(), 1);
+
+        // Answer the in-flight one; the spent credit frees on wait.
+        let resp_tx = ch.resp_tx;
+        let req_rx = ch.req_rx;
+        let f = loop {
+            match req_rx.recv() {
+                Ok(f) => break f,
+                Err(_) => std::thread::yield_now(),
+            }
+        };
+        let (rtag, _) = FsRequest::decode(&f).unwrap();
+        resp_tx.send_blocking(&FsResponse::Ok.encode(rtag)).unwrap();
+        let _ = client.wait(t);
+        assert_eq!(pool.levels().0, 0);
+        assert_eq!(client.pending_len(), 0);
+    }
+
+    #[test]
+    fn dropped_token_abandons_without_leaking() {
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(counters);
+        let pool = Arc::new(CreditPool::new(8));
+        let client = RpcClient::with_credits(ch.req_tx, ch.resp_rx, Some(Arc::clone(&pool)));
+
+        let tag_a = client.tag();
+        let token_a = client
+            .submit(tag_a, FsRequest::Fstat { ino: 1 }.encode(tag_a))
+            .unwrap();
+        drop(token_a); // Abandoned before any reply.
+        assert_eq!(client.pending_len(), 1, "abandoned slot awaits its reply");
+        assert_eq!(pool.levels().0, 1, "credit still held until the reply");
+
+        // The proxy answers the abandoned tag; a later call drains it.
+        let req_rx = ch.req_rx;
+        let resp_tx = ch.resp_tx;
+        let proxy = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let f = loop {
+                    match req_rx.recv() {
+                        Ok(f) => break f,
+                        Err(_) => std::thread::yield_now(),
+                    }
+                };
+                let (tag, _) = FsRequest::decode(&f).unwrap();
+                resp_tx.send_blocking(&FsResponse::Ok.encode(tag)).unwrap();
+            }
+        });
+        let tag_b = client.tag();
+        let _ = client.call(tag_b, FsRequest::Fstat { ino: 2 }.encode(tag_b));
+        client.drain_now();
+        proxy.join().unwrap();
+        client.drain_now();
+        assert_eq!(client.pending_len(), 0, "abandoned reply discarded");
+        assert_eq!(pool.levels().0, 0, "abandoned credit returned");
+    }
+
+    #[test]
+    fn tenant_id_rides_the_frame_header() {
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(counters);
+        let client = RpcClient::new(ch.req_tx, ch.resp_rx);
+        client.set_tenant(3);
+
+        let req_rx = ch.req_rx;
+        let resp_tx = ch.resp_tx;
+        let proxy = std::thread::spawn(move || {
+            let f = loop {
+                match req_rx.recv() {
+                    Ok(f) => break f,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            let frame = decode_frame(&f).unwrap();
+            assert_eq!(frame.tenant, 3);
+            let (tag, _) = FsRequest::decode(&f).unwrap();
+            resp_tx.send_blocking(&FsResponse::Ok.encode(tag)).unwrap();
+        });
+        let tag = client.tag();
+        let _ = client.call(tag, FsRequest::Fsync { ino: 1 }.encode(tag));
         proxy.join().unwrap();
     }
 }

@@ -1,0 +1,133 @@
+//! The shared spin→yield→park wait policy.
+//!
+//! Both the RPC reply wait and the network stub's blocking `accept`/`recv`
+//! loops face the same problem: the event they wait for usually arrives
+//! within microseconds (the proxy answers fast), but can also be seconds
+//! away (an idle listener). Spinning is right for the first case and
+//! ruinous for the second; a fixed condvar timeout re-armed in a tight
+//! loop degenerates into periodic busy-waiting.
+//!
+//! [`WaitPolicy`] escalates instead: spin briefly, then yield the CPU,
+//! then park with a timeout that grows toward a cap. Callers that own a
+//! condition variable park on it for the returned duration; callers
+//! without one sleep.
+
+use std::time::Duration;
+
+/// Spin iterations before the policy starts yielding.
+pub const SPIN_LIMIT: u32 = 64;
+/// Yield iterations before the policy starts parking.
+pub const YIELD_LIMIT: u32 = 16;
+/// First park timeout, in microseconds.
+pub const PARK_MIN_US: u64 = 50;
+/// Park timeout cap, in microseconds.
+pub const PARK_MAX_US: u64 = 1_000;
+
+/// What the caller should do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wait {
+    /// Issue a spin-loop hint and retry.
+    Spin,
+    /// Yield the CPU and retry.
+    Yield,
+    /// Park (condvar wait or sleep) for up to this long, then retry.
+    Park(Duration),
+}
+
+/// An escalating wait policy for one blocking wait.
+///
+/// Create one per wait, call [`WaitPolicy::advance`] each time the awaited
+/// condition is still false, and [`WaitPolicy::reset`] whenever progress
+/// is observed (so a busy peer keeps the waiter in the cheap spin band).
+#[derive(Debug, Default)]
+pub struct WaitPolicy {
+    attempts: u32,
+}
+
+impl WaitPolicy {
+    /// A fresh policy, starting in the spin band.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rewinds to the spin band after observed progress.
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+    }
+
+    /// Advances the policy and returns the next action.
+    pub fn advance(&mut self) -> Wait {
+        self.attempts = self.attempts.saturating_add(1);
+        if self.attempts <= SPIN_LIMIT {
+            Wait::Spin
+        } else if self.attempts <= SPIN_LIMIT + YIELD_LIMIT {
+            Wait::Yield
+        } else {
+            let over = (self.attempts - SPIN_LIMIT - YIELD_LIMIT) as u64;
+            let park_us = (PARK_MIN_US * over).min(PARK_MAX_US);
+            Wait::Park(Duration::from_micros(park_us))
+        }
+    }
+
+    /// Convenience for waiters without a condition variable: executes the
+    /// spin/yield step inline and returns `Some(timeout)` once the policy
+    /// says to park, leaving the park itself (condvar wait or sleep) to
+    /// the caller.
+    pub fn pause(&mut self) -> Option<Duration> {
+        match self.advance() {
+            Wait::Spin => {
+                std::hint::spin_loop();
+                None
+            }
+            Wait::Yield => {
+                std::thread::yield_now();
+                None
+            }
+            Wait::Park(d) => Some(d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_spin_yield_park() {
+        let mut p = WaitPolicy::new();
+        for _ in 0..SPIN_LIMIT {
+            assert_eq!(p.advance(), Wait::Spin);
+        }
+        for _ in 0..YIELD_LIMIT {
+            assert_eq!(p.advance(), Wait::Yield);
+        }
+        assert_eq!(p.advance(), Wait::Park(Duration::from_micros(PARK_MIN_US)));
+        assert_eq!(
+            p.advance(),
+            Wait::Park(Duration::from_micros(2 * PARK_MIN_US))
+        );
+    }
+
+    #[test]
+    fn park_timeout_caps() {
+        let mut p = WaitPolicy::new();
+        let mut last = Duration::ZERO;
+        for _ in 0..10_000 {
+            if let Wait::Park(d) = p.advance() {
+                last = d;
+            }
+        }
+        assert_eq!(last, Duration::from_micros(PARK_MAX_US));
+    }
+
+    #[test]
+    fn reset_rewinds_to_spin() {
+        let mut p = WaitPolicy::new();
+        for _ in 0..(SPIN_LIMIT + YIELD_LIMIT + 5) {
+            let _ = p.advance();
+        }
+        assert!(matches!(p.advance(), Wait::Park(_)));
+        p.reset();
+        assert_eq!(p.advance(), Wait::Spin);
+    }
+}

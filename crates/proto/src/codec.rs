@@ -3,7 +3,7 @@
 //! Every RPC message is one ring-buffer element:
 //!
 //! ```text
-//! [u32 body_len][u8 msg_type][u32 tag][u8 credit][body...]
+//! [u32 body_len][u8 msg_type][u32 tag][u8 credit][u8 flags][u8 tenant][body...]
 //! ```
 //!
 //! The tag lets many co-processor threads share one request ring: the stub
@@ -13,14 +13,30 @@
 //! a proxy stamps how many new in-flight request slots the stub may use.
 //! Requests and pre-QoS peers leave it zero, which grants nothing and is
 //! ignored by receivers that do not participate in flow control.
+//!
+//! The flags byte marks submission-ordering constraints on requests
+//! ([`FLAG_BARRIER`]); the tenant byte identifies the submitting tenant
+//! for per-tenant QoS accounting. Both default to zero, which preserves
+//! pre-pipeline behaviour bit-for-bit apart from the two header bytes.
 
 use bytes::{Buf, BufMut, BytesMut};
 
 /// Frame header length in bytes.
-pub const HEADER_LEN: usize = 4 + 1 + 4 + 1;
+pub const HEADER_LEN: usize = 4 + 1 + 4 + 1 + 1 + 1;
 
 /// Byte offset of the credit field inside the header.
 const CREDIT_OFFSET: usize = 9;
+
+/// Byte offset of the flags field inside the header.
+const FLAGS_OFFSET: usize = 10;
+
+/// Byte offset of the tenant field inside the header.
+const TENANT_OFFSET: usize = 11;
+
+/// Flags-byte bit: this request is a barrier — the proxy must complete
+/// every previously submitted request from this ring before executing it,
+/// and must not start later requests until it completes.
+pub const FLAG_BARRIER: u8 = 1 << 0;
 
 /// Maximum accepted string length (paths, names) on the wire.
 pub const MAX_STR: usize = 4096;
@@ -48,7 +64,8 @@ impl std::fmt::Display for ProtoError {
 
 impl std::error::Error for ProtoError {}
 
-/// A decoded frame: type byte, tag, credit grant, and body slice.
+/// A decoded frame: type byte, tag, credit grant, submission flags,
+/// tenant id, and body slice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Frame<'a> {
     /// Message type discriminator.
@@ -57,16 +74,22 @@ pub struct Frame<'a> {
     pub tag: u32,
     /// QoS credit grant piggybacked on a reply (0 = none).
     pub credit: u8,
+    /// Submission flags on a request ([`FLAG_BARRIER`]); 0 = unordered.
+    pub flags: u8,
+    /// Tenant id of the submitting data plane (0 = default tenant).
+    pub tenant: u8,
     /// Message body.
     pub body: &'a [u8],
 }
 
-/// Encodes a frame with no credit grant.
+/// Encodes a frame with no credit grant, no flags, default tenant.
 pub fn encode_frame(msg_type: u8, tag: u32, body: &[u8]) -> Vec<u8> {
     let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
     out.put_u32_le(body.len() as u32);
     out.put_u8(msg_type);
     out.put_u32_le(tag);
+    out.put_u8(0);
+    out.put_u8(0);
     out.put_u8(0);
     out.put_slice(body);
     out.to_vec()
@@ -81,6 +104,18 @@ pub fn stamp_credit(frame: &mut [u8], credit: u8) {
     frame[CREDIT_OFFSET] = credit;
 }
 
+/// Stamps submission flags into an already-encoded frame, in place.
+pub fn stamp_flags(frame: &mut [u8], flags: u8) {
+    assert!(frame.len() >= HEADER_LEN, "not a frame");
+    frame[FLAGS_OFFSET] = flags;
+}
+
+/// Stamps the tenant id into an already-encoded frame, in place.
+pub fn stamp_tenant(frame: &mut [u8], tenant: u8) {
+    assert!(frame.len() >= HEADER_LEN, "not a frame");
+    frame[TENANT_OFFSET] = tenant;
+}
+
 /// Decodes and validates a frame.
 pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, ProtoError> {
     if buf.len() < HEADER_LEN {
@@ -90,6 +125,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, ProtoError> {
     let msg_type = buf[4];
     let tag = u32::from_le_bytes(buf[5..9].try_into().expect("4 bytes"));
     let credit = buf[CREDIT_OFFSET];
+    let flags = buf[FLAGS_OFFSET];
+    let tenant = buf[TENANT_OFFSET];
     if buf.len() != HEADER_LEN + body_len {
         return Err(ProtoError::Truncated);
     }
@@ -97,6 +134,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, ProtoError> {
         msg_type,
         tag,
         credit,
+        flags,
+        tenant,
         body: &buf[HEADER_LEN..],
     })
 }
@@ -230,6 +269,8 @@ mod tests {
         assert_eq!(d.msg_type, 7);
         assert_eq!(d.tag, 0xDEAD);
         assert_eq!(d.credit, 0);
+        assert_eq!(d.flags, 0);
+        assert_eq!(d.tenant, 0);
         assert_eq!(d.body, b"body!");
     }
 
@@ -241,6 +282,21 @@ mod tests {
         assert_eq!(d.credit, 9);
         assert_eq!(d.tag, 42);
         assert_eq!(d.body, b"payload");
+    }
+
+    #[test]
+    fn flags_and_tenant_stamps_are_independent() {
+        let mut f = encode_frame(3, 77, b"op");
+        stamp_flags(&mut f, FLAG_BARRIER);
+        stamp_tenant(&mut f, 5);
+        stamp_credit(&mut f, 2);
+        let d = decode_frame(&f).unwrap();
+        assert_eq!(d.flags, FLAG_BARRIER);
+        assert_eq!(d.tenant, 5);
+        assert_eq!(d.credit, 2);
+        assert_eq!(d.tag, 77);
+        assert_eq!(d.msg_type, 3);
+        assert_eq!(d.body, b"op");
     }
 
     #[test]

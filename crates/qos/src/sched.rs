@@ -30,14 +30,28 @@ pub struct FlowSpec {
     pub deadline_ns: u64,
     /// Shed at submit while the gate is overloaded.
     pub sheddable: bool,
+    /// Tenant this flow serves. Tenant 0 is the default tenant: flows
+    /// built without an explicit tenant carry 0 and behave exactly as
+    /// before tenants existed. A tenant variant of a flow named `N` is
+    /// named `"N#t<tenant>"` by convention, which is how
+    /// [`DwrrScheduler::flow_for_tenant`] finds it.
+    pub tenant: u8,
 }
 
 impl FlowSpec {
-    /// Builds a spec from a per-class config.
+    /// Builds a spec from a per-class config. A trailing `#t<N>` on the
+    /// name marks the flow as serving tenant `N` (the keying convention
+    /// for per-tenant quotas); otherwise the flow serves tenant 0.
     pub fn from_class(name: impl Into<String>, class: QosClass, cc: &ClassConfig) -> Self {
+        let name = name.into();
+        let tenant = name
+            .rsplit_once("#t")
+            .and_then(|(_, t)| t.parse::<u8>().ok())
+            .unwrap_or(0);
         Self {
-            name: name.into(),
+            name,
             class,
+            tenant,
             weight: cc.weight.max(1),
             ops_per_sec: cc.ops_per_sec,
             bytes_per_sec: cc.bytes_per_sec,
@@ -196,6 +210,22 @@ impl<T> DwrrScheduler<T> {
         self.queued_total >= self.overload_threshold
     }
 
+    /// Resolves the flow serving `tenant` with the same role as
+    /// `fallback` (by the `"name#t<tenant>"` naming convention), falling
+    /// back to `fallback` itself when no such flow is configured — so
+    /// tenant ids flow through keying today while configs without tenant
+    /// flows behave byte-identically.
+    pub fn flow_for_tenant(&self, tenant: u8, fallback: usize) -> usize {
+        if self.flows[fallback].spec.tenant == tenant {
+            return fallback;
+        }
+        let want = format!("{}#t{}", self.flows[fallback].spec.name, tenant);
+        self.flows
+            .iter()
+            .position(|f| f.spec.tenant == tenant && f.spec.name == want)
+            .unwrap_or(fallback)
+    }
+
     /// Credit window to advertise to the stub feeding `flow`:
     /// remaining queue headroom, clamped to the `1..=255` the frame
     /// header's credit byte can carry. Never zero, so a stub can always
@@ -341,7 +371,24 @@ mod tests {
             queue_cap: 1024,
             deadline_ns: 0,
             sheddable: false,
+            tenant: 0,
         }
+    }
+
+    #[test]
+    fn tenant_keying_resolves_and_falls_back() {
+        let mut t1 = spec("fs0/high#t1", QosClass::High, 1);
+        t1.tenant = 1;
+        let s: DwrrScheduler<u32> = DwrrScheduler::new(
+            vec![spec("fs0/high", QosClass::High, 1), t1],
+            1024,
+            usize::MAX,
+        );
+        // Tenant 0 keeps its flow; tenant 1 resolves to its variant;
+        // an unconfigured tenant falls back to the default flow.
+        assert_eq!(s.flow_for_tenant(0, 0), 0);
+        assert_eq!(s.flow_for_tenant(1, 0), 1);
+        assert_eq!(s.flow_for_tenant(7, 0), 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@ fn open_spec(name: String, weight: u32) -> FlowSpec {
         queue_cap: usize::MAX,
         deadline_ns: 0,
         sheddable: false,
+        tenant: 0,
     }
 }
 
