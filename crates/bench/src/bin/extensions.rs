@@ -1,8 +1,11 @@
 //! Regenerates the extension experiments (beyond the paper's figures).
 //!
 //! With no arguments, renders every extension. `extensions e3` renders
-//! only the QoS overload experiment and `extensions e4` only the
-//! queue-depth sweep — the cheap ones CI runs as smoke tests.
+//! only the QoS overload experiment, `extensions e4` only the
+//! queue-depth sweep, and `extensions e5` the fault-injection recovery
+//! sweep — the cheap ones CI runs as smoke tests. The `e5` arm exits
+//! nonzero if any scenario leaves a hung tag, leaks a credit, or blows
+//! its recovery-latency bound, so it doubles as the robustness gate.
 
 fn main() {
     let only = std::env::args().nth(1);
@@ -15,8 +18,40 @@ fn main() {
             "## E4 — submission pipeline vs queue depth\n\n{}",
             solros_bench::extensions::queue_depth()
         ),
+        Some("e5") => {
+            // Detection deadlines are 150 ms; anything past this bound
+            // means recovery wedged rather than ran.
+            const RECOVERY_BOUND_NS: u64 = 5_000_000_000;
+            let scenarios = solros_bench::extensions::fault_scenarios();
+            print!(
+                "## E5 — fault injection and recovery\n\n{}",
+                solros_bench::extensions::render_fault_scenarios(&scenarios)
+            );
+            let mut failed = false;
+            for s in &scenarios {
+                if !s.report.clean() {
+                    eprintln!(
+                        "E5 FAIL {}: {} hung tags, {} leaked credits",
+                        s.name, s.report.hung_tags, s.report.leaked_credits
+                    );
+                    failed = true;
+                }
+                if s.report.detect_ns + s.report.recover_ns > RECOVERY_BOUND_NS {
+                    eprintln!(
+                        "E5 FAIL {}: recovery took {} ns (bound {} ns)",
+                        s.name,
+                        s.report.detect_ns + s.report.recover_ns,
+                        RECOVERY_BOUND_NS
+                    );
+                    failed = true;
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        }
         Some(other) => {
-            eprintln!("unknown experiment {other:?}; expected `e3`, `e4`, or no argument");
+            eprintln!("unknown experiment {other:?}; expected `e3`, `e4`, `e5`, or no argument");
             std::process::exit(2);
         }
         None => print!("{}", solros_bench::extensions::run_all()),

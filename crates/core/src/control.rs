@@ -152,7 +152,16 @@ impl Solros {
                     .expect("spawn fs proxy")
             };
             threads.push(handle);
-            let fs_client = RpcClient::with_credits(fs_ch.req_tx, fs_ch.resp_rx, credit_pool("fs"));
+            let fs_client = RpcClient::with_link(
+                fs_ch.req_tx,
+                fs_ch.resp_rx,
+                credit_pool("fs"),
+                Arc::clone(&fs_ch.req_ring),
+                Arc::clone(&fs_ch.resp_ring),
+            );
+            fs_client.set_error_encoder(|tag, err| {
+                solros_proto::fs_msg::FsResponse::Error { err }.encode(tag)
+            });
             let coproc_fs = Arc::new(CoprocFs::new(
                 fs_client,
                 Arc::clone(&coproc.window),
@@ -167,8 +176,16 @@ impl Solros {
                 resp_tx: net_ch.resp_tx,
                 evt_tx,
             });
-            let net_client =
-                RpcClient::with_credits(net_ch.req_tx, net_ch.resp_rx, credit_pool("net"));
+            let net_client = RpcClient::with_link(
+                net_ch.req_tx,
+                net_ch.resp_rx,
+                credit_pool("net"),
+                Arc::clone(&net_ch.req_ring),
+                Arc::clone(&net_ch.resp_ring),
+            );
+            net_client.set_error_encoder(|tag, err| {
+                solros_proto::net_msg::NetResponse::Error { err }.encode(tag)
+            });
             let (coproc_net, dispatcher) =
                 CoprocNet::start(net_client, evt_rx, Arc::clone(&shutdown));
             threads.push(dispatcher);

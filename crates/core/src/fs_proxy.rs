@@ -40,6 +40,8 @@ use solros_proto::rpc_error::RpcErr;
 use solros_qos::{Dispatch, DwrrScheduler, QosClass, Verdict};
 use solros_ringbuf::{Consumer, Producer};
 
+use crate::retry::RetryPolicy;
+
 /// Worker threads per proxy executing non-coalesced operations.
 pub const PROXY_WORKERS: usize = 3;
 /// Frames drained from the request ring per wave.
@@ -63,6 +65,8 @@ pub struct FsProxyStats {
     pub buffered_writes: AtomicU64,
     /// Pages warmed by sequential readahead (§4.3.2).
     pub prefetched_pages: AtomicU64,
+    /// Worker panics contained and converted into `Io` error replies.
+    pub worker_panics: AtomicU64,
 }
 
 /// Maps file-system errors onto wire codes.
@@ -130,6 +134,8 @@ pub struct FsProxy {
     last_read_end: Mutex<HashMap<u64, u64>>,
     /// Pages to read ahead on a sequential buffered stream (0 disables).
     readahead_pages: u64,
+    /// Fault injection: the next N handled requests panic mid-execution.
+    inject_worker_panics: AtomicU64,
 }
 
 impl FsProxy {
@@ -148,12 +154,42 @@ impl FsProxy {
             buffered_open: Mutex::new(HashSet::new()),
             last_read_end: Mutex::new(HashMap::new()),
             readahead_pages: 8,
+            inject_worker_panics: AtomicU64::new(0),
         }
     }
 
     /// Overrides the sequential readahead depth (pages; 0 disables).
     pub fn set_readahead(&mut self, pages: u64) {
         self.readahead_pages = pages;
+    }
+
+    /// Fault injection: makes the next `n` handled requests panic inside
+    /// the handler, exercising the containment path.
+    pub fn inject_worker_panics(&self, n: u64) {
+        self.inject_worker_panics.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Runs [`FsProxy::handle`] with panic containment: a panicking
+    /// handler (a proxy bug or an injected fault) yields an [`RpcErr::Io`]
+    /// error reply instead of taking down the serve loop, and the worker
+    /// keeps running — containment is the respawn. The shared state uses
+    /// `parking_lot` locks, which release (without poisoning) during
+    /// unwind, so surviving workers see consistent state.
+    fn handle_contained(&self, req: FsRequest) -> FsResponse {
+        let armed = self
+            .inject_worker_panics
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok();
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if armed {
+                panic!("injected fs proxy worker panic");
+            }
+            self.handle(req)
+        }));
+        out.unwrap_or_else(|_| {
+            self.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            FsResponse::Error { err: RpcErr::Io }
+        })
     }
 
     /// Serves requests until `shutdown` is set. Runs on a host thread
@@ -321,7 +357,7 @@ impl FsProxy {
             self.flush_wave(wave, resp_tx);
             jobs.quiesce();
             self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-            let mut reply = self.handle(req).encode(tag);
+            let mut reply = self.handle_contained(req).encode(tag);
             if let Some(c) = credit {
                 stamp_credit(&mut reply, c);
             }
@@ -410,7 +446,7 @@ impl FsProxy {
     fn worker(&self, jobs: &JobQueue, resp_tx: &Producer) {
         while let Some(job) = jobs.pop() {
             self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-            let mut reply = self.handle(job.req).encode(job.tag);
+            let mut reply = self.handle_contained(job.req).encode(job.tag);
             if let Some(c) = job.credit {
                 stamp_credit(&mut reply, c);
             }
@@ -666,7 +702,9 @@ impl FsProxy {
     }
 
     /// Checks one operation's slice of a combined batch's results,
-    /// retrying individual transient failures.
+    /// retrying individual transient failures through the shared
+    /// exponential-backoff [`RetryPolicy`] so media/timeout/queue-full
+    /// bursts are absorbed instead of surfacing after two blind retries.
     fn settle_span(
         &self,
         cmds: &[NvmeCommand],
@@ -674,22 +712,16 @@ impl FsProxy {
         span: Range<usize>,
     ) -> Result<(), RpcErr> {
         for i in span {
-            if let Err(mut e) = results[i] {
-                let mut ok = false;
-                for _ in 0..2 {
-                    match self
-                        .fs
-                        .device()
-                        .submit_vectored(std::slice::from_ref(&cmds[i]))[0]
-                    {
-                        Ok(()) => {
-                            ok = true;
-                            break;
-                        }
-                        Err(e2) => e = e2,
-                    }
-                }
-                if !ok {
+            if results[i].is_err() {
+                let settled = RetryPolicy::new().run(
+                    |e: &NvmeError| e.is_transient(),
+                    |_| {
+                        self.fs
+                            .device()
+                            .submit_vectored(std::slice::from_ref(&cmds[i]))[0]
+                    },
+                );
+                if let Err(e) = settled {
                     return Err(match e {
                         NvmeError::OutOfRange => RpcErr::Invalid,
                         _ => RpcErr::Io,
@@ -1101,6 +1133,34 @@ mod tests {
             buf_addr: 0,
         });
         assert_eq!(stats.prefetched_pages.load(Ordering::Relaxed), before);
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained() {
+        let (proxy, fs, _window, stats) = setup(false);
+        let ino = fs.create("/f").unwrap();
+        let ch = crate::transport::Channel::new(Arc::new(PcieCounters::new()));
+        let client = crate::transport::RpcClient::new(ch.req_tx, ch.resp_rx);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        proxy.inject_worker_panics(1);
+        let (req_rx, resp_tx, sd) = (ch.req_rx, ch.resp_tx, Arc::clone(&shutdown));
+        let server = std::thread::spawn(move || proxy.serve(req_rx, resp_tx, sd));
+
+        // The armed panic fires inside a worker and comes back as Io.
+        let tag = client.tag();
+        let reply = client.call(tag, FsRequest::Fstat { ino }.encode(tag));
+        let (_, resp) = FsResponse::decode(&reply).unwrap();
+        assert_eq!(resp, FsResponse::Error { err: RpcErr::Io });
+
+        // The pool survived: the next request is served normally.
+        let tag = client.tag();
+        let reply = client.call(tag, FsRequest::Fstat { ino }.encode(tag));
+        let (_, resp) = FsResponse::decode(&reply).unwrap();
+        assert!(matches!(resp, FsResponse::Stat { .. }), "got {resp:?}");
+
+        shutdown.store(true, Ordering::Relaxed);
+        server.join().unwrap();
+        assert_eq!(stats.worker_panics.load(Ordering::Relaxed), 1);
     }
 
     #[test]

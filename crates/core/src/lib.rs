@@ -40,6 +40,7 @@ pub mod control;
 pub mod fs_api;
 pub mod fs_proxy;
 pub mod net_api;
+pub mod retry;
 pub mod tcp_proxy;
 pub mod transport;
 pub mod waitpolicy;
@@ -47,6 +48,7 @@ pub mod waitpolicy;
 pub use control::Solros;
 pub use fs_api::{Batch, BatchResult, CoprocFs, PendingRead, PendingWrite};
 pub use net_api::{CoprocNet, TcpListener, TcpStream};
+pub use retry::RetryPolicy;
 pub use solros_qos::{ClassConfig, QosClass, QosConfig, QosStats};
 pub use tcp_proxy::{ConnMeta, LeastLoaded, LoadBalancer, RoundRobin};
-pub use transport::Token;
+pub use transport::{ResetReport, Token};

@@ -134,6 +134,8 @@ pub struct TcpProxyStats {
     pub events: AtomicU64,
     /// Connections accepted, indexed by co-processor.
     pub accepted: Vec<AtomicU64>,
+    /// Handler panics contained and converted into `Io` error replies.
+    pub worker_panics: AtomicU64,
 }
 
 enum SockState {
@@ -175,6 +177,8 @@ pub struct TcpProxy {
     next_sock: SockId,
     /// QoS gate over per-(co-processor, class) flows; None = FIFO.
     qos: Option<DwrrScheduler<(usize, u32, NetRequest)>>,
+    /// Fault injection: the next N handled requests panic mid-execution.
+    inject_worker_panics: u64,
 }
 
 /// Max bytes pulled from the fabric per connection per poll round.
@@ -202,6 +206,7 @@ impl TcpProxy {
             rpcs: AtomicU64::new(0),
             events: AtomicU64::new(0),
             accepted: (0..channels.len()).map(|_| AtomicU64::new(0)).collect(),
+            worker_panics: AtomicU64::new(0),
         });
         (
             Self {
@@ -215,6 +220,7 @@ impl TcpProxy {
                 pending_accepts: HashMap::new(),
                 next_sock: 1,
                 qos: None,
+                inject_worker_panics: 0,
             },
             stats,
         )
@@ -259,7 +265,7 @@ impl TcpProxy {
                             idle = false;
                             self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
                             let reply = match NetRequest::decode(&frame) {
-                                Ok((tag, req)) => self.handle(c, req).encode(tag),
+                                Ok((tag, req)) => self.handle_contained(c, req).encode(tag),
                                 Err(_) => NetResponse::Error {
                                     err: RpcErr::Invalid,
                                 }
@@ -344,7 +350,7 @@ impl TcpProxy {
                     } => {
                         idle = false;
                         self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-                        let mut reply = self.handle(c, req).encode(tag);
+                        let mut reply = self.handle_contained(c, req).encode(tag);
                         stamp_credit(&mut reply, gate.credit(flow));
                         let _ = self.channels[c].resp_tx.send_blocking(&reply);
                     }
@@ -374,6 +380,32 @@ impl TcpProxy {
                 std::thread::yield_now();
             }
         }
+    }
+
+    /// Fault injection: makes the next `n` handled requests panic inside
+    /// the handler, exercising the containment path.
+    pub fn inject_worker_panics(&mut self, n: u64) {
+        self.inject_worker_panics += n;
+    }
+
+    /// Runs [`TcpProxy::handle`] with panic containment: a panicking
+    /// handler (a proxy bug or an injected fault) yields an [`RpcErr::Io`]
+    /// error reply instead of taking down the service loop.
+    fn handle_contained(&mut self, coproc: usize, req: NetRequest) -> NetResponse {
+        let armed = self.inject_worker_panics > 0;
+        if armed {
+            self.inject_worker_panics -= 1;
+        }
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if armed {
+                panic!("injected tcp proxy worker panic");
+            }
+            self.handle(coproc, req)
+        }));
+        out.unwrap_or_else(|_| {
+            self.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            NetResponse::Error { err: RpcErr::Io }
+        })
     }
 
     /// Executes one RPC from co-processor `coproc`.
@@ -443,12 +475,15 @@ impl TcpProxy {
                         },
                     );
                 }
-                self.ports
-                    .get_mut(&port)
-                    .expect("port entry just ensured")
-                    .listeners
-                    .push(sock);
-                let rec = self.socks.get_mut(&sock).expect("checked above");
+                let Some(prec) = self.ports.get_mut(&port) else {
+                    return NetResponse::Error { err: RpcErr::Io };
+                };
+                prec.listeners.push(sock);
+                let Some(rec) = self.socks.get_mut(&sock) else {
+                    return NetResponse::Error {
+                        err: RpcErr::NotFound,
+                    };
+                };
                 rec.state = SockState::Listening(port);
                 NetResponse::Ok
             }
@@ -617,13 +652,24 @@ impl TcpProxy {
         for port in ports {
             while let Ok(Some((conn, client_addr))) = self.network.poll_accept(port) {
                 worked = true;
-                let listeners = &self.ports[&port].listeners;
-                debug_assert!(!listeners.is_empty());
+                // A port can lose its last proxy-side listener between the
+                // NIC accept and routing; refuse the orphan connection
+                // instead of panicking on an empty listener set.
+                let listeners = match self.ports.get(&port) {
+                    Some(p) if !p.listeners.is_empty() => &p.listeners,
+                    _ => {
+                        let _ = self.network.close(conn, EndKind::Server);
+                        continue;
+                    }
+                };
                 let meta = ConnMeta { client_addr, port };
                 let idx = self.lb.pick(listeners.len(), &meta) % listeners.len();
                 let listener = listeners[idx];
                 self.lb.conn_assigned(idx);
-                let lrec = &self.socks[&listener];
+                let Some(lrec) = self.socks.get(&listener) else {
+                    let _ = self.network.close(conn, EndKind::Server);
+                    continue;
+                };
                 let coproc = lrec.coproc;
                 let evented = lrec.evented;
                 // Create the connection socket owned by the same coproc.
@@ -681,15 +727,16 @@ impl TcpProxy {
                     self.push_event(coproc, &NetEvent::Data { sock, data });
                 }
                 Err(NetworkError::Closed) => {
-                    let rec = self.socks.get_mut(&sock).expect("checked above");
-                    let slot = rec.lb_slot.take();
-                    if !rec.close_sent {
-                        rec.close_sent = true;
-                        worked = true;
-                        self.push_event(coproc, &NetEvent::Closed { sock });
-                    }
-                    if let Some(slot) = slot {
-                        self.lb.conn_closed(slot);
+                    if let Some(rec) = self.socks.get_mut(&sock) {
+                        let slot = rec.lb_slot.take();
+                        if !rec.close_sent {
+                            rec.close_sent = true;
+                            worked = true;
+                            self.push_event(coproc, &NetEvent::Closed { sock });
+                        }
+                        if let Some(slot) = slot {
+                            self.lb.conn_closed(slot);
+                        }
                     }
                     self.evented_conns.retain(|s| *s != sock);
                 }
@@ -739,6 +786,22 @@ mod tests {
             NetResponse::Socket { sock } => sock,
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn injected_handler_panic_is_contained() {
+        let (mut p, _net) = proxy_with(1);
+        p.inject_worker_panics(1);
+        assert!(matches!(
+            p.handle_contained(0, NetRequest::Socket),
+            NetResponse::Error { err: RpcErr::Io }
+        ));
+        assert_eq!(p.stats.worker_panics.load(Ordering::Relaxed), 1);
+        // The loop survives: the next request is served normally.
+        assert!(matches!(
+            p.handle_contained(0, NetRequest::Socket),
+            NetResponse::Socket { .. }
+        ));
     }
 
     #[test]

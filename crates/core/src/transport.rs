@@ -24,11 +24,14 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use solros_pcie::counter::PcieCounters;
 use solros_pcie::Side;
-use solros_proto::codec::{decode_frame, stamp_flags, stamp_tenant};
+use solros_proto::codec::{
+    deadline_class, decode_frame, encode_frame, flags_with_deadline, stamp_flags, stamp_tenant,
+};
 use solros_proto::rpc_error::RpcErr;
 use solros_qos::CreditPool;
 use solros_ringbuf::ring::{RingBuf, RingConfig};
@@ -52,20 +55,25 @@ pub struct Channel {
     pub resp_tx: Producer,
     /// Data-plane drains replies here.
     pub resp_rx: Consumer,
+    /// The request ring itself, retained so a link reset can re-initialize
+    /// it and mint fresh endpoints.
+    pub req_ring: Arc<RingBuf>,
+    /// The response ring itself (see `req_ring`).
+    pub resp_ring: Arc<RingBuf>,
 }
 
 impl Channel {
     /// Builds the request/response pair with masters at the co-processor
     /// (§4.3.1).
     pub fn new(counters: Arc<PcieCounters>) -> Channel {
-        let req = RingBuf::new(
+        let req = Arc::new(RingBuf::new(
             RingConfig::over_pcie(RPC_RING_BYTES, Side::Coproc, Side::Coproc, Side::Host),
             Arc::clone(&counters),
-        );
-        let resp = RingBuf::new(
+        ));
+        let resp = Arc::new(RingBuf::new(
             RingConfig::over_pcie(RPC_RING_BYTES, Side::Coproc, Side::Host, Side::Coproc),
             counters,
-        );
+        ));
         let (req_tx, req_rx) = req.endpoints();
         let (resp_tx, resp_rx) = resp.endpoints();
         Channel {
@@ -73,6 +81,8 @@ impl Channel {
             req_rx,
             resp_tx,
             resp_rx,
+            req_ring: req,
+            resp_ring: resp,
         }
     }
 }
@@ -172,11 +182,39 @@ impl Drop for Token {
     }
 }
 
+/// Message type used for locally synthesized error completions when no
+/// service-specific error encoder is installed (see
+/// [`RpcClient::set_error_encoder`]). The body is the little-endian
+/// [`RpcErr::code`].
+pub const MSG_DRAIN_ERR: u8 = 0xEE;
+
+/// What a [`RpcClient::link_reset`] did, for recovery telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResetReport {
+    /// In-flight requests drained with a synthesized error completion.
+    pub drained: usize,
+    /// Flow-control credits returned to the pool during the drain.
+    pub credits_scrubbed: usize,
+    /// True when the underlying rings were re-initialized and fresh
+    /// endpoints minted (requires [`RpcClient::with_link`]).
+    pub ring_reset: bool,
+}
+
+/// Builds a service-specific error completion frame for a (tag, error)
+/// pair during a drain; installed via [`RpcClient::set_error_encoder`].
+type ErrEncoder = Box<dyn Fn(u32, RpcErr) -> Vec<u8> + Send>;
+
 /// A tag-routing RPC client shared by data-plane threads: a non-blocking
 /// submission half and a completion half over one shared ring pair.
 pub struct RpcClient {
-    tx: Producer,
-    rx: Consumer,
+    tx: RwLock<Producer>,
+    rx: RwLock<Consumer>,
+    /// The rings behind `tx`/`rx`, when the owner handed them over so
+    /// [`RpcClient::link_reset`] can re-initialize the link in place.
+    rings: Option<(Arc<RingBuf>, Arc<RingBuf>)>,
+    /// Builds service-specific error completions for drained requests;
+    /// falls back to a bare [`MSG_DRAIN_ERR`] frame when unset.
+    err_encoder: Mutex<Option<ErrEncoder>>,
     next_tag: AtomicU32,
     /// Tenant id stamped into every submitted frame (0 = default tenant,
     /// which proxies treat exactly as the pre-tenant wire format).
@@ -193,9 +231,33 @@ impl RpcClient {
     /// Wraps a ring pair with an optional QoS credit pool limiting
     /// in-flight requests.
     pub fn with_credits(tx: Producer, rx: Consumer, credits: Option<Arc<CreditPool>>) -> Arc<Self> {
+        Self::build(tx, rx, credits, None)
+    }
+
+    /// As [`RpcClient::with_credits`], additionally retaining the rings
+    /// behind the endpoints so [`RpcClient::link_reset`] can re-initialize
+    /// them after a peer failure.
+    pub fn with_link(
+        tx: Producer,
+        rx: Consumer,
+        credits: Option<Arc<CreditPool>>,
+        req_ring: Arc<RingBuf>,
+        resp_ring: Arc<RingBuf>,
+    ) -> Arc<Self> {
+        Self::build(tx, rx, credits, Some((req_ring, resp_ring)))
+    }
+
+    fn build(
+        tx: Producer,
+        rx: Consumer,
+        credits: Option<Arc<CreditPool>>,
+        rings: Option<(Arc<RingBuf>, Arc<RingBuf>)>,
+    ) -> Arc<Self> {
         Arc::new(Self {
-            tx,
-            rx,
+            tx: RwLock::new(tx),
+            rx: RwLock::new(rx),
+            rings,
+            err_encoder: Mutex::new(None),
             next_tag: AtomicU32::new(1),
             tenant: AtomicU8::new(0),
             shared: Arc::new(Shared {
@@ -204,6 +266,22 @@ impl RpcClient {
                 credits,
             }),
         })
+    }
+
+    /// Installs the closure that encodes error completions for requests
+    /// drained by [`RpcClient::link_reset`] — e.g. an FS client installs
+    /// one producing `FsResponse::Error` frames so waiters decode the
+    /// drain like any proxy-originated failure.
+    pub fn set_error_encoder(&self, f: impl Fn(u32, RpcErr) -> Vec<u8> + Send + 'static) {
+        *self.err_encoder.lock() = Some(Box::new(f));
+    }
+
+    /// Synthesizes the error completion for a drained tag.
+    fn error_frame(&self, tag: u32, err: RpcErr) -> Vec<u8> {
+        match &*self.err_encoder.lock() {
+            Some(f) => f(tag, err),
+            None => encode_frame(MSG_DRAIN_ERR, tag, &err.code().to_le_bytes()),
+        }
     }
 
     /// Allocates a tag for one call.
@@ -240,7 +318,7 @@ impl RpcClient {
     /// had nothing ready. Credits settle here, on arrival, so a submitter
     /// blocked on the credit window can free credits by pumping.
     fn pump(&self, want: Option<u32>) -> Result<Option<Vec<u8>>, RingError> {
-        let reply = self.rx.recv()?;
+        let reply = self.rx.read().recv()?;
         let rtag = decode_frame(&reply).map(|f| f.tag).unwrap_or(0);
         let mut g = self.shared.pending.lock();
         if Some(rtag) == want {
@@ -352,20 +430,23 @@ impl RpcClient {
         }
         self.prep_frame(&mut frame, flags);
         self.shared.pending.lock().insert(tag, Slot::Waiting);
-        let sent = if block {
-            self.tx.send_blocking(&frame)
-        } else {
-            // Bounded retries: spin and yield through one escalation of
-            // the wait policy, then report the ring full.
-            let mut policy = WaitPolicy::new();
-            loop {
-                match self.tx.send(&frame) {
-                    Err(RingError::WouldBlock) => {
-                        if policy.pause().is_some() {
-                            break Err(RingError::WouldBlock);
+        let sent = {
+            let tx = self.tx.read();
+            if block {
+                tx.send_blocking(&frame)
+            } else {
+                // Bounded retries: spin and yield through one escalation of
+                // the wait policy, then report the ring full.
+                let mut policy = WaitPolicy::new();
+                loop {
+                    match tx.send(&frame) {
+                        Err(RingError::WouldBlock) => {
+                            if policy.pause().is_some() {
+                                break Err(RingError::WouldBlock);
+                            }
                         }
+                        other => break other,
                     }
-                    other => break other,
                 }
             }
         };
@@ -376,6 +457,7 @@ impl RpcClient {
                 Err(match e {
                     RingError::WouldBlock => RpcErr::WouldBlock,
                     RingError::TooBig => RpcErr::TooLarge,
+                    RingError::Corrupt => RpcErr::Gone,
                 })
             }
         }
@@ -395,6 +477,21 @@ impl RpcClient {
     /// As [`RpcClient::submit`], stamping submission `flags`
     /// (e.g. [`solros_proto::codec::FLAG_BARRIER`]) into the frame.
     pub fn submit_with_flags(&self, tag: u32, frame: Vec<u8>, flags: u8) -> Result<Token, RpcErr> {
+        self.do_submit(tag, frame, flags, false)
+    }
+
+    /// As [`RpcClient::submit`], stamping a per-request deadline into the
+    /// flags byte (§[`solros_proto::codec::deadline_class`]) so the proxy
+    /// can shed the request once it is already too late to matter. Pair
+    /// with [`RpcClient::wait_timeout`] using the same duration for
+    /// end-to-end deadline enforcement.
+    pub fn submit_with_deadline(
+        &self,
+        tag: u32,
+        frame: Vec<u8>,
+        deadline: Duration,
+    ) -> Result<Token, RpcErr> {
+        let flags = flags_with_deadline(0, deadline_class(deadline));
         self.do_submit(tag, frame, flags, false)
     }
 
@@ -444,6 +541,46 @@ impl RpcClient {
                         // Park until another waiter routes a reply or the
                         // timeout elapses; escalating timeouts stop an
                         // idle waiter from spinning on the ring.
+                        let mut g = self.shared.pending.lock();
+                        if matches!(g.get(&tag), Some(Slot::Ready(_))) {
+                            continue;
+                        }
+                        self.shared.arrived.wait_for(&mut g, park);
+                    }
+                }
+            }
+        }
+    }
+
+    /// As [`RpcClient::wait`], but gives up once `timeout` elapses.
+    ///
+    /// On expiry the token is consumed and its tag abandoned: the late
+    /// reply (if one ever arrives) is discarded by whichever waiter
+    /// drains it, and the flow-control credit settles then — exactly the
+    /// dropped-token path, so an expired request leaks nothing. Returns
+    /// [`RpcErr::Timeout`]. This is also the stub-crash detector: a
+    /// deadline expiring on a quiet link is the signal to escalate to
+    /// [`RpcClient::link_reset`].
+    pub fn wait_timeout(&self, token: Token, timeout: Duration) -> Result<Vec<u8>, RpcErr> {
+        assert!(!token.done.get(), "token redeemed twice");
+        let tag = token.tag;
+        token.done.set(true);
+        let deadline = Instant::now() + timeout;
+        let mut policy = WaitPolicy::new();
+        loop {
+            if let Some(reply) = self.take_ready(tag) {
+                return Ok(reply);
+            }
+            if Instant::now() >= deadline {
+                self.shared.abandon(tag);
+                return Err(RpcErr::Timeout);
+            }
+            match self.pump(Some(tag)) {
+                Ok(Some(reply)) => return Ok(reply),
+                Ok(None) => policy.reset(),
+                Err(_) => {
+                    if let Some(park) = policy.pause() {
+                        let park = park.min(deadline.saturating_duration_since(Instant::now()));
                         let mut g = self.shared.pending.lock();
                         if matches!(g.get(&tag), Some(Slot::Ready(_))) {
                             continue;
@@ -520,6 +657,62 @@ impl RpcClient {
             .submit_blocking(tag, frame)
             .expect("RPC frame exceeds ring element limit");
         self.wait(token)
+    }
+
+    /// Recovers the link after a peer failure (stub crash, wedged or
+    /// corrupted ring): *drain → scrub → reset*.
+    ///
+    /// Every tag still waiting receives a synthesized error completion
+    /// carrying `err` (built by the installed error encoder), so blocked
+    /// waiters wake with a decodable failure instead of hanging; abandoned
+    /// tags are removed outright. Each drained or removed tag returns its
+    /// flow-control credit — replies that already arrived settled theirs
+    /// at arrival and are left untouched. Finally, when the client owns
+    /// its rings ([`RpcClient::with_link`]), both are re-initialized to
+    /// empty and fresh endpoints minted, discarding whatever garbage the
+    /// dead peer left mid-publish. The peer must mint fresh endpoints of
+    /// its own (the old ones hold stale replicated control state).
+    ///
+    /// Callers in [`RpcClient::submit_blocking`]/[`RpcClient::call`] may
+    /// hold the link open; quiesce them first or the reset blocks until
+    /// their send completes.
+    pub fn link_reset(&self, err: RpcErr) -> ResetReport {
+        let mut report = ResetReport::default();
+        {
+            let mut g = self.shared.pending.lock();
+            let tags: Vec<u32> = g.keys().copied().collect();
+            for tag in tags {
+                match g.get(&tag) {
+                    Some(Slot::Waiting) => {
+                        let frame = self.error_frame(tag, err);
+                        g.insert(tag, Slot::Ready(frame));
+                        report.drained += 1;
+                        report.credits_scrubbed += 1;
+                    }
+                    Some(Slot::Abandoned) => {
+                        g.remove(&tag);
+                        report.credits_scrubbed += 1;
+                    }
+                    Some(Slot::Ready(_)) | None => {}
+                }
+            }
+        }
+        if let Some(pool) = &self.shared.credits {
+            for _ in 0..report.credits_scrubbed {
+                pool.complete(0);
+            }
+        }
+        self.shared.arrived.notify_all();
+        if let Some((req, resp)) = &self.rings {
+            let mut tx = self.tx.write();
+            let mut rx = self.rx.write();
+            req.reset();
+            resp.reset();
+            *tx = req.producer();
+            *rx = resp.consumer();
+            report.ring_reset = true;
+        }
+        report
     }
 }
 
@@ -929,6 +1122,170 @@ mod tests {
         });
         let tag = client.tag();
         let _ = client.call(tag, FsRequest::Fsync { ino: 1 }.encode(tag));
+        proxy.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_abandons_and_late_reply_settles() {
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(counters);
+        let pool = Arc::new(CreditPool::new(8));
+        let client = RpcClient::with_credits(ch.req_tx, ch.resp_rx, Some(Arc::clone(&pool)));
+
+        // No proxy yet: the deadline expires with the request still queued.
+        let tag = client.tag();
+        let token = client
+            .submit(tag, FsRequest::Fstat { ino: 9 }.encode(tag))
+            .unwrap();
+        let err = client
+            .wait_timeout(token, Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, RpcErr::Timeout);
+        assert_eq!(client.pending_len(), 1, "expired tag awaits its reply");
+        assert_eq!(pool.levels().0, 1, "credit held until the late reply");
+
+        // The proxy comes alive late; draining its reply clears the
+        // abandoned slot and returns the credit.
+        let req_rx = ch.req_rx;
+        let resp_tx = ch.resp_tx;
+        let proxy = std::thread::spawn(move || {
+            let f = loop {
+                match req_rx.recv() {
+                    Ok(f) => break f,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            let (rtag, _) = FsRequest::decode(&f).unwrap();
+            resp_tx.send_blocking(&FsResponse::Ok.encode(rtag)).unwrap();
+        });
+        proxy.join().unwrap();
+        while client.pending_len() > 0 {
+            client.drain_now();
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.levels().0, 0);
+    }
+
+    #[test]
+    fn link_reset_drains_scrubs_and_revives_the_link() {
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(counters);
+        let pool = Arc::new(CreditPool::new(8));
+        let client = RpcClient::with_link(
+            ch.req_tx,
+            ch.resp_rx,
+            Some(Arc::clone(&pool)),
+            Arc::clone(&ch.req_ring),
+            Arc::clone(&ch.resp_ring),
+        );
+        client.set_error_encoder(|tag, err| FsResponse::Error { err }.encode(tag));
+
+        // Dead peer: three submissions sit unanswered, one abandoned.
+        let mut tokens = Vec::new();
+        for ino in 1..=3u64 {
+            let tag = client.tag();
+            tokens.push(
+                client
+                    .submit(tag, FsRequest::Fstat { ino }.encode(tag))
+                    .unwrap(),
+            );
+        }
+        drop(tokens.pop());
+        assert_eq!(pool.levels().0, 3);
+
+        let report = client.link_reset(RpcErr::Gone);
+        assert_eq!(report.drained, 2);
+        assert_eq!(report.credits_scrubbed, 3);
+        assert!(report.ring_reset);
+        assert_eq!(pool.levels().0, 0, "every credit scrubbed");
+
+        // Blocked waiters get a decodable error completion.
+        for t in tokens {
+            let reply = client.wait(t);
+            let (_, resp) = FsResponse::decode(&reply).unwrap();
+            assert_eq!(resp, FsResponse::Error { err: RpcErr::Gone });
+        }
+        assert_eq!(client.pending_len(), 0);
+
+        // A replacement peer minted from the rings serves traffic again.
+        let req_rx = ch.req_ring.consumer();
+        let resp_tx = ch.resp_ring.producer();
+        let proxy = std::thread::spawn(move || {
+            let f = loop {
+                match req_rx.recv() {
+                    Ok(f) => break f,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            let (rtag, _) = FsRequest::decode(&f).unwrap();
+            resp_tx.send_blocking(&FsResponse::Ok.encode(rtag)).unwrap();
+        });
+        let tag = client.tag();
+        let reply = client.call(tag, FsRequest::Fsync { ino: 4 }.encode(tag));
+        let (_, resp) = FsResponse::decode(&reply).unwrap();
+        assert_eq!(resp, FsResponse::Ok);
+        proxy.join().unwrap();
+        assert_eq!(client.pending_len(), 0);
+        assert_eq!(pool.levels().0, 0);
+    }
+
+    #[test]
+    fn drain_error_frame_without_encoder_carries_the_code() {
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(counters);
+        let client = RpcClient::new(ch.req_tx, ch.resp_rx);
+        let tag = client.tag();
+        let token = client
+            .submit(tag, FsRequest::Fsync { ino: 1 }.encode(tag))
+            .unwrap();
+        let report = client.link_reset(RpcErr::Gone);
+        assert_eq!(report.drained, 1);
+        assert!(!report.ring_reset, "no rings attached via with_credits");
+        let reply = client.wait(token);
+        let frame = decode_frame(&reply).unwrap();
+        assert_eq!(frame.msg_type, MSG_DRAIN_ERR);
+        let code = u32::from_le_bytes(frame.body[..4].try_into().unwrap());
+        assert_eq!(RpcErr::from_code(code), Some(RpcErr::Gone));
+    }
+
+    #[test]
+    fn deadline_class_rides_submission_flags() {
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(counters);
+        let client = RpcClient::new(ch.req_tx, ch.resp_rx);
+
+        let req_rx = ch.req_rx;
+        let resp_tx = ch.resp_tx;
+        let proxy = std::thread::spawn(move || {
+            let f = loop {
+                match req_rx.recv() {
+                    Ok(f) => break f,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            let frame = decode_frame(&f).unwrap();
+            // 1.7 ms rounds up to the 2 ms deadline class.
+            assert_eq!(
+                solros_proto::codec::flags_deadline(frame.flags),
+                Some(Duration::from_micros(2_000))
+            );
+            let (rtag, _) = FsRequest::decode(&f).unwrap();
+            resp_tx.send_blocking(&FsResponse::Ok.encode(rtag)).unwrap();
+        });
+
+        let tag = client.tag();
+        let token = client
+            .submit_with_deadline(
+                tag,
+                FsRequest::Fsync { ino: 1 }.encode(tag),
+                Duration::from_micros(1_700),
+            )
+            .unwrap();
+        let reply = client
+            .wait_timeout(token, Duration::from_secs(5))
+            .expect("proxy replies well within the deadline");
+        let (_, resp) = FsResponse::decode(&reply).unwrap();
+        assert_eq!(resp, FsResponse::Ok);
         proxy.join().unwrap();
     }
 }

@@ -134,6 +134,8 @@ pub struct NvmeDevice {
     blocks_written: AtomicU64,
     failures: AtomicU64,
     inject_faults: AtomicU64,
+    inject_timeouts: AtomicU64,
+    inject_queue_full: AtomicU64,
 }
 
 impl NvmeDevice {
@@ -149,6 +151,8 @@ impl NvmeDevice {
             blocks_written: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             inject_faults: AtomicU64::new(0),
+            inject_timeouts: AtomicU64::new(0),
+            inject_queue_full: AtomicU64::new(0),
         })
     }
 
@@ -161,6 +165,20 @@ impl NvmeDevice {
     /// [`NvmeError::MediaError`].
     pub fn inject_faults(&self, n: u64) {
         self.inject_faults.store(n, Ordering::SeqCst);
+    }
+
+    /// Arms the timeout injector: the next `n` data commands fail with
+    /// [`NvmeError::NoCompletion`], modeling a lost completion entry (the
+    /// host gives up on the command after its deadline).
+    pub fn inject_timeouts(&self, n: u64) {
+        self.inject_timeouts.store(n, Ordering::SeqCst);
+    }
+
+    /// Arms the queue-full injector: the next `n` submission *batches* are
+    /// refused whole with [`NvmeError::QueueFull`] before any command
+    /// executes — no doorbell, no interrupt, no state change.
+    pub fn inject_queue_full(&self, n: u64) {
+        self.inject_queue_full.store(n, Ordering::SeqCst);
     }
 
     /// Returns a snapshot of the protocol statistics.
@@ -181,6 +199,15 @@ impl NvmeDevice {
     pub fn submit_vectored(&self, cmds: &[NvmeCommand]) -> Vec<Result<(), NvmeError>> {
         if cmds.is_empty() {
             return Vec::new();
+        }
+        let refused = self
+            .inject_queue_full
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok();
+        if refused {
+            self.failures
+                .fetch_add(cmds.len() as u64, Ordering::Relaxed);
+            return cmds.iter().map(|_| Err(NvmeError::QueueFull)).collect();
         }
         let batch = {
             let mut qp = self.qp.lock();
@@ -250,6 +277,14 @@ impl NvmeDevice {
             if remaining {
                 self.failures.fetch_add(1, Ordering::Relaxed);
                 return Err(NvmeError::MediaError);
+            }
+            let timed_out = self
+                .inject_timeouts
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_ok();
+            if timed_out {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                return Err(NvmeError::NoCompletion);
             }
         }
         match cmd {
@@ -429,6 +464,34 @@ mod tests {
         );
         assert!(dev.submit_vectored(&[r])[0].is_ok());
         assert_eq!(dev.stats().failures, 2);
+    }
+
+    #[test]
+    fn timeout_and_queue_full_bursts() {
+        let dev = NvmeDevice::new(64);
+        let buf = buffer(BLOCK_SIZE);
+        let r = NvmeCommand::Read {
+            lba: 0,
+            nblocks: 1,
+            dst: DmaPtr::new(Arc::clone(&buf), 0),
+        };
+        dev.inject_timeouts(1);
+        assert_eq!(
+            dev.submit_vectored(std::slice::from_ref(&r))[0],
+            Err(NvmeError::NoCompletion)
+        );
+        assert!(dev.submit_vectored(std::slice::from_ref(&r))[0].is_ok());
+
+        // A refused batch fails whole, rings no doorbell, and leaves the
+        // device ready for the retry.
+        let before = dev.stats();
+        dev.inject_queue_full(1);
+        let res = dev.submit_vectored(&[r.clone(), r.clone()]);
+        assert!(res.iter().all(|x| *x == Err(NvmeError::QueueFull)));
+        let after = dev.stats();
+        assert_eq!(after.doorbells, before.doorbells, "no doorbell on refusal");
+        assert_eq!(after.commands, before.commands, "nothing executed");
+        assert!(dev.submit_vectored(&[r])[0].is_ok());
     }
 
     #[test]

@@ -17,6 +17,18 @@ pub enum NvmeError {
     NoCompletion,
 }
 
+impl NvmeError {
+    /// True for conditions worth retrying (a transient media hiccup, a
+    /// momentarily full queue, a lost completion); false for structural
+    /// failures (bad LBA or transfer size) that retries can never fix.
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            NvmeError::MediaError | NvmeError::QueueFull | NvmeError::NoCompletion
+        )
+    }
+}
+
 impl fmt::Display for NvmeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -46,5 +58,14 @@ mod tests {
         ] {
             assert_eq!(e.to_string(), s);
         }
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(NvmeError::MediaError.is_transient());
+        assert!(NvmeError::QueueFull.is_transient());
+        assert!(NvmeError::NoCompletion.is_transient());
+        assert!(!NvmeError::OutOfRange.is_transient());
+        assert!(!NvmeError::TransferTooLarge.is_transient());
     }
 }

@@ -22,6 +22,12 @@ pub struct Window {
     region: Arc<SharedRegion>,
     home: Side,
     counters: Arc<PcieCounters>,
+    /// Fault injection: remaining remote accesses to delay.
+    stall_budget: AtomicU64,
+    /// Delay per injected stall, in nanoseconds.
+    stall_ns: AtomicU64,
+    /// Fault injection: remaining remote bulk writes to silently drop.
+    drop_writes: AtomicU64,
 }
 
 impl Window {
@@ -31,7 +37,47 @@ impl Window {
             region: Arc::new(SharedRegion::new(len)),
             home,
             counters,
+            stall_budget: AtomicU64::new(0),
+            stall_ns: AtomicU64::new(0),
+            drop_writes: AtomicU64::new(0),
         })
+    }
+
+    /// Arms the stall injector: the next `n` *remote* bulk accesses
+    /// (copies, DMA, element and staging transfers) through any handle of
+    /// this window sleep for `each` first, modeling bus congestion or a
+    /// link retraining pause. Local accesses never stall.
+    pub fn inject_stalls(&self, n: u64, each: std::time::Duration) {
+        self.stall_ns
+            .store(each.as_nanos() as u64, Ordering::SeqCst);
+        self.stall_budget.store(n, Ordering::SeqCst);
+    }
+
+    /// Arms the dropped-write injector: the next `n` *remote* bulk writes
+    /// (load/store, DMA, or element writes) are charged to the ledger but
+    /// never reach memory — a lost posted write. Control-variable stores
+    /// are unaffected, so the corruption is in data, not bookkeeping.
+    pub fn inject_dropped_writes(&self, n: u64) {
+        self.drop_writes.store(n, Ordering::SeqCst);
+    }
+
+    fn consume_stall(&self) {
+        let hit = self
+            .stall_budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok();
+        if hit {
+            let ns = self.stall_ns.load(Ordering::SeqCst);
+            if ns > 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(ns));
+            }
+        }
+    }
+
+    fn consume_drop(&self) -> bool {
+        self.drop_writes
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
     }
 
     /// Returns the side the backing memory lives on.
@@ -104,6 +150,7 @@ impl WindowHandle {
     /// concurrently written and must not overlap atomic slots.
     pub unsafe fn read(&self, off: usize, dst: &mut [u8]) {
         if self.is_remote() {
+            self.window.consume_stall();
             self.window
                 .counters
                 .read_lines
@@ -120,10 +167,14 @@ impl WindowHandle {
     /// Same contract as [`SharedRegion::write`].
     pub unsafe fn write(&self, off: usize, src: &[u8]) {
         if self.is_remote() {
+            self.window.consume_stall();
             self.window
                 .counters
                 .write_lines
                 .fetch_add(CostModel::lines(src.len() as u64), Ordering::Relaxed);
+            if self.window.consume_drop() {
+                return;
+            }
         }
         // SAFETY: forwarded contract.
         unsafe { self.window.region.write(off, src) }
@@ -136,6 +187,7 @@ impl WindowHandle {
     /// Same contract as [`SharedRegion::read`].
     pub unsafe fn dma_read(&self, off: usize, dst: &mut [u8]) {
         if self.is_remote() {
+            self.window.consume_stall();
             self.window.counters.dma_ops.fetch_add(1, Ordering::Relaxed);
             self.window
                 .counters
@@ -153,11 +205,15 @@ impl WindowHandle {
     /// Same contract as [`SharedRegion::write`].
     pub unsafe fn dma_write(&self, off: usize, src: &[u8]) {
         if self.is_remote() {
+            self.window.consume_stall();
             self.window.counters.dma_ops.fetch_add(1, Ordering::Relaxed);
             self.window
                 .counters
                 .dma_bytes
                 .fetch_add(src.len() as u64, Ordering::Relaxed);
+            if self.window.consume_drop() {
+                return;
+            }
         }
         // SAFETY: forwarded contract.
         unsafe { self.window.region.write(off, src) }
@@ -203,6 +259,7 @@ impl WindowHandle {
     /// of bounds.
     pub fn read_elem(&self, mech: Xfer, off: usize, dst: &mut [u8]) {
         if self.is_remote() {
+            self.window.consume_stall();
             match mech {
                 Xfer::Memcpy => {
                     self.window
@@ -233,6 +290,7 @@ impl WindowHandle {
     /// [`Self::read_elem`] for counting and panics.
     pub fn write_elem(&self, mech: Xfer, off: usize, src: &[u8]) {
         if self.is_remote() {
+            self.window.consume_stall();
             match mech {
                 Xfer::Memcpy => {
                     self.window
@@ -248,6 +306,9 @@ impl WindowHandle {
                         .fetch_add(src.len() as u64, Ordering::Relaxed);
                 }
             }
+            if self.window.consume_drop() {
+                return;
+            }
         }
         self.window.region.write_words_atomic(off, src);
     }
@@ -262,6 +323,7 @@ impl WindowHandle {
     /// Panics if `off`/`dst.len()` are not 8-byte aligned or out of bounds.
     pub fn stage_read(&self, off: usize, dst: &mut [u8]) {
         if self.is_remote() {
+            self.window.consume_stall();
             self.window.counters.dma_ops.fetch_add(1, Ordering::Relaxed);
             self.window
                 .counters
@@ -431,6 +493,51 @@ mod tests {
         unsafe { h3.adaptive_write(&m, 0, &vec![0u8; 4096]) };
         assert_eq!(c2.snapshot().write_lines, 64);
         assert_eq!(c2.snapshot().dma_ops, 0);
+    }
+
+    #[test]
+    fn injected_stall_delays_remote_access_only() {
+        let (w, _c) = setup(Side::Coproc);
+        w.inject_stalls(1, std::time::Duration::from_millis(20));
+        // Local access: never stalls, budget untouched.
+        let local = w.map(Side::Coproc);
+        let t0 = std::time::Instant::now();
+        // SAFETY: single-threaded test.
+        unsafe { local.write(0, &[1u8; 64]) };
+        assert!(t0.elapsed() < std::time::Duration::from_millis(15));
+        // Remote access: pays the stall once, then runs at full speed.
+        let remote = w.map(Side::Host);
+        let t0 = std::time::Instant::now();
+        // SAFETY: single-threaded test.
+        unsafe { remote.write(0, &[2u8; 64]) };
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+        let t0 = std::time::Instant::now();
+        // SAFETY: single-threaded test.
+        unsafe { remote.write(0, &[3u8; 64]) };
+        assert!(t0.elapsed() < std::time::Duration::from_millis(15));
+    }
+
+    #[test]
+    fn injected_dropped_write_loses_data_but_counts_traffic() {
+        let (w, c) = setup(Side::Coproc);
+        let remote = w.map(Side::Host);
+        // SAFETY: single-threaded test.
+        unsafe { remote.write(0, &[0xAAu8; 64]) };
+        w.inject_dropped_writes(1);
+        // SAFETY: single-threaded test.
+        unsafe { remote.write(0, &[0xBBu8; 64]) };
+        let mut out = [0u8; 64];
+        // SAFETY: single-threaded test.
+        unsafe { remote.read(0, &mut out) };
+        assert_eq!(out, [0xAAu8; 64], "dropped write never landed");
+        // The lost write still crossed the bus as far as the ledger knows.
+        assert_eq!(c.snapshot().write_lines, 2);
+        // The next write goes through.
+        // SAFETY: single-threaded test.
+        unsafe { remote.write(0, &[0xCCu8; 64]) };
+        // SAFETY: single-threaded test.
+        unsafe { remote.read(0, &mut out) };
+        assert_eq!(out, [0xCCu8; 64]);
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub enum RpcErr {
     AddrInUse,
     /// Proxy shed the request under overload; back off and retry (EAGAIN).
     Overloaded,
+    /// The request's deadline expired before a reply arrived.
+    Timeout,
+    /// The peer (proxy or stub) died or the link was reset; the request
+    /// was drained with no result and must not be retried blindly.
+    Gone,
 }
 
 impl RpcErr {
@@ -59,6 +64,8 @@ impl RpcErr {
             RpcErr::Reset => 14,
             RpcErr::AddrInUse => 15,
             RpcErr::Overloaded => 16,
+            RpcErr::Timeout => 17,
+            RpcErr::Gone => 18,
         }
     }
 
@@ -81,12 +88,14 @@ impl RpcErr {
             14 => RpcErr::Reset,
             15 => RpcErr::AddrInUse,
             16 => RpcErr::Overloaded,
+            17 => RpcErr::Timeout,
+            18 => RpcErr::Gone,
             _ => return None,
         })
     }
 
     /// Every variant, for exhaustive round-trip tests.
-    pub fn all() -> [RpcErr; 16] {
+    pub fn all() -> [RpcErr; 18] {
         [
             RpcErr::NotFound,
             RpcErr::Exists,
@@ -104,7 +113,18 @@ impl RpcErr {
             RpcErr::Reset,
             RpcErr::AddrInUse,
             RpcErr::Overloaded,
+            RpcErr::Timeout,
+            RpcErr::Gone,
         ]
+    }
+
+    /// True for errors worth retrying after a backoff: the request was
+    /// never executed (shed, full ring) or failed transiently.
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            RpcErr::WouldBlock | RpcErr::Overloaded | RpcErr::Timeout
+        )
     }
 }
 
@@ -127,6 +147,19 @@ mod tests {
         }
         assert_eq!(RpcErr::from_code(0), None);
         assert_eq!(RpcErr::from_code(999), None);
+        // The recovery-path variants are on the wire too.
+        assert_eq!(RpcErr::from_code(17), Some(RpcErr::Timeout));
+        assert_eq!(RpcErr::from_code(18), Some(RpcErr::Gone));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(RpcErr::WouldBlock.is_transient());
+        assert!(RpcErr::Overloaded.is_transient());
+        assert!(RpcErr::Timeout.is_transient());
+        assert!(!RpcErr::Gone.is_transient());
+        assert!(!RpcErr::Io.is_transient());
+        assert!(!RpcErr::Invalid.is_transient());
     }
 
     #[test]

@@ -144,6 +144,23 @@ impl QosConfig {
         }
     }
 
+    /// The canned multi-tenant profile: [`QosConfig::enforcing`] with a
+    /// tighter per-stub credit window and smaller queues, sized so that a
+    /// handful of tenants sharing one proxy hit per-tenant flow
+    /// accounting (the `"name#t<N>"` keying) instead of drowning each
+    /// other in a deep shared queue. Best-effort keeps its 2 ms deadline
+    /// and stays the only sheddable class, so one tenant's bulk traffic
+    /// is what gives way under overload.
+    pub fn multi_tenant() -> Self {
+        let mut cfg = Self::enforcing();
+        cfg.credit_window = 32;
+        cfg.overload_threshold = 256;
+        cfg.classes[QosClass::High.index()].queue_cap = 128;
+        cfg.classes[QosClass::Normal.index()].queue_cap = 128;
+        cfg.classes[QosClass::BestEffort.index()].queue_cap = 64;
+        cfg
+    }
+
     /// Per-class config lookup.
     pub fn class(&self, c: QosClass) -> &ClassConfig {
         &self.classes[c.index()]
@@ -175,5 +192,20 @@ mod tests {
         assert!(!cfg.class(QosClass::High).sheddable);
         assert!(!cfg.class(QosClass::Normal).sheddable);
         assert!(cfg.class(QosClass::BestEffort).sheddable);
+    }
+
+    #[test]
+    fn multi_tenant_tightens_enforcing() {
+        let cfg = QosConfig::multi_tenant();
+        let base = QosConfig::enforcing();
+        assert!(cfg.enabled);
+        assert!(cfg.credit_window < base.credit_window);
+        assert!(cfg.overload_threshold < base.overload_threshold);
+        for c in QosClass::ALL {
+            assert!(cfg.class(c).queue_cap < base.class(c).queue_cap);
+            assert_eq!(cfg.class(c).weight, base.class(c).weight);
+            assert_eq!(cfg.class(c).sheddable, base.class(c).sheddable);
+        }
+        assert_eq!(cfg.class(QosClass::BestEffort).deadline_us, 2_000);
     }
 }

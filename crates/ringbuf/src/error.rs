@@ -13,6 +13,10 @@ pub enum RingError {
     WouldBlock,
     /// The element exceeds the per-element maximum for this ring.
     TooBig,
+    /// A published element header holds an impossible state: the ring
+    /// memory was corrupted (torn write, dropped PCIe write, peer bug).
+    /// Not retryable — the ring must be reset before further use.
+    Corrupt,
 }
 
 impl fmt::Display for RingError {
@@ -20,6 +24,7 @@ impl fmt::Display for RingError {
         match self {
             RingError::WouldBlock => write!(f, "operation would block"),
             RingError::TooBig => write!(f, "element too large for ring"),
+            RingError::Corrupt => write!(f, "ring memory corrupted"),
         }
     }
 }
@@ -34,5 +39,6 @@ mod tests {
     fn display() {
         assert_eq!(RingError::WouldBlock.to_string(), "operation would block");
         assert_eq!(RingError::TooBig.to_string(), "element too large for ring");
+        assert_eq!(RingError::Corrupt.to_string(), "ring memory corrupted");
     }
 }

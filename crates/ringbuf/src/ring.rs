@@ -19,7 +19,7 @@
 //! tables, which is free, exactly as it would be on real hardware.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use solros_pcie::cost::{CostModel, Xfer};
@@ -39,6 +39,9 @@ const ST_RESERVED: u64 = 1;
 const ST_READY: u64 = 2;
 /// Wrap marker: skip to the start of the array.
 const ST_WRAP: u64 = 5;
+/// Garbage state written by the fault injector: no legal producer path
+/// ever stores it, so a consumer that reads it has proof of corruption.
+const ST_POISON: u64 = 0x66;
 
 #[inline]
 fn hdr(state: u64, len: u32) -> u64 {
@@ -276,6 +279,7 @@ impl RingBuf {
                 tail_auth: sh.prod_ctrl.map(sh.producer_side),
                 head_auth: sh.cons_ctrl.map(sh.producer_side),
                 ready_flags: flags,
+                corrupt_budget: AtomicU64::new(0),
                 combiner: Combiner::new(
                     ProdState {
                         reserve_tail: 0,
@@ -318,6 +322,28 @@ impl RingBuf {
                 sh,
             }),
         }
+    }
+
+    /// Re-initializes the ring after a fault: both authoritative control
+    /// variables return to zero, so endpoints minted *afterwards* (via
+    /// [`RingBuf::producer`] / [`RingBuf::consumer`], whose local state
+    /// starts at zero) see an empty, consistent ring. Any element bytes
+    /// left in the data array are unreachable — below the new tail — and
+    /// are overwritten before the tail ever advances over them.
+    ///
+    /// The caller must quiesce and discard all endpoints minted before the
+    /// reset; their replicated control state is stale by construction.
+    pub fn reset(&self) {
+        self.shared
+            .prod_ctrl
+            .map(self.shared.prod_ctrl.home())
+            .ctrl(0)
+            .store(0);
+        self.shared
+            .cons_ctrl
+            .map(self.shared.cons_ctrl.home())
+            .ctrl(0)
+            .store(0);
     }
 
     /// Ring capacity in bytes.
@@ -366,6 +392,9 @@ struct ProdInner {
     head_auth: WindowHandle,
     /// Process-local ready flags, indexed by slot offset / 8.
     ready_flags: Box<[AtomicBool]>,
+    /// Fault injection: while nonzero, each `set_ready` decrements it and
+    /// publishes a poisoned header instead of a READY one.
+    corrupt_budget: AtomicU64,
     combiner: Combiner<ProdState, u32, Result<RbBuf, RingError>>,
 }
 
@@ -415,12 +444,25 @@ impl Producer {
     pub fn set_ready(&self, rb: RbBuf) {
         let inner = &self.inner;
         let cap = inner.sh.capacity;
+        let poisoned = inner
+            .corrupt_budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok();
+        let state = if poisoned { ST_POISON } else { ST_READY };
         // Make the payload visible to remote header readers.
         let off = (rb.pos % cap) as usize;
-        inner.data.ctrl(off).store(hdr(ST_READY, rb.len));
+        inner.data.ctrl(off).store(hdr(state, rb.len));
         // Local bookkeeping so the next combiner tenure can advance the
         // published tail over the contiguous ready prefix.
         inner.ready_flags[flag_index(rb.pos, cap)].store(true, Ordering::Release);
+    }
+
+    /// Arms the fault injector: the next `n` published elements carry a
+    /// poisoned header (an impossible state value), modeling a torn or
+    /// misdirected header write. The consumer surfaces each as
+    /// [`RingError::Corrupt`] instead of delivering data.
+    pub fn corrupt_next(&self, n: u64) {
+        self.inner.corrupt_budget.store(n, Ordering::SeqCst);
     }
 
     /// Convenience: reserve + copy + publish in one call.
@@ -704,12 +746,21 @@ impl ConsInner {
                     }
                     return Ok(RbBuf { pos, len, staged });
                 }
-                // RESERVED (publication raced ahead in this batch) or
-                // anything unexpected: treat as not-ready.
-                _ => {
+                // RESERVED (publication raced ahead in this batch) or a
+                // still-zero header in a stale staged snapshot: not ready.
+                0 | ST_RESERVED => {
                     self.reclaim(st);
                     self.publish(st);
                     return Err(RingError::WouldBlock);
+                }
+                // Any other state is impossible under the protocol: the
+                // header was corrupted (torn write, dropped PCIe write,
+                // fault injection). Surface it; the error is sticky until
+                // the ring is reset because `consume` does not advance.
+                _ => {
+                    self.reclaim(st);
+                    self.publish(st);
+                    return Err(RingError::Corrupt);
                 }
             }
         }
@@ -1095,6 +1146,58 @@ mod tests {
             h.join().unwrap();
         }
         assert!(next.iter().all(|&n| n == per));
+    }
+
+    #[test]
+    fn corrupt_header_detected_and_sticky() {
+        let counters = Arc::new(PcieCounters::new());
+        let ring = RingBuf::new(RingConfig::local(1024, Side::Host), counters);
+        let (tx, rx) = ring.endpoints();
+        tx.send(b"good").unwrap();
+        assert_eq!(rx.recv().unwrap(), b"good");
+        tx.corrupt_next(1);
+        tx.send(b"torn").unwrap();
+        tx.send(b"after").unwrap();
+        // The poisoned element is detected, and the error is sticky: the
+        // consumer cannot silently skip corrupted memory.
+        assert_eq!(rx.recv().unwrap_err(), RingError::Corrupt);
+        assert_eq!(rx.recv().unwrap_err(), RingError::Corrupt);
+    }
+
+    #[test]
+    fn reset_recovers_a_corrupted_ring() {
+        let counters = Arc::new(PcieCounters::new());
+        let ring = RingBuf::new(RingConfig::local(1024, Side::Host), counters);
+        let (tx, rx) = ring.endpoints();
+        tx.corrupt_next(1);
+        tx.send(b"torn").unwrap();
+        assert_eq!(rx.recv().unwrap_err(), RingError::Corrupt);
+        // Recovery: discard the wedged endpoints, reset, mint fresh ones.
+        drop((tx, rx));
+        ring.reset();
+        let (tx, rx) = ring.endpoints();
+        assert_eq!(rx.recv().unwrap_err(), RingError::WouldBlock, "empty");
+        for i in 0..200u32 {
+            tx.send_blocking(&i.to_le_bytes()).unwrap();
+            assert_eq!(rx.recv_blocking(), i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn partial_publish_wedges_but_does_not_corrupt() {
+        // A producer that reserves and never publishes (a crashed peer
+        // mid-element) stalls the FIFO — later elements stay invisible —
+        // but the consumer sees a clean WouldBlock, not garbage.
+        let (tx, rx) = local_ring(1024);
+        let wedge = tx.enqueue(8).unwrap();
+        tx.send(b"after").unwrap();
+        assert_eq!(rx.recv().unwrap_err(), RingError::WouldBlock);
+        // The element is eventually published: everything flows again.
+        tx.copy_to(&wedge, b"unwedged");
+        tx.set_ready(wedge);
+        tx.kick();
+        assert_eq!(rx.recv().unwrap(), b"unwedged");
+        assert_eq!(rx.recv().unwrap(), b"after");
     }
 
     #[test]

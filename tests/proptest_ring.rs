@@ -52,6 +52,9 @@ proptest! {
                     Err(RingError::TooBig) => {
                         prop_assert!(size + 8 > cap / 4, "spurious TooBig for {size}");
                     }
+                    Err(RingError::Corrupt) => {
+                        prop_assert!(false, "corruption surfaced with no fault injected");
+                    }
                 }
             } else {
                 match rx.recv() {
