@@ -1,11 +1,14 @@
 //! Regenerates the extension experiments (beyond the paper's figures).
 //!
 //! With no arguments, renders every extension. `extensions e3` renders
-//! only the QoS overload experiment, `extensions e4` only the
-//! queue-depth sweep, and `extensions e5` the fault-injection recovery
-//! sweep — the cheap ones CI runs as smoke tests. The `e5` arm exits
-//! nonzero if any scenario leaves a hung tag, leaks a credit, or blows
-//! its recovery-latency bound, so it doubles as the robustness gate.
+//! only the QoS overload experiment, `extensions e3-engine` the same
+//! overload driven end-to-end through the shared proxy engine,
+//! `extensions e4` only the queue-depth sweep, and `extensions e5` the
+//! fault-injection recovery sweep — the cheap ones CI runs as smoke
+//! tests. The `e5` arm exits nonzero if any scenario leaves a hung tag,
+//! leaks a credit, or blows its recovery-latency bound; `e3-engine`
+//! exits nonzero if any shed is charged to a paced flow. Both double as
+//! robustness gates.
 
 fn main() {
     let only = std::env::args().nth(1);
@@ -14,6 +17,17 @@ fn main() {
             "## E3 — QoS gate under overload\n\n{}",
             solros_bench::extensions::qos_overload()
         ),
+        Some("e3-engine") => {
+            // Overload end-to-end through the shared proxy engine; exits
+            // nonzero if any shed lands on a paced (non-best-effort)
+            // flow — those classes are not sheddable by contract.
+            let (report, paced_shed) = solros_bench::extensions::engine_overload_smoke();
+            print!("## E3-engine — overload through the shared proxy engine\n\n{report}");
+            if paced_shed > 0 {
+                eprintln!("E3-ENGINE FAIL: {paced_shed} sheds charged to paced flows");
+                std::process::exit(1);
+            }
+        }
         Some("e4") => print!(
             "## E4 — submission pipeline vs queue depth\n\n{}",
             solros_bench::extensions::queue_depth()
@@ -51,7 +65,10 @@ fn main() {
             }
         }
         Some(other) => {
-            eprintln!("unknown experiment {other:?}; expected `e3`, `e4`, `e5`, or no argument");
+            eprintln!(
+                "unknown experiment {other:?}; expected `e3`, `e3-engine`, `e4`, `e5`, \
+                 or no argument"
+            );
             std::process::exit(2);
         }
         None => print!("{}", solros_bench::extensions::run_all()),

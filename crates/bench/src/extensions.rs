@@ -503,6 +503,95 @@ pub fn qos_overload() -> String {
     out
 }
 
+/// E3-engine smoke: the same overload story as [`qos_overload`], but
+/// end-to-end through the shared proxy engine on a real booted system
+/// rather than against a bare gate. Closed-loop bulk writers flood the
+/// best-effort class while a paced victim issues metadata ops and 4 KiB
+/// reads through the same engine; the gate criterion is that the paced
+/// (High/Normal) flows shed nothing — any shed the ledger charges to a
+/// non-sheddable flow is a regression in the engine's admission or
+/// settlement path. Returns the rendered report and that paced-shed
+/// count (nonzero = fail).
+pub fn engine_overload_smoke() -> (String, u64) {
+    use solros::control::Solros;
+    use solros_machine::MachineConfig;
+    use solros_proto::rpc_error::RpcErr;
+    use solros_qos::QosConfig;
+
+    const BULK: usize = 512 * 1024; // > the proxy's bulk cutoff: best-effort
+    const AGGRESSORS: usize = 3;
+    const BULK_WRITES: usize = 40;
+    const VICTIM_OPS: usize = 300;
+
+    let sys = Solros::boot_qos(
+        MachineConfig {
+            sockets: 1,
+            coprocs: 1,
+            ssd_blocks: 16_384,
+            coproc_window_bytes: 8 << 20,
+            host_cache_pages: 64,
+        },
+        QosConfig::enforcing(),
+    );
+    let fs = Arc::clone(sys.data_plane(0).fs());
+    let victim = fs.create("/victim").unwrap();
+    fs.write_at(victim, 0, &vec![0x5au8; 64 * 1024]).unwrap();
+
+    let aggressors: Vec<_> = (0..AGGRESSORS)
+        .map(|i| {
+            let fs = Arc::clone(sys.data_plane(0).fs());
+            std::thread::spawn(move || {
+                let f = fs.create(&format!("/aggr{i}")).unwrap();
+                let chunk = vec![0xa5u8; BULK];
+                for _ in 0..BULK_WRITES {
+                    // Explicit overload sheds are the design working as
+                    // intended for this class; anything else is not.
+                    match fs.write_at(f, 0, &chunk) {
+                        Ok(_) | Err(RpcErr::Overloaded) => {}
+                        Err(e) => panic!("aggressor write failed: {e:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // The paced victim rides the High (metadata) and Normal (4 KiB read)
+    // flows; neither is sheddable, so every op must succeed outright.
+    let mut victim_wait = Histogram::new();
+    for _ in 0..VICTIM_OPS {
+        let t0 = Instant::now();
+        fs.fstat(victim).expect("victim fstat shed or failed");
+        fs.read_to_vec(victim, 0, 4096)
+            .expect("victim read shed or failed");
+        victim_wait.record(SimTime::from_ns(t0.elapsed().as_nanos() as u64));
+        std::thread::yield_now();
+    }
+    for a in aggressors {
+        a.join().unwrap();
+    }
+
+    let snaps = sys.fs_qos_stats(0).expect("qos enabled").snapshot();
+    sys.shutdown();
+
+    // Deadline sheds on the best-effort class are the design working;
+    // a shed charged to any other (non-sheddable) flow is a regression.
+    let best = format!("/{}", solros_qos::QosClass::BestEffort.label());
+    let paced_shed: u64 = snaps
+        .iter()
+        .filter(|s| !s.name.ends_with(&best))
+        .map(|s| s.shed)
+        .sum();
+    let mut out = tenant_table(&snaps).to_markdown();
+    out.push_str(&format!(
+        "\nVictim fstat+read pair p99: {:.0} us over {VICTIM_OPS} pairs \
+         against {AGGRESSORS} closed-loop {} KiB bulk writers.\n\
+         Sheds charged to paced (non-best-effort) flows: {paced_shed}.\n",
+        victim_wait.percentile(99.0).as_us_f64(),
+        BULK / 1024,
+    ));
+    (out, paced_shed)
+}
+
 /// One point of the E4 queue-depth sweep.
 pub struct DepthPoint {
     /// Submission-queue depth (ops in flight from the one thread).

@@ -1,0 +1,172 @@
+//! Pluggable forwarding policies for shared listening sockets (§4.4.3).
+//!
+//! Multiple co-processors may listen on the same port; each incoming
+//! connection is assigned to one of them by a [`LoadBalancer`] (the
+//! paper implements connection-based round-robin; a content/address-hash
+//! policy and a least-loaded policy are provided as pluggable examples).
+
+/// Metadata about an incoming connection, fed to the balancer.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnMeta {
+    /// Remote client identifier.
+    pub client_addr: u64,
+    /// Listening port.
+    pub port: u16,
+}
+
+/// A pluggable forwarding policy for shared listening sockets (§4.4.3).
+pub trait LoadBalancer: Send {
+    /// Picks the index of the listener (among `n` candidates, in
+    /// registration order) that receives this connection.
+    fn pick(&mut self, n: usize, meta: &ConnMeta) -> usize;
+
+    /// Informs the policy that the connection went to listener `idx`
+    /// (the value returned by [`LoadBalancer::pick`]). Default: ignored.
+    fn conn_assigned(&mut self, idx: usize) {
+        let _ = idx;
+    }
+
+    /// Informs the policy that a connection previously assigned to
+    /// listener `idx` has closed. Default: ignored.
+    fn conn_closed(&mut self, idx: usize) {
+        let _ = idx;
+    }
+}
+
+/// The paper's connection-based round-robin policy.
+#[derive(Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl LoadBalancer for RoundRobin {
+    fn pick(&mut self, n: usize, _meta: &ConnMeta) -> usize {
+        let i = self.next % n;
+        self.next = self.next.wrapping_add(1);
+        i
+    }
+}
+
+/// A content-based policy: hash the client address, so one client always
+/// lands on the same co-processor (example of a user-provided rule).
+#[derive(Default)]
+pub struct AddrHash;
+
+impl LoadBalancer for AddrHash {
+    fn pick(&mut self, n: usize, meta: &ConnMeta) -> usize {
+        (meta.client_addr as usize).wrapping_mul(0x9E37_79B9) % n
+    }
+}
+
+/// Routes each connection to the listener with the fewest in-flight
+/// connections, so a co-processor stuck on long-lived transfers stops
+/// receiving new work while its siblings stay busy. Ties break with a
+/// rotating cursor, which degrades to round-robin under uniform load.
+#[derive(Default)]
+pub struct LeastLoaded {
+    in_flight: Vec<u64>,
+    next: usize,
+}
+
+impl LoadBalancer for LeastLoaded {
+    fn pick(&mut self, n: usize, _meta: &ConnMeta) -> usize {
+        if self.in_flight.len() < n {
+            self.in_flight.resize(n, 0);
+        }
+        let winner = (0..n)
+            .map(|k| (self.next + k) % n)
+            .min_by_key(|&i| self.in_flight[i])
+            .unwrap_or(0);
+        self.next = (winner + 1) % n.max(1);
+        winner
+    }
+
+    fn conn_assigned(&mut self, idx: usize) {
+        if self.in_flight.len() <= idx {
+            self.in_flight.resize(idx + 1, 0);
+        }
+        self.in_flight[idx] += 1;
+    }
+
+    fn conn_closed(&mut self, idx: usize) {
+        if let Some(c) = self.in_flight.get_mut(idx) {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::default();
+        let meta = ConnMeta {
+            client_addr: 1,
+            port: 80,
+        };
+        let picks: Vec<usize> = (0..6).map(|_| rr.pick(3, &meta)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn addr_hash_is_sticky() {
+        let mut h = AddrHash;
+        for addr in 0..50u64 {
+            let meta = ConnMeta {
+                client_addr: addr,
+                port: 80,
+            };
+            let a = h.pick(4, &meta);
+            let b = h.pick(4, &meta);
+            assert_eq!(a, b, "same client must land on the same coproc");
+            assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn least_loaded_stays_fair_under_skewed_lifetimes() {
+        // Connections landing on co-processor 0 are long-lived (never
+        // close); everywhere else they close immediately. Round-robin
+        // keeps feeding the overloaded co-processor; least-loaded must
+        // divert new work away from it.
+        let run = |lb: &mut dyn LoadBalancer, n: usize, arrivals: u64| -> Vec<u64> {
+            let mut assigned = vec![0u64; n];
+            for addr in 0..arrivals {
+                let meta = ConnMeta {
+                    client_addr: addr,
+                    port: 80,
+                };
+                let idx = lb.pick(n, &meta);
+                lb.conn_assigned(idx);
+                assigned[idx] += 1;
+                if idx != 0 {
+                    lb.conn_closed(idx);
+                }
+            }
+            assigned
+        };
+
+        let mut ll = LeastLoaded::default();
+        let fair = run(&mut ll, 3, 300);
+        // Co-processor 0 accumulates in-flight connections, so it should
+        // receive almost nothing beyond its first few picks while the
+        // siblings absorb the rest of the skewed arrival stream.
+        assert!(
+            fair[0] <= 3,
+            "least-loaded kept feeding the loaded coproc: {fair:?}"
+        );
+        assert!(
+            fair[1] >= 100 && fair[2] >= 100,
+            "siblings starved: {fair:?}"
+        );
+
+        let mut rr = RoundRobin::default();
+        let skewed = run(&mut rr, 3, 300);
+        assert_eq!(
+            skewed[0], 100,
+            "round-robin should ignore load, proving the contrast: {skewed:?}"
+        );
+    }
+}

@@ -1,9 +1,10 @@
 //! The control-plane file-system proxy (§4.3.2, §5).
 //!
-//! One proxy server loop runs per co-processor on a host thread. It pulls
-//! file-system RPCs from the request ring, executes them against
-//! [`solros_fs::FileSystem`], and pushes replies. For data transfers it
-//! chooses between:
+//! One proxy server runs per co-processor on a host thread, driven by the
+//! shared [`crate::proxy_engine`]: the engine pulls file-system RPCs from
+//! the request ring, decodes each frame once, runs the QoS gate, and
+//! dispatches to the worker pool; this module supplies the FS semantics
+//! through the [`OpHandler`] trait. For data transfers it chooses between:
 //!
 //! * **Peer-to-peer**: translate the file range to disk extents
 //!   (`fiemap`), translate the co-processor buffer address to its
@@ -15,46 +16,49 @@
 //!   a NUMA boundary (Figure 1a), when the file was opened with
 //!   `O_BUFFER`, or when the request is not block-aligned.
 //!
-//! Since the data plane pipelines submissions, the server loops drain the
-//! request ring in *waves*: every P2P-eligible read in a wave contributes
-//! its NVMe commands to one combined vectored submission — a single
+//! Since the data plane pipelines submissions, the engine drains the
+//! request ring in *waves*: every P2P-eligible read is staged (via
+//! [`OpHandler::stage`]) into one combined vectored submission — a single
 //! doorbell and a single interrupt across ops *from different calls*, the
 //! cross-call generalisation of the §5 batching — while the remaining ops
-//! go to a small worker pool and complete out of order (the stub's tag
-//! table reorders). A frame flagged [`FLAG_BARRIER`] quiesces both before
-//! it runs.
+//! go to the worker pool and complete out of order (the stub's tag table
+//! reorders). A frame flagged `FLAG_BARRIER` quiesces both before it runs.
 
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::ops::Range;
+use std::collections::{HashMap, HashSet};
+use std::ops::{Deref, Range};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
+use solros_faults::EngineFaults;
 use solros_fs::{FileSystem, FsError};
 use solros_nvme::{DmaPtr, NvmeCommand, NvmeError, BLOCK_SIZE};
 use solros_pcie::window::Window;
 use solros_pcie::Side;
-use solros_proto::codec::{decode_frame, stamp_credit, FLAG_BARRIER};
+use solros_proto::codec::stamp_credit;
 use solros_proto::fs_msg::{FsRequest, FsResponse};
 use solros_proto::rpc_error::RpcErr;
-use solros_qos::{Dispatch, DwrrScheduler, QosClass, Verdict};
+use solros_qos::{DwrrScheduler, QosClass};
 use solros_ringbuf::{Consumer, Producer};
 
+use crate::proxy_engine::{Access, EngineLane, GateJob, OpHandler, ProxyEngine, ProxyStats};
 use crate::retry::RetryPolicy;
+
+pub use crate::proxy_engine::DRAIN_BURST;
 
 /// Worker threads per proxy executing non-coalesced operations.
 pub const PROXY_WORKERS: usize = 3;
-/// Frames drained from the request ring per wave.
-pub const DRAIN_BURST: usize = 64;
 
 /// NVMe MDTS in blocks (mirrors `solros_nvme::device::MDTS_BLOCKS`).
 const MDTS_BLOCKS: u64 = solros_nvme::device::MDTS_BLOCKS as u64;
 
-/// Path-decision and traffic statistics for one proxy.
+/// Path-decision statistics for one FS proxy. Lifecycle counters (rpcs,
+/// panics, sheds…) live in the engine-owned ledger; this struct derefs
+/// into it, so `.rpcs` / `.worker_panics` call sites work unchanged.
 #[derive(Debug, Default)]
 pub struct FsProxyStats {
-    /// RPCs served.
-    pub rpcs: AtomicU64,
+    /// The engine-owned request-lifecycle ledger.
+    pub engine: Arc<ProxyStats>,
     /// Reads served peer-to-peer.
     pub p2p_reads: AtomicU64,
     /// Reads served through the host cache.
@@ -65,8 +69,14 @@ pub struct FsProxyStats {
     pub buffered_writes: AtomicU64,
     /// Pages warmed by sequential readahead (§4.3.2).
     pub prefetched_pages: AtomicU64,
-    /// Worker panics contained and converted into `Io` error replies.
-    pub worker_panics: AtomicU64,
+}
+
+impl Deref for FsProxyStats {
+    type Target = ProxyStats;
+
+    fn deref(&self) -> &ProxyStats {
+        &self.engine
+    }
 }
 
 /// Maps file-system errors onto wire codes.
@@ -105,37 +115,26 @@ fn classify(req: &FsRequest) -> (usize, u64) {
     }
 }
 
-/// One admitted FS request with its frame metadata, as queued through
-/// the QoS gate.
-#[derive(Debug)]
-pub struct FsJob {
-    /// Wire tag of the frame.
-    pub tag: u32,
-    /// Submission flags ([`FLAG_BARRIER`] today).
-    pub flags: u8,
-    /// Tenant id from the frame header (0 = default tenant).
-    pub tenant: u8,
-    /// The decoded request.
-    pub req: FsRequest,
-}
-
 /// One co-processor's proxy server.
 ///
-/// Shared-state fields are lock-protected so a worker pool can execute
-/// independent operations concurrently through [`FsProxy::handle`].
+/// Shared-state fields are lock-protected so the engine's worker pool can
+/// execute independent operations concurrently through [`FsProxy::handle`].
 pub struct FsProxy {
     fs: Arc<FileSystem>,
     coproc_window: Arc<Window>,
     crosses_numa: bool,
     stats: Arc<FsProxyStats>,
+    /// Engine-level fault hooks (worker panics, dropped replies).
+    faults: Arc<EngineFaults>,
     /// Inodes opened with `O_BUFFER` by this co-processor.
     buffered_open: Mutex<HashSet<u64>>,
     /// Per-inode end offset of the last read, for sequential detection.
     last_read_end: Mutex<HashMap<u64, u64>>,
     /// Pages to read ahead on a sequential buffered stream (0 disables).
     readahead_pages: u64,
-    /// Fault injection: the next N handled requests panic mid-execution.
-    inject_worker_panics: AtomicU64,
+    /// The current wave of coalesced P2P reads, staged via
+    /// [`OpHandler::stage`] and settled at [`OpHandler::flush`].
+    wave: Mutex<Wave>,
 }
 
 impl FsProxy {
@@ -151,10 +150,11 @@ impl FsProxy {
             coproc_window,
             crosses_numa,
             stats,
+            faults: Arc::new(EngineFaults::new()),
             buffered_open: Mutex::new(HashSet::new()),
             last_read_end: Mutex::new(HashMap::new()),
             readahead_pages: 8,
-            inject_worker_panics: AtomicU64::new(0),
+            wave: Mutex::new(Wave::default()),
         }
     }
 
@@ -163,79 +163,22 @@ impl FsProxy {
         self.readahead_pages = pages;
     }
 
+    /// The engine-level fault hooks this proxy serves with.
+    pub fn faults(&self) -> Arc<EngineFaults> {
+        Arc::clone(&self.faults)
+    }
+
     /// Fault injection: makes the next `n` handled requests panic inside
-    /// the handler, exercising the containment path.
+    /// the handler, exercising the engine's containment path.
     pub fn inject_worker_panics(&self, n: u64) {
-        self.inject_worker_panics.fetch_add(n, Ordering::SeqCst);
+        self.faults.arm_worker_panics(n);
     }
 
-    /// Runs [`FsProxy::handle`] with panic containment: a panicking
-    /// handler (a proxy bug or an injected fault) yields an [`RpcErr::Io`]
-    /// error reply instead of taking down the serve loop, and the worker
-    /// keeps running — containment is the respawn. The shared state uses
-    /// `parking_lot` locks, which release (without poisoning) during
-    /// unwind, so surviving workers see consistent state.
-    fn handle_contained(&self, req: FsRequest) -> FsResponse {
-        let armed = self
-            .inject_worker_panics
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
-            .is_ok();
-        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if armed {
-                panic!("injected fs proxy worker panic");
-            }
-            self.handle(req)
-        }));
-        out.unwrap_or_else(|_| {
-            self.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
-            FsResponse::Error { err: RpcErr::Io }
-        })
-    }
-
-    /// Serves requests until `shutdown` is set. Runs on a host thread
-    /// plus [`PROXY_WORKERS`] pool threads.
-    ///
-    /// Each loop iteration drains up to [`DRAIN_BURST`] frames from the
-    /// ring into one wave: P2P-eligible reads are coalesced into a single
-    /// vectored NVMe submission, everything else is executed by the
-    /// worker pool out of order.
+    /// Serves requests until `shutdown` is set, through the shared proxy
+    /// engine: FIFO admission, wave-coalesced P2P reads, and a
+    /// [`PROXY_WORKERS`]-wide pool for everything else.
     pub fn serve(self, req_rx: Consumer, resp_tx: Producer, shutdown: Arc<AtomicBool>) {
-        let jobs = JobQueue::default();
-        std::thread::scope(|s| {
-            for _ in 0..PROXY_WORKERS {
-                let jobs = &jobs;
-                let resp_tx = resp_tx.clone();
-                let this = &self;
-                s.spawn(move || this.worker(jobs, &resp_tx));
-            }
-            let mut wave = Wave::default();
-            while !shutdown.load(Ordering::Relaxed) {
-                let mut drained = 0;
-                while drained < DRAIN_BURST {
-                    let Ok(frame) = req_rx.recv() else { break };
-                    drained += 1;
-                    match FsRequest::decode(&frame) {
-                        Ok((tag, req)) => {
-                            let flags = decode_frame(&frame).map(|f| f.flags).unwrap_or(0);
-                            self.admit(tag, flags, req, None, &mut wave, &jobs, &resp_tx);
-                        }
-                        Err(_) => {
-                            let _ = resp_tx.send_blocking(
-                                &FsResponse::Error {
-                                    err: RpcErr::Invalid,
-                                }
-                                .encode(0),
-                            );
-                        }
-                    }
-                }
-                self.flush_wave(&mut wave, &resp_tx);
-                if drained == 0 {
-                    std::thread::yield_now();
-                }
-            }
-            jobs.close();
-        });
+        self.engine(req_rx, resp_tx, None).serve(shutdown)
     }
 
     /// Serves requests through a QoS gate until `shutdown` is set.
@@ -247,212 +190,35 @@ impl FsProxy {
     /// Shed requests — overload, full queue, or expired deadline — are
     /// answered immediately with [`RpcErr::Overloaded`]; nothing is
     /// dropped silently. Every reply carries the flow's current credit
-    /// window so stubs feel backpressure before the rings fill.
-    /// Dispatched work runs through the same wave machinery as
-    /// [`FsProxy::serve`]: coalesced P2P reads plus a worker pool.
+    /// window so stubs feel backpressure before the rings fill. The
+    /// engine also applies priority inheritance: metadata ops waiting on
+    /// an inode held by a lower-weight writer promote that writer's flow
+    /// until the write completes.
     pub fn serve_qos(
         self,
         req_rx: Consumer,
         resp_tx: Producer,
         shutdown: Arc<AtomicBool>,
-        mut gate: DwrrScheduler<FsJob>,
+        gate: DwrrScheduler<GateJob<FsRequest>>,
     ) {
-        let epoch = std::time::Instant::now();
-        let jobs = JobQueue::default();
-        std::thread::scope(|s| {
-            for _ in 0..PROXY_WORKERS {
-                let jobs = &jobs;
-                let resp_tx = resp_tx.clone();
-                let this = &self;
-                s.spawn(move || this.worker(jobs, &resp_tx));
-            }
-            let mut wave = Wave::default();
-            while !shutdown.load(Ordering::Relaxed) {
-                let mut progressed = false;
-                // Admit a bounded burst from the ring into the class queues.
-                for _ in 0..32 {
-                    let Ok(frame) = req_rx.recv() else { break };
-                    progressed = true;
-                    match FsRequest::decode(&frame) {
-                        Ok((tag, req)) => {
-                            let (flags, tenant) = decode_frame(&frame)
-                                .map(|f| (f.flags, f.tenant))
-                                .unwrap_or((0, 0));
-                            let (class_flow, bytes) = classify(&req);
-                            let flow = gate.flow_for_tenant(tenant, class_flow);
-                            let now = epoch.elapsed().as_nanos() as u64;
-                            let job = FsJob {
-                                tag,
-                                flags,
-                                tenant,
-                                req,
-                            };
-                            if let Verdict::Shed { item, .. } = gate.submit(flow, bytes, now, job) {
-                                let mut reply = FsResponse::Error {
-                                    err: RpcErr::Overloaded,
-                                }
-                                .encode(item.tag);
-                                stamp_credit(&mut reply, gate.credit(flow));
-                                let _ = resp_tx.send_blocking(&reply);
-                            }
-                        }
-                        Err(_) => {
-                            let _ = resp_tx.send_blocking(
-                                &FsResponse::Error {
-                                    err: RpcErr::Invalid,
-                                }
-                                .encode(0),
-                            );
-                        }
-                    }
-                }
-                // Drain a bounded burst of scheduled work into one wave.
-                for _ in 0..32 {
-                    let now = epoch.elapsed().as_nanos() as u64;
-                    match gate.dispatch(now) {
-                        Dispatch::Run { flow, item, .. } => {
-                            progressed = true;
-                            let credit = Some(gate.credit(flow));
-                            self.admit(
-                                item.tag, item.flags, item.req, credit, &mut wave, &jobs, &resp_tx,
-                            );
-                        }
-                        Dispatch::Shed { flow, item, .. } => {
-                            progressed = true;
-                            let mut reply = FsResponse::Error {
-                                err: RpcErr::Overloaded,
-                            }
-                            .encode(item.tag);
-                            stamp_credit(&mut reply, gate.credit(flow));
-                            let _ = resp_tx.send_blocking(&reply);
-                        }
-                        Dispatch::Idle => break,
-                    }
-                }
-                self.flush_wave(&mut wave, &resp_tx);
-                if !progressed {
-                    std::thread::yield_now();
-                }
-            }
-            jobs.close();
-        });
+        self.engine(req_rx, resp_tx, Some(gate)).serve(shutdown)
     }
 
-    /// Routes one decoded request: barrier frames quiesce everything and
-    /// run inline; P2P-eligible reads join the wave's combined NVMe
-    /// batch; the rest goes to the worker pool.
-    #[allow(clippy::too_many_arguments)]
-    fn admit(
-        &self,
-        tag: u32,
-        flags: u8,
-        req: FsRequest,
-        credit: Option<u8>,
-        wave: &mut Wave,
-        jobs: &JobQueue,
-        resp_tx: &Producer,
-    ) {
-        if flags & FLAG_BARRIER != 0 {
-            // Everything submitted before the barrier completes first.
-            self.flush_wave(wave, resp_tx);
-            jobs.quiesce();
-            self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-            let mut reply = self.handle_contained(req).encode(tag);
-            if let Some(c) = credit {
-                stamp_credit(&mut reply, c);
-            }
-            let _ = resp_tx.send_blocking(&reply);
-            return;
-        }
-        if let FsRequest::Read {
-            ino,
-            offset,
-            count,
-            buf_addr,
-        } = &req
-        {
-            if let Some((count, span)) = self.stage_p2p_read(*ino, *offset, *count, *buf_addr, wave)
-            {
-                self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-                wave.reads.push(StagedRead {
-                    tag,
-                    count,
-                    span,
-                    credit,
-                });
-                return;
-            }
-        }
-        jobs.push(Job { tag, req, credit });
-    }
-
-    /// Stages a read into the wave's combined command list if it takes
-    /// the P2P path; `None` falls the request through to the worker pool
-    /// (buffered path, EOF handling, and errors all live in `do_read`).
-    fn stage_p2p_read(
-        &self,
-        ino: u64,
-        offset: u64,
-        count: u64,
-        buf_addr: u64,
-        wave: &mut Wave,
-    ) -> Option<(u64, Range<usize>)> {
-        let size = self.fs.size_of(ino).ok()?;
-        if offset >= size {
-            return None;
-        }
-        let count = count.min(size - offset);
-        if !self.read_path_is_p2p(ino, offset, count) {
-            return None;
-        }
-        let extents = self.fs.fiemap(ino, offset, count).ok()?;
-        self.last_read_end.lock().insert(ino, offset + count);
-        self.stats.p2p_reads.fetch_add(1, Ordering::Relaxed);
-        let start = wave.cmds.len();
-        wave.cmds.extend(Self::extent_cmds(
-            &extents,
-            &self.coproc_window,
-            buf_addr,
-            true,
-        ));
-        Some((count, start..wave.cmds.len()))
-    }
-
-    /// Submits the wave's combined command list as one vectored batch —
-    /// one doorbell, one interrupt for every staged read — and replies
-    /// per read.
-    fn flush_wave(&self, wave: &mut Wave, resp_tx: &Producer) {
-        if wave.reads.is_empty() {
-            wave.cmds.clear();
-            return;
-        }
-        let results = self.fs.device().submit_vectored(&wave.cmds);
-        for r in wave.reads.drain(..) {
-            let resp = match self.settle_span(&wave.cmds, &results, r.span) {
-                Ok(()) => FsResponse::Read { count: r.count },
-                Err(e) => FsResponse::Error { err: e },
-            };
-            let mut reply = resp.encode(r.tag);
-            if let Some(c) = r.credit {
-                stamp_credit(&mut reply, c);
-            }
-            let _ = resp_tx.send_blocking(&reply);
-        }
-        wave.cmds.clear();
-    }
-
-    /// Worker-pool loop: executes queued operations until the queue
-    /// closes, replying out of order.
-    fn worker(&self, jobs: &JobQueue, resp_tx: &Producer) {
-        while let Some(job) = jobs.pop() {
-            self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-            let mut reply = self.handle_contained(job.req).encode(job.tag);
-            if let Some(c) = job.credit {
-                stamp_credit(&mut reply, c);
-            }
-            let _ = resp_tx.send_blocking(&reply);
-            jobs.done();
-        }
+    fn engine(
+        self,
+        req_rx: Consumer,
+        resp_tx: Producer,
+        gate: Option<DwrrScheduler<GateJob<FsRequest>>>,
+    ) -> ProxyEngine<FsProxy> {
+        let stats = Arc::clone(&self.stats.engine);
+        let faults = Arc::clone(&self.faults);
+        ProxyEngine::new(
+            Arc::new(self),
+            vec![EngineLane { req_rx, resp_tx }],
+            stats,
+            faults,
+            gate,
+        )
     }
 
     /// Executes one RPC.
@@ -731,6 +497,126 @@ impl FsProxy {
         }
         Ok(())
     }
+
+    /// Stages a read into the wave's combined command list if it takes
+    /// the P2P path; `None` falls the request through to the worker pool
+    /// (buffered path, EOF handling, and errors all live in `do_read`).
+    fn stage_p2p_read(
+        &self,
+        ino: u64,
+        offset: u64,
+        count: u64,
+        buf_addr: u64,
+        wave: &mut Wave,
+    ) -> Option<(u64, Range<usize>)> {
+        let size = self.fs.size_of(ino).ok()?;
+        if offset >= size {
+            return None;
+        }
+        let count = count.min(size - offset);
+        if !self.read_path_is_p2p(ino, offset, count) {
+            return None;
+        }
+        let extents = self.fs.fiemap(ino, offset, count).ok()?;
+        self.last_read_end.lock().insert(ino, offset + count);
+        self.stats.p2p_reads.fetch_add(1, Ordering::Relaxed);
+        let start = wave.cmds.len();
+        wave.cmds.extend(Self::extent_cmds(
+            &extents,
+            &self.coproc_window,
+            buf_addr,
+            true,
+        ));
+        Some((count, start..wave.cmds.len()))
+    }
+}
+
+impl OpHandler for FsProxy {
+    type Req = FsRequest;
+
+    fn encode_err(&self, tag: u32, err: RpcErr) -> Vec<u8> {
+        FsResponse::Error { err }.encode(tag)
+    }
+
+    fn classify(&self, _lane: usize, req: &FsRequest) -> (usize, u64) {
+        classify(req)
+    }
+
+    fn exec(&self, _lane: usize, tag: u32, req: FsRequest) -> Vec<u8> {
+        self.handle(req).encode(tag)
+    }
+
+    fn workers(&self) -> usize {
+        PROXY_WORKERS
+    }
+
+    /// Data-mutating ops hold their inode exclusively; `fstat` touches it
+    /// shared, so the engine can apply priority inheritance when a
+    /// high-class metadata op waits on a best-effort writer.
+    fn touches(&self, req: &FsRequest) -> Option<(u64, Access)> {
+        match req {
+            FsRequest::Write { ino, .. }
+            | FsRequest::Truncate { ino, .. }
+            | FsRequest::Fsync { ino } => Some((*ino, Access::Exclusive)),
+            FsRequest::Fstat { ino } => Some((*ino, Access::Shared)),
+            _ => None,
+        }
+    }
+
+    fn stage(
+        &self,
+        _lane: usize,
+        tag: u32,
+        credit: Option<u8>,
+        req: FsRequest,
+    ) -> Option<FsRequest> {
+        if let FsRequest::Read {
+            ino,
+            offset,
+            count,
+            buf_addr,
+        } = &req
+        {
+            let mut wave = self.wave.lock();
+            if let Some((count, span)) =
+                self.stage_p2p_read(*ino, *offset, *count, *buf_addr, &mut wave)
+            {
+                wave.reads.push(StagedRead {
+                    tag,
+                    count,
+                    span,
+                    credit,
+                });
+                return None;
+            }
+        }
+        Some(req)
+    }
+
+    /// Submits the wave's combined command list as one vectored batch —
+    /// one doorbell, one interrupt for every staged read — and replies
+    /// per read.
+    fn flush(&self, reply: &mut dyn FnMut(usize, Vec<u8>)) {
+        let mut wave = self.wave.lock();
+        if wave.reads.is_empty() {
+            wave.cmds.clear();
+            return;
+        }
+        let results = self.fs.device().submit_vectored(&wave.cmds);
+        let Wave { cmds, reads } = &mut *wave;
+        for r in reads.drain(..) {
+            let resp = match self.settle_span(cmds, &results, r.span) {
+                Ok(()) => FsResponse::Read { count: r.count },
+                Err(e) => FsResponse::Error { err: e },
+            };
+            let mut frame = resp.encode(r.tag);
+            if let Some(c) = r.credit {
+                stamp_credit(&mut frame, c);
+            }
+            reply(0, frame);
+        }
+        cmds.clear();
+    }
 }
 
 /// One read staged into a wave's combined NVMe batch.
@@ -749,438 +635,4 @@ struct StagedRead {
 struct Wave {
     cmds: Vec<NvmeCommand>,
     reads: Vec<StagedRead>,
-}
-
-/// One operation handed to the worker pool.
-struct Job {
-    tag: u32,
-    req: FsRequest,
-    credit: Option<u8>,
-}
-
-#[derive(Default)]
-struct JobQueueInner {
-    q: VecDeque<Job>,
-    /// Jobs popped but not yet `done()`.
-    active: usize,
-    closed: bool,
-}
-
-/// The proxy's work queue: a mutex-protected deque with a condvar pair —
-/// `work` wakes workers, `idle` wakes a barrier waiting for quiescence.
-#[derive(Default)]
-struct JobQueue {
-    inner: Mutex<JobQueueInner>,
-    work: Condvar,
-    idle: Condvar,
-}
-
-impl JobQueue {
-    fn push(&self, job: Job) {
-        self.inner.lock().q.push_back(job);
-        self.work.notify_one();
-    }
-
-    /// Blocks for the next job; `None` once closed and drained.
-    fn pop(&self) -> Option<Job> {
-        let mut g = self.inner.lock();
-        loop {
-            if let Some(job) = g.q.pop_front() {
-                g.active += 1;
-                return Some(job);
-            }
-            if g.closed {
-                return None;
-            }
-            self.work.wait(&mut g);
-        }
-    }
-
-    /// Marks a popped job complete.
-    fn done(&self) {
-        let mut g = self.inner.lock();
-        g.active -= 1;
-        if g.active == 0 && g.q.is_empty() {
-            self.idle.notify_all();
-        }
-    }
-
-    /// Blocks until no job is queued or executing (the barrier).
-    fn quiesce(&self) {
-        let mut g = self.inner.lock();
-        while g.active > 0 || !g.q.is_empty() {
-            self.idle.wait(&mut g);
-        }
-    }
-
-    /// Wakes every worker to exit once the queue drains.
-    fn close(&self) {
-        self.inner.lock().closed = true;
-        self.work.notify_all();
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use solros_nvme::NvmeDevice;
-    use solros_pcie::PcieCounters;
-
-    fn setup(crosses_numa: bool) -> (FsProxy, Arc<FileSystem>, Arc<Window>, Arc<FsProxyStats>) {
-        let fs = Arc::new(FileSystem::mkfs(NvmeDevice::new(8192), 256).unwrap());
-        let window = Window::new(1 << 20, Side::Coproc, Arc::new(PcieCounters::new()));
-        let stats = Arc::new(FsProxyStats::default());
-        let proxy = FsProxy::new(
-            Arc::clone(&fs),
-            Arc::clone(&window),
-            crosses_numa,
-            Arc::clone(&stats),
-        );
-        (proxy, fs, window, stats)
-    }
-
-    fn window_write(w: &Arc<Window>, off: usize, data: &[u8]) {
-        // SAFETY: exclusive test buffer.
-        unsafe { w.map(Side::Coproc).write(off, data) };
-    }
-
-    fn window_read(w: &Arc<Window>, off: usize, len: usize) -> Vec<u8> {
-        let mut v = vec![0u8; len];
-        // SAFETY: exclusive test buffer.
-        unsafe { w.map(Side::Coproc).read(off, &mut v) };
-        v
-    }
-
-    #[test]
-    fn aligned_read_goes_p2p_and_coalesces() {
-        let (proxy, fs, window, stats) = setup(false);
-        let ino = fs.create("/f").unwrap();
-        let data: Vec<u8> = (0..4 * BLOCK_SIZE).map(|i| (i % 253) as u8).collect();
-        fs.write(ino, 0, &data).unwrap();
-        // Clear the write-through cache so the read cannot be a cache hit.
-        fs.cache().invalidate_ino(ino);
-        let ints0 = fs.device().stats().interrupts;
-
-        let resp = proxy.handle(FsRequest::Read {
-            ino,
-            offset: 0,
-            count: 4 * BLOCK_SIZE as u64,
-            buf_addr: 0,
-        });
-        assert_eq!(
-            resp,
-            FsResponse::Read {
-                count: 4 * BLOCK_SIZE as u64
-            }
-        );
-        assert_eq!(stats.p2p_reads.load(Ordering::Relaxed), 1);
-        assert_eq!(stats.buffered_reads.load(Ordering::Relaxed), 0);
-        assert_eq!(window_read(&window, 0, data.len()), data);
-        // One vectored batch: exactly one interrupt for the whole read.
-        assert_eq!(fs.device().stats().interrupts, ints0 + 1);
-    }
-
-    #[test]
-    fn cross_numa_demotes_to_buffered() {
-        let (proxy, fs, window, stats) = setup(true);
-        let ino = fs.create("/f").unwrap();
-        let data = vec![7u8; 2 * BLOCK_SIZE];
-        fs.write(ino, 0, &data).unwrap();
-        fs.cache().invalidate_ino(ino);
-        let resp = proxy.handle(FsRequest::Read {
-            ino,
-            offset: 0,
-            count: 2 * BLOCK_SIZE as u64,
-            buf_addr: 4096,
-        });
-        assert_eq!(
-            resp,
-            FsResponse::Read {
-                count: 2 * BLOCK_SIZE as u64
-            }
-        );
-        assert_eq!(stats.p2p_reads.load(Ordering::Relaxed), 0);
-        assert_eq!(stats.buffered_reads.load(Ordering::Relaxed), 1);
-        assert_eq!(window_read(&window, 4096, data.len()), data);
-    }
-
-    #[test]
-    fn cache_hit_prefers_buffered() {
-        let (proxy, fs, _window, stats) = setup(false);
-        let ino = fs.create("/f").unwrap();
-        let data = vec![9u8; BLOCK_SIZE];
-        fs.write(ino, 0, &data).unwrap(); // Write-through warms the cache.
-        let resp = proxy.handle(FsRequest::Read {
-            ino,
-            offset: 0,
-            count: BLOCK_SIZE as u64,
-            buf_addr: 0,
-        });
-        assert_eq!(
-            resp,
-            FsResponse::Read {
-                count: BLOCK_SIZE as u64
-            }
-        );
-        assert_eq!(stats.buffered_reads.load(Ordering::Relaxed), 1);
-        assert_eq!(stats.p2p_reads.load(Ordering::Relaxed), 0);
-    }
-
-    #[test]
-    fn unaligned_read_demotes() {
-        let (proxy, fs, window, stats) = setup(false);
-        let ino = fs.create("/f").unwrap();
-        let data: Vec<u8> = (0..2 * BLOCK_SIZE).map(|i| (i % 251) as u8).collect();
-        fs.write(ino, 0, &data).unwrap();
-        fs.cache().invalidate_ino(ino);
-        let resp = proxy.handle(FsRequest::Read {
-            ino,
-            offset: 100,
-            count: 500,
-            buf_addr: 0,
-        });
-        assert_eq!(resp, FsResponse::Read { count: 500 });
-        assert_eq!(stats.buffered_reads.load(Ordering::Relaxed), 1);
-        assert_eq!(window_read(&window, 0, 500), data[100..600]);
-    }
-
-    #[test]
-    fn p2p_write_roundtrips_and_invalidates_cache() {
-        let (proxy, fs, window, stats) = setup(false);
-        let ino = fs.create("/f").unwrap();
-        // Seed stale data through the cache.
-        fs.write(ino, 0, &vec![1u8; 2 * BLOCK_SIZE]).unwrap();
-        // P2P write of fresh data directly from "co-processor memory".
-        let fresh: Vec<u8> = (0..2 * BLOCK_SIZE).map(|i| (i % 249) as u8).collect();
-        window_write(&window, 8192, &fresh);
-        let resp = proxy.handle(FsRequest::Write {
-            ino,
-            offset: 0,
-            count: 2 * BLOCK_SIZE as u64,
-            buf_addr: 8192,
-        });
-        assert_eq!(
-            resp,
-            FsResponse::Write {
-                count: 2 * BLOCK_SIZE as u64
-            }
-        );
-        assert_eq!(stats.p2p_writes.load(Ordering::Relaxed), 1);
-        // A buffered read now must see the new data, not the stale cache.
-        let mut out = vec![0u8; 2 * BLOCK_SIZE];
-        fs.read(ino, 0, &mut out).unwrap();
-        assert_eq!(out, fresh);
-    }
-
-    #[test]
-    fn p2p_write_extends_file() {
-        let (proxy, fs, window, _stats) = setup(false);
-        let ino = fs.create("/f").unwrap();
-        let data = vec![5u8; 1000]; // Partial tail, extending: P2P-safe.
-        window_write(&window, 0, &data);
-        let resp = proxy.handle(FsRequest::Write {
-            ino,
-            offset: 0,
-            count: 1000,
-            buf_addr: 0,
-        });
-        assert_eq!(resp, FsResponse::Write { count: 1000 });
-        assert_eq!(fs.size_of(ino).unwrap(), 1000);
-        let mut out = vec![0u8; 1000];
-        fs.read(ino, 0, &mut out).unwrap();
-        assert_eq!(out, data);
-    }
-
-    #[test]
-    fn unaligned_overwrite_demotes_to_buffered() {
-        let (proxy, fs, window, stats) = setup(false);
-        let ino = fs.create("/f").unwrap();
-        fs.write(ino, 0, &vec![1u8; 2 * BLOCK_SIZE]).unwrap();
-        // Overwrite 10 bytes mid-file: partial tail NOT extending => buffered.
-        window_write(&window, 0, &[9u8; 10]);
-        let resp = proxy.handle(FsRequest::Write {
-            ino,
-            offset: 4096,
-            count: 10,
-            buf_addr: 0,
-        });
-        assert_eq!(resp, FsResponse::Write { count: 10 });
-        assert_eq!(stats.buffered_writes.load(Ordering::Relaxed), 1);
-        let mut out = vec![0u8; 2 * BLOCK_SIZE];
-        fs.read(ino, 0, &mut out).unwrap();
-        assert_eq!(&out[4096..4106], &[9u8; 10]);
-        assert_eq!(out[4106], 1, "bytes beyond the overwrite untouched");
-    }
-
-    #[test]
-    fn o_buffer_forces_buffered_io() {
-        let (proxy, fs, _window, stats) = setup(false);
-        let resp = proxy.handle(FsRequest::Open {
-            path: "/b".into(),
-            create: true,
-            truncate: false,
-            buffered: true,
-        });
-        let ino = match resp {
-            FsResponse::Open { ino, .. } => ino,
-            other => panic!("unexpected {other:?}"),
-        };
-        fs.write(ino, 0, &vec![3u8; BLOCK_SIZE]).unwrap();
-        fs.cache().invalidate_ino(ino);
-        proxy.handle(FsRequest::Read {
-            ino,
-            offset: 0,
-            count: BLOCK_SIZE as u64,
-            buf_addr: 0,
-        });
-        assert_eq!(stats.buffered_reads.load(Ordering::Relaxed), 1);
-        assert_eq!(stats.p2p_reads.load(Ordering::Relaxed), 0);
-    }
-
-    #[test]
-    fn read_beyond_eof_returns_zero() {
-        let (proxy, fs, _window, _stats) = setup(false);
-        let ino = fs.create("/f").unwrap();
-        fs.write(ino, 0, b"xy").unwrap();
-        let resp = proxy.handle(FsRequest::Read {
-            ino,
-            offset: 100,
-            count: 10,
-            buf_addr: 0,
-        });
-        assert_eq!(resp, FsResponse::Read { count: 0 });
-    }
-
-    #[test]
-    fn metadata_rpcs_roundtrip() {
-        let (proxy, _fs, _window, _stats) = setup(false);
-        assert!(matches!(
-            proxy.handle(FsRequest::Mkdir { path: "/d".into() }),
-            FsResponse::Mkdir { .. }
-        ));
-        assert!(matches!(
-            proxy.handle(FsRequest::Create {
-                path: "/d/f".into()
-            }),
-            FsResponse::Create { .. }
-        ));
-        assert_eq!(
-            proxy.handle(FsRequest::Readdir { path: "/d".into() }),
-            FsResponse::Readdir {
-                names: vec!["f".into()]
-            }
-        );
-        assert_eq!(
-            proxy.handle(FsRequest::Rename {
-                from: "/d/f".into(),
-                to: "/d/g".into()
-            }),
-            FsResponse::Ok
-        );
-        assert!(matches!(
-            proxy.handle(FsRequest::Stat {
-                path: "/d/g".into()
-            }),
-            FsResponse::Stat { is_dir: false, .. }
-        ));
-        assert_eq!(
-            proxy.handle(FsRequest::Unlink {
-                path: "/d/g".into()
-            }),
-            FsResponse::Ok
-        );
-        assert_eq!(
-            proxy.handle(FsRequest::Unlink {
-                path: "/d/g".into()
-            }),
-            FsResponse::Error {
-                err: RpcErr::NotFound
-            }
-        );
-        assert_eq!(proxy.handle(FsRequest::Fsync { ino: 0 }), FsResponse::Ok);
-    }
-
-    #[test]
-    fn sequential_buffered_reads_trigger_readahead() {
-        // Cross-NUMA proxy: everything is buffered, so the readahead path
-        // is exercised by a sequential scan.
-        let (proxy, fs, _window, stats) = setup(true);
-        let ino = fs.create("/seq").unwrap();
-        fs.write(ino, 0, &vec![7u8; 32 * BLOCK_SIZE]).unwrap();
-        fs.cache().invalidate_ino(ino);
-        for i in 0..4u64 {
-            let resp = proxy.handle(FsRequest::Read {
-                ino,
-                offset: i * 2 * BLOCK_SIZE as u64,
-                count: 2 * BLOCK_SIZE as u64,
-                buf_addr: 0,
-            });
-            assert_eq!(
-                resp,
-                FsResponse::Read {
-                    count: 2 * BLOCK_SIZE as u64
-                }
-            );
-        }
-        let warmed = stats.prefetched_pages.load(Ordering::Relaxed);
-        assert!(warmed >= 8, "sequential scan should prefetch, got {warmed}");
-        // A random (non-sequential) read does not prefetch further.
-        let before = stats.prefetched_pages.load(Ordering::Relaxed);
-        proxy.handle(FsRequest::Read {
-            ino,
-            offset: 20 * BLOCK_SIZE as u64,
-            count: BLOCK_SIZE as u64,
-            buf_addr: 0,
-        });
-        assert_eq!(stats.prefetched_pages.load(Ordering::Relaxed), before);
-    }
-
-    #[test]
-    fn injected_worker_panic_is_contained() {
-        let (proxy, fs, _window, stats) = setup(false);
-        let ino = fs.create("/f").unwrap();
-        let ch = crate::transport::Channel::new(Arc::new(PcieCounters::new()));
-        let client = crate::transport::RpcClient::new(ch.req_tx, ch.resp_rx);
-        let shutdown = Arc::new(AtomicBool::new(false));
-        proxy.inject_worker_panics(1);
-        let (req_rx, resp_tx, sd) = (ch.req_rx, ch.resp_tx, Arc::clone(&shutdown));
-        let server = std::thread::spawn(move || proxy.serve(req_rx, resp_tx, sd));
-
-        // The armed panic fires inside a worker and comes back as Io.
-        let tag = client.tag();
-        let reply = client.call(tag, FsRequest::Fstat { ino }.encode(tag));
-        let (_, resp) = FsResponse::decode(&reply).unwrap();
-        assert_eq!(resp, FsResponse::Error { err: RpcErr::Io });
-
-        // The pool survived: the next request is served normally.
-        let tag = client.tag();
-        let reply = client.call(tag, FsRequest::Fstat { ino }.encode(tag));
-        let (_, resp) = FsResponse::decode(&reply).unwrap();
-        assert!(matches!(resp, FsResponse::Stat { .. }), "got {resp:?}");
-
-        shutdown.store(true, Ordering::Relaxed);
-        server.join().unwrap();
-        assert_eq!(stats.worker_panics.load(Ordering::Relaxed), 1);
-    }
-
-    #[test]
-    fn device_fault_recovery() {
-        let (proxy, fs, _window, _stats) = setup(false);
-        let ino = fs.create("/f").unwrap();
-        fs.write(ino, 0, &vec![1u8; BLOCK_SIZE]).unwrap();
-        fs.cache().invalidate_ino(ino);
-        fs.device().inject_faults(1);
-        let resp = proxy.handle(FsRequest::Read {
-            ino,
-            offset: 0,
-            count: BLOCK_SIZE as u64,
-            buf_addr: 0,
-        });
-        assert_eq!(
-            resp,
-            FsResponse::Read {
-                count: BLOCK_SIZE as u64
-            }
-        );
-    }
 }

@@ -19,6 +19,10 @@
 //!   proxy with shared listening sockets and pluggable load balancing
 //!   (§4.4.3), and the co-processor-side stub with its single-thread
 //!   event dispatcher (§4.4.2).
+//! * [`proxy_engine`] — the shared request pipeline behind both proxies:
+//!   admission (one decode per frame), DWRR scheduling with priority
+//!   inheritance, worker dispatch with panic containment, and uniform
+//!   credit/shed/fault reply settlement.
 //! * [`control`] — boot: wires a [`solros_machine::Machine`] into one
 //!   control plane and N data planes and runs the proxy threads.
 //!
@@ -36,19 +40,22 @@
 //! system.shutdown();
 //! ```
 
+pub mod balancer;
 pub mod control;
 pub mod fs_api;
 pub mod fs_proxy;
 pub mod net_api;
+pub mod proxy_engine;
 pub mod retry;
 pub mod tcp_proxy;
 pub mod transport;
 pub mod waitpolicy;
 
+pub use balancer::{ConnMeta, LeastLoaded, LoadBalancer, RoundRobin};
 pub use control::Solros;
 pub use fs_api::{Batch, BatchResult, CoprocFs, PendingRead, PendingWrite};
 pub use net_api::{CoprocNet, TcpListener, TcpStream};
+pub use proxy_engine::{Access, EngineLane, GateJob, OpHandler, ProxyEngine, ProxyStats};
 pub use retry::RetryPolicy;
 pub use solros_qos::{ClassConfig, QosClass, QosConfig, QosStats};
-pub use tcp_proxy::{ConnMeta, LeastLoaded, LoadBalancer, RoundRobin};
 pub use transport::{ResetReport, Token};

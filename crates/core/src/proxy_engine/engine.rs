@@ -1,0 +1,912 @@
+//! The shared proxy engine: one admission → schedule → wave → reply
+//! pipeline driving both control-plane proxies.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+use solros_faults::EngineFaults;
+use solros_proto::codec::{stamp_credit, FLAG_BARRIER};
+use solros_proto::rpc_error::RpcErr;
+use solros_proto::{AdmitRequest, AdmittedFrame};
+use solros_qos::{Dispatch, DwrrScheduler, Verdict};
+use solros_ringbuf::{Consumer, Producer};
+
+use super::admission::{Access, GateJob, ReadyJob};
+use super::stats::ProxyStats;
+
+/// Frames drained from each request ring per FIFO admission burst.
+pub const DRAIN_BURST: usize = 64;
+/// Frames admitted per lane per gated admission burst.
+const ADMIT_BURST: usize = 32;
+/// Scheduled requests dispatched per gated drain burst.
+const DISPATCH_BURST: usize = 64;
+
+/// The operations a proxy plugs into the engine.
+///
+/// The engine owns the request lifecycle — draining rings, decoding each
+/// frame exactly once, QoS scheduling, priority inheritance, worker
+/// dispatch with panic containment, and reply settlement. A handler
+/// supplies only the service semantics: how to execute, classify, and
+/// (optionally) coalesce requests. Handlers use interior mutability;
+/// every method takes `&self` so a worker pool can execute concurrently.
+pub trait OpHandler: Send + Sync {
+    /// The request family served (decoded once at admission).
+    type Req: AdmitRequest + Send + 'static;
+
+    /// Encodes an error reply for `tag` (the engine settles sheds,
+    /// malformed frames, and contained panics uniformly through this).
+    fn encode_err(&self, tag: u32, err: RpcErr) -> Vec<u8>;
+
+    /// Maps a request to `(flow index, payload bytes)` for the QoS gate.
+    fn classify(&self, lane: usize, req: &Self::Req) -> (usize, u64);
+
+    /// Executes one request, returning the encoded reply frame.
+    fn exec(&self, lane: usize, tag: u32, req: Self::Req) -> Vec<u8>;
+
+    /// Worker-pool width; 0 executes inline on the engine thread.
+    fn workers(&self) -> usize {
+        0
+    }
+
+    /// Names the resource a request touches, for priority inheritance.
+    /// Exclusive touches hold the resource from admission to completion;
+    /// shared touches dispatched onto a held resource wait for release.
+    fn touches(&self, req: &Self::Req) -> Option<(u64, Access)> {
+        let _ = req;
+        None
+    }
+
+    /// Offers a request for wave coalescing before it reaches a worker.
+    /// Returning `None` means the handler staged it (the reply arrives at
+    /// the next [`OpHandler::flush`]); returning the request back sends
+    /// it down the normal execution path.
+    fn stage(
+        &self,
+        lane: usize,
+        tag: u32,
+        credit: Option<u8>,
+        req: Self::Req,
+    ) -> Option<Self::Req> {
+        let _ = (lane, tag, credit);
+        Some(req)
+    }
+
+    /// Flushes staged work, emitting `(lane, reply frame)` per completion.
+    fn flush(&self, reply: &mut dyn FnMut(usize, Vec<u8>)) {
+        let _ = reply;
+    }
+
+    /// Handler-specific polling (NIC events, accepts). Returns true when
+    /// any work happened.
+    fn poll(&self) -> bool {
+        false
+    }
+}
+
+/// One co-processor channel served by the engine.
+pub struct EngineLane {
+    /// Drains the co-processor's requests.
+    pub req_rx: Consumer,
+    /// Pushes replies.
+    pub resp_tx: Producer,
+}
+
+/// Exclusive-hold bookkeeping for one resource.
+#[derive(Default)]
+struct HolderRec {
+    /// In-flight exclusive requests (admission through completion).
+    total: u64,
+    /// In-flight count per holding flow.
+    by_flow: HashMap<usize, u64>,
+    /// Flows promoted on behalf of waiters; demoted at release.
+    promoted: Vec<usize>,
+}
+
+/// The request pipeline behind every control-plane proxy.
+///
+/// Each cycle: settle completions (releasing exclusive holds), route
+/// freed waiters, admit a burst from each request ring (one decode per
+/// frame), dispatch through the optional DWRR gate with priority
+/// inheritance, flush the handler's coalescing wave, and poll.
+pub struct ProxyEngine<H: OpHandler> {
+    handler: Arc<H>,
+    lanes: Vec<EngineLane>,
+    stats: Arc<ProxyStats>,
+    faults: Arc<EngineFaults>,
+    gate: Option<DwrrScheduler<GateJob<H::Req>>>,
+    epoch: Instant,
+    /// Promote lock-holding flows to their waiter's effective weight.
+    /// Deferral (the lock model) applies regardless; this gates only the
+    /// promotion, so the inheritance effect can be measured on/off.
+    inherit: bool,
+    holders: HashMap<u64, HolderRec>,
+    waiting: HashMap<u64, Vec<ReadyJob<H::Req>>>,
+    ready_backlog: Vec<ReadyJob<H::Req>>,
+    /// Completed exclusive holds, pushed by workers, drained per cycle.
+    releases: Arc<Mutex<Vec<(u64, usize)>>>,
+}
+
+impl<H: OpHandler> ProxyEngine<H> {
+    /// Builds an engine over `lanes`; `gate` switches QoS scheduling on.
+    pub fn new(
+        handler: Arc<H>,
+        lanes: Vec<EngineLane>,
+        stats: Arc<ProxyStats>,
+        faults: Arc<EngineFaults>,
+        gate: Option<DwrrScheduler<GateJob<H::Req>>>,
+    ) -> Self {
+        Self {
+            handler,
+            lanes,
+            stats,
+            faults,
+            gate,
+            epoch: Instant::now(),
+            inherit: true,
+            holders: HashMap::new(),
+            waiting: HashMap::new(),
+            ready_backlog: Vec::new(),
+            releases: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Enables or disables priority inheritance (deferral still applies).
+    pub fn set_inherit(&mut self, on: bool) {
+        self.inherit = on;
+    }
+
+    /// Runs one engine cycle at `now_ns` on a virtual clock, executing
+    /// everything inline. Returns true when any work happened. This is
+    /// the deterministic-test entry point; production uses
+    /// [`ProxyEngine::serve`].
+    pub fn step(&mut self, now_ns: u64) -> bool {
+        self.cycle(None, now_ns)
+    }
+
+    /// Serves until `shutdown` is set, spawning the handler's worker pool
+    /// when it asks for one.
+    pub fn serve(mut self, shutdown: Arc<AtomicBool>) {
+        let workers = self.handler.workers();
+        if workers == 0 {
+            while !shutdown.load(Ordering::Relaxed) {
+                let now = self.epoch.elapsed().as_nanos() as u64;
+                if !self.cycle(None, now) {
+                    std::thread::yield_now();
+                }
+            }
+            self.drain_for_shutdown(None);
+            return;
+        }
+        let jobs: JobQueue<ReadyJob<H::Req>> = JobQueue::new();
+        let resp: Vec<Producer> = self.lanes.iter().map(|l| l.resp_tx.clone()).collect();
+        let handler = Arc::clone(&self.handler);
+        let stats = Arc::clone(&self.stats);
+        let faults = Arc::clone(&self.faults);
+        let releases = Arc::clone(&self.releases);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let (jobs, resp) = (&jobs, resp.clone());
+                let (handler, stats) = (Arc::clone(&handler), Arc::clone(&stats));
+                let (faults, releases) = (Arc::clone(&faults), Arc::clone(&releases));
+                s.spawn(move || worker_loop(&*handler, jobs, &resp, &stats, &faults, &releases));
+            }
+            while !shutdown.load(Ordering::Relaxed) {
+                let now = self.epoch.elapsed().as_nanos() as u64;
+                if !self.cycle(Some(&jobs), now) {
+                    std::thread::yield_now();
+                }
+            }
+            self.drain_for_shutdown(Some(&jobs));
+            jobs.close();
+        });
+    }
+
+    /// One pipeline cycle; returns true when any work happened.
+    fn cycle(&mut self, pool: Option<&JobQueue<ReadyJob<H::Req>>>, now_ns: u64) -> bool {
+        let mut progressed = false;
+        // 1. Settle completions: every finished exclusive hold releases.
+        let done = std::mem::take(&mut *self.releases.lock());
+        for (res, flow) in done {
+            progressed = true;
+            self.release_one(res, flow);
+        }
+        // 2. Route waiters freed by those releases.
+        for job in std::mem::take(&mut self.ready_backlog) {
+            progressed = true;
+            self.route(pool, job);
+        }
+        // 3. Admit and dispatch.
+        if self.gate.is_some() {
+            progressed |= self.admit_gated(now_ns);
+            progressed |= self.dispatch_gated(pool, now_ns);
+        } else {
+            progressed |= self.admit_fifo(pool);
+        }
+        // 4. Flush the handler's coalescing wave.
+        self.flush_handler();
+        // 5. Handler-specific polling.
+        progressed |= self.handler.poll();
+        progressed
+    }
+
+    /// Drains a burst from each lane into the gate's class queues; every
+    /// frame is decoded exactly once, here.
+    fn admit_gated(&mut self, now_ns: u64) -> bool {
+        let mut progressed = false;
+        for lane in 0..self.lanes.len() {
+            for _ in 0..ADMIT_BURST {
+                let Ok(frame) = self.lanes[lane].req_rx.recv() else {
+                    break;
+                };
+                progressed = true;
+                let admitted = match AdmittedFrame::<H::Req>::decode(&frame) {
+                    Ok(a) => a,
+                    Err(_) => {
+                        self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                        let reply = self.handler.encode_err(0, RpcErr::Invalid);
+                        self.post(lane, &reply);
+                        continue;
+                    }
+                };
+                let (class_flow, bytes) = self.handler.classify(lane, &admitted.req);
+                let touch = self.handler.touches(&admitted.req);
+                let gate = self.gate.as_mut().expect("gated admission");
+                let flow = gate.flow_for_tenant(admitted.tenant, class_flow);
+                let job = GateJob {
+                    lane,
+                    tag: admitted.tag,
+                    flags: admitted.flags,
+                    req: admitted.req,
+                    touch,
+                };
+                match gate.submit(flow, bytes, now_ns, job) {
+                    Verdict::Admitted => {
+                        if let Some((res, Access::Exclusive)) = touch {
+                            let rec = self.holders.entry(res).or_default();
+                            rec.total += 1;
+                            *rec.by_flow.entry(flow).or_insert(0) += 1;
+                        }
+                    }
+                    Verdict::Shed { item, .. } => {
+                        let credit = gate.credit(flow);
+                        self.stats.sheds.fetch_add(1, Ordering::Relaxed);
+                        let mut reply = self.handler.encode_err(item.tag, RpcErr::Overloaded);
+                        stamp_credit(&mut reply, credit);
+                        self.post(lane, &reply);
+                    }
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Dispatches a burst in DWRR order, applying the inheritance lock
+    /// model: shared touches wait behind exclusive holders, promoting
+    /// them while they wait.
+    fn dispatch_gated(&mut self, pool: Option<&JobQueue<ReadyJob<H::Req>>>, now_ns: u64) -> bool {
+        let mut progressed = false;
+        for _ in 0..DISPATCH_BURST {
+            let decision = {
+                let Some(gate) = self.gate.as_mut() else {
+                    break;
+                };
+                match gate.dispatch(now_ns) {
+                    Dispatch::Run { flow, item, .. } => {
+                        Some((flow, gate.credit(flow), item, false))
+                    }
+                    Dispatch::Shed { flow, item, .. } => {
+                        Some((flow, gate.credit(flow), item, true))
+                    }
+                    Dispatch::Idle => None,
+                }
+            };
+            let Some((flow, credit, job, shed)) = decision else {
+                break;
+            };
+            progressed = true;
+            if shed {
+                self.stats.sheds.fetch_add(1, Ordering::Relaxed);
+                let mut reply = self.handler.encode_err(job.tag, RpcErr::Overloaded);
+                stamp_credit(&mut reply, credit);
+                self.post(job.lane, &reply);
+                // A shed exclusive never executes: release its hold now.
+                if let Some((res, Access::Exclusive)) = job.touch {
+                    self.release_one(res, flow);
+                }
+                continue;
+            }
+            let release = match job.touch {
+                Some((res, Access::Exclusive)) => Some((res, flow)),
+                _ => None,
+            };
+            let ready = ReadyJob {
+                lane: job.lane,
+                tag: job.tag,
+                credit: Some(credit),
+                req: job.req,
+                release,
+            };
+            if job.flags & FLAG_BARRIER != 0 {
+                self.barrier(pool, ready);
+                continue;
+            }
+            match job.touch {
+                Some((res, Access::Shared))
+                    if self.holders.get(&res).is_some_and(|r| r.total > 0) =>
+                {
+                    self.defer(res, flow, ready);
+                }
+                _ => self.route(pool, ready),
+            }
+        }
+        progressed
+    }
+
+    /// FIFO admission (no gate): decode once, route straight through.
+    fn admit_fifo(&mut self, pool: Option<&JobQueue<ReadyJob<H::Req>>>) -> bool {
+        let mut progressed = false;
+        for lane in 0..self.lanes.len() {
+            for _ in 0..DRAIN_BURST {
+                let Ok(frame) = self.lanes[lane].req_rx.recv() else {
+                    break;
+                };
+                progressed = true;
+                match AdmittedFrame::<H::Req>::decode(&frame) {
+                    Ok(a) => {
+                        let job = ReadyJob {
+                            lane,
+                            tag: a.tag,
+                            credit: None,
+                            req: a.req,
+                            release: None,
+                        };
+                        if a.flags & FLAG_BARRIER != 0 {
+                            self.barrier(pool, job);
+                        } else {
+                            self.route(pool, job);
+                        }
+                    }
+                    Err(_) => {
+                        self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                        let reply = self.handler.encode_err(0, RpcErr::Invalid);
+                        self.post(lane, &reply);
+                    }
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Parks a shared-access job behind an exclusively-held resource,
+    /// promoting the holding flows to the waiter's effective weight.
+    fn defer(&mut self, res: u64, waiter: usize, job: ReadyJob<H::Req>) {
+        self.stats.inherit_deferred.fetch_add(1, Ordering::Relaxed);
+        if self.inherit {
+            if let (Some(gate), Some(rec)) = (self.gate.as_mut(), self.holders.get_mut(&res)) {
+                let holding: Vec<usize> = rec.by_flow.keys().copied().collect();
+                for hf in holding {
+                    if hf != waiter {
+                        gate.promote_flow(hf, waiter);
+                        rec.promoted.push(hf);
+                        self.stats.promotions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        self.waiting.entry(res).or_default().push(job);
+    }
+
+    /// Settles one completed exclusive hold; the last release demotes the
+    /// promoted flows and frees every waiter.
+    fn release_one(&mut self, res: u64, flow: usize) {
+        let Some(rec) = self.holders.get_mut(&res) else {
+            return;
+        };
+        rec.total = rec.total.saturating_sub(1);
+        if let Some(c) = rec.by_flow.get_mut(&flow) {
+            *c -= 1;
+            if *c == 0 {
+                rec.by_flow.remove(&flow);
+            }
+        }
+        if rec.total == 0 {
+            let rec = self.holders.remove(&res).expect("holder present");
+            if let Some(gate) = self.gate.as_mut() {
+                for f in rec.promoted {
+                    gate.demote_flow(f);
+                }
+            }
+            if let Some(jobs) = self.waiting.remove(&res) {
+                self.ready_backlog.extend(jobs);
+            }
+        }
+    }
+
+    /// Routes one ready job: offer it to the handler's wave, else hand it
+    /// to the pool (or run inline).
+    fn route(&mut self, pool: Option<&JobQueue<ReadyJob<H::Req>>>, job: ReadyJob<H::Req>) {
+        let ReadyJob {
+            lane,
+            tag,
+            credit,
+            req,
+            release,
+        } = job;
+        // Staged replies settle at flush time, which has no release path;
+        // only lock-free requests are offered to the wave.
+        let req = if release.is_none() {
+            match self.handler.stage(lane, tag, credit, req) {
+                None => {
+                    self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Some(req) => req,
+            }
+        } else {
+            req
+        };
+        let job = ReadyJob {
+            lane,
+            tag,
+            credit,
+            req,
+            release,
+        };
+        match pool {
+            Some(p) => p.push(job),
+            None => self.exec_inline(job),
+        }
+    }
+
+    /// Executes one job on the engine thread and settles it.
+    fn exec_inline(&mut self, job: ReadyJob<H::Req>) {
+        let ReadyJob {
+            lane,
+            tag,
+            credit,
+            req,
+            release,
+        } = job;
+        let mut reply = exec_contained(&*self.handler, &self.faults, &self.stats, lane, tag, req);
+        if let Some(c) = credit {
+            stamp_credit(&mut reply, c);
+        }
+        self.post(lane, &reply);
+        if let Some((res, flow)) = release {
+            self.release_one(res, flow);
+        }
+    }
+
+    /// Runs a barrier frame: everything dispatched before it — deferred
+    /// waiters, staged reads, pooled work — completes first, then the
+    /// barrier executes inline.
+    fn barrier(&mut self, pool: Option<&JobQueue<ReadyJob<H::Req>>>, job: ReadyJob<H::Req>) {
+        self.flush_waiting(pool);
+        for j in std::mem::take(&mut self.ready_backlog) {
+            self.route(pool, j);
+        }
+        self.flush_handler();
+        if let Some(p) = pool {
+            p.quiesce();
+        }
+        // Settle the releases those completions produced before running
+        // the barrier itself.
+        let done = std::mem::take(&mut *self.releases.lock());
+        for (res, flow) in done {
+            self.release_one(res, flow);
+        }
+        self.exec_inline(job);
+    }
+
+    /// Force-runs every deferred waiter (barriers and shutdown override
+    /// the lock model), demoting the promotions they caused.
+    fn flush_waiting(&mut self, pool: Option<&JobQueue<ReadyJob<H::Req>>>) {
+        let waiting: Vec<(u64, Vec<ReadyJob<H::Req>>)> = self.waiting.drain().collect();
+        for (res, jobs) in waiting {
+            if let (Some(gate), Some(rec)) = (self.gate.as_mut(), self.holders.get_mut(&res)) {
+                for f in rec.promoted.drain(..) {
+                    gate.demote_flow(f);
+                }
+            }
+            for job in jobs {
+                self.route(pool, job);
+            }
+        }
+    }
+
+    /// Flushes the handler's coalescing wave, posting its replies.
+    fn flush_handler(&mut self) {
+        let handler = Arc::clone(&self.handler);
+        let (lanes, faults, stats) = (&self.lanes, &self.faults, &self.stats);
+        handler.flush(&mut |lane, frame| {
+            post(&lanes[lane].resp_tx, faults, stats, &frame);
+        });
+    }
+
+    /// Completes in-flight work at shutdown so nothing is left parked.
+    fn drain_for_shutdown(&mut self, pool: Option<&JobQueue<ReadyJob<H::Req>>>) {
+        let done = std::mem::take(&mut *self.releases.lock());
+        for (res, flow) in done {
+            self.release_one(res, flow);
+        }
+        self.flush_waiting(pool);
+        for job in std::mem::take(&mut self.ready_backlog) {
+            self.route(pool, job);
+        }
+        self.flush_handler();
+    }
+
+    /// Posts one reply on a lane's response ring.
+    fn post(&self, lane: usize, frame: &[u8]) {
+        post(&self.lanes[lane].resp_tx, &self.faults, &self.stats, frame);
+    }
+}
+
+/// Executes one request with panic containment: a panicking handler (a
+/// proxy bug or an armed [`EngineFaults`] charge) yields an `Io` error
+/// reply instead of taking down the serve loop.
+fn exec_contained<H: OpHandler>(
+    handler: &H,
+    faults: &EngineFaults,
+    stats: &ProxyStats,
+    lane: usize,
+    tag: u32,
+    req: H::Req,
+) -> Vec<u8> {
+    stats.rpcs.fetch_add(1, Ordering::Relaxed);
+    let armed = faults.take_worker_panic();
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if armed {
+            panic!("injected proxy worker panic");
+        }
+        handler.exec(lane, tag, req)
+    }));
+    out.unwrap_or_else(|_| {
+        stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+        handler.encode_err(tag, RpcErr::Io)
+    })
+}
+
+/// Posts one reply, honouring the armed reply-drop fault (a crashed stub
+/// whose response link is gone; client deadlines recover the tags).
+fn post(resp_tx: &Producer, faults: &EngineFaults, stats: &ProxyStats, frame: &[u8]) {
+    if faults.take_dropped_reply() {
+        stats.dropped_replies.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let _ = resp_tx.send_blocking(frame);
+}
+
+/// Worker-pool loop: executes ready jobs out of order until the queue
+/// closes, pushing completed exclusive holds back to the engine.
+fn worker_loop<H: OpHandler>(
+    handler: &H,
+    jobs: &JobQueue<ReadyJob<H::Req>>,
+    resp: &[Producer],
+    stats: &ProxyStats,
+    faults: &EngineFaults,
+    releases: &Mutex<Vec<(u64, usize)>>,
+) {
+    while let Some(job) = jobs.pop() {
+        let ReadyJob {
+            lane,
+            tag,
+            credit,
+            req,
+            release,
+        } = job;
+        let mut reply = exec_contained(handler, faults, stats, lane, tag, req);
+        if let Some(c) = credit {
+            stamp_credit(&mut reply, c);
+        }
+        post(&resp[lane], faults, stats, &reply);
+        if let Some(r) = release {
+            releases.lock().push(r);
+        }
+        jobs.done();
+    }
+}
+
+struct JobQueueInner<J> {
+    q: std::collections::VecDeque<J>,
+    /// Jobs popped but not yet `done()`.
+    active: usize,
+    closed: bool,
+}
+
+/// The engine's work queue: a mutex-protected deque with a condvar pair —
+/// `work` wakes workers, `idle` wakes a barrier waiting for quiescence.
+pub(crate) struct JobQueue<J> {
+    inner: Mutex<JobQueueInner<J>>,
+    work: Condvar,
+    idle: Condvar,
+}
+
+impl<J> JobQueue<J> {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(JobQueueInner {
+                q: std::collections::VecDeque::new(),
+                active: 0,
+                closed: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: J) {
+        self.inner.lock().q.push_back(job);
+        self.work.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once closed and drained.
+    fn pop(&self) -> Option<J> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(job) = g.q.pop_front() {
+                g.active += 1;
+                return Some(job);
+            }
+            if g.closed {
+                return None;
+            }
+            self.work.wait(&mut g);
+        }
+    }
+
+    /// Marks a popped job complete.
+    fn done(&self) {
+        let mut g = self.inner.lock();
+        g.active -= 1;
+        if g.active == 0 && g.q.is_empty() {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Blocks until no job is queued or executing (the barrier).
+    fn quiesce(&self) {
+        let mut g = self.inner.lock();
+        while g.active > 0 || !g.q.is_empty() {
+            self.idle.wait(&mut g);
+        }
+    }
+
+    /// Wakes every worker to exit once the queue drains.
+    fn close(&self) {
+        self.inner.lock().closed = true;
+        self.work.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Channel;
+    use solros_pcie::PcieCounters;
+    use solros_proto::fs_msg::{FsRequest, FsResponse};
+    use solros_qos::{FlowSpec, QosClass};
+
+    /// A minimal handler: Fsync acks, Fstat echoes the ino as the size;
+    /// Fstat takes a shared touch on the ino, Write an exclusive one.
+    struct Echo;
+
+    impl OpHandler for Echo {
+        type Req = FsRequest;
+
+        fn encode_err(&self, tag: u32, err: RpcErr) -> Vec<u8> {
+            FsResponse::Error { err }.encode(tag)
+        }
+
+        fn classify(&self, _lane: usize, req: &FsRequest) -> (usize, u64) {
+            match req {
+                FsRequest::Write { count, .. } => (1, *count),
+                _ => (0, 0),
+            }
+        }
+
+        fn exec(&self, _lane: usize, tag: u32, req: FsRequest) -> Vec<u8> {
+            match req {
+                FsRequest::Fstat { ino } => FsResponse::Stat {
+                    ino,
+                    is_dir: false,
+                    size: ino,
+                }
+                .encode(tag),
+                _ => FsResponse::Ok.encode(tag),
+            }
+        }
+
+        fn touches(&self, req: &FsRequest) -> Option<(u64, Access)> {
+            match req {
+                FsRequest::Write { ino, .. } => Some((*ino, Access::Exclusive)),
+                FsRequest::Fstat { ino } => Some((*ino, Access::Shared)),
+                _ => None,
+            }
+        }
+    }
+
+    fn lane() -> (
+        EngineLane,
+        solros_ringbuf::Producer,
+        solros_ringbuf::Consumer,
+    ) {
+        let ch = Channel::new(Arc::new(PcieCounters::new()));
+        (
+            EngineLane {
+                req_rx: ch.req_rx,
+                resp_tx: ch.resp_tx,
+            },
+            ch.req_tx,
+            ch.resp_rx,
+        )
+    }
+
+    fn engine(
+        gate: Option<DwrrScheduler<GateJob<FsRequest>>>,
+    ) -> (
+        ProxyEngine<Echo>,
+        solros_ringbuf::Producer,
+        solros_ringbuf::Consumer,
+        Arc<ProxyStats>,
+        Arc<EngineFaults>,
+    ) {
+        let (lane, req_tx, resp_rx) = lane();
+        let stats = Arc::new(ProxyStats::default());
+        let faults = Arc::new(EngineFaults::new());
+        let eng = ProxyEngine::new(
+            Arc::new(Echo),
+            vec![lane],
+            Arc::clone(&stats),
+            Arc::clone(&faults),
+            gate,
+        );
+        (eng, req_tx, resp_rx, stats, faults)
+    }
+
+    fn two_flows() -> DwrrScheduler<GateJob<FsRequest>> {
+        let spec = |name: &str, class: QosClass, weight: u32| FlowSpec {
+            name: name.into(),
+            class,
+            weight,
+            ops_per_sec: 0,
+            bytes_per_sec: 0,
+            burst_ops: 0,
+            burst_bytes: 0,
+            queue_cap: 1024,
+            deadline_ns: 0,
+            sheddable: false,
+            tenant: 0,
+        };
+        DwrrScheduler::new(
+            vec![
+                spec("meta", QosClass::High, 8),
+                spec("data", QosClass::BestEffort, 1),
+            ],
+            4096,
+            usize::MAX,
+        )
+    }
+
+    #[test]
+    fn fifo_round_trip_counts_and_rejects_malformed() {
+        let (mut eng, req_tx, resp_rx, stats, _) = engine(None);
+        req_tx
+            .send_blocking(&FsRequest::Fsync { ino: 1 }.encode(5))
+            .unwrap();
+        req_tx.send_blocking(&[1, 2, 3]).unwrap();
+        assert!(eng.step(0));
+        let (tag, resp) = FsResponse::decode(&resp_rx.recv().unwrap()).unwrap();
+        assert_eq!((tag, resp), (5, FsResponse::Ok));
+        let (tag, resp) = FsResponse::decode(&resp_rx.recv().unwrap()).unwrap();
+        assert_eq!(tag, 0);
+        assert_eq!(
+            resp,
+            FsResponse::Error {
+                err: RpcErr::Invalid
+            }
+        );
+        assert_eq!(stats.rpcs.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.malformed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn contained_panic_and_dropped_reply() {
+        let (mut eng, req_tx, resp_rx, stats, faults) = engine(None);
+        faults.arm_worker_panics(1);
+        req_tx
+            .send_blocking(&FsRequest::Fsync { ino: 1 }.encode(1))
+            .unwrap();
+        eng.step(0);
+        let (_, resp) = FsResponse::decode(&resp_rx.recv().unwrap()).unwrap();
+        assert_eq!(resp, FsResponse::Error { err: RpcErr::Io });
+        assert_eq!(stats.worker_panics.load(Ordering::Relaxed), 1);
+
+        faults.arm_dropped_replies(1);
+        req_tx
+            .send_blocking(&FsRequest::Fsync { ino: 1 }.encode(2))
+            .unwrap();
+        eng.step(0);
+        assert!(resp_rx.recv().is_err(), "reply must vanish");
+        assert_eq!(stats.dropped_replies.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shared_touch_defers_behind_exclusive_holder_and_promotes() {
+        let (mut eng, req_tx, resp_rx, stats, _) = engine(Some(two_flows()));
+        // Two exclusive writes to ino 7, then a shared fstat on it.
+        for t in 0..2u32 {
+            req_tx
+                .send_blocking(
+                    &FsRequest::Write {
+                        ino: 7,
+                        offset: 0,
+                        count: 4096,
+                        buf_addr: 0,
+                    }
+                    .encode(t),
+                )
+                .unwrap();
+        }
+        req_tx
+            .send_blocking(&FsRequest::Fstat { ino: 7 }.encode(9))
+            .unwrap();
+        let mut replies = Vec::new();
+        let mut now = 0;
+        while replies.len() < 3 {
+            eng.step(now);
+            now += 1;
+            while let Ok(f) = resp_rx.recv() {
+                replies.push(FsResponse::decode(&f).unwrap().0);
+            }
+            assert!(now < 100, "engine stalled: {replies:?}");
+        }
+        // The fstat waited for both writes despite its higher class.
+        assert_eq!(replies, vec![0, 1, 9]);
+        assert!(stats.inherit_deferred.load(Ordering::Relaxed) >= 1);
+        assert!(stats.promotions.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn barrier_flushes_deferred_waiters() {
+        let (mut eng, req_tx, resp_rx, _, _) = engine(Some(two_flows()));
+        req_tx
+            .send_blocking(
+                &FsRequest::Write {
+                    ino: 3,
+                    offset: 0,
+                    count: 4096,
+                    buf_addr: 0,
+                }
+                .encode(1),
+            )
+            .unwrap();
+        req_tx
+            .send_blocking(&FsRequest::Fstat { ino: 3 }.encode(2))
+            .unwrap();
+        let mut barrier = FsRequest::Fsync { ino: 99 }.encode(3);
+        solros_proto::codec::stamp_flags(&mut barrier, FLAG_BARRIER);
+        req_tx.send_blocking(&barrier).unwrap();
+        let mut replies = Vec::new();
+        let mut now = 0;
+        while replies.len() < 3 {
+            eng.step(now);
+            now += 1;
+            while let Ok(f) = resp_rx.recv() {
+                replies.push(FsResponse::decode(&f).unwrap().0);
+            }
+            assert!(now < 100, "engine stalled: {replies:?}");
+        }
+        // The deferred fstat was dispatched before the barrier, so the
+        // barrier must not overtake it (undispatched queue work may).
+        let pos = |t: u32| replies.iter().position(|&r| r == t).unwrap();
+        assert!(
+            pos(2) < pos(3),
+            "barrier overtook a dispatched wait: {replies:?}"
+        );
+        assert!(replies.contains(&1));
+    }
+}

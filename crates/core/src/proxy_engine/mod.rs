@@ -1,0 +1,36 @@
+//! The shared proxy engine.
+//!
+//! Historically each control-plane proxy ([`crate::fs_proxy::FsProxy`],
+//! [`crate::tcp_proxy::TcpProxy`]) carried a private copy of the same
+//! request lifecycle: drain a burst from the request ring, decode, run
+//! the QoS gate, dispatch to workers, settle credits and sheds. The two
+//! copies had drifted (the TCP path decoded every frame twice; the FS
+//! path owned the only panic-containment code) and every lifecycle fix
+//! had to land twice.
+//!
+//! This module extracts that lifecycle once, behind the [`OpHandler`]
+//! trait:
+//!
+//! ```text
+//!   req ring ─► admission (decode once) ─► DWRR gate ─► dispatch
+//!                   │                         │            │
+//!                   └─ malformed ► error      └─ shed ►    ├─► stage (wave)
+//!                                     credit-stamped reply ├─► worker pool
+//!                                                          └─► inline exec
+//!                                             flush ◄──────────┘
+//!                                               └─► resp ring (credit, faults)
+//! ```
+//!
+//! The engine also implements priority inheritance for metadata
+//! operations: an exclusive touch (an FS write) holds its resource from
+//! gate admission to completion; a shared touch (an fstat) dispatched
+//! onto a held resource defers, and the holder's flow is promoted to the
+//! waiter's effective weight until the last hold releases.
+
+mod admission;
+mod engine;
+mod stats;
+
+pub use admission::{Access, GateJob, ReadyJob};
+pub use engine::{EngineLane, OpHandler, ProxyEngine, DRAIN_BURST};
+pub use stats::ProxyStats;

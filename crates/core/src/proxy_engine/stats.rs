@@ -1,0 +1,29 @@
+//! The engine-owned statistics ledger shared by every proxy.
+
+use std::sync::atomic::AtomicU64;
+
+/// Request-lifecycle counters owned by the proxy engine.
+///
+/// Both control-plane proxies used to keep private copies of these
+/// counters; the engine now maintains one ledger per proxy and the
+/// proxy-specific stats structs (`FsProxyStats`, `TcpProxyStats`) deref
+/// into it, so existing `.rpcs` / `.worker_panics` call sites keep
+/// working unchanged.
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Requests executed, staged into a wave, or run at a barrier.
+    pub rpcs: AtomicU64,
+    /// Handler panics contained and converted into `Io` error replies.
+    pub worker_panics: AtomicU64,
+    /// Frames that failed to decode at admission.
+    pub malformed: AtomicU64,
+    /// Requests shed by the QoS gate (overload, queue-full, deadline).
+    pub sheds: AtomicU64,
+    /// Priority-inheritance promotions applied to lock-holding flows.
+    pub promotions: AtomicU64,
+    /// Shared-access requests deferred behind an exclusively-held
+    /// resource (the priority-inheritance wait path).
+    pub inherit_deferred: AtomicU64,
+    /// Replies discarded by an armed fault hook (crashed-stub model).
+    pub dropped_replies: AtomicU64,
+}

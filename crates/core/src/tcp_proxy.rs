@@ -1,119 +1,36 @@
 //! The control-plane TCP proxy (§4.4).
 //!
-//! A single host thread terminates all TCP activity: it serves the ten
-//! socket RPCs from every co-processor, polls the NIC fabric, and pushes
-//! inbound events (new connection, data arrival, peer close) into each
-//! co-processor's inbound event ring.
+//! A single host thread terminates all TCP activity: driven by the shared
+//! [`crate::proxy_engine`], it serves the ten socket RPCs from every
+//! co-processor (one engine lane per co-processor), polls the NIC fabric
+//! via [`OpHandler::poll`], and pushes inbound events (new connection,
+//! data arrival, peer close) into each co-processor's inbound event ring.
 //!
 //! The *shared listening socket* (§4.4.3) is implemented here: multiple
 //! co-processors may listen on the same port; each incoming connection is
 //! assigned to one of them by a pluggable [`LoadBalancer`] (the paper
 //! implements connection-based round-robin; a content/address-hash policy
-//! is provided as the pluggable example).
+//! is provided as the pluggable example — see [`crate::balancer`]).
 
 use std::collections::{HashMap, VecDeque};
+use std::ops::Deref;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+use solros_faults::EngineFaults;
 use solros_netdev::{ConnId, EndKind, Network, NetworkError};
-use solros_proto::codec::stamp_credit;
 use solros_proto::net_msg::{NetEvent, NetRequest, NetResponse, SockId};
 use solros_proto::rpc_error::RpcErr;
-use solros_qos::{Dispatch, DwrrScheduler, FlowSpec, QosClass, QosConfig, QosStats, Verdict};
+use solros_qos::{DwrrScheduler, FlowSpec, QosClass, QosConfig, QosStats};
 use solros_ringbuf::{Consumer, Producer};
+
+use crate::proxy_engine::{EngineLane, GateJob, OpHandler, ProxyEngine, ProxyStats};
+
+pub use crate::balancer::{AddrHash, ConnMeta, LeastLoaded, LoadBalancer, RoundRobin};
 
 /// Socket option: event-driven delivery (1 = events, 0 = RPC polling).
 pub const SOCKOPT_EVENTED: u32 = 1;
-
-/// Metadata about an incoming connection, fed to the balancer.
-#[derive(Debug, Clone, Copy)]
-pub struct ConnMeta {
-    /// Remote client identifier.
-    pub client_addr: u64,
-    /// Listening port.
-    pub port: u16,
-}
-
-/// A pluggable forwarding policy for shared listening sockets (§4.4.3).
-pub trait LoadBalancer: Send {
-    /// Picks the index of the listener (among `n` candidates, in
-    /// registration order) that receives this connection.
-    fn pick(&mut self, n: usize, meta: &ConnMeta) -> usize;
-
-    /// Informs the policy that the connection went to listener `idx`
-    /// (the value returned by [`LoadBalancer::pick`]). Default: ignored.
-    fn conn_assigned(&mut self, idx: usize) {
-        let _ = idx;
-    }
-
-    /// Informs the policy that a connection previously assigned to
-    /// listener `idx` has closed. Default: ignored.
-    fn conn_closed(&mut self, idx: usize) {
-        let _ = idx;
-    }
-}
-
-/// The paper's connection-based round-robin policy.
-#[derive(Default)]
-pub struct RoundRobin {
-    next: usize,
-}
-
-impl LoadBalancer for RoundRobin {
-    fn pick(&mut self, n: usize, _meta: &ConnMeta) -> usize {
-        let i = self.next % n;
-        self.next = self.next.wrapping_add(1);
-        i
-    }
-}
-
-/// A content-based policy: hash the client address, so one client always
-/// lands on the same co-processor (example of a user-provided rule).
-#[derive(Default)]
-pub struct AddrHash;
-
-impl LoadBalancer for AddrHash {
-    fn pick(&mut self, n: usize, meta: &ConnMeta) -> usize {
-        (meta.client_addr as usize).wrapping_mul(0x9E37_79B9) % n
-    }
-}
-
-/// Routes each connection to the listener with the fewest in-flight
-/// connections, so a co-processor stuck on long-lived transfers stops
-/// receiving new work while its siblings stay busy. Ties break with a
-/// rotating cursor, which degrades to round-robin under uniform load.
-#[derive(Default)]
-pub struct LeastLoaded {
-    in_flight: Vec<u64>,
-    next: usize,
-}
-
-impl LoadBalancer for LeastLoaded {
-    fn pick(&mut self, n: usize, _meta: &ConnMeta) -> usize {
-        if self.in_flight.len() < n {
-            self.in_flight.resize(n, 0);
-        }
-        let winner = (0..n)
-            .map(|k| (self.next + k) % n)
-            .min_by_key(|&i| self.in_flight[i])
-            .unwrap_or(0);
-        self.next = (winner + 1) % n.max(1);
-        winner
-    }
-
-    fn conn_assigned(&mut self, idx: usize) {
-        if self.in_flight.len() <= idx {
-            self.in_flight.resize(idx + 1, 0);
-        }
-        self.in_flight[idx] += 1;
-    }
-
-    fn conn_closed(&mut self, idx: usize) {
-        if let Some(c) = self.in_flight.get_mut(idx) {
-            *c = c.saturating_sub(1);
-        }
-    }
-}
 
 /// Per-co-processor proxy-side channel endpoints.
 pub struct NetChannelHost {
@@ -125,17 +42,26 @@ pub struct NetChannelHost {
     pub evt_tx: Producer,
 }
 
-/// Proxy statistics (per co-processor accepted counts drive the LB tests).
+/// TCP-specific statistics (per co-processor accepted counts drive the
+/// LB tests). Lifecycle counters live in the engine-owned ledger; this
+/// struct derefs into it, so `.rpcs` / `.worker_panics` call sites work
+/// unchanged.
 #[derive(Debug, Default)]
 pub struct TcpProxyStats {
-    /// RPCs served.
-    pub rpcs: AtomicU64,
+    /// The engine-owned request-lifecycle ledger.
+    pub engine: Arc<ProxyStats>,
     /// Events pushed.
     pub events: AtomicU64,
     /// Connections accepted, indexed by co-processor.
     pub accepted: Vec<AtomicU64>,
-    /// Handler panics contained and converted into `Io` error replies.
-    pub worker_panics: AtomicU64,
+}
+
+impl Deref for TcpProxyStats {
+    type Target = ProxyStats;
+
+    fn deref(&self) -> &ProxyStats {
+        &self.engine
+    }
 }
 
 enum SockState {
@@ -162,12 +88,10 @@ struct PortRec {
     listeners: Vec<SockId>,
 }
 
-/// The TCP proxy server.
-pub struct TcpProxy {
-    network: Arc<Network>,
+/// Socket-table state, lock-protected so the engine can drive the proxy
+/// through `&self` ([`OpHandler`] methods take shared references).
+struct TcpState {
     lb: Box<dyn LoadBalancer>,
-    channels: Vec<NetChannelHost>,
-    stats: Arc<TcpProxyStats>,
     socks: HashMap<SockId, SockRec>,
     ports: HashMap<u16, PortRec>,
     /// Live connections owned by evented sockets, polled for data.
@@ -175,10 +99,21 @@ pub struct TcpProxy {
     /// Pending accepts for non-evented (RPC-polling) listeners.
     pending_accepts: HashMap<SockId, VecDeque<(SockId, u64)>>,
     next_sock: SockId,
+}
+
+/// The TCP proxy server.
+pub struct TcpProxy {
+    network: Arc<Network>,
+    stats: Arc<TcpProxyStats>,
+    /// Engine-level fault hooks (worker panics, dropped replies).
+    faults: Arc<EngineFaults>,
+    /// Inbound event producers, indexed by co-processor.
+    evt_tx: Vec<Producer>,
+    /// Request/response lanes, taken by [`TcpProxy::run`].
+    lanes: Vec<EngineLane>,
+    state: Mutex<TcpState>,
     /// QoS gate over per-(co-processor, class) flows; None = FIFO.
-    qos: Option<DwrrScheduler<(usize, u32, NetRequest)>>,
-    /// Fault injection: the next N handled requests panic mid-execution.
-    inject_worker_panics: u64,
+    qos: Option<DwrrScheduler<GateJob<NetRequest>>>,
 }
 
 /// Max bytes pulled from the fabric per connection per poll round.
@@ -203,24 +138,35 @@ impl TcpProxy {
         lb: Box<dyn LoadBalancer>,
     ) -> (Self, Arc<TcpProxyStats>) {
         let stats = Arc::new(TcpProxyStats {
-            rpcs: AtomicU64::new(0),
+            engine: Arc::new(ProxyStats::default()),
             events: AtomicU64::new(0),
             accepted: (0..channels.len()).map(|_| AtomicU64::new(0)).collect(),
-            worker_panics: AtomicU64::new(0),
         });
+        let mut evt_tx = Vec::new();
+        let mut lanes = Vec::new();
+        for ch in channels {
+            lanes.push(EngineLane {
+                req_rx: ch.req_rx,
+                resp_tx: ch.resp_tx,
+            });
+            evt_tx.push(ch.evt_tx);
+        }
         (
             Self {
                 network,
-                lb,
-                channels,
                 stats: Arc::clone(&stats),
-                socks: HashMap::new(),
-                ports: HashMap::new(),
-                evented_conns: Vec::new(),
-                pending_accepts: HashMap::new(),
-                next_sock: 1,
+                faults: Arc::new(EngineFaults::new()),
+                evt_tx,
+                lanes,
+                state: Mutex::new(TcpState {
+                    lb,
+                    socks: HashMap::new(),
+                    ports: HashMap::new(),
+                    evented_conns: Vec::new(),
+                    pending_accepts: HashMap::new(),
+                    next_sock: 1,
+                }),
                 qos: None,
-                inject_worker_panics: 0,
             },
             stats,
         )
@@ -231,7 +177,7 @@ impl TcpProxy {
     /// Must be called before [`TcpProxy::run`].
     pub fn enable_qos(&mut self, cfg: &QosConfig) -> Arc<QosStats> {
         let mut specs = Vec::new();
-        for c in 0..self.channels.len() {
+        for c in 0..self.evt_tx.len() {
             for class in [QosClass::High, QosClass::Normal] {
                 specs.push(FlowSpec::from_class(
                     format!("net{c}/{}", class.label()),
@@ -246,175 +192,38 @@ impl TcpProxy {
         stats
     }
 
-    /// Runs the proxy loop until `shutdown`.
-    pub fn run(mut self, shutdown: Arc<AtomicBool>) {
-        match self.qos.take() {
-            Some(gate) => self.run_qos(shutdown, gate),
-            None => self.run_fifo(shutdown),
-        }
-    }
-
-    fn run_fifo(mut self, shutdown: Arc<AtomicBool>) {
-        while !shutdown.load(Ordering::Relaxed) {
-            let mut idle = true;
-            for c in 0..self.channels.len() {
-                // Drain a bounded burst of requests per co-processor.
-                for _ in 0..32 {
-                    match self.channels[c].req_rx.recv() {
-                        Ok(frame) => {
-                            idle = false;
-                            self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-                            let reply = match NetRequest::decode(&frame) {
-                                Ok((tag, req)) => self.handle_contained(c, req).encode(tag),
-                                Err(_) => NetResponse::Error {
-                                    err: RpcErr::Invalid,
-                                }
-                                .encode(0),
-                            };
-                            let _ = self.channels[c].resp_tx.send_blocking(&reply);
-                        }
-                        Err(_) => break,
-                    }
-                }
-            }
-            if self.poll_accepts() {
-                idle = false;
-            }
-            if self.poll_data() {
-                idle = false;
-            }
-            if idle {
-                std::thread::yield_now();
-            }
-        }
-    }
-
-    /// The QoS service loop: admit ring arrivals into per-(coproc, class)
-    /// flows — re-keyed per tenant via
-    /// [`DwrrScheduler::flow_for_tenant`] when the frame carries a
-    /// non-zero tenant id — serve in DWRR order, answer shed requests
-    /// with [`RpcErr::Overloaded`], and piggyback credit windows on
-    /// replies.
-    fn run_qos(
-        mut self,
-        shutdown: Arc<AtomicBool>,
-        mut gate: DwrrScheduler<(usize, u32, NetRequest)>,
-    ) {
-        let epoch = std::time::Instant::now();
-        while !shutdown.load(Ordering::Relaxed) {
-            let mut idle = true;
-            for c in 0..self.channels.len() {
-                for _ in 0..32 {
-                    let Ok(frame) = self.channels[c].req_rx.recv() else {
-                        break;
-                    };
-                    idle = false;
-                    match NetRequest::decode(&frame) {
-                        Ok((tag, req)) => {
-                            let tenant = solros_proto::codec::decode_frame(&frame)
-                                .map(|f| f.tenant)
-                                .unwrap_or(0);
-                            let (class_off, bytes) = classify_net(&req);
-                            let flow = gate.flow_for_tenant(tenant, c * 2 + class_off);
-                            let now = epoch.elapsed().as_nanos() as u64;
-                            if let Verdict::Shed {
-                                item: (_, tag, _), ..
-                            } = gate.submit(flow, bytes, now, (c, tag, req))
-                            {
-                                let mut reply = NetResponse::Error {
-                                    err: RpcErr::Overloaded,
-                                }
-                                .encode(tag);
-                                stamp_credit(&mut reply, gate.credit(flow));
-                                let _ = self.channels[c].resp_tx.send_blocking(&reply);
-                            }
-                        }
-                        Err(_) => {
-                            let _ = self.channels[c].resp_tx.send_blocking(
-                                &NetResponse::Error {
-                                    err: RpcErr::Invalid,
-                                }
-                                .encode(0),
-                            );
-                        }
-                    }
-                }
-            }
-            for _ in 0..64 {
-                let now = epoch.elapsed().as_nanos() as u64;
-                match gate.dispatch(now) {
-                    Dispatch::Run {
-                        flow,
-                        item: (c, tag, req),
-                        ..
-                    } => {
-                        idle = false;
-                        self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-                        let mut reply = self.handle_contained(c, req).encode(tag);
-                        stamp_credit(&mut reply, gate.credit(flow));
-                        let _ = self.channels[c].resp_tx.send_blocking(&reply);
-                    }
-                    Dispatch::Shed {
-                        flow,
-                        item: (c, tag, _),
-                        ..
-                    } => {
-                        idle = false;
-                        let mut reply = NetResponse::Error {
-                            err: RpcErr::Overloaded,
-                        }
-                        .encode(tag);
-                        stamp_credit(&mut reply, gate.credit(flow));
-                        let _ = self.channels[c].resp_tx.send_blocking(&reply);
-                    }
-                    Dispatch::Idle => break,
-                }
-            }
-            if self.poll_accepts() {
-                idle = false;
-            }
-            if self.poll_data() {
-                idle = false;
-            }
-            if idle {
-                std::thread::yield_now();
-            }
-        }
+    /// The engine-level fault hooks this proxy serves with.
+    pub fn faults(&self) -> Arc<EngineFaults> {
+        Arc::clone(&self.faults)
     }
 
     /// Fault injection: makes the next `n` handled requests panic inside
-    /// the handler, exercising the containment path.
-    pub fn inject_worker_panics(&mut self, n: u64) {
-        self.inject_worker_panics += n;
+    /// the handler, exercising the engine's containment path.
+    pub fn inject_worker_panics(&self, n: u64) {
+        self.faults.arm_worker_panics(n);
     }
 
-    /// Runs [`TcpProxy::handle`] with panic containment: a panicking
-    /// handler (a proxy bug or an injected fault) yields an [`RpcErr::Io`]
-    /// error reply instead of taking down the service loop.
-    fn handle_contained(&mut self, coproc: usize, req: NetRequest) -> NetResponse {
-        let armed = self.inject_worker_panics > 0;
-        if armed {
-            self.inject_worker_panics -= 1;
-        }
-        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if armed {
-                panic!("injected tcp proxy worker panic");
-            }
-            self.handle(coproc, req)
-        }));
-        out.unwrap_or_else(|_| {
-            self.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
-            NetResponse::Error { err: RpcErr::Io }
-        })
+    /// Runs the proxy through the shared engine until `shutdown`: FIFO
+    /// admission by default, DWRR scheduling with per-tenant flow keying
+    /// when [`TcpProxy::enable_qos`] was called. Each admitted frame is
+    /// decoded exactly once; the scheduler item carries the parsed
+    /// request through to execution.
+    pub fn run(mut self, shutdown: Arc<AtomicBool>) {
+        let lanes = std::mem::take(&mut self.lanes);
+        let gate = self.qos.take();
+        let stats = Arc::clone(&self.stats.engine);
+        let faults = Arc::clone(&self.faults);
+        ProxyEngine::new(Arc::new(self), lanes, stats, faults, gate).serve(shutdown)
     }
 
     /// Executes one RPC from co-processor `coproc`.
-    pub fn handle(&mut self, coproc: usize, req: NetRequest) -> NetResponse {
+    pub fn handle(&self, coproc: usize, req: NetRequest) -> NetResponse {
+        let mut st = self.state.lock();
         match req {
             NetRequest::Socket => {
-                let id = self.next_sock;
-                self.next_sock += 1;
-                self.socks.insert(
+                let id = st.next_sock;
+                st.next_sock += 1;
+                st.socks.insert(
                     id,
                     SockRec {
                         coproc,
@@ -426,7 +235,7 @@ impl TcpProxy {
                 );
                 NetResponse::Socket { sock: id }
             }
-            NetRequest::Bind { sock, port } => match self.socks.get_mut(&sock) {
+            NetRequest::Bind { sock, port } => match st.socks.get_mut(&sock) {
                 Some(rec) if matches!(rec.state, SockState::Fresh) => {
                     rec.state = SockState::Bound(port);
                     NetResponse::Ok
@@ -439,7 +248,7 @@ impl TcpProxy {
                 },
             },
             NetRequest::Listen { sock, backlog } => {
-                let port = match self.socks.get(&sock) {
+                let port = match st.socks.get(&sock) {
                     Some(SockRec {
                         state: SockState::Bound(p),
                         ..
@@ -455,7 +264,7 @@ impl TcpProxy {
                         }
                     }
                 };
-                let first = !self.ports.contains_key(&port);
+                let first = !st.ports.contains_key(&port);
                 if first {
                     // Register the NIC-side listener once; later listeners
                     // join the shared listening socket (§4.4.3).
@@ -468,18 +277,18 @@ impl TcpProxy {
                             err: RpcErr::AddrInUse,
                         };
                     }
-                    self.ports.insert(
+                    st.ports.insert(
                         port,
                         PortRec {
                             listeners: Vec::new(),
                         },
                     );
                 }
-                let Some(prec) = self.ports.get_mut(&port) else {
+                let Some(prec) = st.ports.get_mut(&port) else {
                     return NetResponse::Error { err: RpcErr::Io };
                 };
                 prec.listeners.push(sock);
-                let Some(rec) = self.socks.get_mut(&sock) else {
+                let Some(rec) = st.socks.get_mut(&sock) else {
                     return NetResponse::Error {
                         err: RpcErr::NotFound,
                     };
@@ -488,7 +297,7 @@ impl TcpProxy {
                 NetResponse::Ok
             }
             NetRequest::Accept { sock } => {
-                match self
+                match st
                     .pending_accepts
                     .get_mut(&sock)
                     .and_then(|q| q.pop_front())
@@ -497,7 +306,7 @@ impl TcpProxy {
                         conn: conn_sock,
                         peer_addr,
                     },
-                    None => match self.socks.get(&sock) {
+                    None => match st.socks.get(&sock) {
                         Some(SockRec {
                             state: SockState::Listening(_),
                             ..
@@ -514,7 +323,7 @@ impl TcpProxy {
                 }
             }
             NetRequest::Connect { sock, addr, port } => {
-                let Some(rec) = self.socks.get_mut(&sock) else {
+                let Some(rec) = st.socks.get_mut(&sock) else {
                     return NetResponse::Error {
                         err: RpcErr::NotFound,
                     };
@@ -531,7 +340,7 @@ impl TcpProxy {
                             end: EndKind::Client,
                         };
                         if rec.evented {
-                            self.evented_conns.push(sock);
+                            st.evented_conns.push(sock);
                         }
                         NetResponse::Ok
                     }
@@ -541,7 +350,7 @@ impl TcpProxy {
                 }
             }
             NetRequest::Send { sock, data } => {
-                let Some(rec) = self.socks.get(&sock) else {
+                let Some(rec) = st.socks.get(&sock) else {
                     return NetResponse::Error {
                         err: RpcErr::NotFound,
                     };
@@ -560,7 +369,7 @@ impl TcpProxy {
                 }
             }
             NetRequest::Recv { sock, max } => {
-                let Some(rec) = self.socks.get(&sock) else {
+                let Some(rec) = st.socks.get(&sock) else {
                     return NetResponse::Error {
                         err: RpcErr::NotFound,
                     };
@@ -578,9 +387,9 @@ impl TcpProxy {
                     },
                 }
             }
-            NetRequest::Close { sock } => self.close_sock(sock),
+            NetRequest::Close { sock } => self.close_sock(&mut st, sock),
             NetRequest::Setsockopt { sock, opt, val } => {
-                let Some(rec) = self.socks.get_mut(&sock) else {
+                let Some(rec) = st.socks.get_mut(&sock) else {
                     return NetResponse::Error {
                         err: RpcErr::NotFound,
                     };
@@ -595,7 +404,7 @@ impl TcpProxy {
                 }
             }
             NetRequest::Shutdown { sock, how } => {
-                let Some(rec) = self.socks.get(&sock) else {
+                let Some(rec) = st.socks.get(&sock) else {
                     return NetResponse::Error {
                         err: RpcErr::NotFound,
                     };
@@ -613,8 +422,8 @@ impl TcpProxy {
         }
     }
 
-    fn close_sock(&mut self, sock: SockId) -> NetResponse {
-        let Some(rec) = self.socks.get_mut(&sock) else {
+    fn close_sock(&self, st: &mut TcpState, sock: SockId) -> NetResponse {
+        let Some(rec) = st.socks.get_mut(&sock) else {
             return NetResponse::Error {
                 err: RpcErr::NotFound,
             };
@@ -624,20 +433,20 @@ impl TcpProxy {
                 let _ = self.network.close(id, end);
                 rec.state = SockState::Closed;
                 if let Some(slot) = rec.lb_slot.take() {
-                    self.lb.conn_closed(slot);
+                    st.lb.conn_closed(slot);
                 }
-                self.evented_conns.retain(|s| *s != sock);
+                st.evented_conns.retain(|s| *s != sock);
             }
             SockState::Listening(port) => {
                 rec.state = SockState::Closed;
-                if let Some(p) = self.ports.get_mut(&port) {
+                if let Some(p) = st.ports.get_mut(&port) {
                     p.listeners.retain(|s| *s != sock);
                     if p.listeners.is_empty() {
-                        self.ports.remove(&port);
+                        st.ports.remove(&port);
                         self.network.unlisten(port);
                     }
                 }
-                self.pending_accepts.remove(&sock);
+                st.pending_accepts.remove(&sock);
             }
             _ => rec.state = SockState::Closed,
         }
@@ -646,8 +455,10 @@ impl TcpProxy {
 
     /// Accepts incoming connections and routes them via the balancer.
     /// Returns true when any work happened.
-    fn poll_accepts(&mut self) -> bool {
-        let ports: Vec<u16> = self.ports.keys().copied().collect();
+    fn poll_accepts(&self) -> bool {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        let ports: Vec<u16> = st.ports.keys().copied().collect();
         let mut worked = false;
         for port in ports {
             while let Ok(Some((conn, client_addr))) = self.network.poll_accept(port) {
@@ -655,7 +466,7 @@ impl TcpProxy {
                 // A port can lose its last proxy-side listener between the
                 // NIC accept and routing; refuse the orphan connection
                 // instead of panicking on an empty listener set.
-                let listeners = match self.ports.get(&port) {
+                let listeners = match st.ports.get(&port) {
                     Some(p) if !p.listeners.is_empty() => &p.listeners,
                     _ => {
                         let _ = self.network.close(conn, EndKind::Server);
@@ -663,19 +474,19 @@ impl TcpProxy {
                     }
                 };
                 let meta = ConnMeta { client_addr, port };
-                let idx = self.lb.pick(listeners.len(), &meta) % listeners.len();
+                let idx = st.lb.pick(listeners.len(), &meta) % listeners.len();
                 let listener = listeners[idx];
-                self.lb.conn_assigned(idx);
-                let Some(lrec) = self.socks.get(&listener) else {
+                st.lb.conn_assigned(idx);
+                let Some(lrec) = st.socks.get(&listener) else {
                     let _ = self.network.close(conn, EndKind::Server);
                     continue;
                 };
                 let coproc = lrec.coproc;
                 let evented = lrec.evented;
                 // Create the connection socket owned by the same coproc.
-                let conn_sock = self.next_sock;
-                self.next_sock += 1;
-                self.socks.insert(
+                let conn_sock = st.next_sock;
+                st.next_sock += 1;
+                st.socks.insert(
                     conn_sock,
                     SockRec {
                         coproc,
@@ -690,7 +501,7 @@ impl TcpProxy {
                 );
                 self.stats.accepted[coproc].fetch_add(1, Ordering::Relaxed);
                 if evented {
-                    self.evented_conns.push(conn_sock);
+                    st.evented_conns.push(conn_sock);
                     let ev = NetEvent::Accepted {
                         listen: listener,
                         conn: conn_sock,
@@ -698,7 +509,7 @@ impl TcpProxy {
                     };
                     self.push_event(coproc, &ev);
                 } else {
-                    self.pending_accepts
+                    st.pending_accepts
                         .entry(listener)
                         .or_default()
                         .push_back((conn_sock, client_addr));
@@ -709,11 +520,12 @@ impl TcpProxy {
     }
 
     /// Pulls inbound data for evented connections into event rings.
-    fn poll_data(&mut self) -> bool {
+    fn poll_data(&self) -> bool {
+        let mut st = self.state.lock();
         let mut worked = false;
-        let conns: Vec<SockId> = self.evented_conns.clone();
+        let conns: Vec<SockId> = st.evented_conns.clone();
         for sock in conns {
-            let Some(rec) = self.socks.get(&sock) else {
+            let Some(rec) = st.socks.get(&sock) else {
                 continue;
             };
             let SockState::Conn { id, end } = rec.state else {
@@ -727,7 +539,7 @@ impl TcpProxy {
                     self.push_event(coproc, &NetEvent::Data { sock, data });
                 }
                 Err(NetworkError::Closed) => {
-                    if let Some(rec) = self.socks.get_mut(&sock) {
+                    if let Some(rec) = st.socks.get_mut(&sock) {
                         let slot = rec.lb_slot.take();
                         if !rec.close_sent {
                             rec.close_sent = true;
@@ -735,13 +547,13 @@ impl TcpProxy {
                             self.push_event(coproc, &NetEvent::Closed { sock });
                         }
                         if let Some(slot) = slot {
-                            self.lb.conn_closed(slot);
+                            st.lb.conn_closed(slot);
                         }
                     }
-                    self.evented_conns.retain(|s| *s != sock);
+                    st.evented_conns.retain(|s| *s != sock);
                 }
                 Err(_) => {
-                    self.evented_conns.retain(|s| *s != sock);
+                    st.evented_conns.retain(|s| *s != sock);
                 }
             }
         }
@@ -750,302 +562,31 @@ impl TcpProxy {
 
     fn push_event(&self, coproc: usize, ev: &NetEvent) {
         self.stats.events.fetch_add(1, Ordering::Relaxed);
-        let _ = self.channels[coproc].evt_tx.send_blocking(&ev.encode());
+        let _ = self.evt_tx[coproc].send_blocking(&ev.encode());
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+impl OpHandler for TcpProxy {
+    type Req = NetRequest;
 
-    fn proxy_with(n: usize) -> (TcpProxy, Arc<solros_netdev::Network>) {
-        use crate::transport::{event_ring, Channel};
-        use solros_pcie::PcieCounters;
-        let network = solros_netdev::Network::new();
-        let mut channels = Vec::new();
-        for _ in 0..n {
-            let counters = Arc::new(PcieCounters::new());
-            let ch = Channel::new(Arc::clone(&counters));
-            let (evt_tx, _evt_rx) = event_ring(counters);
-            channels.push(NetChannelHost {
-                req_rx: ch.req_rx,
-                resp_tx: ch.resp_tx,
-                evt_tx,
-            });
-        }
-        let (proxy, _stats) = TcpProxy::new(
-            Arc::clone(&network),
-            channels,
-            Box::new(RoundRobin::default()),
-        );
-        (proxy, network)
+    fn encode_err(&self, tag: u32, err: RpcErr) -> Vec<u8> {
+        NetResponse::Error { err }.encode(tag)
     }
 
-    fn new_sock(p: &mut TcpProxy) -> SockId {
-        match p.handle(0, NetRequest::Socket) {
-            NetResponse::Socket { sock } => sock,
-            other => panic!("unexpected {other:?}"),
-        }
+    /// Flow index `lane * 2 + class offset`, matching the per-co-processor
+    /// (high, normal) flow pairs laid out by [`TcpProxy::enable_qos`].
+    fn classify(&self, lane: usize, req: &NetRequest) -> (usize, u64) {
+        let (off, bytes) = classify_net(req);
+        (lane * 2 + off, bytes)
     }
 
-    #[test]
-    fn injected_handler_panic_is_contained() {
-        let (mut p, _net) = proxy_with(1);
-        p.inject_worker_panics(1);
-        assert!(matches!(
-            p.handle_contained(0, NetRequest::Socket),
-            NetResponse::Error { err: RpcErr::Io }
-        ));
-        assert_eq!(p.stats.worker_panics.load(Ordering::Relaxed), 1);
-        // The loop survives: the next request is served normally.
-        assert!(matches!(
-            p.handle_contained(0, NetRequest::Socket),
-            NetResponse::Socket { .. }
-        ));
+    fn exec(&self, lane: usize, tag: u32, req: NetRequest) -> Vec<u8> {
+        self.handle(lane, req).encode(tag)
     }
 
-    #[test]
-    fn socket_state_machine_rejects_bad_transitions() {
-        let (mut p, _net) = proxy_with(1);
-        let s = new_sock(&mut p);
-        // Listen before bind.
-        assert!(matches!(
-            p.handle(
-                0,
-                NetRequest::Listen {
-                    sock: s,
-                    backlog: 4
-                }
-            ),
-            NetResponse::Error {
-                err: RpcErr::Invalid
-            }
-        ));
-        // Bind works once; double bind rejected.
-        assert!(matches!(
-            p.handle(0, NetRequest::Bind { sock: s, port: 80 }),
-            NetResponse::Ok
-        ));
-        assert!(matches!(
-            p.handle(0, NetRequest::Bind { sock: s, port: 81 }),
-            NetResponse::Error {
-                err: RpcErr::Invalid
-            }
-        ));
-        // Send on a non-connection.
-        assert!(matches!(
-            p.handle(
-                0,
-                NetRequest::Send {
-                    sock: s,
-                    data: vec![1]
-                }
-            ),
-            NetResponse::Error {
-                err: RpcErr::NotConnected
-            }
-        ));
-        // Unknown socket ids.
-        assert!(matches!(
-            p.handle(0, NetRequest::Close { sock: 9999 }),
-            NetResponse::Error {
-                err: RpcErr::NotFound
-            }
-        ));
-        // Accept on a non-listening socket.
-        assert!(matches!(
-            p.handle(0, NetRequest::Accept { sock: s }),
-            NetResponse::Error {
-                err: RpcErr::NotListening
-            }
-        ));
-        // Unknown socket option.
-        assert!(matches!(
-            p.handle(
-                0,
-                NetRequest::Setsockopt {
-                    sock: s,
-                    opt: 99,
-                    val: 1
-                }
-            ),
-            NetResponse::Error {
-                err: RpcErr::Invalid
-            }
-        ));
-    }
-
-    #[test]
-    fn shared_port_closes_cleanly() {
-        let (mut p, net) = proxy_with(2);
-        // Two co-processors listen on the same port (shared socket).
-        let a = new_sock(&mut p);
-        assert!(matches!(
-            p.handle(0, NetRequest::Bind { sock: a, port: 90 }),
-            NetResponse::Ok
-        ));
-        assert!(matches!(
-            p.handle(
-                0,
-                NetRequest::Listen {
-                    sock: a,
-                    backlog: 4
-                }
-            ),
-            NetResponse::Ok
-        ));
-        let b = match p.handle(1, NetRequest::Socket) {
-            NetResponse::Socket { sock } => sock,
-            other => panic!("unexpected {other:?}"),
-        };
-        assert!(matches!(
-            p.handle(1, NetRequest::Bind { sock: b, port: 90 }),
-            NetResponse::Ok
-        ));
-        assert!(matches!(
-            p.handle(
-                1,
-                NetRequest::Listen {
-                    sock: b,
-                    backlog: 4
-                }
-            ),
-            NetResponse::Ok
-        ));
-        // Closing one listener keeps the port open for the other.
-        assert!(matches!(
-            p.handle(0, NetRequest::Close { sock: a }),
-            NetResponse::Ok
-        ));
-        assert!(net.client_connect(90, 1).is_ok(), "port still listening");
-        // Closing the last listener releases the NIC port.
-        assert!(matches!(
-            p.handle(1, NetRequest::Close { sock: b }),
-            NetResponse::Ok
-        ));
-        assert!(net.client_connect(90, 2).is_err(), "port released");
-    }
-
-    #[test]
-    fn connect_send_recv_shutdown_via_rpc() {
-        let (mut p, net) = proxy_with(1);
-        // An "external server" listens on the fabric.
-        net.listen(7000, 4).unwrap();
-        let s = new_sock(&mut p);
-        assert!(matches!(
-            p.handle(
-                0,
-                NetRequest::Connect {
-                    sock: s,
-                    addr: 55,
-                    port: 7000
-                }
-            ),
-            NetResponse::Ok
-        ));
-        let (conn, addr) = net.poll_accept(7000).unwrap().expect("pending");
-        assert_eq!(addr, 55);
-        // Outbound data flows from the machine's Client end.
-        assert!(matches!(
-            p.handle(
-                0,
-                NetRequest::Send {
-                    sock: s,
-                    data: b"out".to_vec()
-                }
-            ),
-            NetResponse::Sent { count: 3 }
-        ));
-        assert_eq!(
-            net.recv(conn, solros_netdev::EndKind::Server, 16).unwrap(),
-            b"out"
-        );
-        // Inbound via the Recv RPC.
-        net.send(conn, solros_netdev::EndKind::Server, b"in!")
-            .unwrap();
-        match p.handle(0, NetRequest::Recv { sock: s, max: 16 }) {
-            NetResponse::Data { data } => assert_eq!(data, b"in!"),
-            other => panic!("unexpected {other:?}"),
-        }
-        // Shutdown(write) sends FIN; the server observes EOF.
-        assert!(matches!(
-            p.handle(0, NetRequest::Shutdown { sock: s, how: 1 }),
-            NetResponse::Ok
-        ));
-        assert!(matches!(
-            net.recv(conn, solros_netdev::EndKind::Server, 16),
-            Err(solros_netdev::NetworkError::Closed)
-        ));
-    }
-
-    #[test]
-    fn round_robin_cycles() {
-        let mut rr = RoundRobin::default();
-        let meta = ConnMeta {
-            client_addr: 1,
-            port: 80,
-        };
-        let picks: Vec<_> = (0..6).map(|_| rr.pick(3, &meta)).collect();
-        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
-    }
-
-    #[test]
-    fn addr_hash_is_sticky() {
-        let mut h = AddrHash;
-        for addr in 0..50u64 {
-            let meta = ConnMeta {
-                client_addr: addr,
-                port: 80,
-            };
-            let a = h.pick(4, &meta);
-            let b = h.pick(4, &meta);
-            assert_eq!(a, b, "same client must land on the same coproc");
-            assert!(a < 4);
-        }
-    }
-
-    #[test]
-    fn least_loaded_stays_fair_under_skewed_lifetimes() {
-        // Connections landing on co-processor 0 are long-lived (never
-        // close); everywhere else they close immediately. Round-robin
-        // keeps feeding the overloaded co-processor; least-loaded must
-        // divert new work away from it.
-        let run = |lb: &mut dyn LoadBalancer, n: usize, arrivals: u64| -> Vec<u64> {
-            let mut assigned = vec![0u64; n];
-            for addr in 0..arrivals {
-                let meta = ConnMeta {
-                    client_addr: addr,
-                    port: 80,
-                };
-                let idx = lb.pick(n, &meta);
-                lb.conn_assigned(idx);
-                assigned[idx] += 1;
-                if idx != 0 {
-                    lb.conn_closed(idx);
-                }
-            }
-            assigned
-        };
-
-        let mut ll = LeastLoaded::default();
-        let fair = run(&mut ll, 3, 300);
-        // Co-processor 0 accumulates in-flight connections, so it should
-        // receive almost nothing beyond its first few picks while the
-        // siblings absorb the rest of the skewed arrival stream.
-        assert!(
-            fair[0] <= 3,
-            "least-loaded kept feeding the loaded coproc: {fair:?}"
-        );
-        assert!(
-            fair[1] >= 100 && fair[2] >= 100,
-            "siblings starved: {fair:?}"
-        );
-
-        let mut rr = RoundRobin::default();
-        let skewed = run(&mut rr, 3, 300);
-        assert_eq!(
-            skewed[0], 100,
-            "round-robin should ignore load, proving the contrast: {skewed:?}"
-        );
+    fn poll(&self) -> bool {
+        let accepted = self.poll_accepts();
+        let data = self.poll_data();
+        accepted || data
     }
 }

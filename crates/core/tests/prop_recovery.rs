@@ -136,3 +136,154 @@ proptest! {
         run_case(ops.clone());
     }
 }
+
+/// One generated request against the shared proxy engine: a valid FS or
+/// TCP op, or a frame too short to carry a header (the malformed path).
+#[derive(Debug, Clone)]
+enum EngOp {
+    Fstat(u64),
+    Write(u16),
+    BadFsFrame,
+    Socket,
+    NetClose(u64),
+    BadNetFrame,
+}
+
+fn eng_op_strategy() -> impl Strategy<Value = EngOp> {
+    prop_oneof![
+        3 => (1u64..8).prop_map(EngOp::Fstat),
+        3 => (1u16..4096).prop_map(EngOp::Write),
+        1 => Just(EngOp::BadFsFrame),
+        3 => Just(EngOp::Socket),
+        2 => (1u64..8).prop_map(EngOp::NetClose),
+        1 => Just(EngOp::BadNetFrame),
+    ]
+}
+
+/// Liveness + accounting through the shared engine, for both proxies at
+/// once: every submitted frame — valid or malformed — produces exactly
+/// one decodable reply, and the engine's ledger (`rpcs` + `malformed`)
+/// accounts for every arrival with nothing shed on the FIFO path.
+fn run_engine_case(ops: Vec<EngOp>) {
+    use solros::fs_proxy::{FsProxy, FsProxyStats};
+    use solros::tcp_proxy::{NetChannelHost, TcpProxy};
+    use solros::transport::event_ring;
+    use solros::RoundRobin;
+    use solros_fs::FileSystem;
+    use solros_nvme::NvmeDevice;
+    use solros_pcie::window::Window;
+    use solros_pcie::Side;
+    use solros_proto::net_msg::{NetRequest, NetResponse};
+
+    let fs = Arc::new(FileSystem::mkfs(NvmeDevice::new(1024), 64).unwrap());
+    let ino = fs.create("/f").unwrap();
+    let window = Window::new(1 << 16, Side::Coproc, Arc::new(PcieCounters::new()));
+    let fs_stats = Arc::new(FsProxyStats::default());
+    let proxy = FsProxy::new(fs, window, false, Arc::clone(&fs_stats));
+    let fs_ch = Channel::new(Arc::new(PcieCounters::new()));
+    let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sd = Arc::clone(&shutdown);
+    let fs_thread = std::thread::spawn(move || proxy.serve(fs_ch.req_rx, fs_ch.resp_tx, sd));
+
+    let counters = Arc::new(PcieCounters::new());
+    let net_ch = Channel::new(Arc::clone(&counters));
+    let (evt_tx, _evt_rx) = event_ring(counters);
+    let (tcp, tcp_stats) = TcpProxy::new(
+        solros_netdev::Network::new(),
+        vec![NetChannelHost {
+            req_rx: net_ch.req_rx,
+            resp_tx: net_ch.resp_tx,
+            evt_tx,
+        }],
+        Box::new(RoundRobin::default()),
+    );
+    let sd = Arc::clone(&shutdown);
+    let tcp_thread = std::thread::spawn(move || tcp.run(sd));
+
+    let (mut fs_sent, mut fs_bad, mut net_sent, mut net_bad) = (0u64, 0u64, 0u64, 0u64);
+    let mut tag = 0u32;
+    for op in &ops {
+        tag += 1;
+        match op {
+            EngOp::Fstat(delta) => {
+                fs_sent += 1;
+                let req = FsRequest::Fstat { ino: ino + delta }.encode(tag);
+                fs_ch.req_tx.send_blocking(&req).unwrap();
+            }
+            EngOp::Write(count) => {
+                fs_sent += 1;
+                let req = FsRequest::Write {
+                    ino,
+                    offset: 0,
+                    count: *count as u64,
+                    buf_addr: 0,
+                }
+                .encode(tag);
+                fs_ch.req_tx.send_blocking(&req).unwrap();
+            }
+            EngOp::BadFsFrame => {
+                fs_bad += 1;
+                fs_ch.req_tx.send_blocking(&[0xde, 0xad]).unwrap();
+            }
+            EngOp::Socket => {
+                net_sent += 1;
+                net_ch
+                    .req_tx
+                    .send_blocking(&NetRequest::Socket.encode(tag))
+                    .unwrap();
+            }
+            EngOp::NetClose(sock) => {
+                net_sent += 1;
+                let req = NetRequest::Close { sock: *sock }.encode(tag);
+                net_ch.req_tx.send_blocking(&req).unwrap();
+            }
+            EngOp::BadNetFrame => {
+                net_bad += 1;
+                net_ch.req_tx.send_blocking(&[0xbe]).unwrap();
+            }
+        }
+    }
+
+    // Every frame resolves to exactly one decodable reply — no hangs, no
+    // drops, malformed included.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let (mut fs_got, mut net_got) = (0u64, 0u64);
+    while (fs_got < fs_sent + fs_bad || net_got < net_sent + net_bad)
+        && std::time::Instant::now() < deadline
+    {
+        let mut idle = true;
+        if let Ok(frame) = fs_ch.resp_rx.recv() {
+            FsResponse::decode(&frame).expect("undecodable fs reply");
+            fs_got += 1;
+            idle = false;
+        }
+        if let Ok(frame) = net_ch.resp_rx.recv() {
+            NetResponse::decode(&frame).expect("undecodable net reply");
+            net_got += 1;
+            idle = false;
+        }
+        if idle {
+            std::thread::yield_now();
+        }
+    }
+    shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+    fs_thread.join().unwrap();
+    tcp_thread.join().unwrap();
+
+    assert_eq!((fs_got, net_got), (fs_sent + fs_bad, net_sent + net_bad));
+    let o = std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(fs_stats.rpcs.load(o), fs_sent, "fs ledger");
+    assert_eq!(fs_stats.malformed.load(o), fs_bad, "fs malformed ledger");
+    assert_eq!(tcp_stats.rpcs.load(o), net_sent, "net ledger");
+    assert_eq!(tcp_stats.malformed.load(o), net_bad, "net malformed ledger");
+    assert_eq!(fs_stats.sheds.load(o) + tcp_stats.sheds.load(o), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn engine_resolves_every_frame(ops in vec(eng_op_strategy(), 1..40)) {
+        run_engine_case(ops.clone());
+    }
+}

@@ -1,0 +1,264 @@
+//! TCP proxy handler semantics: the socket state machine, the shared
+//! listening socket, and fault containment through the shared proxy
+//! engine.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use solros::tcp_proxy::{NetChannelHost, TcpProxy, TcpProxyStats};
+use solros::transport::{event_ring, Channel, RpcClient};
+use solros::RoundRobin;
+use solros_pcie::PcieCounters;
+use solros_proto::net_msg::{NetRequest, NetResponse, SockId};
+use solros_proto::rpc_error::RpcErr;
+
+struct Rig {
+    proxy: TcpProxy,
+    stats: Arc<TcpProxyStats>,
+    network: Arc<solros_netdev::Network>,
+    clients: Vec<Arc<RpcClient>>,
+}
+
+fn proxy_with(n: usize) -> Rig {
+    let network = solros_netdev::Network::new();
+    let mut channels = Vec::new();
+    let mut clients = Vec::new();
+    for _ in 0..n {
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(Arc::clone(&counters));
+        let (evt_tx, _evt_rx) = event_ring(counters);
+        channels.push(NetChannelHost {
+            req_rx: ch.req_rx,
+            resp_tx: ch.resp_tx,
+            evt_tx,
+        });
+        clients.push(RpcClient::new(ch.req_tx, ch.resp_rx));
+    }
+    let (proxy, stats) = TcpProxy::new(
+        Arc::clone(&network),
+        channels,
+        Box::new(RoundRobin::default()),
+    );
+    Rig {
+        proxy,
+        stats,
+        network,
+        clients,
+    }
+}
+
+fn new_sock(p: &TcpProxy) -> SockId {
+    match p.handle(0, NetRequest::Socket) {
+        NetResponse::Socket { sock } => sock,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn injected_handler_panic_is_contained() {
+    // Drive the proxy through the shared engine over a real channel: the
+    // armed panic must come back as an Io error reply and the serve loop
+    // must keep going.
+    let rig = proxy_with(1);
+    rig.proxy.inject_worker_panics(1);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let sd = Arc::clone(&shutdown);
+    let proxy = rig.proxy;
+    let server = std::thread::spawn(move || proxy.run(sd));
+    let client = &rig.clients[0];
+
+    let tag = client.tag();
+    let reply = client.call(tag, NetRequest::Socket.encode(tag));
+    let (_, resp) = NetResponse::decode(&reply).unwrap();
+    assert_eq!(resp, NetResponse::Error { err: RpcErr::Io });
+
+    // The loop survives: the next request is served normally.
+    let tag = client.tag();
+    let reply = client.call(tag, NetRequest::Socket.encode(tag));
+    let (_, resp) = NetResponse::decode(&reply).unwrap();
+    assert!(matches!(resp, NetResponse::Socket { .. }), "got {resp:?}");
+
+    shutdown.store(true, Ordering::Relaxed);
+    server.join().unwrap();
+    assert_eq!(rig.stats.worker_panics.load(Ordering::Relaxed), 1);
+    assert_eq!(rig.stats.rpcs.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn socket_state_machine_rejects_bad_transitions() {
+    let rig = proxy_with(1);
+    let p = &rig.proxy;
+    let s = new_sock(p);
+    // Listen before bind.
+    assert!(matches!(
+        p.handle(
+            0,
+            NetRequest::Listen {
+                sock: s,
+                backlog: 4
+            }
+        ),
+        NetResponse::Error {
+            err: RpcErr::Invalid
+        }
+    ));
+    // Bind works once; double bind rejected.
+    assert!(matches!(
+        p.handle(0, NetRequest::Bind { sock: s, port: 80 }),
+        NetResponse::Ok
+    ));
+    assert!(matches!(
+        p.handle(0, NetRequest::Bind { sock: s, port: 81 }),
+        NetResponse::Error {
+            err: RpcErr::Invalid
+        }
+    ));
+    // Send on a non-connection.
+    assert!(matches!(
+        p.handle(
+            0,
+            NetRequest::Send {
+                sock: s,
+                data: vec![1]
+            }
+        ),
+        NetResponse::Error {
+            err: RpcErr::NotConnected
+        }
+    ));
+    // Unknown socket ids.
+    assert!(matches!(
+        p.handle(0, NetRequest::Close { sock: 9999 }),
+        NetResponse::Error {
+            err: RpcErr::NotFound
+        }
+    ));
+    // Accept on a non-listening socket.
+    assert!(matches!(
+        p.handle(0, NetRequest::Accept { sock: s }),
+        NetResponse::Error {
+            err: RpcErr::NotListening
+        }
+    ));
+    // Unknown socket option.
+    assert!(matches!(
+        p.handle(
+            0,
+            NetRequest::Setsockopt {
+                sock: s,
+                opt: 99,
+                val: 1
+            }
+        ),
+        NetResponse::Error {
+            err: RpcErr::Invalid
+        }
+    ));
+}
+
+#[test]
+fn shared_port_closes_cleanly() {
+    let rig = proxy_with(2);
+    let p = &rig.proxy;
+    let net = &rig.network;
+    // Two co-processors listen on the same port (shared socket).
+    let a = new_sock(p);
+    assert!(matches!(
+        p.handle(0, NetRequest::Bind { sock: a, port: 90 }),
+        NetResponse::Ok
+    ));
+    assert!(matches!(
+        p.handle(
+            0,
+            NetRequest::Listen {
+                sock: a,
+                backlog: 4
+            }
+        ),
+        NetResponse::Ok
+    ));
+    let b = match p.handle(1, NetRequest::Socket) {
+        NetResponse::Socket { sock } => sock,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(matches!(
+        p.handle(1, NetRequest::Bind { sock: b, port: 90 }),
+        NetResponse::Ok
+    ));
+    assert!(matches!(
+        p.handle(
+            1,
+            NetRequest::Listen {
+                sock: b,
+                backlog: 4
+            }
+        ),
+        NetResponse::Ok
+    ));
+    // Closing one listener keeps the port open for the other.
+    assert!(matches!(
+        p.handle(0, NetRequest::Close { sock: a }),
+        NetResponse::Ok
+    ));
+    assert!(net.client_connect(90, 1).is_ok(), "port still listening");
+    // Closing the last listener releases the NIC port.
+    assert!(matches!(
+        p.handle(1, NetRequest::Close { sock: b }),
+        NetResponse::Ok
+    ));
+    assert!(net.client_connect(90, 2).is_err(), "port released");
+}
+
+#[test]
+fn connect_send_recv_shutdown_via_rpc() {
+    let rig = proxy_with(1);
+    let p = &rig.proxy;
+    let net = &rig.network;
+    // An "external server" listens on the fabric.
+    net.listen(7000, 4).unwrap();
+    let s = new_sock(p);
+    assert!(matches!(
+        p.handle(
+            0,
+            NetRequest::Connect {
+                sock: s,
+                addr: 55,
+                port: 7000
+            }
+        ),
+        NetResponse::Ok
+    ));
+    let (conn, addr) = net.poll_accept(7000).unwrap().expect("pending");
+    assert_eq!(addr, 55);
+    // Outbound data flows from the machine's Client end.
+    assert!(matches!(
+        p.handle(
+            0,
+            NetRequest::Send {
+                sock: s,
+                data: b"out".to_vec()
+            }
+        ),
+        NetResponse::Sent { count: 3 }
+    ));
+    assert_eq!(
+        net.recv(conn, solros_netdev::EndKind::Server, 16).unwrap(),
+        b"out"
+    );
+    // Inbound via the Recv RPC.
+    net.send(conn, solros_netdev::EndKind::Server, b"in!")
+        .unwrap();
+    match p.handle(0, NetRequest::Recv { sock: s, max: 16 }) {
+        NetResponse::Data { data } => assert_eq!(data, b"in!"),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Shutdown(write) sends FIN; the server observes EOF.
+    assert!(matches!(
+        p.handle(0, NetRequest::Shutdown { sock: s, how: 1 }),
+        NetResponse::Ok
+    ));
+    assert!(matches!(
+        net.recv(conn, solros_netdev::EndKind::Server, 16),
+        Err(solros_netdev::NetworkError::Closed)
+    ));
+}

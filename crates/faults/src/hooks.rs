@@ -1,0 +1,96 @@
+//! Engine-level injection hooks.
+//!
+//! The proxy engine owns panic containment and reply settlement for every
+//! control-plane proxy, so the injectors that used to live inside each
+//! proxy ([`crate::FaultKind::WorkerPanic`], the stub-crash reply drop)
+//! now arm one shared [`EngineFaults`] and both proxies get them for
+//! free. All counters are atomic: experiment drivers arm from the control
+//! thread while engine workers consume.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared injection state consumed by the proxy engine's dispatch and
+/// settle stages.
+#[derive(Debug, Default)]
+pub struct EngineFaults {
+    worker_panics: AtomicU64,
+    dropped_replies: AtomicU64,
+}
+
+impl EngineFaults {
+    /// A disarmed hook set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the next `n` request executions to panic mid-handler; the
+    /// engine's containment must convert each into an `Io` error reply.
+    pub fn arm_worker_panics(&self, n: u64) {
+        self.worker_panics.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Consumes one armed worker panic, returning true when the current
+    /// execution should blow up.
+    pub fn take_worker_panic(&self) -> bool {
+        take_one(&self.worker_panics)
+    }
+
+    /// Arms the engine to discard the next `n` replies instead of posting
+    /// them — modeling a crashed/disconnected stub whose response link is
+    /// gone; client-side deadline detection must recover the tags.
+    pub fn arm_dropped_replies(&self, n: u64) {
+        self.dropped_replies.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Consumes one armed reply drop, returning true when the reply about
+    /// to be posted should vanish.
+    pub fn take_dropped_reply(&self) -> bool {
+        take_one(&self.dropped_replies)
+    }
+
+    /// Remaining armed worker panics (visible for test assertions).
+    pub fn armed_worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::SeqCst)
+    }
+
+    /// Remaining armed reply drops.
+    pub fn armed_dropped_replies(&self) -> u64 {
+        self.dropped_replies.load(Ordering::SeqCst)
+    }
+}
+
+/// Decrements `counter` if positive; true when a charge was consumed.
+fn take_one(counter: &AtomicU64) -> bool {
+    counter
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_charges_are_consumed_exactly() {
+        let f = EngineFaults::new();
+        assert!(!f.take_worker_panic(), "disarmed");
+        f.arm_worker_panics(2);
+        assert!(f.take_worker_panic());
+        assert_eq!(f.armed_worker_panics(), 1);
+        assert!(f.take_worker_panic());
+        assert!(!f.take_worker_panic(), "charges spent");
+
+        f.arm_dropped_replies(1);
+        assert!(f.take_dropped_reply());
+        assert!(!f.take_dropped_reply());
+        assert_eq!(f.armed_dropped_replies(), 0);
+    }
+
+    #[test]
+    fn hooks_are_independent() {
+        let f = EngineFaults::new();
+        f.arm_worker_panics(1);
+        assert!(!f.take_dropped_reply());
+        assert!(f.take_worker_panic());
+    }
+}

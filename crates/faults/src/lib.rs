@@ -29,6 +29,10 @@
 //! }
 //! ```
 
+pub mod hooks;
+
+pub use hooks::EngineFaults;
+
 use std::fmt;
 
 use solros_simkit::DetRng;
@@ -59,8 +63,8 @@ pub enum FaultKind {
     /// (`NvmeDevice::inject_queue_full`).
     NvmeQueueFull,
     /// A proxy worker thread panics mid-request
-    /// (`FsProxy::inject_worker_panics`); containment must convert it
-    /// into an `Io` error reply.
+    /// ([`EngineFaults::arm_worker_panics`]); the proxy engine's
+    /// containment must convert it into an `Io` error reply.
     WorkerPanic,
     /// A co-processor stub stops draining its rings (crash/disconnect);
     /// detection is by deadline, recovery by link reset.

@@ -176,6 +176,12 @@ impl FsRequest {
     /// Decodes a request frame, returning `(tag, request)`.
     pub fn decode(buf: &[u8]) -> Result<(u32, FsRequest), ProtoError> {
         let f = decode_frame(buf)?;
+        Ok((f.tag, Self::from_frame(&f)?))
+    }
+
+    /// Decodes the request body of an already-parsed frame, so admission
+    /// paths that need the header metadata parse each frame exactly once.
+    pub fn from_frame(f: &crate::codec::Frame<'_>) -> Result<FsRequest, ProtoError> {
         let mut r = Reader::new(f.body);
         let req = match f.msg_type {
             T_OPEN => {
@@ -220,7 +226,7 @@ impl FsRequest {
             _ => return Err(ProtoError::BadType),
         };
         r.finish()?;
-        Ok((f.tag, req))
+        Ok(req)
     }
 }
 

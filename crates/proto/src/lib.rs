@@ -16,11 +16,13 @@
 //! Frames are length-prefixed, tagged (so concurrent co-processor threads
 //! can share one ring and match replies), and hand-packed little-endian.
 
+pub mod admission;
 pub mod codec;
 pub mod fs_msg;
 pub mod net_msg;
 pub mod rpc_error;
 
+pub use admission::{AdmitRequest, AdmittedFrame};
 pub use codec::{Frame, ProtoError};
 pub use fs_msg::{FsRequest, FsResponse};
 pub use net_msg::{NetEvent, NetRequest, NetResponse};

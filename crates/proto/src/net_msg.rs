@@ -136,6 +136,12 @@ impl NetRequest {
     /// Decodes a request frame, returning `(tag, request)`.
     pub fn decode(buf: &[u8]) -> Result<(u32, NetRequest), ProtoError> {
         let f = decode_frame(buf)?;
+        Ok((f.tag, Self::from_frame(&f)?))
+    }
+
+    /// Decodes the request body of an already-parsed frame, so admission
+    /// paths that need the header metadata parse each frame exactly once.
+    pub fn from_frame(f: &crate::codec::Frame<'_>) -> Result<NetRequest, ProtoError> {
         let mut r = Reader::new(f.body);
         let req = match f.msg_type {
             T_SOCKET => NetRequest::Socket,
@@ -174,7 +180,7 @@ impl NetRequest {
             _ => return Err(ProtoError::BadType),
         };
         r.finish()?;
-        Ok((f.tag, req))
+        Ok(req)
     }
 }
 

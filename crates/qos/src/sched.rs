@@ -126,6 +126,24 @@ struct Flow<T> {
     bytes: TokenBucket,
     queue: VecDeque<Queued<T>>,
     deficit: u64,
+    /// Weights inherited from waiters via [`DwrrScheduler::promote_flow`],
+    /// newest last. Non-empty = promoted.
+    inherited: Vec<u32>,
+}
+
+impl<T> Flow<T> {
+    /// DWRR weight in force: the spec weight, or the strongest inherited
+    /// weight while promoted.
+    fn weight(&self) -> u32 {
+        self.inherited
+            .iter()
+            .copied()
+            .fold(self.spec.weight, u32::max)
+    }
+
+    fn promoted(&self) -> bool {
+        !self.inherited.is_empty()
+    }
 }
 
 /// Deficit-weighted round-robin scheduler over a fixed set of flows.
@@ -159,6 +177,7 @@ impl<T> DwrrScheduler<T> {
                 bytes: TokenBucket::new(spec.bytes_per_sec, spec.burst_bytes.max(1)),
                 queue: VecDeque::new(),
                 deficit: 0,
+                inherited: Vec::new(),
                 spec,
             })
             .collect();
@@ -236,11 +255,42 @@ impl<T> DwrrScheduler<T> {
         free.clamp(1, 255) as u8
     }
 
+    /// Priority inheritance (the waiter side of a lock-holder protocol):
+    /// `flow` inherits `waiter`'s current effective weight — and, while
+    /// promoted, immunity from overload shedding — so work queued behind
+    /// a resource the waiter needs drains at the waiter's priority.
+    ///
+    /// Promotions nest: each call pushes one inherited weight and the
+    /// strongest one wins; each [`DwrrScheduler::demote_flow`] releases
+    /// the most recent. A flow with an empty promotion stack behaves
+    /// exactly as its spec describes (restore-on-release).
+    pub fn promote_flow(&mut self, flow: usize, waiter: usize) {
+        let w = self.effective_weight(waiter);
+        self.flows[flow].inherited.push(w);
+    }
+
+    /// Releases the most recent promotion of `flow`; a no-op when the
+    /// flow is not promoted.
+    pub fn demote_flow(&mut self, flow: usize) {
+        self.flows[flow].inherited.pop();
+    }
+
+    /// True while `flow` carries at least one inherited weight.
+    pub fn is_promoted(&self, flow: usize) -> bool {
+        self.flows[flow].promoted()
+    }
+
+    /// The DWRR weight currently in force for `flow` (spec weight, or the
+    /// strongest inherited weight while promoted).
+    pub fn effective_weight(&self, flow: usize) -> u32 {
+        self.flows[flow].weight()
+    }
+
     /// Offers a request of `bytes` payload to `flow` at time `now_ns`.
     pub fn submit(&mut self, flow: usize, bytes: u64, now_ns: u64, item: T) -> Verdict<T> {
         let overloaded = self.overloaded();
         let f = &mut self.flows[flow];
-        if overloaded && f.spec.sheddable {
+        if overloaded && f.spec.sheddable && !f.promoted() {
             self.stats.on_shed(flow, false);
             return Verdict::Shed {
                 item,
@@ -290,7 +340,7 @@ impl<T> DwrrScheduler<T> {
             if self.fresh_turn {
                 f.deficit = f
                     .deficit
-                    .saturating_add(f.spec.weight as u64 * self.quantum_bytes);
+                    .saturating_add(f.weight() as u64 * self.quantum_bytes);
                 self.fresh_turn = false;
             }
             // Deadline check happens before cost accounting: expired work
@@ -326,7 +376,7 @@ impl<T> DwrrScheduler<T> {
             if within_deficit {
                 // Rate-limited: yield the turn but keep no banked deficit
                 // beyond one quantum's worth of headroom.
-                f.deficit = f.deficit.min(f.spec.weight as u64 * self.quantum_bytes);
+                f.deficit = f.deficit.min(f.weight() as u64 * self.quantum_bytes);
             } else {
                 // Deficit exhausted for this turn; it carries over so a
                 // large head request eventually accumulates enough.
@@ -486,6 +536,94 @@ mod tests {
         assert!(matches!(
             s.dispatch(1_000_000),
             Dispatch::Run { item: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn promotion_shifts_dispatch_shares() {
+        // Weight 1 vs 3: unpromoted, flow 0 gets ~1/4 of the service.
+        let mut s: DwrrScheduler<u32> = DwrrScheduler::new(
+            vec![
+                spec("be", QosClass::BestEffort, 1),
+                spec("norm", QosClass::Normal, 3),
+                spec("hi", QosClass::High, 12),
+            ],
+            1024,
+            usize::MAX,
+        );
+        for i in 0..400 {
+            assert!(matches!(s.submit(0, 1024, 0, i), Verdict::Admitted));
+            assert!(matches!(s.submit(1, 1024, 0, i), Verdict::Admitted));
+        }
+        // Flow 0 inherits the high flow's weight (12) while it waits.
+        s.promote_flow(0, 2);
+        assert!(s.is_promoted(0));
+        assert_eq!(s.effective_weight(0), 12);
+        let mut served = [0u32; 2];
+        for _ in 0..400 {
+            match s.dispatch(0) {
+                Dispatch::Run { flow, .. } => served[flow] += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // 12:3 in force → the promoted best-effort flow now dominates.
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!((3.0..=5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn nested_waiters_keep_strongest_until_fully_demoted() {
+        let mut s: DwrrScheduler<u32> = DwrrScheduler::new(
+            vec![
+                spec("be", QosClass::BestEffort, 1),
+                spec("norm", QosClass::Normal, 4),
+                spec("hi", QosClass::High, 16),
+            ],
+            1024,
+            usize::MAX,
+        );
+        // Two waiters pile onto the same holder: normal first, then high.
+        s.promote_flow(0, 1);
+        s.promote_flow(0, 2);
+        assert_eq!(s.effective_weight(0), 16);
+        // Releasing one waiter keeps the strongest remaining inheritance.
+        s.demote_flow(0);
+        assert!(s.is_promoted(0));
+        assert_eq!(s.effective_weight(0), 4);
+        // Promotion chains transitively: a holder promoted by an already
+        // promoted flow inherits the effective (not spec) weight.
+        s.promote_flow(1, 0);
+        assert_eq!(s.effective_weight(1), 4);
+        s.demote_flow(1);
+        s.demote_flow(0);
+        assert!(!s.is_promoted(0));
+        assert_eq!(s.effective_weight(0), 1);
+    }
+
+    #[test]
+    fn demotion_restores_spec_weight_and_shedding() {
+        let mut be = spec("be", QosClass::BestEffort, 1);
+        be.sheddable = true;
+        let hi = spec("hi", QosClass::High, 8);
+        let mut s: DwrrScheduler<u32> = DwrrScheduler::new(vec![hi, be], 1024, 4);
+        for i in 0..4 {
+            assert!(matches!(s.submit(0, 1, 0, i), Verdict::Admitted));
+        }
+        assert!(s.overloaded());
+        // Promoted flows ride out overload: their backlog is the very
+        // thing a high-class waiter is blocked on.
+        s.promote_flow(1, 0);
+        assert!(matches!(s.submit(1, 1, 0, 50), Verdict::Admitted));
+        // Restore-on-release: spec weight and sheddability come back.
+        s.demote_flow(1);
+        assert!(!s.is_promoted(1));
+        assert_eq!(s.effective_weight(1), 1);
+        assert!(matches!(
+            s.submit(1, 1, 0, 51),
+            Verdict::Shed {
+                reason: ShedReason::Overload,
+                ..
+            }
         ));
     }
 
