@@ -4,11 +4,13 @@
 //! only the QoS overload experiment, `extensions e3-engine` the same
 //! overload driven end-to-end through the shared proxy engine,
 //! `extensions e4` only the queue-depth sweep, and `extensions e5` the
-//! fault-injection recovery sweep — the cheap ones CI runs as smoke
-//! tests. The `e5` arm exits nonzero if any scenario leaves a hung tag,
-//! leaks a credit, or blows its recovery-latency bound; `e3-engine`
-//! exits nonzero if any shed is charged to a paced flow. Both double as
-//! robustness gates.
+//! fault-injection recovery sweep, and `extensions e6` the extent-lease
+//! data plane — the cheap ones CI runs as smoke tests. The `e5` arm
+//! exits nonzero if any scenario leaves a hung tag, leaks a credit, or
+//! blows its recovery-latency bound; `e3-engine` exits nonzero if any
+//! shed is charged to a paced flow; `e6` exits nonzero on a stale
+//! generation read, a dirty recall ledger, or a leased hot loop that
+//! still pays per-op RPCs. All double as robustness gates.
 
 fn main() {
     let only = std::env::args().nth(1);
@@ -64,10 +66,39 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("e6") => {
+            // Extent-lease data plane; exits nonzero on any silently
+            // stale read, a dirty recall ledger, or a leased hot loop
+            // that still pays per-op RPCs.
+            let o = solros_bench::extensions::lease_data_plane();
+            print!("## E6 — extent-lease data plane\n\n{}", o.report);
+            let mut failed = false;
+            if o.stale_generation_reads > 0 {
+                eprintln!(
+                    "E6 FAIL: {} stale-generation reads (must be 0)",
+                    o.stale_generation_reads
+                );
+                failed = true;
+            }
+            if !o.ledger_clean {
+                eprintln!("E6 FAIL: recall ledger dirty at quiescence");
+                failed = true;
+            }
+            if o.leased_rpcs_per_op >= 0.05 {
+                eprintln!(
+                    "E6 FAIL: leased hot reads cost {:.3} RPCs/op (want ~0)",
+                    o.leased_rpcs_per_op
+                );
+                failed = true;
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        }
         Some(other) => {
             eprintln!(
                 "unknown experiment {other:?}; expected `e3`, `e3-engine`, `e4`, `e5`, \
-                 or no argument"
+                 `e6`, or no argument"
             );
             std::process::exit(2);
         }

@@ -12,9 +12,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use solros_fs::FileSystem;
+use solros_lease::{LeaseManager, LeaseTable};
 use solros_machine::{Machine, MachineConfig};
 use solros_netdev::Network;
-use solros_qos::{CreditPool, DwrrScheduler, QosConfig, QosStats};
+use solros_qos::{CreditPool, DwrrScheduler, QosClass, QosConfig, QosStats};
 
 use crate::fs_api::CoprocFs;
 use crate::fs_proxy::{FsProxy, FsProxyStats};
@@ -49,6 +50,7 @@ pub struct Solros {
     tcp_stats: Arc<TcpProxyStats>,
     fs_qos_stats: Vec<Arc<QosStats>>,
     tcp_qos_stats: Option<Arc<QosStats>>,
+    lease_mgr: Arc<LeaseManager>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -125,24 +127,34 @@ impl Solros {
             }
         };
 
+        // One lease control plane for the whole system: every proxy
+        // grants and recalls against the same books, so a grant made for
+        // one co-processor defers conflicting RPCs arriving at another.
+        let lease_mgr = Arc::new(LeaseManager::new());
+
         for coproc in &machine.coprocs {
             // ---- File-system service ----
             let fs_ch = Channel::new(Arc::clone(&coproc.counters));
             let stats = Arc::new(FsProxyStats::default());
             fs_stats.push(Arc::clone(&stats));
-            let proxy = FsProxy::new(
+            let mut proxy = FsProxy::new(
                 Arc::clone(&fs),
                 Arc::clone(&coproc.window),
                 machine.ssd_p2p_crosses_numa(coproc.id),
                 stats,
             );
+            proxy.set_lease_manager(Arc::clone(&lease_mgr), coproc.id);
             let sd = Arc::clone(&shutdown);
             let (req_rx, resp_tx) = (fs_ch.req_rx, fs_ch.resp_tx);
             let builder =
                 std::thread::Builder::new().name(format!("solros-fs-proxy-{}", coproc.id));
             let handle = if qos.enabled {
                 let gate = DwrrScheduler::per_class(&format!("fs{}", coproc.id), &qos);
-                fs_qos_stats.push(gate.stats());
+                let gate_stats = gate.stats();
+                fs_qos_stats.push(Arc::clone(&gate_stats));
+                // Leased bypass bytes are charged to the bulk-data flow
+                // so zero-RPC traffic cannot evade tenant accounting.
+                proxy.set_lease_charge(gate_stats, QosClass::BestEffort.index());
                 builder
                     .spawn(move || proxy.serve_qos(req_rx, resp_tx, sd, gate))
                     .expect("spawn fs proxy")
@@ -162,11 +174,18 @@ impl Solros {
             fs_client.set_error_encoder(|tag, err| {
                 solros_proto::fs_msg::FsResponse::Error { err }.encode(tag)
             });
-            let coproc_fs = Arc::new(CoprocFs::new(
+            let mut coproc_fs = CoprocFs::new(
                 fs_client,
                 Arc::clone(&coproc.window),
                 Arc::clone(&coproc.alloc),
-            ));
+            );
+            coproc_fs.set_lease_table(Arc::new(LeaseTable::new(
+                Arc::clone(&machine.nvme),
+                Arc::clone(&coproc.window),
+                Arc::clone(&coproc.alloc),
+                Arc::clone(&lease_mgr),
+            )));
+            let coproc_fs = Arc::new(coproc_fs);
 
             // ---- Network service ----
             let net_ch = Channel::new(Arc::clone(&coproc.counters));
@@ -220,6 +239,7 @@ impl Solros {
             tcp_stats,
             fs_qos_stats,
             tcp_qos_stats,
+            lease_mgr,
             shutdown,
             threads,
         }
@@ -274,6 +294,12 @@ impl Solros {
     /// QoS ledger for the TCP proxy's gate, or `None` when pass-through.
     pub fn tcp_qos_stats(&self) -> Option<&Arc<QosStats>> {
         self.tcp_qos_stats.as_ref()
+    }
+
+    /// The system-wide extent-lease control plane (ledger, fault hooks,
+    /// recall budget).
+    pub fn lease_manager(&self) -> &Arc<LeaseManager> {
+        &self.lease_mgr
     }
 
     /// Stops all proxy threads and joins them.

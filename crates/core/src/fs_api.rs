@@ -16,6 +16,7 @@
 
 use std::sync::Arc;
 
+use solros_lease::{BatchIo, LeaseIo, LeaseTable};
 use solros_machine::WindowAlloc;
 use solros_nvme::BLOCK_SIZE;
 use solros_pcie::window::{Window, WindowHandle};
@@ -46,6 +47,9 @@ pub struct CoprocFs {
     client: Arc<RpcClient>,
     window: Arc<Window>,
     alloc: Arc<WindowAlloc>,
+    /// The extent-lease fast path: when a valid lease covers a range,
+    /// `read_at`/`write_at` go straight to the NVMe queues — zero RPCs.
+    lease: Option<Arc<LeaseTable>>,
 }
 
 impl CoprocFs {
@@ -56,7 +60,77 @@ impl CoprocFs {
             client,
             window,
             alloc,
+            lease: None,
         }
+    }
+
+    /// Installs the stub-side lease table (boot path).
+    pub fn set_lease_table(&mut self, table: Arc<LeaseTable>) {
+        self.lease = Some(table);
+    }
+
+    /// The stub-side lease table, when the boot path installed one.
+    pub fn lease_table(&self) -> Option<&Arc<LeaseTable>> {
+        self.lease.as_ref()
+    }
+
+    /// Acquires an extent lease over `[offset, offset + len)` of `f` so
+    /// subsequent `read_at`/`write_at` in the range bypass the proxy
+    /// entirely. Returns `Ok(true)` when the lease is live, `Ok(false)`
+    /// when the proxy declined (bad placement, conflicting holder) or no
+    /// lease table is installed — the caller keeps working through the
+    /// RPC path either way.
+    pub fn lease_range(
+        &self,
+        f: FileHandle,
+        offset: u64,
+        len: u64,
+        write: bool,
+    ) -> Result<bool, RpcErr> {
+        let Some(table) = &self.lease else {
+            return Ok(false);
+        };
+        // One lease per inode on the stub: give back the old mapping
+        // before asking for a new one (self-recall would stall 5 ms).
+        if let Some((id, written_end)) = table.take_release(f.0) {
+            self.call(FsRequest::LeaseRelease { id, written_end });
+        }
+        match self.call(FsRequest::LeaseAcquire {
+            ino: f.0,
+            offset,
+            len,
+            write,
+        }) {
+            FsResponse::LeaseGrant { id, generation, .. } => Ok(table.adopt(id, f.0, generation)),
+            FsResponse::Error {
+                err: RpcErr::WouldBlock | RpcErr::Overloaded,
+            } => Ok(false),
+            FsResponse::Error { err } => Err(err),
+            _ => Err(RpcErr::Io),
+        }
+    }
+
+    /// Voluntarily releases the lease on `f`, reporting the write
+    /// high-water mark so the proxy makes leased writes visible.
+    pub fn lease_release(&self, f: FileHandle) -> Result<(), RpcErr> {
+        let Some(table) = &self.lease else {
+            return Ok(());
+        };
+        if let Some((id, written_end)) = table.take_release(f.0) {
+            match self.call(FsRequest::LeaseRelease { id, written_end }) {
+                FsResponse::Ok => Ok(()),
+                FsResponse::Error { err } => Err(err),
+                _ => Err(RpcErr::Io),
+            }
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Acknowledges a recall the lease table detected, giving the lease
+    /// back over the wire before the conflicting operation proceeds.
+    fn ack_recall(&self, id: u64, written_end: u64) {
+        self.call(FsRequest::LeaseRecallAck { id, written_end });
     }
 
     fn local(&self) -> WindowHandle {
@@ -103,9 +177,20 @@ impl CoprocFs {
     }
 
     /// Reads into `buf` at `offset`; returns bytes read (short at EOF).
+    ///
+    /// When a valid lease covers the range the read is serviced directly
+    /// against the NVMe queues with zero RPCs; a recalled or stale lease
+    /// is acked and the read falls back to the proxy path.
     pub fn read_at(&self, f: FileHandle, offset: u64, buf: &mut [u8]) -> Result<usize, RpcErr> {
         if buf.is_empty() {
             return Ok(0);
+        }
+        if let Some(table) = &self.lease {
+            match table.read_at(f.0, offset, buf) {
+                LeaseIo::Done(n) => return Ok(n),
+                LeaseIo::RecallAck { id, written_end } => self.ack_recall(id, written_end),
+                LeaseIo::Fallback => {}
+            }
         }
         // Round up so a block-granular P2P transfer cannot overrun.
         let alloc_len = buf.len().div_ceil(BLOCK_SIZE) * BLOCK_SIZE + BLOCK_SIZE;
@@ -140,10 +225,55 @@ impl CoprocFs {
         Ok(v)
     }
 
+    /// Reads several `(offset, len)` ranges of one file at once.
+    ///
+    /// Under a valid lease the whole batch becomes a single vectored
+    /// NVMe submission — one doorbell, one interrupt, zero RPCs;
+    /// otherwise the ranges go through the RPC pipeline as one in-flight
+    /// [`Batch`]. Results are in request order, short at EOF.
+    pub fn read_at_batch(
+        &self,
+        f: FileHandle,
+        reqs: &[(u64, usize)],
+    ) -> Result<Vec<Vec<u8>>, RpcErr> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if let Some(table) = &self.lease {
+            match table.read_batch(f.0, reqs) {
+                BatchIo::Done(out) => return Ok(out),
+                BatchIo::RecallAck { id, written_end } => self.ack_recall(id, written_end),
+                BatchIo::Fallback => {}
+            }
+        }
+        let mut b = self.batch();
+        for &(offset, len) in reqs {
+            b = b.read(f, offset, len);
+        }
+        b.run()
+            .into_iter()
+            .map(|r| match r {
+                BatchResult::Read(r) => r,
+                BatchResult::Write(_) => Err(RpcErr::Io),
+            })
+            .collect()
+    }
+
     /// Writes `data` at `offset`; returns bytes written.
+    ///
+    /// A valid *write* lease covering the range places the bytes into
+    /// the preallocated extents directly — zero RPCs; the proxy learns
+    /// the new size when the lease settles.
     pub fn write_at(&self, f: FileHandle, offset: u64, data: &[u8]) -> Result<usize, RpcErr> {
         if data.is_empty() {
             return Ok(0);
+        }
+        if let Some(table) = &self.lease {
+            match table.write_at(f.0, offset, data) {
+                LeaseIo::Done(n) => return Ok(n),
+                LeaseIo::RecallAck { id, written_end } => self.ack_recall(id, written_end),
+                LeaseIo::Fallback => {}
+            }
         }
         let alloc_len = data.len().div_ceil(BLOCK_SIZE) * BLOCK_SIZE;
         let off = self.alloc.alloc(alloc_len).ok_or(RpcErr::NoSpace)?;

@@ -32,16 +32,19 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use solros_faults::EngineFaults;
 use solros_fs::{FileSystem, FsError};
+use solros_lease::{LeaseError, LeaseKind, LeaseManager, SettledLease};
 use solros_nvme::{DmaPtr, NvmeCommand, NvmeError, BLOCK_SIZE};
 use solros_pcie::window::Window;
 use solros_pcie::Side;
 use solros_proto::codec::stamp_credit;
 use solros_proto::fs_msg::{FsRequest, FsResponse};
 use solros_proto::rpc_error::RpcErr;
-use solros_qos::{DwrrScheduler, QosClass};
+use solros_qos::{DwrrScheduler, QosClass, QosStats};
 use solros_ringbuf::{Consumer, Producer};
 
-use crate::proxy_engine::{Access, EngineLane, GateJob, OpHandler, ProxyEngine, ProxyStats};
+use crate::proxy_engine::{
+    Access, EngineLane, ExternalHolds, GateJob, OpHandler, ProxyEngine, ProxyStats,
+};
 use crate::retry::RetryPolicy;
 
 pub use crate::proxy_engine::DRAIN_BURST;
@@ -69,6 +72,11 @@ pub struct FsProxyStats {
     pub buffered_writes: AtomicU64,
     /// Pages warmed by sequential readahead (§4.3.2).
     pub prefetched_pages: AtomicU64,
+    /// RPC reads that arrived while the inode carried an extent lease —
+    /// the stub fell back to the proxy path instead of going P2P direct.
+    pub lease_fallback_reads: AtomicU64,
+    /// RPC writes that arrived while the inode carried an extent lease.
+    pub lease_fallback_writes: AtomicU64,
 }
 
 impl Deref for FsProxyStats {
@@ -135,6 +143,17 @@ pub struct FsProxy {
     /// The current wave of coalesced P2P reads, staged via
     /// [`OpHandler::stage`] and settled at [`OpHandler::flush`].
     wave: Mutex<Wave>,
+    /// The extent-lease control plane, shared across every proxy when
+    /// the boot path wires one system (each proxy grants and recalls
+    /// against the same books).
+    lease_mgr: Arc<LeaseManager>,
+    /// This engine's external-hold table; registered as a recall sink so
+    /// every grant anywhere defers conflicting RPC traffic here.
+    holds: Arc<ExternalHolds>,
+    /// Co-processor id stamped on grants made through this proxy.
+    coproc: u8,
+    /// QoS ledger and flow leased bypass bytes are charged to.
+    lease_charge: Mutex<Option<(Arc<QosStats>, usize)>>,
 }
 
 impl FsProxy {
@@ -145,6 +164,9 @@ impl FsProxy {
         crosses_numa: bool,
         stats: Arc<FsProxyStats>,
     ) -> Self {
+        let lease_mgr = Arc::new(LeaseManager::new());
+        let holds = Arc::new(ExternalHolds::new());
+        lease_mgr.attach_sink(Arc::clone(&holds) as Arc<dyn solros_lease::RecallSink>);
         Self {
             fs,
             coproc_window,
@@ -155,12 +177,37 @@ impl FsProxy {
             last_read_end: Mutex::new(HashMap::new()),
             readahead_pages: 8,
             wave: Mutex::new(Wave::default()),
+            lease_mgr,
+            holds,
+            coproc: 0,
+            lease_charge: Mutex::new(None),
         }
     }
 
     /// Overrides the sequential readahead depth (pages; 0 disables).
     pub fn set_readahead(&mut self, pages: u64) {
         self.readahead_pages = pages;
+    }
+
+    /// Shares a system-wide lease manager (boot path: one manager, N
+    /// proxies) and records this proxy's co-processor id. The proxy's
+    /// hold table re-registers with the shared manager so grants made by
+    /// *any* proxy defer conflicting RPC traffic arriving here.
+    pub fn set_lease_manager(&mut self, mgr: Arc<LeaseManager>, coproc: u8) {
+        mgr.attach_sink(Arc::clone(&self.holds) as Arc<dyn solros_lease::RecallSink>);
+        self.lease_mgr = mgr;
+        self.coproc = coproc;
+    }
+
+    /// The lease control plane this proxy grants against.
+    pub fn lease_manager(&self) -> Arc<LeaseManager> {
+        Arc::clone(&self.lease_mgr)
+    }
+
+    /// Charges leased bypass bytes to a QoS flow (tenant accounting for
+    /// traffic that never crosses the gate).
+    pub fn set_lease_charge(&mut self, stats: Arc<QosStats>, flow: usize) {
+        *self.lease_charge.lock() = Some((stats, flow));
     }
 
     /// The engine-level fault hooks this proxy serves with.
@@ -286,10 +333,19 @@ impl FsProxy {
                 },
                 Err(e) => FsResponse::Error { err: rpc_err(e) },
             },
-            FsRequest::Unlink { path } => match self.fs.unlink(&path) {
-                Ok(()) => FsResponse::Ok,
-                Err(e) => FsResponse::Error { err: rpc_err(e) },
-            },
+            FsRequest::Unlink { path } => {
+                // Unlink names the file by path: settle any lease on the
+                // victim before its blocks go back to the allocator.
+                if let Ok(st) = self.fs.stat(&path) {
+                    if self.lease_mgr.has_lease(st.ino) {
+                        self.recall_all_sync(st.ino);
+                    }
+                }
+                match self.fs.unlink(&path) {
+                    Ok(()) => FsResponse::Ok,
+                    Err(e) => FsResponse::Error { err: rpc_err(e) },
+                }
+            }
             FsRequest::Mkdir { path } => match self.fs.mkdir(&path) {
                 Ok(ino) => FsResponse::Mkdir { ino },
                 Err(e) => FsResponse::Error { err: rpc_err(e) },
@@ -302,14 +358,128 @@ impl FsProxy {
                 Ok(()) => FsResponse::Ok,
                 Err(e) => FsResponse::Error { err: rpc_err(e) },
             },
-            FsRequest::Truncate { ino, size } => match self.fs.truncate(ino, size) {
-                Ok(()) => FsResponse::Ok,
-                Err(e) => FsResponse::Error { err: rpc_err(e) },
-            },
+            FsRequest::Truncate { ino, size } => {
+                // The engine parks truncates behind leased inodes, but
+                // direct callers get the same coherence: settle first so
+                // no stale extent map outlives the shrink.
+                if self.lease_mgr.has_lease(ino) {
+                    self.recall_all_sync(ino);
+                }
+                match self.fs.truncate(ino, size) {
+                    Ok(()) => FsResponse::Ok,
+                    Err(e) => FsResponse::Error { err: rpc_err(e) },
+                }
+            }
             FsRequest::Fsync { ino } => match self.fs.fsync(ino) {
                 Ok(()) => FsResponse::Ok,
                 Err(e) => FsResponse::Error { err: rpc_err(e) },
             },
+            FsRequest::LeaseAcquire {
+                ino,
+                offset,
+                len,
+                write,
+            } => self.do_lease_acquire(ino, offset, len, write),
+            FsRequest::LeaseRelease { id, written_end } => {
+                self.do_lease_settle(id, written_end, true)
+            }
+            FsRequest::LeaseRecallAck { id, written_end } => {
+                self.do_lease_settle(id, written_end, false)
+            }
+        }
+    }
+
+    /// Grants an extent lease over `[offset, offset + len)` of `ino`.
+    ///
+    /// Placement comes first: when this proxy's P2P path crosses a NUMA
+    /// boundary the whole point of the lease (direct NVMe DMA) is lost,
+    /// so the grant is refused and the stub stays on the RPC path.
+    /// Conflicting leases held elsewhere are recalled synchronously —
+    /// the acquire is itself the "conflicting access" of the recall
+    /// protocol — and the range is pre-resolved (write leases:
+    /// preallocated) so the holder never needs another RPC.
+    fn do_lease_acquire(&self, ino: u64, offset: u64, len: u64, write: bool) -> FsResponse {
+        let bs = BLOCK_SIZE as u64;
+        if self.crosses_numa {
+            self.lease_mgr.note_placement_denied();
+            return FsResponse::Error {
+                err: RpcErr::WouldBlock,
+            };
+        }
+        if len == 0 || !offset.is_multiple_of(bs) {
+            return FsResponse::Error {
+                err: RpcErr::Invalid,
+            };
+        }
+        let len = len.div_ceil(bs) * bs;
+        for s in self.lease_mgr.recall_range_sync(ino, offset, len, write) {
+            self.apply_settled(&s);
+        }
+        let (extents, data_end) = match self.fs.resolve_lease_extents(ino, offset, len, write) {
+            Ok(r) => r,
+            Err(e) => return FsResponse::Error { err: rpc_err(e) },
+        };
+        let kind = if write {
+            LeaseKind::Write
+        } else {
+            LeaseKind::Read
+        };
+        let charge = self.lease_charge.lock().clone();
+        match self.lease_mgr.grant(
+            self.coproc,
+            ino,
+            offset,
+            len,
+            kind,
+            extents,
+            data_end,
+            charge,
+        ) {
+            Ok(st) => FsResponse::LeaseGrant {
+                id: st.id(),
+                generation: st.generation(),
+                data_end: st.readable_end(),
+                extents: st.extents().iter().map(|e| (e.start, e.len)).collect(),
+            },
+            Err(LeaseError::Busy) => FsResponse::Error {
+                err: RpcErr::WouldBlock,
+            },
+            Err(_) => FsResponse::Error {
+                err: RpcErr::Invalid,
+            },
+        }
+    }
+
+    /// Settles a lease the holder gave back — voluntarily
+    /// (`LeaseRelease`) or as a recall ack (`LeaseRecallAck`). Both are
+    /// idempotent against the sweep force-revoking first.
+    fn do_lease_settle(&self, id: u64, written_end: u64, voluntary: bool) -> FsResponse {
+        if let Some(s) = self.lease_mgr.settle_wire(id, written_end, voluntary) {
+            self.apply_settled(&s);
+        }
+        FsResponse::Ok
+    }
+
+    /// Applies one settled lease to the control plane: leased writes
+    /// become visible (size extension + cache invalidation over the
+    /// bypassed range) and the external holds free, unparking deferred
+    /// RPC jobs on every engine.
+    fn apply_settled(&self, s: &SettledLease) {
+        if s.kind == LeaseKind::Write && s.written_end > 0 {
+            let _ = self.fs.extend_size(s.ino, s.written_end);
+            let bs = BLOCK_SIZE as u64;
+            for page in s.offset / bs..s.written_end.div_ceil(bs) {
+                self.fs.cache().invalidate_page(s.ino, page);
+            }
+        }
+        self.lease_mgr.free_holds(s.ino, s.kind);
+    }
+
+    /// Synchronously recalls every lease on `ino` and applies the
+    /// settlements (barrier, truncate, and unlink coherence).
+    fn recall_all_sync(&self, ino: u64) {
+        for s in self.lease_mgr.recall_range_sync(ino, 0, u64::MAX, true) {
+            self.apply_settled(&s);
         }
     }
 
@@ -330,6 +500,17 @@ impl FsProxy {
     }
 
     fn do_read(&self, ino: u64, offset: u64, count: u64, buf_addr: u64) -> Result<u64, RpcErr> {
+        if self.lease_mgr.has_lease(ino) {
+            // A buffered fallback on a leased inode: count it (the E6
+            // bypass ratio) and settle any *write* lease covering the
+            // range so this read cannot observe pre-lease bytes.
+            self.stats
+                .lease_fallback_reads
+                .fetch_add(1, Ordering::Relaxed);
+            for s in self.lease_mgr.recall_range_sync(ino, offset, count, false) {
+                self.apply_settled(&s);
+            }
+        }
         let size = self.fs.size_of(ino).map_err(rpc_err)?;
         if offset >= size {
             return Ok(0);
@@ -385,6 +566,17 @@ impl FsProxy {
     fn do_write(&self, ino: u64, offset: u64, count: u64, buf_addr: u64) -> Result<u64, RpcErr> {
         if count == 0 {
             return Ok(0);
+        }
+        if self.lease_mgr.has_lease(ino) {
+            // An RPC write is conflicting access for every lease kind:
+            // settle them all before the bytes land, so no leased
+            // mapping ever reads around this write.
+            self.stats
+                .lease_fallback_writes
+                .fetch_add(1, Ordering::Relaxed);
+            for s in self.lease_mgr.recall_range_sync(ino, 0, u64::MAX, true) {
+                self.apply_settled(&s);
+            }
         }
         let size = self.fs.size_of(ino).map_err(rpc_err)?;
         let bs = BLOCK_SIZE as u64;
@@ -550,17 +742,58 @@ impl OpHandler for FsProxy {
         PROXY_WORKERS
     }
 
-    /// Data-mutating ops hold their inode exclusively; `fstat` touches it
-    /// shared, so the engine can apply priority inheritance when a
-    /// high-class metadata op waits on a best-effort writer.
+    /// Data-mutating ops hold their inode exclusively; `fstat` and
+    /// `read` touch it shared, so the engine can apply priority
+    /// inheritance when a high-class metadata op waits on a best-effort
+    /// writer — and so the external-holds check can park RPC traffic
+    /// that conflicts with an extent lease. A write-lease acquire is an
+    /// exclusive touch (it must displace every other lease); a
+    /// read-lease acquire is shared (it coexists with read leases).
     fn touches(&self, req: &FsRequest) -> Option<(u64, Access)> {
         match req {
             FsRequest::Write { ino, .. }
             | FsRequest::Truncate { ino, .. }
             | FsRequest::Fsync { ino } => Some((*ino, Access::Exclusive)),
-            FsRequest::Fstat { ino } => Some((*ino, Access::Shared)),
+            FsRequest::Fstat { ino } | FsRequest::Read { ino, .. } => Some((*ino, Access::Shared)),
+            FsRequest::LeaseAcquire { ino, write, .. } => Some((
+                *ino,
+                if *write {
+                    Access::Exclusive
+                } else {
+                    Access::Shared
+                },
+            )),
             _ => None,
         }
+    }
+
+    /// Sweeps overdue recalls every cycle: a holder that never answers
+    /// (crashed stub, lost recall) is force-revoked once the recall
+    /// budget expires, and the settlement is applied exactly as an ack
+    /// would have been.
+    fn poll(&self) -> bool {
+        let swept = self.lease_mgr.sweep();
+        let progressed = !swept.is_empty();
+        for s in &swept {
+            self.apply_settled(s);
+        }
+        progressed
+    }
+
+    fn external_holds(&self) -> Option<&ExternalHolds> {
+        Some(&self.holds)
+    }
+
+    /// Starts the recall protocol for the leases conflicting with a
+    /// parked RPC job (fire-and-forget; the freed queue unparks it).
+    fn recall(&self, res: u64, exclusive: bool) {
+        self.lease_mgr.recall_range(res, 0, u64::MAX, exclusive);
+    }
+
+    /// Barrier/shutdown override: blocks until every lease on `res` is
+    /// settled (ack or forced revoke) and applied.
+    fn recall_sync(&self, res: u64) {
+        self.recall_all_sync(res);
     }
 
     fn stage(

@@ -23,6 +23,11 @@
 //!   admission (one decode per frame), DWRR scheduling with priority
 //!   inheritance, worker dispatch with panic containment, and uniform
 //!   credit/shed/fault reply settlement.
+//! * [`lease`] — the extent-lease data plane: generation-stamped leases
+//!   over pre-resolved NVMe extents let a co-processor read and write
+//!   hot files with zero RPCs per operation; conflicting RPC access
+//!   parks behind the engine's external-holds table while the recall
+//!   protocol settles the lease.
 //! * [`control`] — boot: wires a [`solros_machine::Machine`] into one
 //!   control plane and N data planes and runs the proxy threads.
 //!
@@ -57,5 +62,6 @@ pub use fs_api::{Batch, BatchResult, CoprocFs, PendingRead, PendingWrite};
 pub use net_api::{CoprocNet, TcpListener, TcpStream};
 pub use proxy_engine::{Access, EngineLane, GateJob, OpHandler, ProxyEngine, ProxyStats};
 pub use retry::RetryPolicy;
+pub use solros_lease as lease;
 pub use solros_qos::{ClassConfig, QosClass, QosConfig, QosStats};
 pub use transport::{ResetReport, Token};

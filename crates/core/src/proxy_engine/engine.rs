@@ -15,6 +15,7 @@ use solros_qos::{Dispatch, DwrrScheduler, Verdict};
 use solros_ringbuf::{Consumer, Producer};
 
 use super::admission::{Access, GateJob, ReadyJob};
+use super::holds::ExternalHolds;
 use super::stats::ProxyStats;
 
 /// Frames drained from each request ring per FIFO admission burst.
@@ -83,6 +84,30 @@ pub trait OpHandler: Send + Sync {
     /// any work happened.
     fn poll(&self) -> bool {
         false
+    }
+
+    /// The handler's external-hold table, when it grants extent leases.
+    /// Jobs touching an externally-held resource park until the hold
+    /// frees; `None` (the default) skips the check entirely.
+    fn external_holds(&self) -> Option<&ExternalHolds> {
+        None
+    }
+
+    /// Asks the handler to start recalling the leases pinning `res`.
+    /// `exclusive` is the *waiting job's* access: an exclusive waiter
+    /// needs every lease recalled, a shared waiter only conflicts with
+    /// write leases. Fire-and-forget — the freed queue re-routes the
+    /// parked job once the recall protocol settles.
+    fn recall(&self, res: u64, exclusive: bool) {
+        let _ = (res, exclusive);
+    }
+
+    /// Synchronously recalls every lease on `res` (barrier/shutdown
+    /// override). Must not return until the leases settled — by ack or
+    /// by the manager's forced revoke — so flushed jobs run against
+    /// settled data.
+    fn recall_sync(&self, res: u64) {
+        let _ = res;
     }
 }
 
@@ -213,21 +238,48 @@ impl<H: OpHandler> ProxyEngine<H> {
             progressed = true;
             self.release_one(res, flow);
         }
-        // 2. Route waiters freed by those releases.
+        // 2. Unpark waiters whose external (lease) holds settled. A
+        //    shared job re-defers if an engine-admitted exclusive is
+        //    still in flight on the resource; everything else re-routes
+        //    (and re-parks there if a new lease beat it to the grant).
+        let freed = match self.handler.external_holds() {
+            Some(ext) => ext.take_freed(),
+            None => Vec::new(),
+        };
+        for res in freed {
+            let Some(jobs) = self.waiting.remove(&res) else {
+                continue;
+            };
+            progressed = true;
+            for job in jobs {
+                let shared_blocked = job.release.is_none()
+                    && self.holders.get(&res).is_some_and(|r| r.total > 0)
+                    && matches!(
+                        self.handler.touches(&job.req),
+                        Some((r, Access::Shared)) if r == res
+                    );
+                if shared_blocked {
+                    self.waiting.entry(res).or_default().push(job);
+                } else {
+                    self.route(pool, job);
+                }
+            }
+        }
+        // 3. Route waiters freed by those releases.
         for job in std::mem::take(&mut self.ready_backlog) {
             progressed = true;
             self.route(pool, job);
         }
-        // 3. Admit and dispatch.
+        // 4. Admit and dispatch.
         if self.gate.is_some() {
             progressed |= self.admit_gated(now_ns);
             progressed |= self.dispatch_gated(pool, now_ns);
         } else {
             progressed |= self.admit_fifo(pool);
         }
-        // 4. Flush the handler's coalescing wave.
+        // 5. Flush the handler's coalescing wave.
         self.flush_handler();
-        // 5. Handler-specific polling.
+        // 6. Handler-specific polling.
         progressed |= self.handler.poll();
         progressed
     }
@@ -426,8 +478,23 @@ impl<H: OpHandler> ProxyEngine<H> {
     }
 
     /// Routes one ready job: offer it to the handler's wave, else hand it
-    /// to the pool (or run inline).
+    /// to the pool (or run inline). A job touching a resource held by an
+    /// external lease holder parks here instead, and the handler starts
+    /// the recall; the freed queue re-routes it once the lease settles.
     fn route(&mut self, pool: Option<&JobQueue<ReadyJob<H::Req>>>, job: ReadyJob<H::Req>) {
+        if let Some((res, access)) = self.handler.touches(&job.req) {
+            let excl = access == Access::Exclusive;
+            if self
+                .handler
+                .external_holds()
+                .is_some_and(|ext| ext.blocks(res, excl))
+            {
+                self.stats.lease_deferred.fetch_add(1, Ordering::Relaxed);
+                self.handler.recall(res, excl);
+                self.waiting.entry(res).or_default().push(job);
+                return;
+            }
+        }
         let ReadyJob {
             lane,
             tag,
@@ -502,8 +569,22 @@ impl<H: OpHandler> ProxyEngine<H> {
     }
 
     /// Force-runs every deferred waiter (barriers and shutdown override
-    /// the lock model), demoting the promotions they caused.
+    /// the lock model), demoting the promotions they caused. Resources
+    /// still pinned by external lease holders are recalled synchronously
+    /// first, so the flushed jobs observe settled data.
     fn flush_waiting(&mut self, pool: Option<&JobQueue<ReadyJob<H::Req>>>) {
+        let held: Vec<u64> = match self.handler.external_holds() {
+            Some(ext) => self
+                .waiting
+                .keys()
+                .copied()
+                .filter(|r| ext.is_held(*r))
+                .collect(),
+            None => Vec::new(),
+        };
+        for res in held {
+            self.handler.recall_sync(res);
+        }
         let waiting: Vec<(u64, Vec<ReadyJob<H::Req>>)> = self.waiting.drain().collect();
         for (res, jobs) in waiting {
             if let (Some(gate), Some(rec)) = (self.gate.as_mut(), self.holders.get_mut(&res)) {

@@ -29,8 +29,10 @@
 
 mod admission;
 mod engine;
+mod holds;
 mod stats;
 
 pub use admission::{Access, GateJob, ReadyJob};
 pub use engine::{EngineLane, OpHandler, ProxyEngine, DRAIN_BURST};
+pub use holds::ExternalHolds;
 pub use stats::ProxyStats;

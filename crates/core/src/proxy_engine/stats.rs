@@ -24,6 +24,9 @@ pub struct ProxyStats {
     /// Shared-access requests deferred behind an exclusively-held
     /// resource (the priority-inheritance wait path).
     pub inherit_deferred: AtomicU64,
+    /// Requests parked behind an external lease holder while the recall
+    /// protocol ran (the extent-lease coherence path).
+    pub lease_deferred: AtomicU64,
     /// Replies discarded by an armed fault hook (crashed-stub model).
     pub dropped_replies: AtomicU64,
 }

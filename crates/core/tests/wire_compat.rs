@@ -26,11 +26,13 @@ use solros_qos::{DwrrScheduler, FlowSpec, QosClass};
 const R_WRITE: u8 = 113;
 const R_STAT: u8 = 114;
 const R_OK: u8 = 120;
+const R_LEASE: u8 = 121;
 const R_ERROR: u8 = 127;
 const R_SOCKET: u8 = 140;
 const R_NOK: u8 = 150;
 const R_NERROR: u8 = 157;
 const ERR_NOT_FOUND: u32 = 1;
+const ERR_INVALID: u32 = 8;
 
 /// Hand-builds one reply frame from the wire layout.
 fn golden(msg_type: u8, tag: u32, credit: u8, body: &[u8]) -> Vec<u8> {
@@ -43,6 +45,21 @@ fn golden(msg_type: u8, tag: u32, credit: u8, body: &[u8]) -> Vec<u8> {
     f.push(0); // tenant: default tenant echoes as zero
     f.extend_from_slice(body);
     f
+}
+
+/// Hand-builds the `R_LEASE` body: id, generation, readable end, then a
+/// `u32` extent count followed by `(start_lba u64, blocks u32)` pairs.
+fn lease_grant_body(id: u64, generation: u64, data_end: u64, extents: &[(u64, u32)]) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.extend_from_slice(&id.to_le_bytes());
+    b.extend_from_slice(&generation.to_le_bytes());
+    b.extend_from_slice(&data_end.to_le_bytes());
+    b.extend_from_slice(&(extents.len() as u32).to_le_bytes());
+    for (start, blocks) in extents {
+        b.extend_from_slice(&start.to_le_bytes());
+        b.extend_from_slice(&blocks.to_le_bytes());
+    }
+    b
 }
 
 fn stat_body(ino: u64, size: u64) -> Vec<u8> {
@@ -155,6 +172,76 @@ fn fs_ungated_replies_match_golden_frames() {
         .encode(10),
     );
     assert_eq!(reply, golden(R_ERROR, 10, 0, &ERR_NOT_FOUND.to_le_bytes()));
+    rig.stop();
+}
+
+#[test]
+fn fs_lease_replies_match_golden_frames() {
+    let rig = fs_rig(false);
+    let bs = solros_nvme::BLOCK_SIZE as u64;
+    let ino = rig.fs.create("/hot").unwrap();
+    rig.fs.write(ino, 0, &vec![9u8; 2 * bs as usize]).unwrap();
+    // The extent map comes from the fs (like `ino` above); the frame
+    // bytes around it are still built by hand from the wire layout.
+    let extents: Vec<(u64, u32)> = rig
+        .fs
+        .fiemap(ino, 0, 2 * bs)
+        .unwrap()
+        .iter()
+        .map(|e| (e.start, e.len))
+        .collect();
+
+    // First grant from a fresh manager: lease id 0, generation 1, the
+    // readable end at the two written blocks.
+    let reply = rig.client.call(
+        20,
+        FsRequest::LeaseAcquire {
+            ino,
+            offset: 0,
+            len: 2 * bs,
+            write: false,
+        }
+        .encode(20),
+    );
+    assert_eq!(
+        reply,
+        golden(R_LEASE, 20, 0, &lease_grant_body(0, 1, 2 * bs, &extents))
+    );
+
+    // Voluntary release: bare R_OK, empty body.
+    let reply = rig.client.call(
+        21,
+        FsRequest::LeaseRelease {
+            id: 0,
+            written_end: 0,
+        }
+        .encode(21),
+    );
+    assert_eq!(reply, golden(R_OK, 21, 0, &[]));
+
+    // Recall ack for an already-settled lease is idempotent R_OK.
+    let reply = rig.client.call(
+        22,
+        FsRequest::LeaseRecallAck {
+            id: 0,
+            written_end: 0,
+        }
+        .encode(22),
+    );
+    assert_eq!(reply, golden(R_OK, 22, 0, &[]));
+
+    // Misaligned acquire: R_ERROR carrying the Invalid code.
+    let reply = rig.client.call(
+        23,
+        FsRequest::LeaseAcquire {
+            ino,
+            offset: 1,
+            len: bs,
+            write: false,
+        }
+        .encode(23),
+    );
+    assert_eq!(reply, golden(R_ERROR, 23, 0, &ERR_INVALID.to_le_bytes()));
     rig.stop();
 }
 

@@ -59,6 +59,59 @@ impl EngineFaults {
     }
 }
 
+/// Injection state for the extent-lease data plane, consumed by the
+/// lease manager (lost recalls) and the stub-side lease table (stale
+/// generations). One instance is shared by the manager and every stub so
+/// experiment drivers arm from a single handle.
+#[derive(Debug, Default)]
+pub struct LeaseFaults {
+    lost_recalls: AtomicU64,
+    stale_generations: AtomicU64,
+}
+
+impl LeaseFaults {
+    /// A disarmed hook set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the next `n` recall notifications to be lost in flight: the
+    /// holder never learns of the recall, so the manager's deadline must
+    /// force-revoke ([`crate::FaultKind::LeaseRecallLost`]).
+    pub fn arm_lost_recalls(&self, n: u64) {
+        self.lost_recalls.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Consumes one armed lost recall; true when the notification about
+    /// to be delivered should vanish.
+    pub fn take_lost_recall(&self) -> bool {
+        take_one(&self.lost_recalls)
+    }
+
+    /// Arms the next `n` lease grants to go stale without a recall — the
+    /// manager silently bumps the generation
+    /// ([`crate::FaultKind::LeaseStaleGeneration`]); the stub's
+    /// generation check must catch it.
+    pub fn arm_stale_generations(&self, n: u64) {
+        self.stale_generations.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Consumes one armed stale generation.
+    pub fn take_stale_generation(&self) -> bool {
+        take_one(&self.stale_generations)
+    }
+
+    /// Remaining armed lost recalls.
+    pub fn armed_lost_recalls(&self) -> u64 {
+        self.lost_recalls.load(Ordering::SeqCst)
+    }
+
+    /// Remaining armed stale generations.
+    pub fn armed_stale_generations(&self) -> u64 {
+        self.stale_generations.load(Ordering::SeqCst)
+    }
+}
+
 /// Decrements `counter` if positive; true when a charge was consumed.
 fn take_one(counter: &AtomicU64) -> bool {
     counter
@@ -92,5 +145,21 @@ mod tests {
         f.arm_worker_panics(1);
         assert!(!f.take_dropped_reply());
         assert!(f.take_worker_panic());
+    }
+
+    #[test]
+    fn lease_hooks_charge_and_drain() {
+        let f = LeaseFaults::new();
+        assert!(!f.take_lost_recall(), "disarmed");
+        assert!(!f.take_stale_generation(), "disarmed");
+        f.arm_lost_recalls(1);
+        f.arm_stale_generations(2);
+        assert!(f.take_lost_recall());
+        assert!(!f.take_lost_recall());
+        assert_eq!(f.armed_stale_generations(), 2);
+        assert!(f.take_stale_generation());
+        assert!(f.take_stale_generation());
+        assert!(!f.take_stale_generation());
+        assert_eq!(f.armed_lost_recalls(), 0);
     }
 }

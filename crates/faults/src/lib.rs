@@ -31,7 +31,7 @@
 
 pub mod hooks;
 
-pub use hooks::EngineFaults;
+pub use hooks::{EngineFaults, LeaseFaults};
 
 use std::fmt;
 
@@ -69,12 +69,20 @@ pub enum FaultKind {
     /// A co-processor stub stops draining its rings (crash/disconnect);
     /// detection is by deadline, recovery by link reset.
     StubCrash,
+    /// A lease recall notification is lost before the holder sees it
+    /// ([`LeaseFaults::arm_lost_recalls`]); the manager's recall deadline
+    /// must force-revoke the lease instead of waiting forever.
+    LeaseRecallLost,
+    /// A lease's generation is bumped without a recall
+    /// ([`LeaseFaults::arm_stale_generations`]); the stub must detect the
+    /// mismatch on its next leased op and fall back to the RPC path.
+    LeaseStaleGeneration,
 }
 
 impl FaultKind {
     /// Every kind, in a stable order (used to spread a schedule across
     /// the whole taxonomy).
-    pub const ALL: [FaultKind; 9] = [
+    pub const ALL: [FaultKind; 11] = [
         FaultKind::RingCorrupt,
         FaultKind::RingWedge,
         FaultKind::PcieStall,
@@ -84,6 +92,8 @@ impl FaultKind {
         FaultKind::NvmeQueueFull,
         FaultKind::WorkerPanic,
         FaultKind::StubCrash,
+        FaultKind::LeaseRecallLost,
+        FaultKind::LeaseStaleGeneration,
     ];
 
     /// True when recovery requires a transport link reset (drain → scrub
@@ -108,6 +118,8 @@ impl fmt::Display for FaultKind {
             FaultKind::NvmeQueueFull => "nvme-queue-full",
             FaultKind::WorkerPanic => "worker-panic",
             FaultKind::StubCrash => "stub-crash",
+            FaultKind::LeaseRecallLost => "lease-recall-lost",
+            FaultKind::LeaseStaleGeneration => "lease-stale-generation",
         };
         write!(f, "{s}")
     }

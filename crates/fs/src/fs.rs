@@ -851,6 +851,31 @@ impl FileSystem {
         Ok(self.stat_ino(ino)?.size)
     }
 
+    /// Pre-resolves the extents backing an extent lease over
+    /// `[offset, offset+len)`. Read leases map the blocks that exist
+    /// (clamped to EOF, like [`Self::fiemap`]); write leases preallocate
+    /// the whole range first so the mapping covers every block the
+    /// holder may touch and — by the in-place-update invariant pinned in
+    /// the module header — stays valid for the lease's lifetime.
+    /// Returns the extents and the readable end of the range
+    /// (`min(EOF, offset + len)`) at resolution time.
+    pub fn resolve_lease_extents(
+        &self,
+        ino: Ino,
+        offset: u64,
+        len: u64,
+        for_write: bool,
+    ) -> Result<(Vec<Extent>, u64), FsError> {
+        let extents = if for_write {
+            self.ensure_allocated(ino, offset, len)?;
+            self.fiemap_allocated(ino, offset, len)?
+        } else {
+            self.fiemap(ino, offset, len)?
+        };
+        let size = self.size_of(ino)?;
+        Ok((extents, size.min(offset.saturating_add(len))))
+    }
+
     /// Warms the shared cache with up to `pages` pages starting at the
     /// page containing `offset` — the host-side readahead the paper's
     /// proxy performs for sequentially accessed files (§4.3.2). Pages
@@ -1202,6 +1227,33 @@ mod tests {
             .fiemap(ino, 9 * BLOCK_SIZE as u64, 4096)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn lease_resolution_preallocates_for_writes() {
+        let fs = small_fs();
+        let ino = fs.create("/lease").unwrap();
+        fs.write(ino, 0, &vec![7u8; 2 * BLOCK_SIZE]).unwrap();
+        let bs = BLOCK_SIZE as u64;
+
+        // Read lease: clamped to EOF, readable end reported.
+        let (ext, data_end) = fs.resolve_lease_extents(ino, 0, 8 * bs, false).unwrap();
+        let blocks: u64 = ext.iter().map(|e| e.len as u64).sum();
+        assert_eq!(blocks, 2, "read lease maps only existing blocks");
+        assert_eq!(data_end, 2 * bs);
+
+        // Write lease: the whole range is preallocated and mapped even
+        // though the file is shorter.
+        let (ext, data_end) = fs.resolve_lease_extents(ino, 0, 8 * bs, true).unwrap();
+        let blocks: u64 = ext.iter().map(|e| e.len as u64).sum();
+        assert_eq!(blocks, 8, "write lease preallocates the range");
+        assert_eq!(data_end, 2 * bs, "readable end is still EOF");
+
+        // The mapping stays valid across an in-place overwrite.
+        let before = fs.resolve_lease_extents(ino, 0, 2 * bs, false).unwrap().0;
+        fs.write(ino, 0, &vec![9u8; 2 * BLOCK_SIZE]).unwrap();
+        let after = fs.resolve_lease_extents(ino, 0, 2 * bs, false).unwrap().0;
+        assert_eq!(before, after, "in-place update keeps extents stable");
     }
 
     #[test]

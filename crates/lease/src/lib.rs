@@ -1,0 +1,45 @@
+//! Extent-lease data plane: zero-RPC P2P reads and writes for hot files.
+//!
+//! Solros keeps its control plane (naming, allocation, admission) on the
+//! host and its data plane next to the device. The RPC path already does
+//! peer-to-peer NVMe DMA, but every operation still crosses the PCIe ring
+//! once to ask the proxy *where* the bytes live. For hot files that
+//! lookup is pure overhead: the fs invariant that in-place overwrites
+//! never move extents (see `solros-fs`) means the answer rarely changes.
+//!
+//! This crate splits the data path SplitFS-style:
+//!
+//! * [`LeaseManager`] — control-plane side. Grants a co-processor a
+//!   *lease*: a generation-stamped, pre-resolved extent map over a byte
+//!   range of one file. Write leases preallocate blocks up front so the
+//!   holder never needs an allocation RPC. The manager owns the recall
+//!   protocol: conflicting access marks the lease recalled, the holder
+//!   flushes and acks, and a deadline sweep force-revokes holders that
+//!   never answer (crashed stubs, lost recall notifications).
+//! * [`LeaseTable`] — stub side, embedded in the co-processor's fs
+//!   client. While a valid lease covers a range, `read_at`/`write_at`
+//!   go straight to the NVMe queues through the shared lease record —
+//!   zero RPCs per operation. Recalled or stale-generation leases are
+//!   detected *before* any data moves and the table falls back to RPC.
+//!
+//! Coherence hinges on two rules enforced here and audited by the
+//! property tests in `tests/prop_lease.rs`:
+//!
+//! 1. **No two conflicting leases coexist.** Grants conflict-check under
+//!    one lock; writer leases exclude everything, reader leases exclude
+//!    writers.
+//! 2. **Every recall settles.** Either the holder acks (flush + wire
+//!    ack) or the manager's deadline sweep force-revokes. The
+//!    [`LeaseLedger`] proves it: `recalls_issued == recalls_acked +
+//!    forced_revokes` at quiescence.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+mod manager;
+mod state;
+mod table;
+
+pub use manager::{LeaseError, LeaseLedger, LeaseManager, RecallSink};
+pub use state::{LeaseKind, LeaseState, SettledLease};
+pub use table::{BatchIo, LeaseIo, LeaseTable, LeaseTableStats};

@@ -1,0 +1,225 @@
+//! The shared lease record.
+//!
+//! One [`LeaseState`] is created per grant and shared (via `Arc`) between
+//! the control-plane [`crate::LeaseManager`] and the holder's
+//! [`crate::LeaseTable`]. It models the lease control page a real Solros
+//! host would map into the co-processor's PCIe window: the generation
+//! word and recall flag are atomics the host flips and the stub polls on
+//! every access, with no RPC in between.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use solros_fs::Extent;
+use solros_qos::QosStats;
+
+/// What the lease permits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseKind {
+    /// Shared: the holder may read the range P2P. Coexists with other
+    /// read leases on overlapping ranges.
+    Read,
+    /// Exclusive: the holder may read *and* write the range P2P into
+    /// preallocated blocks. Conflicts with every other lease.
+    Write,
+}
+
+/// A granted lease over a pre-resolved extent map.
+///
+/// Immutable fields are fixed at grant time; the atomics below are the
+/// coherence protocol. `begin_op`/`end_op` bracket every leased I/O so
+/// revocation can drain in-flight operations before the mapping dies.
+pub struct LeaseState {
+    id: u64,
+    ino: u64,
+    coproc: u8,
+    offset: u64,
+    len: u64,
+    kind: LeaseKind,
+    generation: u64,
+    data_end: u64,
+    extents: Vec<Extent>,
+    /// The manager's view of the current generation for this mapping.
+    /// Valid while it equals `generation`; any bump invalidates.
+    current_gen: AtomicU64,
+    /// Set when the manager asks the holder to give the lease back.
+    recalled: AtomicBool,
+    /// Leased operations currently between `begin_op` and `end_op`.
+    active_ops: AtomicU64,
+    /// High-water mark of leased writes (file offset), 0 if none. The
+    /// proxy extends the file to this on settle.
+    written_end: AtomicU64,
+    /// QoS ledger and flow index leased bytes are charged to, so bypass
+    /// traffic cannot evade tenant budgets.
+    charge: Option<(Arc<QosStats>, usize)>,
+}
+
+impl LeaseState {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: u64,
+        ino: u64,
+        coproc: u8,
+        offset: u64,
+        len: u64,
+        kind: LeaseKind,
+        generation: u64,
+        data_end: u64,
+        extents: Vec<Extent>,
+        charge: Option<(Arc<QosStats>, usize)>,
+    ) -> Self {
+        Self {
+            id,
+            ino,
+            coproc,
+            offset,
+            len,
+            kind,
+            generation,
+            data_end,
+            extents,
+            current_gen: AtomicU64::new(generation),
+            recalled: AtomicBool::new(false),
+            active_ops: AtomicU64::new(0),
+            written_end: AtomicU64::new(0),
+            charge,
+        }
+    }
+
+    /// Lease id (wire handle).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Leased inode.
+    pub fn ino(&self) -> u64 {
+        self.ino
+    }
+
+    /// Holder co-processor id.
+    pub fn coproc(&self) -> u8 {
+        self.coproc
+    }
+
+    /// First byte of the leased range.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Length of the leased range in bytes (block-rounded).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the leased range is empty (never granted in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read or write lease.
+    pub fn kind(&self) -> LeaseKind {
+        self.kind
+    }
+
+    /// Generation stamped at grant time.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Pre-resolved extent map covering the range.
+    pub fn extents(&self) -> &[Extent] {
+        &self.extents
+    }
+
+    /// Last readable byte: file size at grant clamped to the range end,
+    /// advanced by the holder's own leased writes.
+    pub fn readable_end(&self) -> u64 {
+        self.data_end.max(self.written_end.load(Ordering::Acquire))
+    }
+
+    /// True while the grant generation matches the manager's.
+    pub fn is_current(&self) -> bool {
+        self.current_gen.load(Ordering::Acquire) == self.generation
+    }
+
+    /// True once the manager has asked for the lease back.
+    pub fn is_recalled(&self) -> bool {
+        self.recalled.load(Ordering::Acquire)
+    }
+
+    /// Marks the lease recalled (manager side).
+    pub(crate) fn mark_recalled(&self) {
+        self.recalled.store(true, Ordering::Release);
+    }
+
+    /// Invalidates the mapping: `begin_op` fails from here on.
+    pub(crate) fn invalidate(&self) {
+        self.current_gen.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Tries to enter a leased operation. Uses a check → enter → recheck
+    /// dance: the recheck closes the window where an invalidation lands
+    /// between the first check and the `active_ops` increment, so a
+    /// successful `begin_op` guarantees the drain in
+    /// [`crate::LeaseManager`] will observe this operation.
+    pub fn begin_op(&self) -> bool {
+        if !self.is_current() || self.is_recalled() {
+            return false;
+        }
+        self.active_ops.fetch_add(1, Ordering::AcqRel);
+        if !self.is_current() || self.is_recalled() {
+            self.active_ops.fetch_sub(1, Ordering::AcqRel);
+            return false;
+        }
+        true
+    }
+
+    /// Leaves a leased operation entered with [`Self::begin_op`].
+    pub fn end_op(&self) {
+        self.active_ops.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Leased operations currently in flight.
+    pub fn active_ops(&self) -> u64 {
+        self.active_ops.load(Ordering::Acquire)
+    }
+
+    /// Records a completed leased write ending at file offset `end`.
+    pub fn note_write(&self, end: u64) {
+        self.written_end.fetch_max(end, Ordering::AcqRel);
+    }
+
+    /// High-water mark of leased writes (0 if none yet).
+    pub fn written_end(&self) -> u64 {
+        self.written_end.load(Ordering::Acquire)
+    }
+
+    /// Charges `bytes` of leased I/O to the tenant's QoS ledger.
+    pub fn charge_bypass(&self, bytes: u64) {
+        if let Some((stats, flow)) = &self.charge {
+            stats.on_bypass(*flow, bytes);
+        }
+    }
+}
+
+/// The outcome of a lease leaving the manager's books, however it left
+/// (voluntary release, recall ack, or forced revoke). The control plane
+/// applies this to the fs — extending the file over leased writes and
+/// dropping stale cache pages — and then frees the external holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SettledLease {
+    /// Lease id.
+    pub id: u64,
+    /// Leased inode.
+    pub ino: u64,
+    /// Holder co-processor.
+    pub coproc: u8,
+    /// Read or write lease.
+    pub kind: LeaseKind,
+    /// Start of the leased range.
+    pub offset: u64,
+    /// High-water mark of leased writes (0 = nothing written).
+    pub written_end: u64,
+    /// True when the deadline sweep revoked the lease without an ack.
+    pub forced: bool,
+}

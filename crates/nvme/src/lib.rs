@@ -27,7 +27,7 @@ pub mod perf;
 pub mod queue;
 pub mod store;
 
-pub use device::{DmaPtr, NvmeCommand, NvmeDevice, NvmeStats};
+pub use device::{DmaPtr, NvmeCommand, NvmeDevice, NvmeStats, MDTS_BLOCKS};
 pub use error::NvmeError;
 pub use perf::NvmePerf;
 pub use store::{BlockStore, BLOCK_SIZE};

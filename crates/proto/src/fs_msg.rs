@@ -95,6 +95,35 @@ pub enum FsRequest {
         /// Inode.
         ino: u64,
     },
+    /// Acquire an extent lease over a file range (the split data path):
+    /// on success the stub reads/writes the range against the NVMe
+    /// queues directly, with zero per-op RPCs.
+    LeaseAcquire {
+        /// Target inode.
+        ino: u64,
+        /// Byte offset of the requested range (block aligned).
+        offset: u64,
+        /// Byte length of the requested range.
+        len: u64,
+        /// True for a write (exclusive) lease, false for read (shared).
+        write: bool,
+    },
+    /// Voluntarily release a lease, reporting how far leased writes
+    /// extended the file.
+    LeaseRelease {
+        /// Lease id from the grant.
+        id: u64,
+        /// Highest byte offset written under the lease (0 if none).
+        written_end: u64,
+    },
+    /// Acknowledge a recall: the holder has flushed in-flight leased
+    /// writes and stopped using the mapping.
+    LeaseRecallAck {
+        /// Lease id from the grant.
+        id: u64,
+        /// Highest byte offset written under the lease (0 if none).
+        written_end: u64,
+    },
 }
 
 const T_OPEN: u8 = 10;
@@ -109,6 +138,9 @@ const T_READDIR: u8 = 18;
 const T_RENAME: u8 = 19;
 const T_TRUNCATE: u8 = 20;
 const T_FSYNC: u8 = 21;
+const T_LEASE_ACQ: u8 = 22;
+const T_LEASE_REL: u8 = 23;
+const T_LEASE_ACK: u8 = 24;
 
 impl FsRequest {
     /// Encodes with a caller tag.
@@ -169,6 +201,28 @@ impl FsRequest {
                 (T_TRUNCATE, Writer::new().u64(*ino).u64(*size).build())
             }
             FsRequest::Fsync { ino } => (T_FSYNC, Writer::new().u64(*ino).build()),
+            FsRequest::LeaseAcquire {
+                ino,
+                offset,
+                len,
+                write,
+            } => (
+                T_LEASE_ACQ,
+                Writer::new()
+                    .u64(*ino)
+                    .u64(*offset)
+                    .u64(*len)
+                    .u8(*write as u8)
+                    .build(),
+            ),
+            FsRequest::LeaseRelease { id, written_end } => (
+                T_LEASE_REL,
+                Writer::new().u64(*id).u64(*written_end).build(),
+            ),
+            FsRequest::LeaseRecallAck { id, written_end } => (
+                T_LEASE_ACK,
+                Writer::new().u64(*id).u64(*written_end).build(),
+            ),
         };
         encode_frame(ty, tag, &body)
     }
@@ -223,6 +277,20 @@ impl FsRequest {
                 size: r.u64()?,
             },
             T_FSYNC => FsRequest::Fsync { ino: r.u64()? },
+            T_LEASE_ACQ => FsRequest::LeaseAcquire {
+                ino: r.u64()?,
+                offset: r.u64()?,
+                len: r.u64()?,
+                write: r.u8()? != 0,
+            },
+            T_LEASE_REL => FsRequest::LeaseRelease {
+                id: r.u64()?,
+                written_end: r.u64()?,
+            },
+            T_LEASE_ACK => FsRequest::LeaseRecallAck {
+                id: r.u64()?,
+                written_end: r.u64()?,
+            },
             _ => return Err(ProtoError::BadType),
         };
         r.finish()?;
@@ -276,6 +344,19 @@ pub enum FsResponse {
         /// Inode.
         ino: u64,
     },
+    /// Lease granted: the pre-resolved NVMe extents covering the range,
+    /// stamped with the generation the stub must check on every leased op.
+    LeaseGrant {
+        /// Lease id (echoed on release/recall-ack).
+        id: u64,
+        /// Generation at grant; a mismatch on the stub's mapped control
+        /// page means the mapping is stale and must not be used.
+        generation: u64,
+        /// Readable end of the file at grant time (byte offset).
+        data_end: u64,
+        /// Extents as `(start_lba, block_count)` pairs, in range order.
+        extents: Vec<(u64, u32)>,
+    },
     /// Failure.
     Error {
         /// Error code.
@@ -291,6 +372,7 @@ const R_STAT: u8 = 114;
 const R_READDIR: u8 = 118;
 const R_OK: u8 = 120;
 const R_MKDIR: u8 = 117;
+const R_LEASE: u8 = 121;
 const R_ERROR: u8 = 127;
 
 impl FsResponse {
@@ -314,6 +396,22 @@ impl FsResponse {
             }
             FsResponse::Ok => (R_OK, Vec::new()),
             FsResponse::Mkdir { ino } => (R_MKDIR, Writer::new().u64(*ino).build()),
+            FsResponse::LeaseGrant {
+                id,
+                generation,
+                data_end,
+                extents,
+            } => {
+                let mut w = Writer::new()
+                    .u64(*id)
+                    .u64(*generation)
+                    .u64(*data_end)
+                    .u32(extents.len() as u32);
+                for (start, blocks) in extents {
+                    w = w.u64(*start).u32(*blocks);
+                }
+                (R_LEASE, w.build())
+            }
             FsResponse::Error { err } => (R_ERROR, Writer::new().u32(err.code()).build()),
         };
         encode_frame(ty, tag, &body)
@@ -349,6 +447,25 @@ impl FsResponse {
             }
             R_OK => FsResponse::Ok,
             R_MKDIR => FsResponse::Mkdir { ino: r.u64()? },
+            R_LEASE => {
+                let id = r.u64()?;
+                let generation = r.u64()?;
+                let data_end = r.u64()?;
+                let n = r.u32()? as usize;
+                if n > 1_000_000 {
+                    return Err(ProtoError::Malformed);
+                }
+                let mut extents = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    extents.push((r.u64()?, r.u32()?));
+                }
+                FsResponse::LeaseGrant {
+                    id,
+                    generation,
+                    data_end,
+                    extents,
+                }
+            }
             R_ERROR => FsResponse::Error {
                 err: RpcErr::from_code(r.u32()?).ok_or(ProtoError::Malformed)?,
             },
@@ -409,6 +526,20 @@ mod tests {
         });
         req_roundtrip(FsRequest::Truncate { ino: 1, size: 0 });
         req_roundtrip(FsRequest::Fsync { ino: 2 });
+        req_roundtrip(FsRequest::LeaseAcquire {
+            ino: 5,
+            offset: 8192,
+            len: 1 << 20,
+            write: true,
+        });
+        req_roundtrip(FsRequest::LeaseRelease {
+            id: 77,
+            written_end: 4096,
+        });
+        req_roundtrip(FsRequest::LeaseRecallAck {
+            id: 78,
+            written_end: 0,
+        });
     }
 
     #[test]
@@ -428,6 +559,18 @@ mod tests {
         resp_roundtrip(FsResponse::Readdir { names: vec![] });
         resp_roundtrip(FsResponse::Ok);
         resp_roundtrip(FsResponse::Mkdir { ino: 5 });
+        resp_roundtrip(FsResponse::LeaseGrant {
+            id: 9,
+            generation: 3,
+            data_end: 123_456,
+            extents: vec![(100, 32), (4000, 1)],
+        });
+        resp_roundtrip(FsResponse::LeaseGrant {
+            id: 10,
+            generation: 1,
+            data_end: 0,
+            extents: vec![],
+        });
         for err in RpcErr::all() {
             resp_roundtrip(FsResponse::Error { err });
         }

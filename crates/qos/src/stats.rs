@@ -19,6 +19,7 @@ pub struct FlowStats {
     shed: AtomicU64,
     dispatched: AtomicU64,
     dispatched_bytes: AtomicU64,
+    bypass_bytes: AtomicU64,
     wait: Mutex<Histogram>,
     depth: Mutex<Summary>,
 }
@@ -38,6 +39,10 @@ pub struct FlowSnapshot {
     pub dispatched: u64,
     /// Payload bytes across dispatched requests.
     pub dispatched_bytes: u64,
+    /// Bytes moved by the flow's tenant *around* the gate — leased P2P
+    /// I/O that never queued but is still charged to the ledger so
+    /// bypass traffic cannot evade budgets.
+    pub bypass_bytes: u64,
     /// Queue wait time distribution of dispatched requests.
     pub wait: Histogram,
     /// Queue depth observed at each submit.
@@ -88,6 +93,15 @@ impl QosStats {
         f.wait.lock().unwrap().record(SimTime::from_ns(wait_ns));
     }
 
+    /// Charges `bytes` of gate-bypassing (leased P2P) traffic to `flow`.
+    /// Unlike the other hooks this one is public: the charge originates
+    /// on the data plane, outside the scheduler.
+    pub fn on_bypass(&self, flow: usize, bytes: u64) {
+        self.flows[flow]
+            .bypass_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Snapshot of one flow's ledger.
     pub fn flow(&self, flow: usize) -> FlowSnapshot {
         let f = &self.flows[flow];
@@ -98,6 +112,7 @@ impl QosStats {
             shed: f.shed.load(Ordering::Relaxed),
             dispatched: f.dispatched.load(Ordering::Relaxed),
             dispatched_bytes: f.dispatched_bytes.load(Ordering::Relaxed),
+            bypass_bytes: f.bypass_bytes.load(Ordering::Relaxed),
             wait: f.wait.lock().unwrap().clone(),
             depth: f.depth.lock().unwrap().clone(),
         }
