@@ -334,13 +334,19 @@ impl FsProxy {
                 Err(e) => FsResponse::Error { err: rpc_err(e) },
             },
             FsRequest::Unlink { path } => {
-                // Unlink names the file by path: settle any lease on the
-                // victim before its blocks go back to the allocator.
-                if let Ok(st) = self.fs.stat(&path) {
-                    if self.lease_mgr.has_lease(st.ino) {
+                // Unlink names the file by path: bar new grants on the
+                // victim, then settle every outstanding lease before its
+                // blocks go back to the allocator. Without the bar a
+                // LeaseAcquire racing through another proxy between the
+                // recall and the unlink would leave a holder doing P2P
+                // I/O against reused blocks.
+                let _bar = self.fs.stat(&path).ok().map(|st| {
+                    let bar = self.lease_mgr.bar_grants(st.ino);
+                    while self.lease_mgr.has_lease(st.ino) {
                         self.recall_all_sync(st.ino);
                     }
-                }
+                    bar
+                });
                 match self.fs.unlink(&path) {
                     Ok(()) => FsResponse::Ok,
                     Err(e) => FsResponse::Error { err: rpc_err(e) },
@@ -360,9 +366,12 @@ impl FsProxy {
             },
             FsRequest::Truncate { ino, size } => {
                 // The engine parks truncates behind leased inodes, but
-                // direct callers get the same coherence: settle first so
-                // no stale extent map outlives the shrink.
-                if self.lease_mgr.has_lease(ino) {
+                // direct callers get the same coherence: bar new grants
+                // and settle everything outstanding, so no stale extent
+                // map outlives the shrink and no fresh grant maps blocks
+                // the shrink is about to free.
+                let _bar = self.lease_mgr.bar_grants(ino);
+                while self.lease_mgr.has_lease(ino) {
                     self.recall_all_sync(ino);
                 }
                 match self.fs.truncate(ino, size) {

@@ -40,6 +40,6 @@ mod manager;
 mod state;
 mod table;
 
-pub use manager::{LeaseError, LeaseLedger, LeaseManager, RecallSink};
+pub use manager::{GrantBar, LeaseError, LeaseLedger, LeaseManager, RecallSink};
 pub use state::{LeaseKind, LeaseState, SettledLease};
 pub use table::{BatchIo, LeaseIo, LeaseTable, LeaseTableStats};

@@ -91,6 +91,11 @@ struct Inner {
     /// every settle so a re-grant never reuses a generation a stale
     /// mapping might still carry.
     generations: HashMap<u64, u64>,
+    /// Inodes on which new grants are refused (`Busy`), refcounted by
+    /// [`GrantBar`]. Destructive control-plane ops (unlink, truncate)
+    /// bar the inode so no lease can be granted between their recall
+    /// and the operation itself.
+    barred: HashMap<u64, u64>,
 }
 
 /// The control-plane half of the lease subsystem.
@@ -167,7 +172,8 @@ impl LeaseManager {
     /// clamped to the range end. Conflicts are checked under the
     /// manager lock, making rule 1 — no two conflicting leases — hold
     /// by construction. On success the external-hold sinks are charged
-    /// before the grant is visible to the caller.
+    /// under the same lock that makes the lease visible, so no settle
+    /// can observe the lease before its holds exist.
     #[allow(clippy::too_many_arguments)]
     pub fn grant(
         &self,
@@ -187,6 +193,10 @@ impl LeaseManager {
         let st = {
             let mut inner = self.inner.lock();
             let exclusive = kind == LeaseKind::Write;
+            if inner.barred.contains_key(&ino) {
+                self.denied_busy.fetch_add(1, Ordering::Relaxed);
+                return Err(LeaseError::Busy);
+            }
             let conflict = inner
                 .by_ino
                 .get(&ino)
@@ -211,12 +221,17 @@ impl LeaseManager {
             ));
             inner.leases.insert(id, Arc::clone(&st));
             inner.by_ino.entry(ino).or_default().push(id);
+            // Charge the sinks before the inner lock drops: the moment
+            // it does, a concurrent settle may run `free_holds`, and a
+            // hold installed after that free would leak — parking every
+            // conflicting RPC job on the inode forever. The sinks never
+            // re-enter the manager, so nesting their lock here is safe.
+            for sink in self.sinks.lock().iter() {
+                sink.hold(ino, kind == LeaseKind::Write);
+            }
             st
         };
         self.granted.fetch_add(1, Ordering::Relaxed);
-        for sink in self.sinks.lock().iter() {
-            sink.hold(ino, kind == LeaseKind::Write);
-        }
         if stale_inject {
             // Injected hazard: the mapping goes stale with no recall.
             // The stub's generation check must catch it on next access.
@@ -375,7 +390,13 @@ impl LeaseManager {
     /// when the lease already settled (e.g. the sweep won the race).
     pub fn settle_wire(&self, id: u64, written_end: u64, voluntary: bool) -> Option<SettledLease> {
         let st = self.inner.lock().leases.get(&id).cloned()?;
-        st.note_write(written_end);
+        // The wire value is untrusted: a read lease writes nothing, and
+        // a write lease can never have written past its own range — a
+        // misbehaving stub must not be able to extend the file past the
+        // leased (preallocated) blocks.
+        if st.kind() == LeaseKind::Write {
+            st.note_write(written_end.min(st.offset().saturating_add(st.len())));
+        }
         st.mark_recalled();
         st.invalidate();
         self.drain_ops(&st);
@@ -446,18 +467,29 @@ impl LeaseManager {
     /// stale-generation fault path. Holders detect the mismatch on
     /// next access and fall back; no recall is issued.
     pub fn bump_generation(&self, ino: u64) -> u64 {
-        let inner = self.inner.lock();
+        // One lock acquisition for both halves: a grant interleaving
+        // between invalidation and the counter bump would be stamped
+        // with the old generation and escape the coherence event.
+        let mut inner = self.inner.lock();
         let ids = inner.by_ino.get(&ino).cloned().unwrap_or_default();
         for id in &ids {
             if let Some(st) = inner.leases.get(id) {
                 st.invalidate();
             }
         }
-        drop(inner);
-        let mut inner = self.inner.lock();
         let g = inner.generations.entry(ino).or_insert(1);
         *g += 1;
         *g
+    }
+
+    /// Bars new grants on `ino` until the returned guard drops; barred
+    /// grants fail [`LeaseError::Busy`]. Destructive control-plane ops
+    /// (unlink, truncate) hold a bar across recall-then-mutate so no
+    /// lease granted through another proxy can slip in between and end
+    /// up mapping blocks the operation is about to free.
+    pub fn bar_grants(&self, ino: u64) -> GrantBar<'_> {
+        *self.inner.lock().barred.entry(ino).or_insert(0) += 1;
+        GrantBar { mgr: self, ino }
     }
 
     /// Frees the external holds charged at grant time. Called by the
@@ -523,6 +555,26 @@ impl LeaseManager {
             offset: st.offset(),
             written_end: st.written_end(),
             forced,
+        }
+    }
+}
+
+/// RAII bar on new grants for one inode (see
+/// [`LeaseManager::bar_grants`]). Refcounted, so overlapping bars from
+/// concurrent destructive ops compose.
+pub struct GrantBar<'a> {
+    mgr: &'a LeaseManager,
+    ino: u64,
+}
+
+impl Drop for GrantBar<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.mgr.inner.lock();
+        if let Some(n) = inner.barred.get_mut(&self.ino) {
+            *n -= 1;
+            if *n == 0 {
+                inner.barred.remove(&self.ino);
+            }
         }
     }
 }
@@ -656,6 +708,44 @@ mod tests {
         assert_eq!(settled[0].written_end, 8000);
         assert!(m.ledger().clean());
         assert_eq!(m.ledger().outstanding, 0);
+    }
+
+    #[test]
+    fn settle_wire_clamps_untrusted_written_end() {
+        let m = LeaseManager::new();
+        let w = m
+            .grant(0, 5, 0, 8192, LeaseKind::Write, vec![ext(20, 2)], 0, None)
+            .expect("writer");
+        let s = m.settle_wire(w.id(), u64::MAX, true).expect("settle");
+        assert_eq!(s.written_end, 8192, "clamped to the leased range end");
+        // A read lease reports no writes, whatever the wire claims.
+        let r = grant_read(&m, 6, 0);
+        let s = m.settle_wire(r.id(), 12345, true).expect("settle");
+        assert_eq!(s.written_end, 0);
+    }
+
+    #[test]
+    fn barred_inode_refuses_grants_until_the_bar_drops() {
+        let m = LeaseManager::new();
+        {
+            let _bar = m.bar_grants(7);
+            assert_eq!(
+                m.grant(0, 7, 0, 4096, LeaseKind::Read, vec![ext(10, 1)], 4096, None)
+                    .err(),
+                Some(LeaseError::Busy)
+            );
+            // Nested bars compose: still barred after the inner drops.
+            drop(m.bar_grants(7));
+            assert_eq!(
+                m.grant(0, 7, 0, 4096, LeaseKind::Read, vec![ext(10, 1)], 4096, None)
+                    .err(),
+                Some(LeaseError::Busy)
+            );
+            // Other inodes are unaffected.
+            grant_read(&m, 8, 0);
+        }
+        grant_read(&m, 7, 0);
+        assert_eq!(m.ledger().denied_busy, 2);
     }
 
     #[test]

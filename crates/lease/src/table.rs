@@ -304,22 +304,23 @@ impl LeaseTable {
     }
 
     fn leased_read(&self, st: &LeaseState, offset: u64, buf: &mut [u8]) -> Option<usize> {
-        let end = st.readable_end();
-        if offset < st.offset() {
+        // Outside the leased range: not ours to answer. The file may
+        // extend past a partial-range lease, so only the RPC path can
+        // tell data from EOF here — a Done(0) would be a false EOF.
+        let range_end = st.offset() + st.len();
+        if offset < st.offset() || offset >= range_end {
             return None;
         }
-        // At or past the readable end: EOF, nothing to transfer.
-        // (readable_end never exceeds the lease range, so this also
-        // covers reads at the very end of the range.)
+        let end = st.readable_end();
+        // Inside the range but at/past the readable end: the file
+        // ended within the lease (a conflicting writer can't extend
+        // it without a recall), so this EOF is real.
         if offset >= end {
             return Some(0);
         }
         let want = (buf.len() as u64).min(end - offset) as usize;
         if want == 0 {
             return Some(0);
-        }
-        if offset + want as u64 > st.offset() + st.len() {
-            return None;
         }
         let bs = BLOCK_SIZE as u64;
         let rel = offset - st.offset();
@@ -382,11 +383,15 @@ impl LeaseTable {
     fn leased_read_batch(&self, st: &LeaseState, reqs: &[(u64, usize)]) -> Option<Vec<Vec<u8>>> {
         let bs = BLOCK_SIZE as u64;
         let end = st.readable_end();
+        let range_end = st.offset() + st.len();
         // Plan every request first; any miss aborts before allocation.
         let mut plans = Vec::with_capacity(reqs.len());
         let mut total_span = 0usize;
         for &(offset, len) in reqs {
-            if offset < st.offset() {
+            // Same range guard as `leased_read`: a request outside the
+            // leased range falls the whole batch back — a partial-range
+            // lease can't distinguish EOF from not-yet-leased data.
+            if offset < st.offset() || offset >= range_end {
                 return None;
             }
             if offset >= end || len == 0 {
@@ -394,9 +399,6 @@ impl LeaseTable {
                 continue;
             }
             let want = (len as u64).min(end - offset) as usize;
-            if offset + want as u64 > st.offset() + st.len() {
-                return None;
-            }
             let rel = offset - st.offset();
             let first_block = rel / bs;
             let lead = (rel % bs) as usize;
@@ -677,18 +679,59 @@ mod tests {
     }
 
     #[test]
+    fn partial_range_lease_falls_back_outside_its_range() {
+        // Lease only the first 2 blocks of a logically longer file: a
+        // read past the lease must fall back to RPC, never report EOF
+        // — the file continues where the lease can't see.
+        let (dev, win, alloc, mgr) = rig();
+        let st = mgr
+            .grant(
+                0,
+                13,
+                0,
+                (2 * BLOCK_SIZE) as u64,
+                LeaseKind::Read,
+                vec![Extent { start: 400, len: 2 }],
+                (2 * BLOCK_SIZE) as u64,
+                None,
+            )
+            .expect("grant");
+        let table = LeaseTable::new(dev, win, alloc, Arc::clone(&mgr));
+        assert!(table.adopt(st.id(), 13, st.generation()));
+        let mut buf = vec![0u8; 512];
+        assert!(matches!(
+            table.read_at(13, (4 * BLOCK_SIZE) as u64, &mut buf),
+            LeaseIo::Fallback
+        ));
+        // Exactly at the range end is still outside the lease.
+        assert!(matches!(
+            table.read_at(13, (2 * BLOCK_SIZE) as u64, &mut buf),
+            LeaseIo::Fallback
+        ));
+        // One out-of-range request falls the whole batch back.
+        assert!(matches!(
+            table.read_batch(13, &[(0, 64), ((4 * BLOCK_SIZE) as u64, 64)]),
+            BatchIo::Fallback
+        ));
+        assert_eq!(table.stats().leased_reads.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
     fn batched_reads_use_one_submission() {
         let (dev, win, alloc, mgr) = rig();
         let data: Vec<u8> = (0..4 * BLOCK_SIZE).map(|i| (i % 241) as u8).collect();
         fill_blocks(&dev, &win, 300, &data);
+        // Lease one block past the data so the EOF inside the range is
+        // provably real (a request at the range end itself must fall
+        // back — the file might continue past the lease).
         let st = mgr
             .grant(
                 0,
                 11,
                 0,
-                (4 * BLOCK_SIZE) as u64,
+                (5 * BLOCK_SIZE) as u64,
                 LeaseKind::Read,
-                vec![Extent { start: 300, len: 4 }],
+                vec![Extent { start: 300, len: 5 }],
                 (4 * BLOCK_SIZE) as u64,
                 None,
             )
