@@ -284,7 +284,7 @@ pub fn dispatcher_saturation() -> String {
         total += data.len();
     }
     let elapsed = start.elapsed().as_secs_f64();
-    let events = sys.tcp_proxy_stats().events.load(AtomicOrdering::Relaxed);
+    let events = sys.tcp_proxy_stats(0).events.load(AtomicOrdering::Relaxed);
     sys.shutdown();
     format!(
         "One dispatcher thread routed {events} events / {total} bytes to {socks} sockets \

@@ -4,13 +4,16 @@
 //! only the QoS overload experiment, `extensions e3-engine` the same
 //! overload driven end-to-end through the shared proxy engine,
 //! `extensions e4` only the queue-depth sweep, and `extensions e5` the
-//! fault-injection recovery sweep, and `extensions e6` the extent-lease
-//! data plane — the cheap ones CI runs as smoke tests. The `e5` arm
+//! fault-injection recovery sweep, `extensions e6` the extent-lease
+//! data plane, and `extensions e7` the sharded control-plane scalability
+//! sweep — the cheap ones CI runs as smoke tests. The `e5` arm
 //! exits nonzero if any scenario leaves a hung tag, leaks a credit, or
 //! blows its recovery-latency bound; `e3-engine` exits nonzero if any
 //! shed is charged to a paced flow; `e6` exits nonzero on a stale
 //! generation read, a dirty recall ledger, or a leased hot loop that
-//! still pays per-op RPCs. All double as robustness gates.
+//! still pays per-op RPCs; `e7` exits nonzero if 8 control-plane domains
+//! deliver less than 3x the 1-domain op rate or any log replica
+//! diverges. All double as robustness gates.
 
 fn main() {
     let only = std::env::args().nth(1);
@@ -95,10 +98,37 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("e7") => {
+            // Sharded control plane; exits nonzero if 8 domains fail to
+            // deliver 3x the 1-domain op throughput, if any replica's
+            // apply-order fingerprint diverges, or if a real-boot storm
+            // overran a replica cursor.
+            let o = solros_bench::extensions::control_plane_scaling();
+            print!("## E7 — sharded control-plane scalability\n\n{}", o.report);
+            let mut failed = false;
+            if o.speedup8 < 3.0 {
+                eprintln!("E7 FAIL: 8-domain speedup {:.2}x (want >= 3x)", o.speedup8);
+                failed = true;
+            }
+            if o.divergence > 0 {
+                eprintln!("E7 FAIL: {} replicas diverged (must be 0)", o.divergence);
+                failed = true;
+            }
+            if o.overruns > 0 {
+                eprintln!(
+                    "E7 FAIL: {} replica overruns in real-boot storms (must be 0)",
+                    o.overruns
+                );
+                failed = true;
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        }
         Some(other) => {
             eprintln!(
                 "unknown experiment {other:?}; expected `e3`, `e3-engine`, `e4`, `e5`, \
-                 `e6`, or no argument"
+                 `e6`, `e7`, or no argument"
             );
             std::process::exit(2);
         }

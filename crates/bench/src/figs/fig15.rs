@@ -49,7 +49,7 @@ pub fn storm(n: usize) -> Vec<u64> {
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
         let total: u64 = (0..n)
-            .map(|i| sys.tcp_proxy_stats().accepted[i].load(Ordering::Relaxed))
+            .map(|i| sys.tcp_proxy_stats(0).accepted[i].load(Ordering::Relaxed))
             .sum();
         if total >= CONNS || std::time::Instant::now() > deadline {
             break;
@@ -57,7 +57,7 @@ pub fn storm(n: usize) -> Vec<u64> {
         std::thread::yield_now();
     }
     let counts: Vec<u64> = (0..n)
-        .map(|i| sys.tcp_proxy_stats().accepted[i].load(Ordering::Relaxed))
+        .map(|i| sys.tcp_proxy_stats(0).accepted[i].load(Ordering::Relaxed))
         .collect();
     drop(listeners);
     sys.shutdown();

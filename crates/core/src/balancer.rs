@@ -4,6 +4,14 @@
 //! connection is assigned to one of them by a [`LoadBalancer`] (the
 //! paper implements connection-based round-robin; a content/address-hash
 //! policy and a least-loaded policy are provided as pluggable examples).
+//!
+//! Every method takes `&self`: policies keep their counters in atomics so
+//! the accept path never serializes on a policy-wide lock, and so each
+//! engine shard can hold its own replica ([`LoadBalancer::fork`]) whose
+//! load view is kept convergent by replaying `conn_assigned`/`conn_closed`
+//! notifications from the shared control-plane operation log.
+
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 
 /// Metadata about an incoming connection, fed to the balancer.
 #[derive(Debug, Clone, Copy)]
@@ -15,35 +23,43 @@ pub struct ConnMeta {
 }
 
 /// A pluggable forwarding policy for shared listening sockets (§4.4.3).
-pub trait LoadBalancer: Send {
+pub trait LoadBalancer: Send + Sync {
     /// Picks the index of the listener (among `n` candidates, in
     /// registration order) that receives this connection.
-    fn pick(&mut self, n: usize, meta: &ConnMeta) -> usize;
+    fn pick(&self, n: usize, meta: &ConnMeta) -> usize;
 
     /// Informs the policy that the connection went to listener `idx`
     /// (the value returned by [`LoadBalancer::pick`]). Default: ignored.
-    fn conn_assigned(&mut self, idx: usize) {
+    fn conn_assigned(&self, idx: usize) {
         let _ = idx;
     }
 
     /// Informs the policy that a connection previously assigned to
     /// listener `idx` has closed. Default: ignored.
-    fn conn_closed(&mut self, idx: usize) {
+    fn conn_closed(&self, idx: usize) {
         let _ = idx;
     }
+
+    /// Creates a fresh replica of this policy with zeroed counters, used
+    /// by the sharded control plane to give every NUMA domain a local
+    /// copy. Replicas converge by applying the same notification stream
+    /// from the operation log, so they start from the same (empty) state.
+    fn fork(&self) -> Box<dyn LoadBalancer>;
 }
 
 /// The paper's connection-based round-robin policy.
 #[derive(Default)]
 pub struct RoundRobin {
-    next: usize,
+    next: AtomicUsize,
 }
 
 impl LoadBalancer for RoundRobin {
-    fn pick(&mut self, n: usize, _meta: &ConnMeta) -> usize {
-        let i = self.next % n;
-        self.next = self.next.wrapping_add(1);
-        i
+    fn pick(&self, n: usize, _meta: &ConnMeta) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) % n
+    }
+
+    fn fork(&self) -> Box<dyn LoadBalancer> {
+        Box::new(RoundRobin::default())
     }
 }
 
@@ -53,45 +69,84 @@ impl LoadBalancer for RoundRobin {
 pub struct AddrHash;
 
 impl LoadBalancer for AddrHash {
-    fn pick(&mut self, n: usize, meta: &ConnMeta) -> usize {
+    fn pick(&self, n: usize, meta: &ConnMeta) -> usize {
         (meta.client_addr as usize).wrapping_mul(0x9E37_79B9) % n
     }
+
+    fn fork(&self) -> Box<dyn LoadBalancer> {
+        Box::new(AddrHash)
+    }
 }
+
+/// Listener slots a [`LeastLoaded`] policy can track. Shared listening
+/// sockets have one slot per listening co-processor, so this bound is
+/// far above any plausible machine.
+const LL_SLOTS: usize = 64;
 
 /// Routes each connection to the listener with the fewest in-flight
 /// connections, so a co-processor stuck on long-lived transfers stops
 /// receiving new work while its siblings stay busy. Ties break with a
 /// rotating cursor, which degrades to round-robin under uniform load.
-#[derive(Default)]
+///
+/// Counters are signed: a close notification racing ahead of its assign
+/// (possible when replicas replay the log out of lock-step with local
+/// picks) must not wrap to `u64::MAX` and poison the policy. The
+/// [`LeastLoaded::negative_excursions`] tripwire counts such transients;
+/// a steady-state nonzero reading means lost assign notifications.
 pub struct LeastLoaded {
-    in_flight: Vec<u64>,
-    next: usize,
+    in_flight: [AtomicI64; LL_SLOTS],
+    next: AtomicUsize,
+    negative_excursions: AtomicI64,
+}
+
+impl Default for LeastLoaded {
+    fn default() -> Self {
+        LeastLoaded {
+            in_flight: [const { AtomicI64::new(0) }; LL_SLOTS],
+            next: AtomicUsize::new(0),
+            negative_excursions: AtomicI64::new(0),
+        }
+    }
+}
+
+impl LeastLoaded {
+    /// Current in-flight count for listener `idx` (testing/observability).
+    pub fn in_flight(&self, idx: usize) -> i64 {
+        self.in_flight[idx % LL_SLOTS].load(Ordering::Relaxed)
+    }
+
+    /// Times a counter dipped below zero (close observed before its
+    /// assign). Must read 0 whenever notification delivery is in-order.
+    pub fn negative_excursions(&self) -> i64 {
+        self.negative_excursions.load(Ordering::Relaxed)
+    }
 }
 
 impl LoadBalancer for LeastLoaded {
-    fn pick(&mut self, n: usize, _meta: &ConnMeta) -> usize {
-        if self.in_flight.len() < n {
-            self.in_flight.resize(n, 0);
-        }
+    fn pick(&self, n: usize, _meta: &ConnMeta) -> usize {
+        let n = n.clamp(1, LL_SLOTS);
+        let start = self.next.load(Ordering::Relaxed);
         let winner = (0..n)
-            .map(|k| (self.next + k) % n)
-            .min_by_key(|&i| self.in_flight[i])
+            .map(|k| (start + k) % n)
+            .min_by_key(|&i| self.in_flight[i].load(Ordering::Relaxed))
             .unwrap_or(0);
-        self.next = (winner + 1) % n.max(1);
+        self.next.store((winner + 1) % n, Ordering::Relaxed);
         winner
     }
 
-    fn conn_assigned(&mut self, idx: usize) {
-        if self.in_flight.len() <= idx {
-            self.in_flight.resize(idx + 1, 0);
-        }
-        self.in_flight[idx] += 1;
+    fn conn_assigned(&self, idx: usize) {
+        self.in_flight[idx % LL_SLOTS].fetch_add(1, Ordering::Relaxed);
     }
 
-    fn conn_closed(&mut self, idx: usize) {
-        if let Some(c) = self.in_flight.get_mut(idx) {
-            *c = c.saturating_sub(1);
+    fn conn_closed(&self, idx: usize) {
+        let prev = self.in_flight[idx % LL_SLOTS].fetch_sub(1, Ordering::Relaxed);
+        if prev <= 0 {
+            self.negative_excursions.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    fn fork(&self) -> Box<dyn LoadBalancer> {
+        Box::new(LeastLoaded::default())
     }
 }
 
@@ -101,7 +156,7 @@ mod tests {
 
     #[test]
     fn round_robin_cycles() {
-        let mut rr = RoundRobin::default();
+        let rr = RoundRobin::default();
         let meta = ConnMeta {
             client_addr: 1,
             port: 80,
@@ -112,7 +167,7 @@ mod tests {
 
     #[test]
     fn addr_hash_is_sticky() {
-        let mut h = AddrHash;
+        let h = AddrHash;
         for addr in 0..50u64 {
             let meta = ConnMeta {
                 client_addr: addr,
@@ -131,7 +186,7 @@ mod tests {
         // close); everywhere else they close immediately. Round-robin
         // keeps feeding the overloaded co-processor; least-loaded must
         // divert new work away from it.
-        let run = |lb: &mut dyn LoadBalancer, n: usize, arrivals: u64| -> Vec<u64> {
+        let run = |lb: &dyn LoadBalancer, n: usize, arrivals: u64| -> Vec<u64> {
             let mut assigned = vec![0u64; n];
             for addr in 0..arrivals {
                 let meta = ConnMeta {
@@ -148,8 +203,8 @@ mod tests {
             assigned
         };
 
-        let mut ll = LeastLoaded::default();
-        let fair = run(&mut ll, 3, 300);
+        let ll = LeastLoaded::default();
+        let fair = run(&ll, 3, 300);
         // Co-processor 0 accumulates in-flight connections, so it should
         // receive almost nothing beyond its first few picks while the
         // siblings absorb the rest of the skewed arrival stream.
@@ -161,12 +216,57 @@ mod tests {
             fair[1] >= 100 && fair[2] >= 100,
             "siblings starved: {fair:?}"
         );
+        assert_eq!(ll.negative_excursions(), 0);
 
-        let mut rr = RoundRobin::default();
-        let skewed = run(&mut rr, 3, 300);
+        let rr = RoundRobin::default();
+        let skewed = run(&rr, 3, 300);
         assert_eq!(
             skewed[0], 100,
             "round-robin should ignore load, proving the contrast: {skewed:?}"
         );
+    }
+
+    #[test]
+    fn forked_replicas_start_clean_and_converge_under_same_stream() {
+        let a = LeastLoaded::default();
+        a.conn_assigned(2);
+        let b = a.fork();
+        // Fork starts from zeroed counters...
+        let meta = ConnMeta {
+            client_addr: 7,
+            port: 80,
+        };
+        assert_eq!(b.pick(3, &meta), 0);
+        // ...and converges with the original once it replays the same
+        // notification stream. Leave listener 1 strictly least-loaded so
+        // the expected pick is independent of each replica's rotating
+        // tie-break cursor (cursor state is shard-local by design).
+        b.conn_assigned(2);
+        for idx in [0usize, 0, 2] {
+            a.conn_assigned(idx);
+            b.conn_assigned(idx);
+        }
+        a.conn_closed(2);
+        b.conn_closed(2);
+        let a_view: Vec<i64> = (0..3).map(|i| a.in_flight(i)).collect();
+        assert_eq!(a_view, vec![2, 0, 1]);
+        assert_eq!(a.pick(3, &meta), 1, "a={a_view:?}");
+        assert_eq!(b.pick(3, &meta), 1, "replica diverged from {a_view:?}");
+    }
+
+    #[test]
+    fn close_before_assign_trips_the_negative_tripwire_without_wrapping() {
+        let ll = LeastLoaded::default();
+        ll.conn_closed(1);
+        assert_eq!(ll.in_flight(1), -1);
+        assert_eq!(ll.negative_excursions(), 1);
+        // The late assign restores balance; no wraparound poisoning.
+        ll.conn_assigned(1);
+        assert_eq!(ll.in_flight(1), 0);
+        let meta = ConnMeta {
+            client_addr: 1,
+            port: 80,
+        };
+        assert!(ll.pick(4, &meta) < 4);
     }
 }

@@ -15,12 +15,20 @@ use solros_fs::FileSystem;
 use solros_lease::{LeaseManager, LeaseTable};
 use solros_machine::{Machine, MachineConfig};
 use solros_netdev::Network;
-use solros_qos::{CreditPool, DwrrScheduler, QosClass, QosConfig, QosStats};
+use solros_qos::{
+    CreditPool, DwrrScheduler, QosClass, QosConfig, QosStats, TenantLedger, TenantLedgerReplica,
+    TenantUsage,
+};
+
+use solros_oplog::LogStats;
+use solros_pcie::topo::DeviceId;
 
 use crate::fs_api::CoprocFs;
 use crate::fs_proxy::{FsProxy, FsProxyStats};
 use crate::net_api::CoprocNet;
-use crate::tcp_proxy::{LoadBalancer, NetChannelHost, RoundRobin, TcpProxy, TcpProxyStats};
+use crate::tcp_proxy::{
+    LoadBalancer, NetChannelHost, RoundRobin, TcpControl, TcpProxy, TcpProxyStats,
+};
 use crate::transport::{event_ring, Channel, RpcClient};
 
 /// One co-processor's data-plane OS.
@@ -47,10 +55,18 @@ pub struct Solros {
     fs: Arc<FileSystem>,
     data_planes: Vec<DataPlane>,
     fs_stats: Vec<Arc<FsProxyStats>>,
-    tcp_stats: Arc<TcpProxyStats>,
+    /// One TCP proxy shard per NUMA domain hosting co-processors.
+    tcp_stats: Vec<Arc<TcpProxyStats>>,
+    tcp_control: Arc<TcpControl>,
     fs_qos_stats: Vec<Arc<QosStats>>,
-    tcp_qos_stats: Option<Arc<QosStats>>,
+    /// Per-domain TCP QoS ledgers (empty when QoS is pass-through).
+    tcp_qos_stats: Vec<Arc<QosStats>>,
     lease_mgr: Arc<LeaseManager>,
+    /// System-wide tenant ledger log every engine shard charges into.
+    tenant_ledger: Arc<TenantLedger>,
+    /// The host's observer replica of the tenant ledger, registered
+    /// before boot completes so it sees every charge.
+    tenant_view: TenantLedgerReplica,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -132,6 +148,12 @@ impl Solros {
         // one co-processor defers conflicting RPCs arriving at another.
         let lease_mgr = Arc::new(LeaseManager::new());
 
+        // One tenant ledger log for the whole system; each engine shard
+        // charges admitted work into it and the host keeps an observer
+        // replica (registered now, before any charge can be appended).
+        let tenant_ledger = TenantLedger::new();
+        let tenant_view = tenant_ledger.replica();
+
         for coproc in &machine.coprocs {
             // ---- File-system service ----
             let fs_ch = Channel::new(Arc::clone(&coproc.counters));
@@ -144,6 +166,7 @@ impl Solros {
                 stats,
             );
             proxy.set_lease_manager(Arc::clone(&lease_mgr), coproc.id);
+            proxy.set_tenant_ledger(Arc::clone(&tenant_ledger));
             let sd = Arc::clone(&shutdown);
             let (req_rx, resp_tx) = (fs_ch.req_rx, fs_ch.resp_tx);
             let builder =
@@ -215,21 +238,57 @@ impl Solros {
             });
         }
 
-        // ---- TCP proxy (one thread for the whole machine) ----
-        let (mut tcp_proxy, tcp_stats) =
-            TcpProxy::new(Arc::clone(&machine.network), net_host_channels, lb);
-        let tcp_qos_stats = if qos.enabled {
-            Some(tcp_proxy.enable_qos(&qos))
-        } else {
-            None
-        };
-        let sd = Arc::clone(&shutdown);
-        threads.push(
-            std::thread::Builder::new()
-                .name("solros-tcp-proxy".into())
-                .spawn(move || tcp_proxy.run(sd))
-                .expect("spawn tcp proxy"),
-        );
+        // ---- TCP proxy (one engine shard per NUMA domain) ----
+        //
+        // Co-processors are grouped by the socket they attach to; each
+        // group gets its own proxy thread with a local replica of the
+        // shared listener/balancer state, kept convergent through the
+        // TcpControl operation log (NRK-style node replication).
+        let mut domains: Vec<Vec<usize>> = Vec::new();
+        let mut domain_of_socket: Vec<Option<usize>> =
+            vec![None; machine.topology.sockets() as usize];
+        for coproc in &machine.coprocs {
+            let socket = machine
+                .topology
+                .socket_of(DeviceId::Coproc(coproc.id))
+                .unwrap_or(0) as usize;
+            let d = *domain_of_socket[socket].get_or_insert_with(|| {
+                domains.push(Vec::new());
+                domains.len() - 1
+            });
+            domains[d].push(coproc.id as usize);
+        }
+        let tcp_control = TcpControl::new(domains.len().max(1), machine.coprocs.len());
+        let mut net_host_channels: Vec<Option<NetChannelHost>> =
+            net_host_channels.into_iter().map(Some).collect();
+        let mut tcp_stats = Vec::new();
+        let mut tcp_qos_stats = Vec::new();
+        for (d, coprocs) in domains.into_iter().enumerate() {
+            let channels: Vec<NetChannelHost> = coprocs
+                .iter()
+                .map(|&c| net_host_channels[c].take().expect("channel taken once"))
+                .collect();
+            let (mut shard, stats) = TcpProxy::shard(
+                Arc::clone(&machine.network),
+                Arc::clone(&tcp_control),
+                d,
+                coprocs,
+                channels,
+                lb.fork(),
+            );
+            tcp_stats.push(stats);
+            shard.set_tenant_ledger(Arc::clone(&tenant_ledger));
+            if qos.enabled {
+                tcp_qos_stats.push(shard.enable_qos(&qos));
+            }
+            let sd = Arc::clone(&shutdown);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("solros-tcp-proxy-{d}"))
+                    .spawn(move || shard.run(sd))
+                    .expect("spawn tcp proxy"),
+            );
+        }
 
         Solros {
             machine,
@@ -237,9 +296,12 @@ impl Solros {
             data_planes,
             fs_stats,
             tcp_stats,
+            tcp_control,
             fs_qos_stats,
             tcp_qos_stats,
             lease_mgr,
+            tenant_ledger,
+            tenant_view,
             shutdown,
             threads,
         }
@@ -280,9 +342,24 @@ impl Solros {
         &self.fs_stats[i]
     }
 
-    /// TCP-proxy statistics.
-    pub fn tcp_proxy_stats(&self) -> &Arc<TcpProxyStats> {
-        &self.tcp_stats
+    /// Number of TCP proxy shards (one per NUMA domain hosting
+    /// co-processors).
+    pub fn tcp_domains(&self) -> usize {
+        self.tcp_stats.len()
+    }
+
+    /// TCP-proxy statistics for NUMA domain `d`, matching the per-domain
+    /// granularity of [`Solros::fs_proxy_stats`]. The `events` and
+    /// `accepted` counters are machine-global (identical through every
+    /// domain's handle); the engine lifecycle ledger is per shard.
+    pub fn tcp_proxy_stats(&self, d: usize) -> &Arc<TcpProxyStats> {
+        &self.tcp_stats[d]
+    }
+
+    /// Counters of the TCP control-plane operation log: depth, combine
+    /// factor, and the replica-overrun tripwire (must stay 0).
+    pub fn tcp_control_log_stats(&self) -> LogStats {
+        self.tcp_control.log_stats()
     }
 
     /// QoS ledger for co-processor `i`'s FS gate, or `None` when the
@@ -291,15 +368,35 @@ impl Solros {
         self.fs_qos_stats.get(i)
     }
 
-    /// QoS ledger for the TCP proxy's gate, or `None` when pass-through.
-    pub fn tcp_qos_stats(&self) -> Option<&Arc<QosStats>> {
-        self.tcp_qos_stats.as_ref()
+    /// QoS ledger for NUMA domain `d`'s TCP gate, or `None` when
+    /// pass-through.
+    pub fn tcp_qos_stats(&self, d: usize) -> Option<&Arc<QosStats>> {
+        self.tcp_qos_stats.get(d)
     }
 
     /// The system-wide extent-lease control plane (ledger, fault hooks,
     /// recall budget).
     pub fn lease_manager(&self) -> &Arc<LeaseManager> {
         &self.lease_mgr
+    }
+
+    /// The system-wide tenant ledger log (budget setting, extra
+    /// replicas). Charges accrue only on QoS-gated admission paths.
+    pub fn tenant_ledger(&self) -> &Arc<TenantLedger> {
+        &self.tenant_ledger
+    }
+
+    /// The host observer's view of `tenant`'s usage, synced to the log
+    /// tail at the call.
+    pub fn tenant_usage(&self, tenant: u8) -> TenantUsage {
+        self.tenant_view.usage(tenant)
+    }
+
+    /// Counters of the tenant-ledger operation log; `appends` stays far
+    /// below admitted ops because engines batch one charge per
+    /// (tenant, admission burst).
+    pub fn tenant_ledger_log_stats(&self) -> LogStats {
+        self.tenant_ledger.log_stats()
     }
 
     /// Stops all proxy threads and joins them.
@@ -440,7 +537,7 @@ mod tests {
         assert!(snaps.iter().map(|s| s.dispatched).sum::<u64>() > 0);
         assert_eq!(ledger.total_shed(), 0);
         assert!(snaps.iter().all(|s| s.accounted()));
-        let net_ledger = sys.tcp_qos_stats().expect("qos enabled");
+        let net_ledger = sys.tcp_qos_stats(0).expect("qos enabled");
         assert!(
             net_ledger
                 .snapshot()
@@ -449,6 +546,16 @@ mod tests {
                 .sum::<u64>()
                 > 0
         );
+
+        // Every gated admission above ran as the default tenant (0);
+        // the replicated tenant ledger must have charged it — at least
+        // the write+read payloads in bytes — and the engines batch, so
+        // appends stay at or below ops charged.
+        let usage = sys.tenant_usage(0);
+        assert!(usage.ops >= 4, "fs + net admissions charged: {usage:?}");
+        assert!(usage.bytes >= 40_000, "payload bytes charged: {usage:?}");
+        let log = sys.tenant_ledger_log_stats();
+        assert!(log.appends <= usage.ops);
         sys.shutdown();
     }
 
@@ -456,7 +563,7 @@ mod tests {
     fn default_qos_config_is_pass_through() {
         let sys = Solros::boot_qos(MachineConfig::small(), QosConfig::default());
         assert!(sys.fs_qos_stats(0).is_none());
-        assert!(sys.tcp_qos_stats().is_none());
+        assert!(sys.tcp_qos_stats(0).is_none());
         let fs = sys.data_plane(0).fs();
         let f = fs.create("/plain").unwrap();
         assert_eq!(fs.write_at(f, 0, b"abc").unwrap(), 3);
@@ -490,9 +597,15 @@ mod tests {
             got1 += 1;
         }
         assert_eq!((got0, got1), (5, 5));
-        let s = sys.tcp_proxy_stats();
+        // MachineConfig::small has two sockets, so the shared listening
+        // socket spans two proxy shards coordinated through the op log.
+        assert_eq!(sys.tcp_domains(), 2);
+        let s = sys.tcp_proxy_stats(0);
         assert_eq!(s.accepted[0].load(Ordering::Relaxed), 5);
         assert_eq!(s.accepted[1].load(Ordering::Relaxed), 5);
+        let log = sys.tcp_control_log_stats();
+        assert_eq!(log.overruns, 0, "replica divergence tripwire");
+        assert!(log.appends >= 12, "2 listens + 10 assigns: {log:?}");
         sys.shutdown();
     }
 }

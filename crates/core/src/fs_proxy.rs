@@ -31,7 +31,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use solros_faults::EngineFaults;
-use solros_fs::{FileSystem, FsError};
+use solros_fs::{CacheDirReplica, FileSystem, FsError};
 use solros_lease::{LeaseError, LeaseKind, LeaseManager, SettledLease};
 use solros_nvme::{DmaPtr, NvmeCommand, NvmeError, BLOCK_SIZE};
 use solros_pcie::window::Window;
@@ -39,7 +39,7 @@ use solros_pcie::Side;
 use solros_proto::codec::stamp_credit;
 use solros_proto::fs_msg::{FsRequest, FsResponse};
 use solros_proto::rpc_error::RpcErr;
-use solros_qos::{DwrrScheduler, QosClass, QosStats};
+use solros_qos::{DwrrScheduler, QosClass, QosStats, TenantLedger};
 use solros_ringbuf::{Consumer, Producer};
 
 use crate::proxy_engine::{
@@ -154,6 +154,13 @@ pub struct FsProxy {
     coproc: u8,
     /// QoS ledger and flow leased bypass bytes are charged to.
     lease_charge: Mutex<Option<(Arc<QosStats>, usize)>>,
+    /// Replicated per-tenant ledger this proxy's engine charges gated
+    /// admissions to (shared log, domain-local replicas).
+    tenant_ledger: Option<Arc<TenantLedger>>,
+    /// This proxy's replica of the shared cache's residency directory:
+    /// the P2P path decision probes it instead of the cache lock, so the
+    /// decision stays domain-local as proxies multiply (§4.3.2).
+    cache_dir: CacheDirReplica,
 }
 
 impl FsProxy {
@@ -167,8 +174,10 @@ impl FsProxy {
         let lease_mgr = Arc::new(LeaseManager::new());
         let holds = Arc::new(ExternalHolds::new());
         lease_mgr.attach_sink(Arc::clone(&holds) as Arc<dyn solros_lease::RecallSink>);
+        let cache_dir = fs.cache().replica();
         Self {
             fs,
+            cache_dir,
             coproc_window,
             crosses_numa,
             stats,
@@ -181,7 +190,14 @@ impl FsProxy {
             holds,
             coproc: 0,
             lease_charge: Mutex::new(None),
+            tenant_ledger: None,
         }
+    }
+
+    /// Attaches the system-wide tenant ledger; the proxy's engine will
+    /// charge every gated admission to the submitting frame's tenant.
+    pub fn set_tenant_ledger(&mut self, ledger: Arc<TenantLedger>) {
+        self.tenant_ledger = Some(ledger);
     }
 
     /// Overrides the sequential readahead depth (pages; 0 disables).
@@ -259,13 +275,18 @@ impl FsProxy {
     ) -> ProxyEngine<FsProxy> {
         let stats = Arc::clone(&self.stats.engine);
         let faults = Arc::clone(&self.faults);
-        ProxyEngine::new(
+        let ledger = self.tenant_ledger.clone();
+        let mut eng = ProxyEngine::new(
             Arc::new(self),
             vec![EngineLane { req_rx, resp_tx }],
             stats,
             faults,
             gate,
-        )
+        );
+        if let Some(l) = ledger {
+            eng.set_tenant_ledger(l);
+        }
+        eng
     }
 
     /// Executes one RPC.
@@ -501,8 +522,11 @@ impl FsProxy {
             return false;
         }
         // Cache hit on the leading page: serve from the shared cache.
+        // Probed through this proxy's directory replica, not the cache
+        // lock — the residency answer is as of the replica's log
+        // position, which the probe first syncs to the published tail.
         let first_page = offset / BLOCK_SIZE as u64;
-        if self.fs.cache().peek(ino, first_page) {
+        if self.cache_dir.resident(self.fs.cache(), ino, first_page) {
             return false;
         }
         count > 0

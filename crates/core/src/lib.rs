@@ -63,5 +63,6 @@ pub use net_api::{CoprocNet, TcpListener, TcpStream};
 pub use proxy_engine::{Access, EngineLane, GateJob, OpHandler, ProxyEngine, ProxyStats};
 pub use retry::RetryPolicy;
 pub use solros_lease as lease;
+pub use solros_oplog::LogStats;
 pub use solros_qos::{ClassConfig, QosClass, QosConfig, QosStats};
 pub use transport::{ResetReport, Token};

@@ -11,7 +11,7 @@ use solros_faults::EngineFaults;
 use solros_proto::codec::{stamp_credit, FLAG_BARRIER};
 use solros_proto::rpc_error::RpcErr;
 use solros_proto::{AdmitRequest, AdmittedFrame};
-use solros_qos::{Dispatch, DwrrScheduler, Verdict};
+use solros_qos::{Dispatch, DwrrScheduler, TenantLedger, Verdict};
 use solros_ringbuf::{Consumer, Producer};
 
 use super::admission::{Access, GateJob, ReadyJob};
@@ -152,6 +152,9 @@ pub struct ProxyEngine<H: OpHandler> {
     ready_backlog: Vec<ReadyJob<H::Req>>,
     /// Completed exclusive holds, pushed by workers, drained per cycle.
     releases: Arc<Mutex<Vec<(u64, usize)>>>,
+    /// Replicated tenant ledger; admitted work is charged here, batched
+    /// to one log append per (tenant, admission burst).
+    ledger: Option<Arc<TenantLedger>>,
 }
 
 impl<H: OpHandler> ProxyEngine<H> {
@@ -175,12 +178,19 @@ impl<H: OpHandler> ProxyEngine<H> {
             waiting: HashMap::new(),
             ready_backlog: Vec::new(),
             releases: Arc::new(Mutex::new(Vec::new())),
+            ledger: None,
         }
     }
 
     /// Enables or disables priority inheritance (deferral still applies).
     pub fn set_inherit(&mut self, on: bool) {
         self.inherit = on;
+    }
+
+    /// Attaches the replicated tenant ledger; every gated admission is
+    /// charged to the submitting frame's tenant.
+    pub fn set_tenant_ledger(&mut self, ledger: Arc<TenantLedger>) {
+        self.ledger = Some(ledger);
     }
 
     /// Runs one engine cycle at `now_ns` on a virtual clock, executing
@@ -288,6 +298,9 @@ impl<H: OpHandler> ProxyEngine<H> {
     /// frame is decoded exactly once, here.
     fn admit_gated(&mut self, now_ns: u64) -> bool {
         let mut progressed = false;
+        // Batched tenant charges: one ledger append per tenant per burst,
+        // not one per frame, so the log never sees per-op traffic.
+        let mut charges: HashMap<u8, (u64, u64)> = HashMap::new();
         for lane in 0..self.lanes.len() {
             for _ in 0..ADMIT_BURST {
                 let Ok(frame) = self.lanes[lane].req_rx.recv() else {
@@ -306,7 +319,8 @@ impl<H: OpHandler> ProxyEngine<H> {
                 let (class_flow, bytes) = self.handler.classify(lane, &admitted.req);
                 let touch = self.handler.touches(&admitted.req);
                 let gate = self.gate.as_mut().expect("gated admission");
-                let flow = gate.flow_for_tenant(admitted.tenant, class_flow);
+                let tenant = admitted.tenant;
+                let flow = gate.flow_for_tenant(tenant, class_flow);
                 let job = GateJob {
                     lane,
                     tag: admitted.tag,
@@ -316,6 +330,11 @@ impl<H: OpHandler> ProxyEngine<H> {
                 };
                 match gate.submit(flow, bytes, now_ns, job) {
                     Verdict::Admitted => {
+                        if self.ledger.is_some() {
+                            let c = charges.entry(tenant).or_insert((0, 0));
+                            c.0 += 1;
+                            c.1 += bytes;
+                        }
                         if let Some((res, Access::Exclusive)) = touch {
                             let rec = self.holders.entry(res).or_default();
                             rec.total += 1;
@@ -330,6 +349,11 @@ impl<H: OpHandler> ProxyEngine<H> {
                         self.post(lane, &reply);
                     }
                 }
+            }
+        }
+        if let Some(ledger) = &self.ledger {
+            for (tenant, (ops, bytes)) in charges {
+                ledger.charge(tenant, ops, bytes);
             }
         }
         progressed

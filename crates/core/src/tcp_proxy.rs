@@ -1,16 +1,22 @@
-//! The control-plane TCP proxy (§4.4).
+//! The control-plane TCP proxy (§4.4), sharded per NUMA domain.
 //!
-//! A single host thread terminates all TCP activity: driven by the shared
-//! [`crate::proxy_engine`], it serves the ten socket RPCs from every
-//! co-processor (one engine lane per co-processor), polls the NIC fabric
-//! via [`OpHandler::poll`], and pushes inbound events (new connection,
-//! data arrival, peer close) into each co-processor's inbound event ring.
+//! One [`TcpProxy`] engine shard runs per NUMA domain, serving the ten
+//! socket RPCs for the co-processors attached to that domain (one engine
+//! lane per co-processor) and polling the NIC fabric for the ports it is
+//! *home* to. What the shards genuinely share — the shared-listening-
+//! socket registry (§4.4.3) and the balancer's load view — is a single
+//! logical state machine replicated per shard and driven by a
+//! [`TcpControl`] operation log (NRK-style): mutations append, each
+//! shard's replica applies the log through its private cursor, and reads
+//! (routing a new connection, looking up a port's listeners) stay
+//! domain-local with no cross-shard lock.
 //!
-//! The *shared listening socket* (§4.4.3) is implemented here: multiple
-//! co-processors may listen on the same port; each incoming connection is
-//! assigned to one of them by a pluggable [`LoadBalancer`] (the paper
-//! implements connection-based round-robin; a content/address-hash policy
-//! is provided as the pluggable example — see [`crate::balancer`]).
+//! Determinism of the paper's connection-based round-robin is preserved
+//! by *home-shard polling*: the shard whose `ListenerAdd` created a port
+//! record is the only one that polls the NIC for that port, so every
+//! balancer pick for a port is made by one policy replica in arrival
+//! order. Connections routed to a listener owned by another shard are
+//! handed off through that shard's inbox queue.
 
 use std::collections::{HashMap, VecDeque};
 use std::ops::Deref;
@@ -20,9 +26,10 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use solros_faults::EngineFaults;
 use solros_netdev::{ConnId, EndKind, Network, NetworkError};
+use solros_oplog::{LogConfig, LogStats, OpLog, ReplicaCursor, SyncOutcome};
 use solros_proto::net_msg::{NetEvent, NetRequest, NetResponse, SockId};
 use solros_proto::rpc_error::RpcErr;
-use solros_qos::{DwrrScheduler, FlowSpec, QosClass, QosConfig, QosStats};
+use solros_qos::{DwrrScheduler, FlowSpec, QosClass, QosConfig, QosStats, TenantLedger};
 use solros_ringbuf::{Consumer, Producer};
 
 use crate::proxy_engine::{EngineLane, GateJob, OpHandler, ProxyEngine, ProxyStats};
@@ -45,15 +52,16 @@ pub struct NetChannelHost {
 /// TCP-specific statistics (per co-processor accepted counts drive the
 /// LB tests). Lifecycle counters live in the engine-owned ledger; this
 /// struct derefs into it, so `.rpcs` / `.worker_panics` call sites work
-/// unchanged.
+/// unchanged. `events` and `accepted` are machine-global (shared by all
+/// shards, indexed by global co-processor id); `engine` is per shard.
 #[derive(Debug, Default)]
 pub struct TcpProxyStats {
-    /// The engine-owned request-lifecycle ledger.
+    /// This shard's engine-owned request-lifecycle ledger.
     pub engine: Arc<ProxyStats>,
-    /// Events pushed.
-    pub events: AtomicU64,
-    /// Connections accepted, indexed by co-processor.
-    pub accepted: Vec<AtomicU64>,
+    /// Events pushed (machine-global).
+    pub events: Arc<AtomicU64>,
+    /// Connections accepted, indexed by global co-processor (shared).
+    pub accepted: Arc<Vec<AtomicU64>>,
 }
 
 impl Deref for TcpProxyStats {
@@ -61,6 +69,77 @@ impl Deref for TcpProxyStats {
 
     fn deref(&self) -> &ProxyStats {
         &self.engine
+    }
+}
+
+/// One mutation of the shared TCP control state. Everything a shard must
+/// agree on with its peers goes through the log; socket tables and
+/// pending-accept queues stay shard-local.
+#[derive(Clone, Debug)]
+enum TcpCtrlOp {
+    /// `sock` (owned by `shard`) joined the shared listening socket on
+    /// `port`. The first add for a port makes `shard` the port's home.
+    ListenerAdd {
+        port: u16,
+        sock: SockId,
+        shard: usize,
+    },
+    /// `sock` left `port`'s shared listening socket.
+    ListenerDel { port: u16, sock: SockId },
+    /// The home shard routed a connection to balancer slot `slot`.
+    ConnAssigned { slot: usize },
+    /// A connection counted against balancer slot `slot` closed.
+    ConnClosed { slot: usize },
+}
+
+/// A connection routed by a port's home shard to a listener owned by
+/// another shard, waiting in the owner's inbox.
+struct Handoff {
+    conn: ConnId,
+    client_addr: u64,
+    listener: SockId,
+    /// Balancer slot the connection was charged to at pick time.
+    slot: usize,
+}
+
+/// The shared spine of the sharded TCP control plane: the operation log
+/// plus the machine-global counters and cross-shard handoff inboxes.
+pub struct TcpControl {
+    log: Arc<OpLog<TcpCtrlOp>>,
+    inboxes: Vec<Mutex<VecDeque<Handoff>>>,
+    events: Arc<AtomicU64>,
+    accepted: Arc<Vec<AtomicU64>>,
+    nshards: usize,
+}
+
+impl TcpControl {
+    /// Creates the control spine for `nshards` proxy shards serving
+    /// `ncoprocs` co-processors in total.
+    pub fn new(nshards: usize, ncoprocs: usize) -> Arc<Self> {
+        Arc::new(Self {
+            // The listener registry cannot be rebuilt from a snapshot
+            // (no shard holds the full socket picture), so the log never
+            // overruns a replica: compaction only trims the applied
+            // prefix. Shards sync every engine poll, so lag stays tiny.
+            log: OpLog::new(LogConfig {
+                high_water: 4096,
+                max_lag: u64::MAX,
+            }),
+            inboxes: (0..nshards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            events: Arc::new(AtomicU64::new(0)),
+            accepted: Arc::new((0..ncoprocs).map(|_| AtomicU64::new(0)).collect()),
+            nshards,
+        })
+    }
+
+    /// Number of shards sharing this control plane.
+    pub fn shards(&self) -> usize {
+        self.nshards
+    }
+
+    /// Operation-log counters (depth, combine factor, overrun tripwire).
+    pub fn log_stats(&self) -> LogStats {
+        self.log.stats()
     }
 }
 
@@ -73,27 +152,35 @@ enum SockState {
 }
 
 struct SockRec {
+    /// Global co-processor id owning the socket.
     coproc: usize,
     state: SockState,
     evented: bool,
     /// For evented conns: a Closed event has been delivered.
     close_sent: bool,
     /// For accepted conns: the balancer slot this connection counts
-    /// against, so [`LoadBalancer::conn_closed`] fires exactly once.
+    /// against, so a `ConnClosed` is logged exactly once.
     lb_slot: Option<usize>,
 }
 
+/// Replicated view of one shared listening socket.
 struct PortRec {
-    /// Listener sockets in registration order.
-    listeners: Vec<SockId>,
+    /// `(sock, owning shard)` in registration (log) order.
+    listeners: Vec<(SockId, usize)>,
+    /// The shard that polls the NIC for this port: the shard of the
+    /// first `ListenerAdd`, fixed for the record's lifetime.
+    home: usize,
 }
 
 /// Socket-table state, lock-protected so the engine can drive the proxy
-/// through `&self` ([`OpHandler`] methods take shared references).
+/// through `&self` ([`OpHandler`] methods take shared references). The
+/// `registry` + `lb` pair is this shard's replica of the log-driven
+/// state machine; everything else is shard-local.
 struct TcpState {
     lb: Box<dyn LoadBalancer>,
+    registry: HashMap<u16, PortRec>,
+    cursor: ReplicaCursor,
     socks: HashMap<SockId, SockRec>,
-    ports: HashMap<u16, PortRec>,
     /// Live connections owned by evented sockets, polled for data.
     evented_conns: Vec<SockId>,
     /// Pending accepts for non-evented (RPC-polling) listeners.
@@ -101,23 +188,34 @@ struct TcpState {
     next_sock: SockId,
 }
 
-/// The TCP proxy server.
+/// One NUMA domain's TCP proxy shard.
 pub struct TcpProxy {
     network: Arc<Network>,
+    control: Arc<TcpControl>,
+    shard: usize,
+    /// Lane index -> global co-processor id.
+    coprocs: Vec<usize>,
     stats: Arc<TcpProxyStats>,
     /// Engine-level fault hooks (worker panics, dropped replies).
     faults: Arc<EngineFaults>,
-    /// Inbound event producers, indexed by co-processor.
+    /// Inbound event producers, indexed by lane.
     evt_tx: Vec<Producer>,
     /// Request/response lanes, taken by [`TcpProxy::run`].
     lanes: Vec<EngineLane>,
     state: Mutex<TcpState>,
     /// QoS gate over per-(co-processor, class) flows; None = FIFO.
     qos: Option<DwrrScheduler<GateJob<NetRequest>>>,
+    /// Replicated per-tenant ledger the engine charges gated admissions
+    /// to (shared log, domain-local replicas).
+    tenant_ledger: Option<Arc<TenantLedger>>,
 }
 
 /// Max bytes pulled from the fabric per connection per poll round.
 const RECV_CHUNK: usize = 64 * 1024;
+
+/// Bounded wait for a previous home shard to apply a pending unlisten
+/// before a fresh `listen` on the same port is declared AddrInUse.
+const LISTEN_RETRIES: usize = 1024;
 
 /// Maps a net request to (class offset within a co-processor's flow
 /// pair, payload bytes): data movement is normal class (offset 1),
@@ -131,17 +229,41 @@ fn classify_net(req: &NetRequest) -> (usize, u64) {
 }
 
 impl TcpProxy {
-    /// Creates a proxy over the NIC fabric and per-co-processor channels.
+    /// Creates a single-shard proxy over the NIC fabric and
+    /// per-co-processor channels — the unsharded (one NUMA domain)
+    /// convenience used by handler-level tests; [`Solros::boot`]
+    /// assembles one shard per domain via [`TcpProxy::shard`].
+    ///
+    /// [`Solros::boot`]: crate::control::Solros::boot
     pub fn new(
         network: Arc<Network>,
         channels: Vec<NetChannelHost>,
         lb: Box<dyn LoadBalancer>,
     ) -> (Self, Arc<TcpProxyStats>) {
+        let control = TcpControl::new(1, channels.len());
+        let coprocs = (0..channels.len()).collect();
+        Self::shard(network, control, 0, coprocs, channels, lb)
+    }
+
+    /// Creates shard `shard` of a sharded proxy: it serves `channels`
+    /// (one lane per entry, owned by the global co-processor ids in
+    /// `coprocs`, same order) and holds its own balancer replica `lb`
+    /// (see [`LoadBalancer::fork`]).
+    pub fn shard(
+        network: Arc<Network>,
+        control: Arc<TcpControl>,
+        shard: usize,
+        coprocs: Vec<usize>,
+        channels: Vec<NetChannelHost>,
+        lb: Box<dyn LoadBalancer>,
+    ) -> (Self, Arc<TcpProxyStats>) {
+        assert_eq!(coprocs.len(), channels.len());
         let stats = Arc::new(TcpProxyStats {
             engine: Arc::new(ProxyStats::default()),
-            events: AtomicU64::new(0),
-            accepted: (0..channels.len()).map(|_| AtomicU64::new(0)).collect(),
+            events: Arc::clone(&control.events),
+            accepted: Arc::clone(&control.accepted),
         });
+        let cursor = control.log.register();
         let mut evt_tx = Vec::new();
         let mut lanes = Vec::new();
         for ch in channels {
@@ -154,30 +276,44 @@ impl TcpProxy {
         (
             Self {
                 network,
+                control,
+                shard,
+                coprocs,
                 stats: Arc::clone(&stats),
                 faults: Arc::new(EngineFaults::new()),
                 evt_tx,
                 lanes,
                 state: Mutex::new(TcpState {
                     lb,
+                    registry: HashMap::new(),
+                    cursor,
                     socks: HashMap::new(),
-                    ports: HashMap::new(),
                     evented_conns: Vec::new(),
                     pending_accepts: HashMap::new(),
-                    next_sock: 1,
+                    // Stride allocation keeps sock ids globally unique
+                    // without cross-shard coordination.
+                    next_sock: shard as SockId + 1,
                 }),
                 qos: None,
+                tenant_ledger: None,
             },
             stats,
         )
     }
 
-    /// Installs a QoS gate with one (high, normal) flow pair per
-    /// co-processor, built from `cfg`. Returns the gate's stats ledger.
-    /// Must be called before [`TcpProxy::run`].
+    /// Attaches the system-wide tenant ledger; this shard's engine will
+    /// charge every gated admission to the submitting frame's tenant.
+    pub fn set_tenant_ledger(&mut self, ledger: Arc<TenantLedger>) {
+        self.tenant_ledger = Some(ledger);
+    }
+
+    /// Installs a QoS gate with one (high, normal) flow pair per lane,
+    /// built from `cfg` (flow names carry the global co-processor id).
+    /// Returns the gate's stats ledger. Must be called before
+    /// [`TcpProxy::run`].
     pub fn enable_qos(&mut self, cfg: &QosConfig) -> Arc<QosStats> {
         let mut specs = Vec::new();
-        for c in 0..self.evt_tx.len() {
+        for &c in &self.coprocs {
             for class in [QosClass::High, QosClass::Normal] {
                 specs.push(FlowSpec::from_class(
                     format!("net{c}/{}", class.label()),
@@ -203,9 +339,9 @@ impl TcpProxy {
         self.faults.arm_worker_panics(n);
     }
 
-    /// Runs the proxy through the shared engine until `shutdown`: FIFO
-    /// admission by default, DWRR scheduling with per-tenant flow keying
-    /// when [`TcpProxy::enable_qos`] was called. Each admitted frame is
+    /// Runs the proxy shard through the shared engine until `shutdown`:
+    /// FIFO admission by default, DWRR scheduling when
+    /// [`TcpProxy::enable_qos`] was called. Each admitted frame is
     /// decoded exactly once; the scheduler item carries the parsed
     /// request through to execution.
     pub fn run(mut self, shutdown: Arc<AtomicBool>) {
@@ -213,16 +349,67 @@ impl TcpProxy {
         let gate = self.qos.take();
         let stats = Arc::clone(&self.stats.engine);
         let faults = Arc::clone(&self.faults);
-        ProxyEngine::new(Arc::new(self), lanes, stats, faults, gate).serve(shutdown)
+        let ledger = self.tenant_ledger.clone();
+        let mut eng = ProxyEngine::new(Arc::new(self), lanes, stats, faults, gate);
+        if let Some(l) = ledger {
+            eng.set_tenant_ledger(l);
+        }
+        eng.serve(shutdown)
     }
 
-    /// Executes one RPC from co-processor `coproc`.
-    pub fn handle(&self, coproc: usize, req: NetRequest) -> NetResponse {
+    /// Applies every outstanding log operation to this shard's replica
+    /// (registry + balancer). Cheap when already at the tail.
+    fn apply_log(&self, st: &mut TcpState) {
+        let TcpState {
+            lb,
+            registry,
+            cursor,
+            ..
+        } = st;
+        let outcome = self.control.log.sync(cursor, |_, op| match op {
+            TcpCtrlOp::ListenerAdd { port, sock, shard } => {
+                registry
+                    .entry(*port)
+                    .or_insert_with(|| PortRec {
+                        listeners: Vec::new(),
+                        home: *shard,
+                    })
+                    .listeners
+                    .push((*sock, *shard));
+            }
+            TcpCtrlOp::ListenerDel { port, sock } => {
+                if let Some(rec) = registry.get_mut(port) {
+                    rec.listeners.retain(|(s, _)| s != sock);
+                    if rec.listeners.is_empty() {
+                        // Exactly one shard releases the NIC listener:
+                        // the record's home (every replica removes its
+                        // local record at the same log position).
+                        if rec.home == self.shard {
+                            self.network.unlisten(*port);
+                        }
+                        registry.remove(port);
+                    }
+                }
+            }
+            TcpCtrlOp::ConnAssigned { slot } => lb.conn_assigned(*slot),
+            TcpCtrlOp::ConnClosed { slot } => lb.conn_closed(*slot),
+        });
+        debug_assert_ne!(
+            outcome,
+            SyncOutcome::Overrun,
+            "tcp control log must never overrun (max_lag is unbounded)"
+        );
+    }
+
+    /// Executes one RPC from lane `lane`.
+    pub fn handle(&self, lane: usize, req: NetRequest) -> NetResponse {
+        let coproc = self.coprocs.get(lane).copied().unwrap_or(lane);
         let mut st = self.state.lock();
+        let st = &mut *st;
         match req {
             NetRequest::Socket => {
                 let id = st.next_sock;
-                st.next_sock += 1;
+                st.next_sock += self.control.nshards as SockId;
                 st.socks.insert(
                     id,
                     SockRec {
@@ -264,30 +451,45 @@ impl TcpProxy {
                         }
                     }
                 };
-                let first = !st.ports.contains_key(&port);
-                if first {
-                    // Register the NIC-side listener once; later listeners
-                    // join the shared listening socket (§4.4.3).
-                    if self
-                        .network
-                        .listen(port, (backlog as usize).max(64))
-                        .is_err()
-                    {
+                self.apply_log(st);
+                if !st.registry.contains_key(&port) {
+                    // First listener (as far as this replica can see):
+                    // register the NIC-side listener before publishing
+                    // the add, so the port is live when the RPC returns.
+                    // A previous home may still owe the fabric an
+                    // unlisten (it runs during that shard's own sync),
+                    // and a racing shard may have just become home —
+                    // re-sync and retry before giving up.
+                    let mut ok = false;
+                    for _ in 0..LISTEN_RETRIES {
+                        if self
+                            .network
+                            .listen(port, (backlog as usize).max(64))
+                            .is_ok()
+                        {
+                            ok = true;
+                            break;
+                        }
+                        self.apply_log(st);
+                        if st.registry.contains_key(&port) {
+                            // Someone else became home; join their port.
+                            ok = true;
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    if !ok {
                         return NetResponse::Error {
                             err: RpcErr::AddrInUse,
                         };
                     }
-                    st.ports.insert(
-                        port,
-                        PortRec {
-                            listeners: Vec::new(),
-                        },
-                    );
                 }
-                let Some(prec) = st.ports.get_mut(&port) else {
-                    return NetResponse::Error { err: RpcErr::Io };
-                };
-                prec.listeners.push(sock);
+                self.control.log.append(TcpCtrlOp::ListenerAdd {
+                    port,
+                    sock,
+                    shard: self.shard,
+                });
+                self.apply_log(st);
                 let Some(rec) = st.socks.get_mut(&sock) else {
                     return NetResponse::Error {
                         err: RpcErr::NotFound,
@@ -387,7 +589,7 @@ impl TcpProxy {
                     },
                 }
             }
-            NetRequest::Close { sock } => self.close_sock(&mut st, sock),
+            NetRequest::Close { sock } => self.close_sock(st, sock),
             NetRequest::Setsockopt { sock, opt, val } => {
                 let Some(rec) = st.socks.get_mut(&sock) else {
                     return NetResponse::Error {
@@ -433,19 +635,17 @@ impl TcpProxy {
                 let _ = self.network.close(id, end);
                 rec.state = SockState::Closed;
                 if let Some(slot) = rec.lb_slot.take() {
-                    st.lb.conn_closed(slot);
+                    self.control.log.append(TcpCtrlOp::ConnClosed { slot });
+                    self.apply_log(st);
                 }
                 st.evented_conns.retain(|s| *s != sock);
             }
             SockState::Listening(port) => {
                 rec.state = SockState::Closed;
-                if let Some(p) = st.ports.get_mut(&port) {
-                    p.listeners.retain(|s| *s != sock);
-                    if p.listeners.is_empty() {
-                        st.ports.remove(&port);
-                        self.network.unlisten(port);
-                    }
-                }
+                self.control
+                    .log
+                    .append(TcpCtrlOp::ListenerDel { port, sock });
+                self.apply_log(st);
                 st.pending_accepts.remove(&sock);
             }
             _ => rec.state = SockState::Closed,
@@ -453,12 +653,16 @@ impl TcpProxy {
         NetResponse::Ok
     }
 
-    /// Accepts incoming connections and routes them via the balancer.
-    /// Returns true when any work happened.
-    fn poll_accepts(&self) -> bool {
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        let ports: Vec<u16> = st.ports.keys().copied().collect();
+    /// Accepts incoming connections on ports this shard is home to and
+    /// routes them via the balancer replica. Returns true when any work
+    /// happened.
+    fn poll_accepts(&self, st: &mut TcpState) -> bool {
+        let ports: Vec<u16> = st
+            .registry
+            .iter()
+            .filter(|(_, rec)| rec.home == self.shard)
+            .map(|(p, _)| *p)
+            .collect();
         let mut worked = false;
         for port in ports {
             while let Ok(Some((conn, client_addr))) = self.network.poll_accept(port) {
@@ -466,62 +670,100 @@ impl TcpProxy {
                 // A port can lose its last proxy-side listener between the
                 // NIC accept and routing; refuse the orphan connection
                 // instead of panicking on an empty listener set.
-                let listeners = match st.ports.get(&port) {
-                    Some(p) if !p.listeners.is_empty() => &p.listeners,
-                    _ => {
-                        let _ = self.network.close(conn, EndKind::Server);
-                        continue;
-                    }
-                };
-                let meta = ConnMeta { client_addr, port };
-                let idx = st.lb.pick(listeners.len(), &meta) % listeners.len();
-                let listener = listeners[idx];
-                st.lb.conn_assigned(idx);
-                let Some(lrec) = st.socks.get(&listener) else {
-                    let _ = self.network.close(conn, EndKind::Server);
-                    continue;
-                };
-                let coproc = lrec.coproc;
-                let evented = lrec.evented;
-                // Create the connection socket owned by the same coproc.
-                let conn_sock = st.next_sock;
-                st.next_sock += 1;
-                st.socks.insert(
-                    conn_sock,
-                    SockRec {
-                        coproc,
-                        state: SockState::Conn {
-                            id: conn,
-                            end: EndKind::Server,
-                        },
-                        evented,
-                        close_sent: false,
-                        lb_slot: Some(idx),
-                    },
-                );
-                self.stats.accepted[coproc].fetch_add(1, Ordering::Relaxed);
-                if evented {
-                    st.evented_conns.push(conn_sock);
-                    let ev = NetEvent::Accepted {
-                        listen: listener,
-                        conn: conn_sock,
-                        peer_addr: client_addr,
+                let (listener, owner, slot) = {
+                    let listeners = match st.registry.get(&port) {
+                        Some(p) if !p.listeners.is_empty() => &p.listeners,
+                        _ => {
+                            let _ = self.network.close(conn, EndKind::Server);
+                            continue;
+                        }
                     };
-                    self.push_event(coproc, &ev);
+                    let meta = ConnMeta { client_addr, port };
+                    let idx = st.lb.pick(listeners.len(), &meta) % listeners.len();
+                    let (sock, owner) = listeners[idx];
+                    (sock, owner, idx)
+                };
+                self.control.log.append(TcpCtrlOp::ConnAssigned { slot });
+                self.apply_log(st);
+                let h = Handoff {
+                    conn,
+                    client_addr,
+                    listener,
+                    slot,
+                };
+                if owner == self.shard {
+                    self.deliver(st, h);
                 } else {
-                    st.pending_accepts
-                        .entry(listener)
-                        .or_default()
-                        .push_back((conn_sock, client_addr));
+                    self.control.inboxes[owner].lock().push_back(h);
                 }
             }
         }
         worked
     }
 
+    /// Installs one routed connection under its local listener (the
+    /// delivery half of an accept: inline when this shard is both home
+    /// and owner, via the inbox otherwise).
+    fn deliver(&self, st: &mut TcpState, h: Handoff) {
+        let Some(lrec) = st.socks.get(&h.listener) else {
+            // The listener closed while the handoff was in flight:
+            // refuse the connection and release its balancer slot.
+            let _ = self.network.close(h.conn, EndKind::Server);
+            self.control
+                .log
+                .append(TcpCtrlOp::ConnClosed { slot: h.slot });
+            self.apply_log(st);
+            return;
+        };
+        let coproc = lrec.coproc;
+        let evented = lrec.evented;
+        // Create the connection socket owned by the same coproc.
+        let conn_sock = st.next_sock;
+        st.next_sock += self.control.nshards as SockId;
+        st.socks.insert(
+            conn_sock,
+            SockRec {
+                coproc,
+                state: SockState::Conn {
+                    id: h.conn,
+                    end: EndKind::Server,
+                },
+                evented,
+                close_sent: false,
+                lb_slot: Some(h.slot),
+            },
+        );
+        self.stats.accepted[coproc].fetch_add(1, Ordering::Relaxed);
+        if evented {
+            st.evented_conns.push(conn_sock);
+            let ev = NetEvent::Accepted {
+                listen: h.listener,
+                conn: conn_sock,
+                peer_addr: h.client_addr,
+            };
+            self.push_event(coproc, &ev);
+        } else {
+            st.pending_accepts
+                .entry(h.listener)
+                .or_default()
+                .push_back((conn_sock, h.client_addr));
+        }
+    }
+
+    /// Drains connections other shards routed to this shard's listeners.
+    fn drain_inbox(&self, st: &mut TcpState) -> bool {
+        let mut worked = false;
+        loop {
+            let h = self.control.inboxes[self.shard].lock().pop_front();
+            let Some(h) = h else { break };
+            worked = true;
+            self.deliver(st, h);
+        }
+        worked
+    }
+
     /// Pulls inbound data for evented connections into event rings.
-    fn poll_data(&self) -> bool {
-        let mut st = self.state.lock();
+    fn poll_data(&self, st: &mut TcpState) -> bool {
         let mut worked = false;
         let conns: Vec<SockId> = st.evented_conns.clone();
         for sock in conns {
@@ -539,16 +781,18 @@ impl TcpProxy {
                     self.push_event(coproc, &NetEvent::Data { sock, data });
                 }
                 Err(NetworkError::Closed) => {
+                    let mut closed_slot = None;
                     if let Some(rec) = st.socks.get_mut(&sock) {
-                        let slot = rec.lb_slot.take();
+                        closed_slot = rec.lb_slot.take();
                         if !rec.close_sent {
                             rec.close_sent = true;
                             worked = true;
                             self.push_event(coproc, &NetEvent::Closed { sock });
                         }
-                        if let Some(slot) = slot {
-                            st.lb.conn_closed(slot);
-                        }
+                    }
+                    if let Some(slot) = closed_slot {
+                        self.control.log.append(TcpCtrlOp::ConnClosed { slot });
+                        self.apply_log(st);
                     }
                     st.evented_conns.retain(|s| *s != sock);
                 }
@@ -562,7 +806,12 @@ impl TcpProxy {
 
     fn push_event(&self, coproc: usize, ev: &NetEvent) {
         self.stats.events.fetch_add(1, Ordering::Relaxed);
-        let _ = self.evt_tx[coproc].send_blocking(&ev.encode());
+        let lane = self
+            .coprocs
+            .iter()
+            .position(|&c| c == coproc)
+            .unwrap_or(coproc.min(self.evt_tx.len().saturating_sub(1)));
+        let _ = self.evt_tx[lane].send_blocking(&ev.encode());
     }
 }
 
@@ -585,8 +834,12 @@ impl OpHandler for TcpProxy {
     }
 
     fn poll(&self) -> bool {
-        let accepted = self.poll_accepts();
-        let data = self.poll_data();
-        accepted || data
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        self.apply_log(st);
+        let drained = self.drain_inbox(st);
+        let accepted = self.poll_accepts(st);
+        let data = self.poll_data(st);
+        drained || accepted || data
     }
 }

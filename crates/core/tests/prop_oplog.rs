@@ -1,0 +1,270 @@
+//! Property-based tests for the sharded control plane's replication
+//! contract: every replica of an operation log applies every entry
+//! exactly once and in order, regardless of how appends from concurrent
+//! mutators interleave with syncs — so balancer connection counts never
+//! go negative and tenant-ledger charges are never double-counted.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use solros::balancer::{ConnMeta, LeastLoaded, LoadBalancer};
+use solros_oplog::{LogConfig, OpLog, SyncOutcome};
+use solros_qos::TenantLedger;
+
+/// A replica's materialized view for the generic convergence property:
+/// the full per-mutator sequence of values it applied, in apply order.
+type View = HashMap<u8, Vec<u32>>;
+
+fn apply(view: &mut View, op: &(u8, u32)) {
+    view.entry(op.0).or_default().push(op.1);
+}
+
+/// Exactly-once, in-order delivery: after all mutators finish, every
+/// replica — whether it synced live alongside the appends or only once
+/// at the end — holds each mutator's full sequence in order, with no
+/// entry missing, duplicated, or reordered. Compaction runs throughout
+/// (small high-water), so this also proves trimming never outruns a
+/// registered cursor.
+fn run_convergence(streams: Vec<Vec<u32>>) {
+    let log: Arc<OpLog<(u8, u32)>> = OpLog::new(LogConfig {
+        high_water: 32,
+        max_lag: u64::MAX,
+    });
+    let mut live = log.register();
+    let mut lazy = log.register();
+    let mut live_view = View::new();
+
+    thread::scope(|s| {
+        for (id, stream) in streams.iter().enumerate() {
+            let log = Arc::clone(&log);
+            s.spawn(move || {
+                for &v in stream {
+                    log.append((id as u8, v));
+                }
+            });
+        }
+        // The live replica races the mutators; interleaved partial syncs
+        // must still observe each stream as a prefix in order.
+        for _ in 0..64 {
+            let outcome = log.sync(&mut live, |_, op| apply(&mut live_view, op));
+            assert!(!matches!(outcome, SyncOutcome::Overrun));
+            for (id, seen) in &live_view {
+                let want = &streams[*id as usize];
+                assert!(
+                    seen.len() <= want.len() && seen[..] == want[..seen.len()],
+                    "mid-run view is not an in-order prefix"
+                );
+            }
+            thread::yield_now();
+        }
+    });
+
+    log.sync(&mut live, |_, op| apply(&mut live_view, op));
+    let mut lazy_view = View::new();
+    log.sync(&mut lazy, |_, op| apply(&mut lazy_view, op));
+
+    let want: View = streams
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(id, s)| (id as u8, s.clone()))
+        .collect();
+    assert_eq!(live_view, want, "live replica diverged");
+    assert_eq!(lazy_view, want, "lazy replica diverged");
+    assert_eq!(log.lag(&live), 0);
+    assert_eq!(log.lag(&lazy), 0);
+}
+
+/// A lag-bounded log overruns a straggler instead of retaining unbounded
+/// history; after the straggler reinstalls at the tail, later entries
+/// apply exactly once.
+fn run_overrun_recovery(burst: u32, max_lag: u64) {
+    let log: Arc<OpLog<u32>> = OpLog::new(LogConfig {
+        high_water: 8,
+        max_lag,
+    });
+    let mut fresh = log.register();
+    let mut straggler = log.register();
+    // Sync the straggler once so compaction can proceed past it, then
+    // let it fall behind a full burst.
+    log.sync(&mut straggler, |_, _| {});
+    let mut fresh_sum: u64 = 0;
+    for v in 0..burst {
+        log.append(v);
+        log.sync(&mut fresh, |_, &op| fresh_sum += u64::from(op));
+    }
+    assert_eq!(fresh_sum, (0..u64::from(burst)).sum::<u64>());
+
+    let outcome = log.sync(&mut straggler, |_, _| {});
+    if matches!(outcome, SyncOutcome::Overrun) {
+        // The straggler lost history it can no longer read; a real
+        // replica rebuilds from an authoritative snapshot and resumes.
+        log.install_snapshot(&mut straggler, log.tail());
+    }
+    let mut tail_seen = Vec::new();
+    log.append(7_000_000);
+    log.append(7_000_001);
+    log.sync(&mut straggler, |_, &op| tail_seen.push(op));
+    assert_eq!(
+        tail_seen,
+        vec![7_000_000, 7_000_001],
+        "post-recovery entries must apply exactly once"
+    );
+}
+
+/// Balancer ops as they ride the TCP control log.
+#[derive(Debug, Clone, Copy)]
+enum LbOp {
+    Assign(usize),
+    Close(usize),
+}
+
+/// Replays a valid assign/close workload (every close matches a prior
+/// assign, as the TCP proxy guarantees: `ConnClosed` is only appended
+/// for a sock that was accepted) through two forked LeastLoaded
+/// replicas via a shared log. Counts must never go negative on either
+/// replica, the negative-excursion tripwire must stay zero, and both
+/// replicas converge to assigned-minus-closed.
+fn run_balancer_replay(interleave: Vec<(u8, bool)>, slots: usize) {
+    // Turn the generated schedule into a valid op stream: `bool` picks
+    // assign vs close; closes with nothing open become assigns.
+    let mut open: Vec<usize> = Vec::new();
+    let mut ops: Vec<LbOp> = Vec::new();
+    let mut expected = vec![0i64; slots];
+    for (slot_seed, close) in interleave {
+        let slot = slot_seed as usize % slots;
+        if close && !open.is_empty() {
+            let victim = open.swap_remove(slot_seed as usize % open.len());
+            ops.push(LbOp::Close(victim));
+            expected[victim] -= 1;
+        } else {
+            open.push(slot);
+            ops.push(LbOp::Assign(slot));
+            expected[slot] += 1;
+        }
+    }
+
+    let log: Arc<OpLog<LbOp>> = OpLog::new(LogConfig {
+        high_water: 16,
+        max_lag: u64::MAX,
+    });
+    // `LoadBalancer::fork` hands each shard a clean replica; concrete
+    // `LeastLoaded` values model the same thing while keeping the
+    // inspection methods (`in_flight`, `negative_excursions`) reachable.
+    let shards: Vec<LeastLoaded> = vec![LeastLoaded::default(), LeastLoaded::default()];
+    let mut cursors: Vec<_> = (0..shards.len()).map(|_| log.register()).collect();
+
+    for chunk in ops.chunks(3) {
+        for &op in chunk {
+            log.append(op);
+        }
+        // Shards sync at different cadences; each must stay non-negative
+        // at every intermediate step because closes follow assigns in
+        // log order.
+        for (shard, cursor) in shards.iter().zip(cursors.iter_mut()) {
+            log.sync(cursor, |_, op| match *op {
+                LbOp::Assign(s) => shard.conn_assigned(s),
+                LbOp::Close(s) => shard.conn_closed(s),
+            });
+        }
+    }
+    for (shard, cursor) in shards.iter().zip(cursors.iter_mut()) {
+        log.sync(cursor, |_, op| match *op {
+            LbOp::Assign(s) => shard.conn_assigned(s),
+            LbOp::Close(s) => shard.conn_closed(s),
+        });
+    }
+
+    for ll in &shards {
+        assert_eq!(ll.negative_excursions(), 0, "count went negative");
+        for (slot, &want) in expected.iter().enumerate() {
+            assert!(want >= 0);
+            assert_eq!(ll.in_flight(slot), want, "slot {slot} diverged");
+        }
+        // With identical replicated state, every replica makes the same
+        // load-based decision: it must prefer a minimum-load slot.
+        let pick = ll.pick(
+            slots,
+            &ConnMeta {
+                client_addr: 1,
+                port: 80,
+            },
+        );
+        let min = (0..slots).map(|s| ll.in_flight(s)).min().unwrap();
+        assert_eq!(ll.in_flight(pick), min, "picked a non-minimum slot");
+    }
+}
+
+/// The tenant ledger never double-applies a charge: with mutator
+/// threads charging concurrently and replicas syncing mid-storm, every
+/// replica's totals equal the exact generated sums.
+fn run_ledger_storm(charges: Vec<(u8, u8, u16)>, mutators: usize) {
+    let ledger = TenantLedger::new();
+    let observer = ledger.replica();
+    let chunks: Vec<&[(u8, u8, u16)]> = charges.chunks(charges.len() / mutators + 1).collect();
+    thread::scope(|s| {
+        for chunk in &chunks {
+            let ledger = Arc::clone(&ledger);
+            s.spawn(move || {
+                for &(tenant, ops, bytes) in *chunk {
+                    ledger.charge(tenant % 4, u64::from(ops), u64::from(bytes));
+                }
+            });
+        }
+        // Observer races the mutators; partial sums only ever grow.
+        let mut last = (0, 0);
+        for _ in 0..32 {
+            let now = observer.total();
+            assert!(now.0 >= last.0 && now.1 >= last.1, "totals regressed");
+            last = now;
+            thread::yield_now();
+        }
+    });
+
+    // The scope joined every mutator, so `late` registers at the final
+    // tail and owns only future charges.
+    let late = ledger.replica();
+    let want_ops: u64 = charges.iter().map(|&(_, o, _)| u64::from(o)).sum();
+    let want_bytes: u64 = charges.iter().map(|&(_, _, b)| u64::from(b)).sum();
+    assert_eq!(observer.total(), (want_ops, want_bytes));
+    assert_eq!(late.total(), (0, 0), "late replica starts at the tail");
+    assert_eq!(observer.lag(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn replicas_converge_under_concurrent_mutators(
+        streams in vec(vec(any::<u32>(), 0..40), 1..4)
+    ) {
+        run_convergence(streams);
+    }
+
+    #[test]
+    fn stragglers_recover_from_overrun_exactly_once(
+        burst in 1u32..200,
+        max_lag in 1u64..32,
+    ) {
+        run_overrun_recovery(burst, max_lag);
+    }
+
+    #[test]
+    fn balancer_counts_never_negative_across_replicas(
+        interleave in vec((any::<u8>(), any::<bool>()), 0..100),
+        slots in 1usize..6,
+    ) {
+        run_balancer_replay(interleave, slots);
+    }
+
+    #[test]
+    fn ledger_charges_apply_exactly_once_per_replica(
+        charges in vec((any::<u8>(), any::<u8>(), any::<u16>()), 0..120),
+        mutators in 1usize..4,
+    ) {
+        run_ledger_storm(charges, mutators);
+    }
+}

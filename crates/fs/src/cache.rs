@@ -6,10 +6,20 @@
 //! optimizations only the control-plane OS can make. Write-through keeps
 //! the device authoritative, so concurrent P2P reads (which bypass the
 //! cache) never observe stale blocks.
+//!
+//! The cache also publishes a *residency directory* through an operation
+//! log: every insert/evict/invalidate appends a `DirOp` under the cache
+//! lock, and each proxy shard holds a [`CacheDirReplica`] — a local set
+//! of resident `(inode, page)` keys it can probe for the P2P-vs-buffered
+//! path decision (§4.3.2) without ever taking the shared cache lock. A
+//! replica that falls behind the log's lag bound is compacted past and
+//! rebuilds itself from an authoritative snapshot on its next probe.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
+use solros_oplog::{LogConfig, LogStats, OpLog, ReplicaCursor, SyncOutcome};
 
 use crate::fs::Ino;
 
@@ -17,6 +27,25 @@ use crate::fs::Ino;
 pub const PAGE_SIZE: usize = solros_nvme::BLOCK_SIZE;
 
 type Key = (Ino, u64);
+
+/// One mutation of the residency directory, as published to replicas.
+#[derive(Clone, Debug)]
+enum DirOp {
+    /// `(ino, page)` became resident.
+    Add(Ino, u64),
+    /// `(ino, page)` left the cache (eviction or invalidation).
+    Del(Ino, u64),
+    /// Every page of `ino` left the cache (truncate/unlink path) — one
+    /// log entry instead of one per page.
+    DelIno(Ino),
+}
+
+/// Directory-log tuning: compaction starts once this many entries are
+/// resident, and a replica may fall at most [`DIR_MAX_LAG`] entries
+/// behind before compaction advances past it (forcing it to rebuild from
+/// a cache snapshot). Bounds log memory even if a replica never syncs.
+const DIR_HIGH_WATER: usize = 4096;
+const DIR_MAX_LAG: u64 = 16_384;
 
 struct Entry {
     key: Key,
@@ -37,6 +66,9 @@ struct LruInner {
     hits: u64,
     misses: u64,
     evictions: u64,
+    /// Residency-directory log; appended under the cache lock, so the
+    /// log order is exactly the order mutations took effect.
+    dir: Arc<OpLog<DirOp>>,
 }
 
 impl LruInner {
@@ -76,6 +108,7 @@ impl LruInner {
 
     fn insert(&mut self, key: Key, page: Box<[u8]>) {
         if let Some(&idx) = self.map.get(&key) {
+            // In-place refresh: residency is unchanged, nothing to log.
             self.slots[idx].page = page;
             self.touch(idx);
             return;
@@ -85,8 +118,10 @@ impl LruInner {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
             self.unlink(victim);
-            self.map.remove(&self.slots[victim].key);
+            let vkey = self.slots[victim].key;
+            self.map.remove(&vkey);
             self.evictions += 1;
+            self.dir.append(DirOp::Del(vkey.0, vkey.1));
             victim
         } else if let Some(free) = self.free.pop() {
             free
@@ -103,6 +138,7 @@ impl LruInner {
         self.slots[idx].page = page;
         self.map.insert(key, idx);
         self.push_front(idx);
+        self.dir.append(DirOp::Add(key.0, key.1));
     }
 
     fn get(&mut self, key: &Key) -> Option<Vec<u8>> {
@@ -119,11 +155,22 @@ impl LruInner {
         }
     }
 
-    fn remove(&mut self, key: &Key) {
+    /// Removes without logging — the caller appends a coarser op (e.g.
+    /// one `DelIno` covering every page of an inode).
+    fn remove_quiet(&mut self, key: &Key) -> bool {
         if let Some(idx) = self.map.remove(key) {
             self.unlink(idx);
             self.slots[idx].page = Box::from(&[][..]);
             self.free.push(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove(&mut self, key: &Key) {
+        if self.remove_quiet(key) {
+            self.dir.append(DirOp::Del(key.0, key.1));
         }
     }
 }
@@ -176,6 +223,10 @@ impl BufferCache {
                 hits: 0,
                 misses: 0,
                 evictions: 0,
+                dir: OpLog::new(LogConfig {
+                    high_water: DIR_HIGH_WATER,
+                    max_lag: DIR_MAX_LAG,
+                }),
             }),
         }
     }
@@ -205,8 +256,12 @@ impl BufferCache {
     pub fn invalidate_ino(&self, ino: Ino) {
         let mut g = self.inner.lock();
         let keys: Vec<Key> = g.map.keys().filter(|(i, _)| *i == ino).copied().collect();
+        let mut dropped = false;
         for k in keys {
-            g.remove(&k);
+            dropped |= g.remove_quiet(&k);
+        }
+        if dropped {
+            g.dir.append(DirOp::DelIno(ino));
         }
     }
 
@@ -219,6 +274,100 @@ impl BufferCache {
             evictions: g.evictions,
             resident: g.map.len() as u64,
         }
+    }
+
+    /// Creates a replica of the residency directory, initialised from
+    /// the cache's current content. Give each proxy shard its own.
+    pub fn replica(&self) -> CacheDirReplica {
+        let g = self.inner.lock();
+        // Appends happen only under the cache lock we hold, so the
+        // registration point (the log tail) and the key snapshot are the
+        // same instant in log order.
+        let cursor = g.dir.register();
+        let resident: HashSet<Key> = g.map.keys().copied().collect();
+        CacheDirReplica {
+            log: Arc::clone(&g.dir),
+            inner: Mutex::new(DirReplicaState {
+                cursor,
+                resident,
+                rebuilds: 0,
+            }),
+        }
+    }
+
+    /// Counters of the residency-directory log (depth, combine factor,
+    /// straggler overruns).
+    pub fn dir_log_stats(&self) -> LogStats {
+        self.inner.lock().dir.stats()
+    }
+
+    /// Consistent `(log position, resident keys)` snapshot for a replica
+    /// rebuild after an overrun.
+    fn dir_snapshot(&self) -> (u64, HashSet<Key>) {
+        let g = self.inner.lock();
+        (g.dir.tail(), g.map.keys().copied().collect())
+    }
+}
+
+struct DirReplicaState {
+    cursor: ReplicaCursor,
+    resident: HashSet<Key>,
+    rebuilds: u64,
+}
+
+/// One proxy shard's local view of which pages are resident in the
+/// shared buffer cache, kept convergent by replaying the directory log.
+/// Probing it never touches the cache lock (the log's storage is only
+/// read-locked when new entries exist), which is what keeps the P2P
+/// path decision off the shared-state bottleneck as shards multiply.
+pub struct CacheDirReplica {
+    log: Arc<OpLog<DirOp>>,
+    inner: Mutex<DirReplicaState>,
+}
+
+impl CacheDirReplica {
+    /// Returns whether `(ino, page)` is resident, as of this replica's
+    /// position in the directory log (synced to the tail on entry).
+    /// `cache` must be the cache this replica was created from; it is
+    /// consulted only to rebuild after a straggler overrun.
+    pub fn resident(&self, cache: &BufferCache, ino: Ino, page: u64) -> bool {
+        let mut g = self.inner.lock();
+        let DirReplicaState {
+            cursor,
+            resident,
+            rebuilds,
+        } = &mut *g;
+        let outcome = self.log.sync(cursor, |_, op| match op {
+            DirOp::Add(i, p) => {
+                resident.insert((*i, *p));
+            }
+            DirOp::Del(i, p) => {
+                resident.remove(&(*i, *p));
+            }
+            DirOp::DelIno(i) => {
+                resident.retain(|(j, _)| j != i);
+            }
+        });
+        if outcome == SyncOutcome::Overrun {
+            // Compaction advanced past us; the in-order prefix is gone.
+            // Rebuild from the authoritative cache (ScaleFS/Corfu-style
+            // checkpoint recovery) and resume from the snapshot point.
+            let (seq, snapshot) = cache.dir_snapshot();
+            *resident = snapshot;
+            self.log.install_snapshot(cursor, seq);
+            *rebuilds += 1;
+        }
+        resident.contains(&(ino, page))
+    }
+
+    /// Entries this replica is behind the directory log.
+    pub fn lag(&self) -> u64 {
+        self.log.lag(&self.inner.lock().cursor)
+    }
+
+    /// Snapshot rebuilds forced by compaction overruns.
+    pub fn rebuilds(&self) -> u64 {
+        self.inner.lock().rebuilds
     }
 }
 
@@ -298,6 +447,64 @@ mod tests {
         let s = c.stats();
         assert!(s.resident <= 16);
         assert_eq!(s.evictions, 1000 - 16);
+    }
+
+    #[test]
+    fn replica_tracks_inserts_evictions_and_invalidations() {
+        let c = BufferCache::new(2);
+        let r = c.replica();
+        assert!(!r.resident(&c, 1, 0));
+        c.insert(1, 0, page(1));
+        c.insert(1, 1, page(2));
+        assert!(r.resident(&c, 1, 0) && r.resident(&c, 1, 1));
+        // Eviction of (1, 0): it is LRU after the probe order above is
+        // irrelevant (probes don't touch LRU order), insert order rules.
+        c.insert(2, 0, page(3));
+        assert!(!r.resident(&c, 1, 0), "evicted page left the replica");
+        assert!(r.resident(&c, 2, 0));
+        c.invalidate_ino(1);
+        assert!(!r.resident(&c, 1, 1), "DelIno clears the inode's pages");
+        assert!(r.resident(&c, 2, 0));
+        c.invalidate_page(2, 0);
+        assert!(!r.resident(&c, 2, 0));
+        assert_eq!(r.rebuilds(), 0);
+    }
+
+    #[test]
+    fn replica_created_late_starts_from_cache_snapshot() {
+        let c = BufferCache::new(8);
+        c.insert(3, 7, page(9));
+        let r = c.replica();
+        assert!(r.resident(&c, 3, 7), "pre-existing pages visible");
+        assert_eq!(r.lag(), 0);
+    }
+
+    #[test]
+    fn straggler_replica_rebuilds_after_overrun() {
+        let c = BufferCache::new(64);
+        let r = c.replica();
+        // Push far past the lag bound without syncing the replica, so
+        // compaction must advance past it.
+        for i in 0..(DIR_MAX_LAG + DIR_HIGH_WATER as u64 + 64) {
+            c.insert(i % 7, i, page((i % 251) as u8));
+        }
+        assert!(
+            c.dir_log_stats().overruns > 0,
+            "straggler must get overrun: {:?}",
+            c.dir_log_stats()
+        );
+        // The next probe rebuilds from the cache and answers correctly.
+        let s = c.stats();
+        assert!(s.resident == 64);
+        let probe_hit = (0..7u64).any(|i| r.resident(&c, i, DIR_MAX_LAG + DIR_HIGH_WATER as u64));
+        let _ = probe_hit;
+        assert_eq!(r.rebuilds(), 1);
+        // Spot-check agreement with the authoritative cache.
+        for ino in 0..7u64 {
+            for p in 0..32u64 {
+                assert_eq!(r.resident(&c, ino, p), c.peek(ino, p), "({ino},{p})");
+            }
+        }
     }
 
     #[test]

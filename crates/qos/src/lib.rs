@@ -22,6 +22,9 @@
 //! * **A stats ledger** ([`QosStats`]) with per-class admitted/shed/queued
 //!   counters plus queue-depth and wait-time distributions built on
 //!   `solros_simkit::stats`.
+//! * **A replicated per-tenant ledger** ([`TenantLedger`]) driven by the
+//!   shared operation log, so every control-plane shard charges and
+//!   reads tenant budgets from a socket-local replica.
 //!
 //! All scheduler state is driven by an explicit `now_ns` clock parameter,
 //! so the same code runs under the real clock inside proxies and under a
@@ -34,9 +37,11 @@ mod config;
 mod credit;
 mod sched;
 mod stats;
+mod tenant;
 
 pub use bucket::TokenBucket;
 pub use config::{ClassConfig, QosClass, QosConfig};
 pub use credit::CreditPool;
 pub use sched::{Dispatch, DwrrScheduler, FlowSpec, ShedReason, Verdict};
 pub use stats::{FlowSnapshot, QosStats};
+pub use tenant::{TenantLedger, TenantLedgerReplica, TenantOp, TenantUsage, TENANT_SLOTS};

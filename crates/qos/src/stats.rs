@@ -1,17 +1,33 @@
 //! QoS accounting ledger, exposed alongside the existing proxy stats.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use solros_simkit::stats::{Histogram, Summary};
 use solros_simkit::time::SimTime;
 
+/// Distribution shards per flow. Each recording thread hashes to one
+/// shard, so engine workers on different threads never contend on the
+/// same histogram lock; readers merge all shards into one distribution.
+const STAT_SHARDS: usize = 8;
+
+/// Returns this thread's distribution shard, assigned round-robin on
+/// first use so a proxy's worker pool spreads evenly across shards.
+fn stat_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % STAT_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
 /// Per-flow counters and distributions.
 ///
 /// Counters are atomics so proxies can bump them from their service loop
-/// while experiment harnesses read a consistent-enough snapshot; the
-/// distributions live behind a mutex because `simkit` histograms are
-/// plain values.
+/// while experiment harnesses read a consistent-enough snapshot. The
+/// distributions are plain `simkit` values, so they sit behind locks —
+/// but sharded per recording thread ([`STAT_SHARDS`]): the per-op path
+/// takes an uncontended lock, and only snapshot readers pay the merge.
 #[derive(Default)]
 pub struct FlowStats {
     submitted: AtomicU64,
@@ -20,8 +36,26 @@ pub struct FlowStats {
     dispatched: AtomicU64,
     dispatched_bytes: AtomicU64,
     bypass_bytes: AtomicU64,
-    wait: Mutex<Histogram>,
-    depth: Mutex<Summary>,
+    wait: [Mutex<Histogram>; STAT_SHARDS],
+    depth: [Mutex<Summary>; STAT_SHARDS],
+}
+
+impl FlowStats {
+    fn merged_wait(&self) -> Histogram {
+        let mut out = Histogram::default();
+        for shard in &self.wait {
+            out.merge(&shard.lock().unwrap());
+        }
+        out
+    }
+
+    fn merged_depth(&self) -> Summary {
+        let mut out = Summary::default();
+        for shard in &self.depth {
+            out.merge(&shard.lock().unwrap());
+        }
+        out
+    }
 }
 
 /// A point-in-time copy of one flow's ledger.
@@ -71,7 +105,10 @@ impl QosStats {
         let f = &self.flows[flow];
         f.submitted.fetch_add(1, Ordering::Relaxed);
         f.admitted.fetch_add(1, Ordering::Relaxed);
-        f.depth.lock().unwrap().record(depth_after as f64);
+        f.depth[stat_shard()]
+            .lock()
+            .unwrap()
+            .record(depth_after as f64);
     }
 
     pub(crate) fn on_shed(&self, flow: usize, was_admitted: bool) {
@@ -90,7 +127,10 @@ impl QosStats {
         let f = &self.flows[flow];
         f.dispatched.fetch_add(1, Ordering::Relaxed);
         f.dispatched_bytes.fetch_add(bytes, Ordering::Relaxed);
-        f.wait.lock().unwrap().record(SimTime::from_ns(wait_ns));
+        f.wait[stat_shard()]
+            .lock()
+            .unwrap()
+            .record(SimTime::from_ns(wait_ns));
     }
 
     /// Charges `bytes` of gate-bypassing (leased P2P) traffic to `flow`.
@@ -113,8 +153,8 @@ impl QosStats {
             dispatched: f.dispatched.load(Ordering::Relaxed),
             dispatched_bytes: f.dispatched_bytes.load(Ordering::Relaxed),
             bypass_bytes: f.bypass_bytes.load(Ordering::Relaxed),
-            wait: f.wait.lock().unwrap().clone(),
-            depth: f.depth.lock().unwrap().clone(),
+            wait: f.merged_wait(),
+            depth: f.merged_depth(),
         }
     }
 

@@ -85,7 +85,7 @@ fn main() {
     let spread = served.iter().max().unwrap() - served.iter().min().unwrap();
     println!(
         "round-robin balance spread: {spread} (proxy accepted: {:?})",
-        sys.tcp_proxy_stats()
+        sys.tcp_proxy_stats(0)
             .accepted
             .iter()
             .map(|a| a.load(std::sync::atomic::Ordering::Relaxed))

@@ -102,8 +102,8 @@ fn pluggable_content_based_balancing_is_sticky() {
         connect_client(&fabric, 5002, 0xBEEF);
     }
     std::thread::sleep(Duration::from_millis(200));
-    let a0 = sys.tcp_proxy_stats().accepted[0].load(std::sync::atomic::Ordering::Relaxed);
-    let a1 = sys.tcp_proxy_stats().accepted[1].load(std::sync::atomic::Ordering::Relaxed);
+    let a0 = sys.tcp_proxy_stats(0).accepted[0].load(std::sync::atomic::Ordering::Relaxed);
+    let a1 = sys.tcp_proxy_stats(0).accepted[1].load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(a0 + a1, 6);
     assert!(a0 == 6 || a1 == 6, "sticky hashing: got {a0}/{a1}");
     drop((l0, l1));
@@ -190,7 +190,7 @@ fn many_connections_round_robin_across_four_coprocs() {
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
         let total: u64 = (0..4)
-            .map(|i| sys.tcp_proxy_stats().accepted[i].load(std::sync::atomic::Ordering::Relaxed))
+            .map(|i| sys.tcp_proxy_stats(0).accepted[i].load(std::sync::atomic::Ordering::Relaxed))
             .sum();
         if total == 40 || std::time::Instant::now() > deadline {
             break;
@@ -199,7 +199,7 @@ fn many_connections_round_robin_across_four_coprocs() {
     }
     for i in 0..4 {
         assert_eq!(
-            sys.tcp_proxy_stats().accepted[i].load(std::sync::atomic::Ordering::Relaxed),
+            sys.tcp_proxy_stats(0).accepted[i].load(std::sync::atomic::Ordering::Relaxed),
             10,
             "round robin share for coproc {i}"
         );
