@@ -130,6 +130,15 @@ impl VirtioPerf {
         };
         (per_thread * threads as f64).min(copy_cap).min(dev_bw)
     }
+
+    /// Reply-side publish/interrupt events per completed request. The
+    /// vring completes one request per guest interrupt — the host relay
+    /// has no cross-request completion view, so replies can never
+    /// coalesce. Solros's batched reply settlement drives this toward
+    /// `1 / queue_depth`; the host-centric stack is pinned at 1.
+    pub fn reply_publishes_per_op(&self) -> f64 {
+        1.0
+    }
 }
 
 /// Timed model of the Phi-NFS path.
@@ -182,6 +191,15 @@ impl NfsPerf {
         // The single NFS transport connection caps aggregate throughput.
         (per_thread * threads as f64).min(self.wire_bw * 0.55)
     }
+
+    /// Reply-side publish/interrupt events per completed request: every
+    /// RPC round trip delivers its own reply (and a write adds a COMMIT
+    /// round trip), so like the virtio relay the NFS path pays at least
+    /// one completion notification per op — there is no reply wave to
+    /// amortize.
+    pub fn reply_publishes_per_op(&self) -> f64 {
+        1.0
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +251,20 @@ mod tests {
         let w1 = n.op_time(false, 64 * 1024);
         let r1 = n.op_time(true, 64 * 1024);
         assert!(w1 > r1, "COMMIT penalizes writes");
+    }
+
+    #[test]
+    fn host_centric_stacks_cannot_coalesce_replies() {
+        // One completion notification per request, at any queue depth —
+        // the reply-side figure E8 contrasts with Solros's batched
+        // settlement (≤ 0.1 publishes/op at QD32).
+        assert_eq!(VirtioPerf::paper_default().reply_publishes_per_op(), 1.0);
+        assert_eq!(NfsPerf::paper_default().reply_publishes_per_op(), 1.0);
+        let solros = solros_nvme::NvmePerf::paper_default();
+        assert!(
+            (solros.reply_publishes(32, true) as f64) / 32.0
+                < VirtioPerf::paper_default().reply_publishes_per_op()
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! `extensions e4` only the queue-depth sweep, and `extensions e5` the
 //! fault-injection recovery sweep, `extensions e6` the extent-lease
 //! data plane, and `extensions e7` the sharded control-plane scalability
-//! sweep — the cheap ones CI runs as smoke tests. The `e5` arm
+//! sweep, and `extensions e8` the symmetric reply-wave and TCP
+//! send-coalescing sweep — the cheap ones CI runs as smoke tests. The `e5` arm
 //! exits nonzero if any scenario leaves a hung tag, leaks a credit, or
 //! blows its recovery-latency bound; `e3-engine` exits nonzero if any
 //! shed is charged to a paced flow; `e6` exits nonzero on a stale
@@ -125,10 +126,56 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("e8") => {
+            // Symmetric reply wave; exits nonzero if reply-side publishes
+            // per op exceed 0.25 at the deepest point on either the fs or
+            // the TCP path, if pipelined small sends gain less than 2x
+            // over QD1, or if the run leaks a tag, a credit, an event, or
+            // a payload byte.
+            let o = solros_bench::extensions::reply_wave();
+            print!(
+                "## E8 — symmetric reply wave and TCP send coalescing\n\n{}",
+                o.report
+            );
+            let mut failed = false;
+            if o.fs_qd32 > 0.25 {
+                eprintln!(
+                    "E8 FAIL: fs reply publishes/op {:.3} at QD32 (want <= 0.25)",
+                    o.fs_qd32
+                );
+                failed = true;
+            }
+            if o.tcp_qd32 > 0.25 {
+                eprintln!(
+                    "E8 FAIL: tcp reply publishes/op {:.3} at QD32 (want <= 0.25)",
+                    o.tcp_qd32
+                );
+                failed = true;
+            }
+            if o.tcp_speedup < 2.0 {
+                eprintln!(
+                    "E8 FAIL: pipelined small sends only {:.2}x over QD1 (want >= 2x)",
+                    o.tcp_speedup
+                );
+                failed = true;
+            }
+            let leaks = o.tag_leaks + o.credit_leaks + o.event_drops + o.bytes_mismatch;
+            if leaks > 0 {
+                eprintln!(
+                    "E8 FAIL: {} tags pending, {} credits held, {} events dropped, \
+                     {} bytes lost (all must be 0)",
+                    o.tag_leaks, o.credit_leaks, o.event_drops, o.bytes_mismatch
+                );
+                failed = true;
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        }
         Some(other) => {
             eprintln!(
                 "unknown experiment {other:?}; expected `e3`, `e3-engine`, `e4`, `e5`, \
-                 `e6`, `e7`, or no argument"
+                 `e6`, `e7`, `e8`, or no argument"
             );
             std::process::exit(2);
         }

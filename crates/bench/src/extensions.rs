@@ -1667,6 +1667,401 @@ pub fn control_plane_scaling() -> ControlPlaneOutcome {
     }
 }
 
+/// One point of E8's reply-side sweep: the same booted system and
+/// wave-submission workload as [`sweep_queue_depth`], but instrumenting
+/// the *reply* ring — how many control-variable publishes the fs proxy
+/// paid to settle the wave's completions through its batched
+/// [`ReplySettler`] path.
+///
+/// [`ReplySettler`]: solros::proxy_engine::ReplySettler
+pub struct ReplyDepthPoint {
+    /// Submission-queue depth.
+    pub depth: usize,
+    /// Replies settled during the measured window.
+    pub replies: u64,
+    /// Settlement waves (batched reply enqueues) that carried them.
+    pub reply_waves: u64,
+    /// Control-variable publishes paid on the reply ring.
+    pub reply_publishes: u64,
+}
+
+impl ReplyDepthPoint {
+    /// Reply-side doorbell-equivalents per completed op — the mirror of
+    /// E4's submission-side doorbells/op.
+    pub fn publishes_per_op(&self) -> f64 {
+        self.reply_publishes as f64 / self.replies.max(1) as f64
+    }
+}
+
+/// Single-thread random 4 KiB reads at each queue depth against a real
+/// booted system, measured on the *reply* side: the fs proxy posts every
+/// completion into its per-lane settlement accumulator and the engine
+/// settles one vectored reply enqueue — one control-variable publish on
+/// the lazy ring — per `(lane, cycle)`, so publishes/op collapse toward
+/// `1/depth` exactly as the submission-side doorbells did in E4.
+pub fn sweep_reply_wave(depths: &[usize], ops: usize) -> Vec<ReplyDepthPoint> {
+    use solros::control::Solros;
+    use solros_machine::MachineConfig;
+    use std::sync::atomic::Ordering::Relaxed;
+
+    const READ: usize = 4096;
+    const FILE_BYTES: u64 = 8 << 20;
+
+    depths
+        .iter()
+        .map(|&depth| {
+            let sys = Solros::boot(MachineConfig {
+                sockets: 1,
+                coprocs: 1,
+                ssd_blocks: 16_384,
+                coproc_window_bytes: 8 << 20,
+                host_cache_pages: 64,
+            });
+            let host = sys.host_fs();
+            let ino = host.create("/data").unwrap();
+            let chunk = vec![0xa5u8; 256 * 1024];
+            let mut off = 0u64;
+            while off < FILE_BYTES {
+                host.write(ino, off, &chunk).unwrap();
+                off += chunk.len() as u64;
+            }
+            host.cache().invalidate_ino(ino);
+
+            let fs = Arc::clone(sys.data_plane(0).fs());
+            let (h, size) = fs.open("/data", false, false, false).unwrap();
+            assert_eq!(size, FILE_BYTES);
+            let blocks = FILE_BYTES / READ as u64;
+            let mut rng = DetRng::seed(0xE8);
+
+            // Warm-up wave outside the measured window.
+            let mut warm = fs.batch();
+            for _ in 0..depth {
+                warm = warm.read(h, rng.below(blocks) * READ as u64, READ);
+            }
+            for r in warm.run() {
+                assert_eq!(r.into_read().len(), READ);
+            }
+
+            let s = sys.fs_proxy_stats(0);
+            let r0 = s.replies.load(Relaxed);
+            let w0 = s.reply_waves.load(Relaxed);
+            let p0 = s.reply_publishes.load(Relaxed);
+            let mut done = 0usize;
+            while done < ops {
+                let wave = depth.min(ops - done);
+                let mut b = fs.batch();
+                for _ in 0..wave {
+                    b = b.read(h, rng.below(blocks) * READ as u64, READ);
+                }
+                for r in b.run() {
+                    assert_eq!(r.into_read().len(), READ);
+                }
+                done += wave;
+            }
+            let point = ReplyDepthPoint {
+                depth,
+                replies: s.replies.load(Relaxed) - r0,
+                reply_waves: s.reply_waves.load(Relaxed) - w0,
+                reply_publishes: s.reply_publishes.load(Relaxed) - p0,
+            };
+            sys.shutdown();
+            point
+        })
+        .collect()
+}
+
+/// One point of E8's TCP small-send sweep (self-contained rig: real
+/// fabric, one workerless proxy shard, one RPC client with a credit
+/// window).
+pub struct TcpCoalescePoint {
+    /// Pipelined sends in flight.
+    pub depth: usize,
+    /// `Send` RPCs completed in the measured window.
+    pub ops: u64,
+    /// Sends that rode the coalescing stage.
+    pub staged_sends: u64,
+    /// Coalesced backend writes those sends collapsed into.
+    pub backend_writes: u64,
+    /// Replies settled.
+    pub replies: u64,
+    /// Control-variable publishes paid on the reply ring.
+    pub reply_publishes: u64,
+    /// Wall-clock time for the window, seconds.
+    pub elapsed_s: f64,
+}
+
+/// Outcome of the TCP half of E8: per-depth points plus the leak
+/// tripwires CI gates on.
+pub struct TcpWaveOutcome {
+    /// Per-depth measurements (depths in call order).
+    pub points: Vec<TcpCoalescePoint>,
+    /// Throughput ratio of the deepest point over the first (QD1).
+    pub speedup: f64,
+    /// RPC tags still pending after quiescence. Must be 0.
+    pub tag_leaks: u64,
+    /// Credits still held after quiescence. Must be 0.
+    pub credit_leaks: u64,
+    /// Events lost on a full event ring. Must be 0.
+    pub event_drops: u64,
+    /// Bytes the external server did not receive (or received
+    /// corrupted) versus what every `Sent` reply acknowledged. Must
+    /// be 0: coalescing may merge backend writes but never bytes.
+    pub bytes_mismatch: u64,
+}
+
+/// Small-message `Send` throughput at each pipeline depth through one
+/// TCP proxy shard. Sub-[`STAGE_SEND_MAX`] sends on the same socket
+/// coalesce in the proxy's staging table into one backend write per
+/// admission wave, and their replies settle as one batched enqueue —
+/// so both directions of the ring pay `~1/depth` publishes per op while
+/// every part still gets its own byte-identical `Sent` reply.
+///
+/// [`STAGE_SEND_MAX`]: solros::tcp_proxy::STAGE_SEND_MAX
+pub fn tcp_send_coalescing(depths: &[usize], ops: usize) -> TcpWaveOutcome {
+    use solros::tcp_proxy::{NetChannelHost, TcpProxy};
+    use solros::transport::{event_ring, Channel, RpcClient};
+    use solros::RoundRobin;
+    use solros_pcie::PcieCounters;
+    use solros_proto::net_msg::NetRequest;
+    use solros_qos::CreditPool;
+    use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+
+    const MSG: usize = 64;
+    const PORT: u16 = 9_000;
+    const R_SENT: u8 = 145;
+    const R_SOCKET: u8 = 140;
+    const R_NOK: u8 = 150;
+
+    let network = solros_netdev::Network::new();
+    let counters = Arc::new(PcieCounters::new());
+    let ch = Channel::new(Arc::clone(&counters));
+    let (evt_tx, _evt_rx) = event_ring(counters);
+    let pool = Arc::new(CreditPool::new(256));
+    let client = RpcClient::with_credits(ch.req_tx, ch.resp_rx, Some(Arc::clone(&pool)));
+    let (proxy, stats) = TcpProxy::new(
+        Arc::clone(&network),
+        vec![NetChannelHost {
+            req_rx: ch.req_rx,
+            resp_tx: ch.resp_tx,
+            evt_tx,
+        }],
+        Box::new(RoundRobin::default()),
+    );
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let sd = Arc::clone(&shutdown);
+    let server = std::thread::spawn(move || proxy.run(sd));
+
+    // An "external server" listens on the fabric; the stub connects out.
+    network.listen(PORT, 1024).unwrap();
+    let mut tag = 1u32;
+    let reply = client.call(tag, NetRequest::Socket.encode(tag));
+    assert_eq!(reply[4], R_SOCKET);
+    let sock = u64::from_le_bytes(reply[12..20].try_into().unwrap());
+    tag += 1;
+    let reply = client.call(
+        tag,
+        NetRequest::Connect {
+            sock,
+            addr: 7,
+            port: PORT,
+        }
+        .encode(tag),
+    );
+    assert_eq!(reply[4], R_NOK, "connect must succeed");
+    let (conn, _peer) = network.poll_accept(PORT).unwrap().expect("connected");
+
+    let msg = vec![0x5au8; MSG];
+    let mut points = Vec::new();
+    for &depth in depths {
+        let r0 = stats.engine.replies.load(Relaxed);
+        let p0 = stats.engine.reply_publishes.load(Relaxed);
+        let s0 = stats.staged_sends.load(Relaxed);
+        let w0 = stats.send_waves.load(Relaxed);
+        let t0 = Instant::now();
+        let mut done = 0usize;
+        while done < ops {
+            let wave = depth.min(ops - done);
+            let tokens: Vec<_> = (0..wave)
+                .map(|_| {
+                    tag += 1;
+                    client
+                        .submit(
+                            tag,
+                            NetRequest::Send {
+                                sock,
+                                data: msg.clone(),
+                            }
+                            .encode(tag),
+                        )
+                        .unwrap()
+                })
+                .collect();
+            for token in tokens {
+                let reply = client.wait(token);
+                assert_eq!(reply[4], R_SENT, "every part gets its own Sent");
+                assert_eq!(
+                    u64::from_le_bytes(reply[12..20].try_into().unwrap()),
+                    MSG as u64
+                );
+            }
+            done += wave;
+        }
+        points.push(TcpCoalescePoint {
+            depth,
+            ops: ops as u64,
+            staged_sends: stats.staged_sends.load(Relaxed) - s0,
+            backend_writes: stats.send_waves.load(Relaxed) - w0,
+            replies: stats.engine.replies.load(Relaxed) - r0,
+            reply_publishes: stats.engine.reply_publishes.load(Relaxed) - p0,
+            elapsed_s: t0.elapsed().as_secs_f64(),
+        });
+    }
+
+    // Coalescing merges backend writes, never bytes: the external server
+    // must see exactly the acknowledged payload.
+    let expected = (depths.len() * ops * MSG) as u64;
+    let mut got = 0u64;
+    let mut clean = true;
+    loop {
+        let data = network
+            .recv(conn, solros_netdev::EndKind::Server, 1 << 20)
+            .unwrap();
+        if data.is_empty() {
+            break;
+        }
+        clean &= data.iter().all(|&b| b == 0x5a);
+        got += data.len() as u64;
+    }
+
+    shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+    server.join().unwrap();
+
+    let speedup = points[0].elapsed_s / points.last().unwrap().elapsed_s.max(1e-12);
+    TcpWaveOutcome {
+        speedup,
+        tag_leaks: client.pending_len() as u64,
+        credit_leaks: u64::from(pool.levels().0),
+        event_drops: stats.event_drops.load(Relaxed),
+        bytes_mismatch: expected.abs_diff(got) + u64::from(!clean),
+        points,
+    }
+}
+
+/// Outcome of E8: the rendered report plus the tripwires CI gates on.
+pub struct ReplyWaveOutcome {
+    /// Rendered markdown report.
+    pub report: String,
+    /// FS reply publishes/op at QD1 (expect ~1: one settle per call).
+    pub fs_qd1: f64,
+    /// FS reply publishes/op at the deepest point (gate: ≤ 0.25).
+    pub fs_qd32: f64,
+    /// TCP reply publishes/op at the deepest point (gate: ≤ 0.25).
+    pub tcp_qd32: f64,
+    /// Small-send throughput ratio, deepest point over QD1 (gate: ≥ 2).
+    pub tcp_speedup: f64,
+    /// Pending tags after quiescence. Must be 0.
+    pub tag_leaks: u64,
+    /// Held credits after quiescence. Must be 0.
+    pub credit_leaks: u64,
+    /// Events lost on a full ring. Must be 0.
+    pub event_drops: u64,
+    /// Payload bytes lost or corrupted by coalescing. Must be 0.
+    pub bytes_mismatch: u64,
+}
+
+/// Extension E8 — the symmetric wave: batched reply settlement and TCP
+/// send coalescing, measured in doorbell-equivalents per op in *both*
+/// ring directions.
+pub fn reply_wave() -> ReplyWaveOutcome {
+    let depths = [1usize, 2, 4, 8, 16, 32];
+    let fs_points = sweep_reply_wave(&depths, 256);
+    let tcp = tcp_send_coalescing(&depths, 256);
+
+    let mut out = String::new();
+    let mut t = Table::new(vec![
+        "queue depth",
+        "replies",
+        "reply waves",
+        "reply publishes",
+        "publishes/op",
+    ]);
+    for p in &fs_points {
+        t.row(vec![
+            p.depth.to_string(),
+            p.replies.to_string(),
+            p.reply_waves.to_string(),
+            p.reply_publishes.to_string(),
+            format!("{:.3}", p.publishes_per_op()),
+        ]);
+    }
+    out.push_str("Reply-side settlement, fs proxy on a real booted system:\n\n");
+    out.push_str(&t.to_markdown());
+    out.push_str(
+        "\nEvery completion is posted into the engine's per-lane settlement \
+         accumulator and settled as one vectored reply enqueue per cycle: \
+         one control-variable publish covers the whole wave, so reply-side \
+         doorbell-equivalents per op fall from 1 at QD1 toward 1/depth — \
+         the mirror of E4's submission-side collapse. Host-centric stacks \
+         cannot do this: the virtio relay and the NFS client both pay one \
+         completion notification per request at any depth \
+         (`VirtioPerf::reply_publishes_per_op` = `NfsPerf::reply_publishes_per_op` = 1).\n",
+    );
+
+    let base = tcp.points[0].ops as f64 / tcp.points[0].elapsed_s;
+    let mut t = Table::new(vec![
+        "depth",
+        "ops",
+        "staged",
+        "backend writes",
+        "coalesce factor",
+        "reply publishes/op",
+        "kops/s",
+        "speedup",
+    ]);
+    for p in &tcp.points {
+        let kops = p.ops as f64 / p.elapsed_s;
+        t.row(vec![
+            p.depth.to_string(),
+            p.ops.to_string(),
+            p.staged_sends.to_string(),
+            p.backend_writes.to_string(),
+            format!(
+                "{:.1}",
+                p.staged_sends as f64 / p.backend_writes.max(1) as f64
+            ),
+            format!("{:.3}", p.reply_publishes as f64 / p.replies.max(1) as f64),
+            format!("{:.1}", kops / 1e3),
+            format!("{:.2}x", kops / base),
+        ]);
+    }
+    out.push_str("\n64-byte `Send`s through one TCP proxy shard, pipelined per depth:\n\n");
+    out.push_str(&t.to_markdown());
+    out.push_str(&format!(
+        "\nSmall sends on the same socket coalesce in the staging table into \
+         one backend write per admission wave and their `Sent` replies ride \
+         one settlement enqueue, so both ring directions amortize toward \
+         1/depth publishes per op while each part keeps its own \
+         byte-identical reply. Tripwires: {} pending tags, {} held credits, \
+         {} event drops, {} payload bytes lost to coalescing.\n",
+        tcp.tag_leaks, tcp.credit_leaks, tcp.event_drops, tcp.bytes_mismatch
+    ));
+
+    ReplyWaveOutcome {
+        report: out,
+        fs_qd1: fs_points[0].publishes_per_op(),
+        fs_qd32: fs_points.last().unwrap().publishes_per_op(),
+        tcp_qd32: {
+            let p = tcp.points.last().unwrap();
+            p.reply_publishes as f64 / p.replies.max(1) as f64
+        },
+        tcp_speedup: tcp.speedup,
+        tag_leaks: tcp.tag_leaks,
+        credit_leaks: tcp.credit_leaks,
+        event_drops: tcp.event_drops,
+        bytes_mismatch: tcp.bytes_mismatch,
+    }
+}
+
 /// Renders all extensions.
 pub fn run_all() -> String {
     let mut out = String::from("# Solros-rs — extension experiments\n");
@@ -1683,6 +2078,10 @@ pub fn run_all() -> String {
         (
             "E7 — sharded control-plane scalability",
             control_plane_scaling().report,
+        ),
+        (
+            "E8 — symmetric reply wave and TCP send coalescing",
+            reply_wave().report,
         ),
     ] {
         out.push_str(&format!("\n## {title}\n\n"));
@@ -1903,6 +2302,47 @@ mod tests {
             assert!(s.report.drained > 0, "{}: nothing drained", s.name);
             assert!(s.report.completed > 0, "{}: link never revived", s.name);
         }
+    }
+
+    #[test]
+    fn reply_wave_publishes_collapse_with_depth() {
+        let pts = sweep_reply_wave(&[1, 32], 192);
+        assert_eq!(pts[0].replies, 192, "every op gets exactly one reply");
+        assert_eq!(pts[1].replies, 192, "every op gets exactly one reply");
+        // QD1: one settle wave per call — the per-op baseline.
+        assert!(
+            pts[0].publishes_per_op() >= 0.9,
+            "QD1 should pay ~1 publish/op, got {:.3}",
+            pts[0].publishes_per_op()
+        );
+        // QD32: the whole wave settles in a handful of batched enqueues.
+        assert!(
+            pts[1].publishes_per_op() <= 0.25,
+            "QD32 reply publishes/op {:.3} (want <= 0.25)",
+            pts[1].publishes_per_op()
+        );
+    }
+
+    #[test]
+    fn tcp_send_coalescing_batches_and_never_leaks() {
+        let o = tcp_send_coalescing(&[1, 32], 192);
+        assert_eq!(o.tag_leaks, 0, "pending tags after quiescence");
+        assert_eq!(o.credit_leaks, 0, "credits held after quiescence");
+        assert_eq!(o.event_drops, 0, "events dropped");
+        assert_eq!(o.bytes_mismatch, 0, "coalescing lost payload bytes");
+        let deep = &o.points[1];
+        assert_eq!(deep.staged_sends, 192, "all small sends must stage");
+        assert!(
+            deep.backend_writes * 4 <= deep.staged_sends,
+            "QD32 coalescing under 4x: {} writes for {} sends",
+            deep.backend_writes,
+            deep.staged_sends
+        );
+        assert!(
+            (deep.reply_publishes as f64) / (deep.replies as f64) <= 0.25,
+            "QD32 reply publishes/op {:.3}",
+            (deep.reply_publishes as f64) / (deep.replies as f64)
+        );
     }
 
     #[test]

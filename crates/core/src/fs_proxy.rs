@@ -860,8 +860,13 @@ impl OpHandler for FsProxy {
     }
 
     /// Submits the wave's combined command list as one vectored batch —
-    /// one doorbell, one interrupt for every staged read — and replies
-    /// per read.
+    /// one doorbell, one interrupt for every staged read. The per-read
+    /// replies emitted here land in the engine's [`ReplySettler`], which
+    /// settles them as one batched response-ring enqueue per cycle: the
+    /// request-side NVMe wave and the reply-side publish wave are the
+    /// two halves of the same symmetric pipeline (DESIGN.md §12).
+    ///
+    /// [`ReplySettler`]: crate::proxy_engine::ReplySettler
     fn flush(&self, reply: &mut dyn FnMut(usize, Vec<u8>)) {
         let mut wave = self.wave.lock();
         if wave.reads.is_empty() {

@@ -8,7 +8,7 @@ use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 use solros_faults::EngineFaults;
-use solros_proto::codec::{stamp_credit, FLAG_BARRIER};
+use solros_proto::codec::{peek_tag, stamp_credit, FLAG_BARRIER};
 use solros_proto::rpc_error::RpcErr;
 use solros_proto::{AdmitRequest, AdmittedFrame};
 use solros_qos::{Dispatch, DwrrScheduler, TenantLedger, Verdict};
@@ -16,6 +16,7 @@ use solros_ringbuf::{Consumer, Producer};
 
 use super::admission::{Access, GateJob, ReadyJob};
 use super::holds::ExternalHolds;
+use super::settle::ReplySettler;
 use super::stats::ProxyStats;
 
 /// Frames drained from each request ring per FIFO admission burst.
@@ -141,6 +142,9 @@ pub struct ProxyEngine<H: OpHandler> {
     lanes: Vec<EngineLane>,
     stats: Arc<ProxyStats>,
     faults: Arc<EngineFaults>,
+    /// Per-lane reply accumulator; every reply producer posts here and
+    /// the engine settles one batched enqueue per `(lane, cycle)`.
+    settler: Arc<ReplySettler>,
     gate: Option<DwrrScheduler<GateJob<H::Req>>>,
     epoch: Instant,
     /// Promote lock-holding flows to their waiter's effective weight.
@@ -166,11 +170,17 @@ impl<H: OpHandler> ProxyEngine<H> {
         faults: Arc<EngineFaults>,
         gate: Option<DwrrScheduler<GateJob<H::Req>>>,
     ) -> Self {
+        let settler = ReplySettler::new(
+            lanes.iter().map(|l| l.resp_tx.clone()).collect(),
+            Arc::clone(&faults),
+            Arc::clone(&stats),
+        );
         Self {
             handler,
             lanes,
             stats,
             faults,
+            settler,
             gate,
             epoch: Instant::now(),
             inherit: true,
@@ -216,17 +226,17 @@ impl<H: OpHandler> ProxyEngine<H> {
             return;
         }
         let jobs: JobQueue<ReadyJob<H::Req>> = JobQueue::new();
-        let resp: Vec<Producer> = self.lanes.iter().map(|l| l.resp_tx.clone()).collect();
+        let settler = Arc::clone(&self.settler);
         let handler = Arc::clone(&self.handler);
         let stats = Arc::clone(&self.stats);
         let faults = Arc::clone(&self.faults);
         let releases = Arc::clone(&self.releases);
         std::thread::scope(|s| {
             for _ in 0..workers {
-                let (jobs, resp) = (&jobs, resp.clone());
+                let (jobs, settler) = (&jobs, Arc::clone(&settler));
                 let (handler, stats) = (Arc::clone(&handler), Arc::clone(&stats));
                 let (faults, releases) = (Arc::clone(&faults), Arc::clone(&releases));
-                s.spawn(move || worker_loop(&*handler, jobs, &resp, &stats, &faults, &releases));
+                s.spawn(move || worker_loop(&*handler, jobs, &settler, &stats, &faults, &releases));
             }
             while !shutdown.load(Ordering::Relaxed) {
                 let now = self.epoch.elapsed().as_nanos() as u64;
@@ -291,6 +301,9 @@ impl<H: OpHandler> ProxyEngine<H> {
         self.flush_handler();
         // 6. Handler-specific polling.
         progressed |= self.handler.poll();
+        // 7. Settle the cycle's accumulated replies: one batched enqueue
+        //    (one doorbell-equivalent on a lazy ring) per lane.
+        progressed |= self.settler.settle();
         progressed
     }
 
@@ -311,8 +324,11 @@ impl<H: OpHandler> ProxyEngine<H> {
                     Ok(a) => a,
                     Err(_) => {
                         self.stats.malformed.fetch_add(1, Ordering::Relaxed);
-                        let reply = self.handler.encode_err(0, RpcErr::Invalid);
-                        self.post(lane, &reply);
+                        // Echo the header tag when it survived so the
+                        // error reply stays routable at the submitter.
+                        let tag = peek_tag(&frame).unwrap_or(0);
+                        let reply = self.handler.encode_err(tag, RpcErr::Invalid);
+                        self.post(lane, reply);
                         continue;
                     }
                 };
@@ -346,7 +362,7 @@ impl<H: OpHandler> ProxyEngine<H> {
                         self.stats.sheds.fetch_add(1, Ordering::Relaxed);
                         let mut reply = self.handler.encode_err(item.tag, RpcErr::Overloaded);
                         stamp_credit(&mut reply, credit);
-                        self.post(lane, &reply);
+                        self.post(lane, reply);
                     }
                 }
             }
@@ -387,7 +403,7 @@ impl<H: OpHandler> ProxyEngine<H> {
                 self.stats.sheds.fetch_add(1, Ordering::Relaxed);
                 let mut reply = self.handler.encode_err(job.tag, RpcErr::Overloaded);
                 stamp_credit(&mut reply, credit);
-                self.post(job.lane, &reply);
+                self.post(job.lane, reply);
                 // A shed exclusive never executes: release its hold now.
                 if let Some((res, Access::Exclusive)) = job.touch {
                     self.release_one(res, flow);
@@ -447,8 +463,9 @@ impl<H: OpHandler> ProxyEngine<H> {
                     }
                     Err(_) => {
                         self.stats.malformed.fetch_add(1, Ordering::Relaxed);
-                        let reply = self.handler.encode_err(0, RpcErr::Invalid);
-                        self.post(lane, &reply);
+                        let tag = peek_tag(&frame).unwrap_or(0);
+                        let reply = self.handler.encode_err(tag, RpcErr::Invalid);
+                        self.post(lane, reply);
                     }
                 }
             }
@@ -565,7 +582,7 @@ impl<H: OpHandler> ProxyEngine<H> {
         if let Some(c) = credit {
             stamp_credit(&mut reply, c);
         }
-        self.post(lane, &reply);
+        self.post(lane, reply);
         if let Some((res, flow)) = release {
             self.release_one(res, flow);
         }
@@ -622,13 +639,11 @@ impl<H: OpHandler> ProxyEngine<H> {
         }
     }
 
-    /// Flushes the handler's coalescing wave, posting its replies.
+    /// Flushes the handler's coalescing wave into the reply settler.
     fn flush_handler(&mut self) {
         let handler = Arc::clone(&self.handler);
-        let (lanes, faults, stats) = (&self.lanes, &self.faults, &self.stats);
-        handler.flush(&mut |lane, frame| {
-            post(&lanes[lane].resp_tx, faults, stats, &frame);
-        });
+        let settler = Arc::clone(&self.settler);
+        handler.flush(&mut |lane, frame| settler.post(lane, frame));
     }
 
     /// Completes in-flight work at shutdown so nothing is left parked.
@@ -641,12 +656,16 @@ impl<H: OpHandler> ProxyEngine<H> {
         for job in std::mem::take(&mut self.ready_backlog) {
             self.route(pool, job);
         }
+        if let Some(p) = pool {
+            p.quiesce();
+        }
         self.flush_handler();
+        self.settler.settle();
     }
 
-    /// Posts one reply on a lane's response ring.
-    fn post(&self, lane: usize, frame: &[u8]) {
-        post(&self.lanes[lane].resp_tx, &self.faults, &self.stats, frame);
+    /// Buffers one reply for the lane's next settlement wave.
+    fn post(&self, lane: usize, frame: Vec<u8>) {
+        self.settler.post(lane, frame);
     }
 }
 
@@ -675,22 +694,14 @@ fn exec_contained<H: OpHandler>(
     })
 }
 
-/// Posts one reply, honouring the armed reply-drop fault (a crashed stub
-/// whose response link is gone; client deadlines recover the tags).
-fn post(resp_tx: &Producer, faults: &EngineFaults, stats: &ProxyStats, frame: &[u8]) {
-    if faults.take_dropped_reply() {
-        stats.dropped_replies.fetch_add(1, Ordering::Relaxed);
-        return;
-    }
-    let _ = resp_tx.send_blocking(frame);
-}
-
 /// Worker-pool loop: executes ready jobs out of order until the queue
-/// closes, pushing completed exclusive holds back to the engine.
+/// closes, buffering replies into the shared settler (the engine thread
+/// settles them in its cycle's batched wave) and pushing completed
+/// exclusive holds back to the engine.
 fn worker_loop<H: OpHandler>(
     handler: &H,
     jobs: &JobQueue<ReadyJob<H::Req>>,
-    resp: &[Producer],
+    settler: &ReplySettler,
     stats: &ProxyStats,
     faults: &EngineFaults,
     releases: &Mutex<Vec<(u64, usize)>>,
@@ -707,7 +718,7 @@ fn worker_loop<H: OpHandler>(
         if let Some(c) = credit {
             stamp_credit(&mut reply, c);
         }
-        post(&resp[lane], faults, stats, &reply);
+        settler.post(lane, reply);
         if let Some(r) = release {
             releases.lock().push(r);
         }

@@ -21,6 +21,11 @@
 //!                                               └─► resp ring (credit, faults)
 //! ```
 //!
+//! Reply settlement is batched (the symmetric half of the request-side
+//! wave): every reply producer posts into a per-lane [`ReplySettler`]
+//! accumulator and the engine settles one vectored enqueue — one
+//! control-variable publish on a lazy ring — per `(lane, cycle)`.
+//!
 //! The engine also implements priority inheritance for metadata
 //! operations: an exclusive touch (an FS write) holds its resource from
 //! gate admission to completion; a shared touch (an fstat) dispatched
@@ -30,9 +35,11 @@
 mod admission;
 mod engine;
 mod holds;
+mod settle;
 mod stats;
 
 pub use admission::{Access, GateJob, ReadyJob};
 pub use engine::{EngineLane, OpHandler, ProxyEngine, DRAIN_BURST};
 pub use holds::ExternalHolds;
+pub use settle::ReplySettler;
 pub use stats::ProxyStats;

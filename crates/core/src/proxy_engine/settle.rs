@@ -1,0 +1,96 @@
+//! Batched reply settlement: the reply-side half of the wave pipeline.
+//!
+//! PR 2 made the *request* path ride waves — one doorbell per batch of
+//! submissions — but every reply still paid a full `send_blocking`
+//! (enqueue + combiner pass + control-variable publish) per completion.
+//! The settler mirrors the request-side wave on the reply ring: every
+//! reply producer in the engine — worker-pool results, handler `flush`
+//! output, shed/malformed/credit replies alike — accumulates frames
+//! here, and the engine settles each lane's accumulation with **one**
+//! [`Producer::send_batch_blocking`] per `(lane, cycle)`. On a lazy ring
+//! that is one control-variable publish (doorbell-equivalent) per wave
+//! instead of one per reply.
+//!
+//! Ordering: frames buffer per lane in post order, and the vectored
+//! enqueue preserves that order, so per-lane reply order is identical to
+//! the per-reply path. Backpressure is unchanged too — a full response
+//! ring blocks the settling thread exactly where `send_blocking` used
+//! to block the posting thread.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use solros_faults::EngineFaults;
+use solros_ringbuf::Producer;
+
+use super::stats::ProxyStats;
+
+/// Per-lane reply accumulator shared by the engine thread, the worker
+/// pool, and the handler's flush path.
+pub struct ReplySettler {
+    lanes: Vec<Producer>,
+    faults: Arc<EngineFaults>,
+    stats: Arc<ProxyStats>,
+    pending: Vec<Mutex<Vec<Vec<u8>>>>,
+}
+
+impl ReplySettler {
+    /// Builds a settler over one response-ring producer per lane.
+    pub fn new(
+        lanes: Vec<Producer>,
+        faults: Arc<EngineFaults>,
+        stats: Arc<ProxyStats>,
+    ) -> Arc<Self> {
+        let pending = (0..lanes.len()).map(|_| Mutex::new(Vec::new())).collect();
+        Arc::new(Self {
+            lanes,
+            faults,
+            stats,
+            pending,
+        })
+    }
+
+    /// Buffers one reply for the lane's next settlement wave, honouring
+    /// the armed reply-drop fault (a crashed stub whose response link is
+    /// gone; client deadlines recover the tags). The fault is consumed
+    /// here, at post time, so it lands on the intended frame.
+    pub fn post(&self, lane: usize, frame: Vec<u8>) {
+        if self.faults.take_dropped_reply() {
+            self.stats.dropped_replies.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.pending[lane].lock().push(frame);
+    }
+
+    /// Settles every lane's accumulated replies with one batched enqueue
+    /// per lane, spinning out backpressure exactly as the per-reply
+    /// `send_blocking` did. Returns true when anything was flushed.
+    pub fn settle(&self) -> bool {
+        let mut flushed = false;
+        for (lane, pending) in self.pending.iter().enumerate() {
+            let wave = std::mem::take(&mut *pending.lock());
+            if wave.is_empty() {
+                continue;
+            }
+            flushed = true;
+            let tx = &self.lanes[lane];
+            // An oversized frame was silently unsendable on the
+            // per-reply path (`let _ = send_blocking`) and stays so.
+            let max = tx.max_element();
+            let wave: Vec<Vec<u8>> = wave.into_iter().filter(|f| f.len() <= max).collect();
+            if wave.is_empty() {
+                continue;
+            }
+            let n = wave.len() as u64;
+            let before = tx.publishes();
+            let _ = tx.send_batch_blocking(wave);
+            self.stats
+                .reply_publishes
+                .fetch_add(tx.publishes() - before, Ordering::Relaxed);
+            self.stats.reply_waves.fetch_add(1, Ordering::Relaxed);
+            self.stats.replies.fetch_add(n, Ordering::Relaxed);
+        }
+        flushed
+    }
+}

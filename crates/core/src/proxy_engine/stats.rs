@@ -29,4 +29,14 @@ pub struct ProxyStats {
     pub lease_deferred: AtomicU64,
     /// Replies discarded by an armed fault hook (crashed-stub model).
     pub dropped_replies: AtomicU64,
+    /// Replies settled onto response rings (all producers: worker pool,
+    /// handler flush, shed/malformed/credit paths).
+    pub replies: AtomicU64,
+    /// Batched settlement waves issued — one per `(lane, cycle)` with
+    /// pending replies.
+    pub reply_waves: AtomicU64,
+    /// Control-variable publishes (doorbell-equivalents) the reply rings
+    /// actually paid; `reply_publishes / replies` is the reply-side
+    /// doorbells-per-op figure E8 sweeps.
+    pub reply_publishes: AtomicU64,
 }

@@ -27,6 +27,7 @@ use parking_lot::Mutex;
 use solros_faults::EngineFaults;
 use solros_netdev::{ConnId, EndKind, Network, NetworkError};
 use solros_oplog::{LogConfig, LogStats, OpLog, ReplicaCursor, SyncOutcome};
+use solros_proto::codec::stamp_credit;
 use solros_proto::net_msg::{NetEvent, NetRequest, NetResponse, SockId};
 use solros_proto::rpc_error::RpcErr;
 use solros_qos::{DwrrScheduler, FlowSpec, QosClass, QosConfig, QosStats, TenantLedger};
@@ -60,8 +61,16 @@ pub struct TcpProxyStats {
     pub engine: Arc<ProxyStats>,
     /// Events pushed (machine-global).
     pub events: Arc<AtomicU64>,
+    /// Events that failed to enqueue on an event ring and were lost
+    /// (machine-global). Must stay zero; E8 trips on any drop.
+    pub event_drops: Arc<AtomicU64>,
     /// Connections accepted, indexed by global co-processor (shared).
     pub accepted: Arc<Vec<AtomicU64>>,
+    /// Small `Send`s coalesced through the staging table (per shard).
+    pub staged_sends: AtomicU64,
+    /// Coalesced backend writes issued — one per `(lane, socket)` run
+    /// per flush (per shard).
+    pub send_waves: AtomicU64,
 }
 
 impl Deref for TcpProxyStats {
@@ -108,6 +117,7 @@ pub struct TcpControl {
     log: Arc<OpLog<TcpCtrlOp>>,
     inboxes: Vec<Mutex<VecDeque<Handoff>>>,
     events: Arc<AtomicU64>,
+    event_drops: Arc<AtomicU64>,
     accepted: Arc<Vec<AtomicU64>>,
     nshards: usize,
 }
@@ -127,6 +137,7 @@ impl TcpControl {
             }),
             inboxes: (0..nshards).map(|_| Mutex::new(VecDeque::new())).collect(),
             events: Arc::new(AtomicU64::new(0)),
+            event_drops: Arc::new(AtomicU64::new(0)),
             accepted: Arc::new((0..ncoprocs).map(|_| AtomicU64::new(0)).collect()),
             nshards,
         })
@@ -188,6 +199,29 @@ struct TcpState {
     next_sock: SockId,
 }
 
+/// One staged small `Send` awaiting its run's coalesced backend write.
+struct StagedSend {
+    tag: u32,
+    credit: Option<u8>,
+    len: usize,
+}
+
+/// Contiguous small `Send`s on one `(lane, socket)`, coalesced into one
+/// backend write and one reply wave.
+struct SendRun {
+    data: Vec<u8>,
+    parts: Vec<StagedSend>,
+}
+
+/// The shard's send-coalescing table: arrival-ordered runs plus replies
+/// already settled by a cap-triggered early flush, drained at the
+/// engine's next wave flush.
+#[derive(Default)]
+struct SendStage {
+    runs: Vec<((usize, SockId), SendRun)>,
+    done: Vec<(usize, Vec<u8>)>,
+}
+
 /// One NUMA domain's TCP proxy shard.
 pub struct TcpProxy {
     network: Arc<Network>,
@@ -203,6 +237,9 @@ pub struct TcpProxy {
     /// Request/response lanes, taken by [`TcpProxy::run`].
     lanes: Vec<EngineLane>,
     state: Mutex<TcpState>,
+    /// Small-`Send` coalescing table (see [`SendStage`]). Lock order:
+    /// `send_stage` before `state`; no path takes them in reverse.
+    send_stage: Mutex<SendStage>,
     /// QoS gate over per-(co-processor, class) flows; None = FIFO.
     qos: Option<DwrrScheduler<GateJob<NetRequest>>>,
     /// Replicated per-tenant ledger the engine charges gated admissions
@@ -212,6 +249,16 @@ pub struct TcpProxy {
 
 /// Max bytes pulled from the fabric per connection per poll round.
 const RECV_CHUNK: usize = 64 * 1024;
+
+/// `Send`s at or below this size coalesce through the staging table;
+/// larger sends flush the socket's staged run and execute immediately
+/// (the Fig 1b/Fig 14 small-message regime is what coalescing targets).
+pub const STAGE_SEND_MAX: usize = 4096;
+
+/// Byte cap per staged run: once a `(lane, socket)` run accumulates this
+/// much, its backend write happens immediately rather than waiting for
+/// the cycle flush, bounding both memory and added latency.
+pub const STAGE_BYTES_CAP: usize = 64 * 1024;
 
 /// Bounded wait for a previous home shard to apply a pending unlisten
 /// before a fresh `listen` on the same port is declared AddrInUse.
@@ -261,7 +308,10 @@ impl TcpProxy {
         let stats = Arc::new(TcpProxyStats {
             engine: Arc::new(ProxyStats::default()),
             events: Arc::clone(&control.events),
+            event_drops: Arc::clone(&control.event_drops),
             accepted: Arc::clone(&control.accepted),
+            staged_sends: AtomicU64::new(0),
+            send_waves: AtomicU64::new(0),
         });
         let cursor = control.log.register();
         let mut evt_tx = Vec::new();
@@ -294,6 +344,7 @@ impl TcpProxy {
                     // without cross-shard coordination.
                     next_sock: shard as SockId + 1,
                 }),
+                send_stage: Mutex::new(SendStage::default()),
                 qos: None,
                 tenant_ledger: None,
             },
@@ -811,7 +862,75 @@ impl TcpProxy {
             .iter()
             .position(|&c| c == coproc)
             .unwrap_or(coproc.min(self.evt_tx.len().saturating_sub(1)));
-        let _ = self.evt_tx[lane].send_blocking(&ev.encode());
+        if self.evt_tx[lane].send_blocking(&ev.encode()).is_err() {
+            // The only enqueue failure left after the blocking retry is
+            // an event larger than the ring accepts; the co-processor
+            // never sees it. Count the loss instead of hiding it — E8
+            // trips on any nonzero drop count.
+            self.stats.event_drops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Executes one coalesced run's backend write and encodes its reply
+    /// wave — each part answered exactly as the unbatched `Send` arm of
+    /// [`TcpProxy::handle`] would have (the fabric accepts whole writes,
+    /// so per-part `Sent` counts are byte-identical to one-at-a-time).
+    fn run_out(&self, lane: usize, sock: SockId, run: SendRun) -> Vec<(usize, Vec<u8>)> {
+        let outcome = {
+            let mut st = self.state.lock();
+            match st.socks.get_mut(&sock) {
+                None => Err(RpcErr::NotFound),
+                Some(rec) => match rec.state {
+                    SockState::Conn { id, end } => match self.network.send(id, end, &run.data) {
+                        Ok(_) => Ok(()),
+                        Err(NetworkError::Closed) => Err(RpcErr::Reset),
+                        Err(_) => Err(RpcErr::NotConnected),
+                    },
+                    _ => Err(RpcErr::NotConnected),
+                },
+            }
+        };
+        self.stats.send_waves.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .staged_sends
+            .fetch_add(run.parts.len() as u64, Ordering::Relaxed);
+        run.parts
+            .iter()
+            .map(|p| {
+                let mut frame = match outcome {
+                    Ok(()) => NetResponse::Sent {
+                        count: p.len as u64,
+                    }
+                    .encode(p.tag),
+                    Err(err) => NetResponse::Error { err }.encode(p.tag),
+                };
+                if let Some(c) = p.credit {
+                    stamp_credit(&mut frame, c);
+                }
+                (lane, frame)
+            })
+            .collect()
+    }
+
+    /// Settles every staged run touching `sock` right now, preserving
+    /// program order ahead of an about-to-execute large send, `Close`,
+    /// or `Shutdown` on the same socket. Replies park in `done` and ride
+    /// the next wave flush.
+    fn flush_sock(&self, sock: SockId) {
+        let mut stage = self.send_stage.lock();
+        let mut extracted = Vec::new();
+        let mut i = 0;
+        while i < stage.runs.len() {
+            if stage.runs[i].0 .1 == sock {
+                extracted.push(stage.runs.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for ((lane, s), run) in extracted {
+            let replies = self.run_out(lane, s, run);
+            stage.done.extend(replies);
+        }
     }
 }
 
@@ -831,6 +950,85 @@ impl OpHandler for TcpProxy {
 
     fn exec(&self, lane: usize, tag: u32, req: NetRequest) -> Vec<u8> {
         self.handle(lane, req).encode(tag)
+    }
+
+    /// Coalesces small `Send`s: consecutive sub-[`STAGE_SEND_MAX`] sends
+    /// on one `(lane, socket)` append to a staged run that settles as
+    /// one backend write and one reply wave at the cycle flush (or
+    /// immediately at [`STAGE_BYTES_CAP`]). Large sends, `Close`, and
+    /// `Shutdown` first flush the socket's staged run — program order on
+    /// a socket is preserved — then execute normally. This proxy runs
+    /// workerless, so staging sees each lane's requests in admission
+    /// order. Barrier frames flush ahead of execution in the engine.
+    fn stage(
+        &self,
+        lane: usize,
+        tag: u32,
+        credit: Option<u8>,
+        req: NetRequest,
+    ) -> Option<NetRequest> {
+        match req {
+            NetRequest::Send { sock, data } if data.len() <= STAGE_SEND_MAX => {
+                let mut stage = self.send_stage.lock();
+                let key = (lane, sock);
+                let run = match stage.runs.iter_mut().position(|(k, _)| *k == key) {
+                    Some(i) => &mut stage.runs[i].1,
+                    None => {
+                        stage.runs.push((
+                            key,
+                            SendRun {
+                                data: Vec::new(),
+                                parts: Vec::new(),
+                            },
+                        ));
+                        &mut stage.runs.last_mut().expect("just pushed").1
+                    }
+                };
+                run.parts.push(StagedSend {
+                    tag,
+                    credit,
+                    len: data.len(),
+                });
+                run.data.extend_from_slice(&data);
+                if run.data.len() >= STAGE_BYTES_CAP {
+                    let i = stage
+                        .runs
+                        .iter()
+                        .position(|(k, _)| *k == key)
+                        .expect("run present");
+                    let (_, run) = stage.runs.remove(i);
+                    let replies = self.run_out(lane, sock, run);
+                    stage.done.extend(replies);
+                }
+                None
+            }
+            NetRequest::Send { sock, .. }
+            | NetRequest::Close { sock }
+            | NetRequest::Shutdown { sock, .. } => {
+                self.flush_sock(sock);
+                Some(req)
+            }
+            _ => Some(req),
+        }
+    }
+
+    /// Settles the staging table: cap-flushed replies first, then one
+    /// coalesced backend write + reply wave per remaining run.
+    fn flush(&self, reply: &mut dyn FnMut(usize, Vec<u8>)) {
+        let mut stage = self.send_stage.lock();
+        if stage.done.is_empty() && stage.runs.is_empty() {
+            return;
+        }
+        for (lane, frame) in stage.done.drain(..) {
+            reply(lane, frame);
+        }
+        let runs = std::mem::take(&mut stage.runs);
+        drop(stage);
+        for ((lane, sock), run) in runs {
+            for (l, f) in self.run_out(lane, sock, run) {
+                reply(l, f);
+            }
+        }
     }
 
     fn poll(&self) -> bool {

@@ -29,6 +29,7 @@ const R_OK: u8 = 120;
 const R_LEASE: u8 = 121;
 const R_ERROR: u8 = 127;
 const R_SOCKET: u8 = 140;
+const R_SENT: u8 = 145;
 const R_NOK: u8 = 150;
 const R_NERROR: u8 = 157;
 const ERR_NOT_FOUND: u32 = 1;
@@ -301,6 +302,97 @@ fn tcp_replies_match_golden_frames() {
     // Unknown socket: R_NERROR carrying the NotFound code.
     let reply = client.call(3, NetRequest::Close { sock: 9999 }.encode(3));
     assert_eq!(reply, golden(R_NERROR, 3, 0, &ERR_NOT_FOUND.to_le_bytes()));
+
+    shutdown.store(true, Ordering::Relaxed);
+    server.join().unwrap();
+}
+
+/// A coalesced reply wave is a transport optimization, not a wire
+/// change: small `Send`s that merge into one backend write and settle
+/// through one batched reply enqueue must still produce, per part, the
+/// exact bytes the unbatched path produced — `R_SENT` with the part's
+/// own tag and its own count.
+#[test]
+fn coalesced_send_wave_replies_match_golden_frames() {
+    let network = solros_netdev::Network::new();
+    let counters = Arc::new(PcieCounters::new());
+    let ch = Channel::new(Arc::clone(&counters));
+    let (evt_tx, _evt_rx) = event_ring(counters);
+    let client = RpcClient::new(ch.req_tx, ch.resp_rx);
+    let (proxy, _stats) = TcpProxy::new(
+        Arc::clone(&network),
+        vec![NetChannelHost {
+            req_rx: ch.req_rx,
+            resp_tx: ch.resp_tx,
+            evt_tx,
+        }],
+        Box::new(RoundRobin::default()),
+    );
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let sd = Arc::clone(&shutdown);
+    let server = std::thread::spawn(move || proxy.run(sd));
+
+    // An external server on the fabric; the stub connects out.
+    network.listen(6000, 16).unwrap();
+    let reply = client.call(1, NetRequest::Socket.encode(1));
+    assert_eq!(reply, golden(R_SOCKET, 1, 0, &1u64.to_le_bytes()));
+    let reply = client.call(
+        2,
+        NetRequest::Connect {
+            sock: 1,
+            addr: 9,
+            port: 6000,
+        }
+        .encode(2),
+    );
+    assert_eq!(reply, golden(R_NOK, 2, 0, &[]));
+    let (conn, _) = network.poll_accept(6000).unwrap().expect("connected");
+
+    // Pipeline a wave of small sends of distinct sizes so each golden
+    // count differs; the proxy coalesces them into one backend write and
+    // one settlement wave.
+    let sizes = [5usize, 64, 7, 256, 1];
+    let tokens: Vec<_> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let tag = 10 + i as u32;
+            client
+                .submit(
+                    tag,
+                    NetRequest::Send {
+                        sock: 1,
+                        data: vec![i as u8; n],
+                    }
+                    .encode(tag),
+                )
+                .unwrap()
+        })
+        .collect();
+    for (i, token) in tokens.into_iter().enumerate() {
+        let reply = client.wait(token);
+        assert_eq!(
+            reply,
+            golden(R_SENT, 10 + i as u32, 0, &(sizes[i] as u64).to_le_bytes()),
+            "part {i} drifted from the unbatched wire bytes"
+        );
+    }
+
+    // The fabric stream carries the concatenation in program order.
+    let total: usize = sizes.iter().sum();
+    let mut stream = Vec::new();
+    while stream.len() < total {
+        let data = network
+            .recv(conn, solros_netdev::EndKind::Server, 1 << 16)
+            .unwrap();
+        assert!(!data.is_empty(), "stream ended short");
+        stream.extend_from_slice(&data);
+    }
+    let mut want = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        want.extend(std::iter::repeat_n(i as u8, n));
+    }
+    assert_eq!(stream, want, "coalescing reordered or corrupted payload");
 
     shutdown.store(true, Ordering::Relaxed);
     server.join().unwrap();

@@ -70,6 +70,29 @@ impl NvmePerf {
         (self.doorbell_cost + self.command_time(is_read, bytes_each) + self.interrupt_cost) * n
     }
 
+    /// Control-variable publishes (doorbell-equivalents) the *reply*
+    /// path pays to settle `n` completions: one when they ride a batched
+    /// settlement wave, one each on the per-reply path. The reply-side
+    /// mirror of the submission doorbell accounting above — E8 sweeps
+    /// both directions.
+    pub fn reply_publishes(&self, n: u64, batched: bool) -> u64 {
+        if n == 0 {
+            0
+        } else if batched {
+            1
+        } else {
+            n
+        }
+    }
+
+    /// Host-side settlement cost of `n` completions: each publish paid
+    /// on the reply path carries one doorbell-equivalent store plus one
+    /// completion-notification cost (the interrupt analog the batched
+    /// wave amortizes).
+    pub fn reply_settle_time(&self, n: u64, batched: bool) -> SimTime {
+        (self.doorbell_cost + self.interrupt_cost) * self.reply_publishes(n, batched)
+    }
+
     /// Steady-state device throughput (bytes/s) with `threads` concurrent
     /// submitters of `bytes`-sized operations of `cmds_per_op` commands
     /// each using the vectored path: bounded by both the bandwidth cap and
@@ -133,6 +156,17 @@ mod tests {
     #[test]
     fn empty_batch_is_free() {
         assert_eq!(p().vectored_batch_time(true, 0, 4096), SimTime::ZERO);
+    }
+
+    #[test]
+    fn batched_reply_settlement_amortizes_publishes() {
+        let p = p();
+        assert_eq!(p.reply_publishes(32, true), 1);
+        assert_eq!(p.reply_publishes(32, false), 32);
+        assert_eq!(p.reply_publishes(0, true), 0);
+        let batched = p.reply_settle_time(32, true);
+        let per_op = p.reply_settle_time(32, false);
+        assert_eq!(per_op.as_secs_f64(), batched.as_secs_f64() * 32.0);
     }
 
     #[test]

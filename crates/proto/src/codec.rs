@@ -173,6 +173,17 @@ pub fn stamp_tenant(frame: &mut [u8], tenant: u8) {
     frame[TENANT_OFFSET] = tenant;
 }
 
+/// Best-effort tag recovery from a frame whose header bytes are present
+/// even if the rest fails validation. Malformed-frame error replies use
+/// this so they stay routable to the submitter's pending entry instead
+/// of going out with a dead tag.
+pub fn peek_tag(buf: &[u8]) -> Option<u32> {
+    if buf.len() < HEADER_LEN {
+        return None;
+    }
+    Some(u32::from_le_bytes(buf[5..9].try_into().expect("4 bytes")))
+}
+
 /// Decodes and validates a frame.
 pub fn decode_frame(buf: &[u8]) -> Result<Frame<'_>, ProtoError> {
     if buf.len() < HEADER_LEN {

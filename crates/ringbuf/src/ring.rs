@@ -280,6 +280,9 @@ impl RingBuf {
                 head_auth: sh.cons_ctrl.map(sh.producer_side),
                 ready_flags: flags,
                 corrupt_budget: AtomicU64::new(0),
+                publishes: AtomicU64::new(0),
+                wave_submits: AtomicU64::new(0),
+                wave_frames: AtomicU64::new(0),
                 combiner: Combiner::new(
                     ProdState {
                         reserve_tail: 0,
@@ -383,6 +386,29 @@ struct ProdState {
     pending: VecDeque<PendingSlot>,
 }
 
+/// One producer-side combining-queue operation. The combiner executes
+/// peer operations with its *own* closure, so every batch shape must be
+/// encoded here rather than in per-caller closures.
+enum ProdOp {
+    /// Reserve `size` bytes; `0` is a publish-only pass (from `kick`).
+    Reserve(u32),
+    /// Reserve a prefix of the listed sizes (as many as fit) in one
+    /// combiner pass.
+    ReserveBatch(Vec<u32>),
+    /// Reserve, copy, and mark ready a whole wave of frames; on a lazy
+    /// ring the wave pays a single control-variable publish at batch end.
+    SendBatch(Vec<Vec<u8>>),
+}
+
+/// Result of a [`ProdOp`].
+enum ProdRes {
+    Reserved(Result<RbBuf, RingError>),
+    Bufs(Vec<RbBuf>),
+    /// Frames accepted off the front of the wave, plus the unsent tail
+    /// (non-empty when the ring filled mid-wave).
+    Batched(usize, Vec<Vec<u8>>),
+}
+
 struct ProdInner {
     sh: Arc<Shared>,
     data: WindowHandle,
@@ -395,7 +421,15 @@ struct ProdInner {
     /// Fault injection: while nonzero, each `set_ready` decrements it and
     /// publishes a poisoned header instead of a READY one.
     corrupt_budget: AtomicU64,
-    combiner: Combiner<ProdState, u32, Result<RbBuf, RingError>>,
+    /// Authoritative-tail stores actually issued — the ring's
+    /// doorbell-equivalent count (control-variable publishes).
+    publishes: AtomicU64,
+    /// Batched waves submitted through [`Producer::send_batch`] /
+    /// [`Producer::enqueue_batch`].
+    wave_submits: AtomicU64,
+    /// Frames accepted via batched waves.
+    wave_frames: AtomicU64,
+    combiner: Combiner<ProdState, ProdOp, ProdRes>,
 }
 
 /// The sending endpoint. Clone to share among producer-side threads.
@@ -413,11 +447,96 @@ impl Producer {
         if size == 0 || size as u64 > inner.sh.max_elem {
             return Err(RingError::TooBig);
         }
-        inner.combiner.submit(
-            size as u32,
-            |st, size| inner.try_reserve(st, size),
+        match inner.combiner.submit(
+            ProdOp::Reserve(size as u32),
+            |st, op| inner.apply(st, op),
             |st| inner.publish(st),
-        )
+        ) {
+            ProdRes::Reserved(r) => r,
+            _ => unreachable!("Reserve yields Reserved"),
+        }
+    }
+
+    /// Vectored reservation: reserves as many of the listed element sizes
+    /// as currently fit, front to back, in **one** combiner pass. Returns
+    /// the reserved buffers (possibly fewer than requested — possibly
+    /// none — when the ring fills mid-wave); the caller copies payloads
+    /// and calls [`Producer::set_ready`] per buffer, then
+    /// [`Producer::kick`] once for the wave, so a lazy ring pays a single
+    /// control-variable publish for the whole wave.
+    ///
+    /// Returns [`RingError::TooBig`] (reserving nothing) if any size is
+    /// zero or exceeds [`RingBuf::max_element`].
+    pub fn enqueue_batch(&self, sizes: &[usize]) -> Result<Vec<RbBuf>, RingError> {
+        let inner = &self.inner;
+        if sizes
+            .iter()
+            .any(|&s| s == 0 || s as u64 > inner.sh.max_elem)
+        {
+            return Err(RingError::TooBig);
+        }
+        let op = ProdOp::ReserveBatch(sizes.iter().map(|&s| s as u32).collect());
+        let bufs =
+            match inner
+                .combiner
+                .submit(op, |st, op| inner.apply(st, op), |st| inner.publish(st))
+            {
+                ProdRes::Bufs(bufs) => bufs,
+                _ => unreachable!("ReserveBatch yields Bufs"),
+            };
+        inner.wave_submits.fetch_add(1, Ordering::Relaxed);
+        inner
+            .wave_frames
+            .fetch_add(bufs.len() as u64, Ordering::Relaxed);
+        Ok(bufs)
+    }
+
+    /// Vectored send: reserves, copies, and readies a whole wave of
+    /// frames in **one** combiner pass, publishing the authoritative tail
+    /// once at batch end (on a lazy ring — the eager baseline still pays
+    /// one publish per frame, which is the ablation's point). Returns the
+    /// number of frames accepted plus the unsent tail of the wave when
+    /// the ring filled partway.
+    ///
+    /// Returns [`RingError::TooBig`] (sending nothing) if any frame is
+    /// empty or exceeds [`RingBuf::max_element`].
+    pub fn send_batch(&self, frames: Vec<Vec<u8>>) -> Result<(usize, Vec<Vec<u8>>), RingError> {
+        let inner = &self.inner;
+        if frames
+            .iter()
+            .any(|f| f.is_empty() || f.len() as u64 > inner.sh.max_elem)
+        {
+            return Err(RingError::TooBig);
+        }
+        if frames.is_empty() {
+            return Ok((0, frames));
+        }
+        let (sent, rest) = match inner.combiner.submit(
+            ProdOp::SendBatch(frames),
+            |st, op| inner.apply(st, op),
+            |st| inner.publish(st),
+        ) {
+            ProdRes::Batched(sent, rest) => (sent, rest),
+            _ => unreachable!("SendBatch yields Batched"),
+        };
+        inner.wave_submits.fetch_add(1, Ordering::Relaxed);
+        inner.wave_frames.fetch_add(sent as u64, Ordering::Relaxed);
+        Ok((sent, rest))
+    }
+
+    /// As [`Producer::send_batch`], spinning until the entire wave has
+    /// been accepted (resubmitting the unsent tail after each backoff).
+    pub fn send_batch_blocking(&self, frames: Vec<Vec<u8>>) -> Result<(), RingError> {
+        let mut rest = frames;
+        let mut spins = 0u32;
+        loop {
+            let (_, unsent) = self.send_batch(rest)?;
+            if unsent.is_empty() {
+                return Ok(());
+            }
+            rest = unsent;
+            crate::locks::spin_backoff(&mut spins);
+        }
     }
 
     /// Copies `data` into the element memory (the paper's
@@ -427,34 +546,12 @@ impl Producer {
     ///
     /// Panics if `data.len()` differs from the reserved size.
     pub fn copy_to(&self, rb: &RbBuf, data: &[u8]) {
-        assert_eq!(data.len(), rb.len as usize, "copy size mismatch");
-        let off = ((rb.pos % self.inner.sh.capacity) + HDR) as usize;
-        // Word-atomic element access: the consumer's batched pull may
-        // race-read this memory, which is safe by construction.
-        let mech = mechanism(
-            self.inner.sh.copy_mode,
-            &self.inner.sh.model,
-            self.inner.data.accessor(),
-            data.len(),
-        );
-        self.inner.data.write_elem(mech, off, data);
+        self.inner.write_payload(rb, data);
     }
 
     /// Publishes the element for consumption (the paper's `rb_set_ready`).
     pub fn set_ready(&self, rb: RbBuf) {
-        let inner = &self.inner;
-        let cap = inner.sh.capacity;
-        let poisoned = inner
-            .corrupt_budget
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
-            .is_ok();
-        let state = if poisoned { ST_POISON } else { ST_READY };
-        // Make the payload visible to remote header readers.
-        let off = (rb.pos % cap) as usize;
-        inner.data.ctrl(off).store(hdr(state, rb.len));
-        // Local bookkeeping so the next combiner tenure can advance the
-        // published tail over the contiguous ready prefix.
-        inner.ready_flags[flag_index(rb.pos, cap)].store(true, Ordering::Release);
+        self.inner.mark_ready(&rb);
     }
 
     /// Arms the fault injector: the next `n` published elements carry a
@@ -482,8 +579,8 @@ impl Producer {
     pub fn kick(&self) {
         let inner = &self.inner;
         let _ = inner.combiner.submit(
-            0,
-            |st, size| inner.try_reserve(st, size),
+            ProdOp::Reserve(0),
+            |st, op| inner.apply(st, op),
             |st| inner.publish(st),
         );
     }
@@ -503,9 +600,100 @@ impl Producer {
     pub fn combiner_batches(&self) -> u64 {
         self.inner.combiner.batches()
     }
+
+    /// Largest accepted payload in bytes (see [`RingBuf::max_element`]).
+    pub fn max_element(&self) -> usize {
+        self.inner.sh.max_elem as usize
+    }
+
+    /// Authoritative-tail stores this producer has issued — the ring's
+    /// doorbell-equivalent count. One per element on the unbatched path;
+    /// one per wave on a lazy ring's batched path.
+    pub fn publishes(&self) -> u64 {
+        self.inner.publishes.load(Ordering::Relaxed)
+    }
+
+    /// `(waves submitted, frames accepted via waves)` through the batched
+    /// entry points.
+    pub fn wave_stats(&self) -> (u64, u64) {
+        (
+            self.inner.wave_submits.load(Ordering::Relaxed),
+            self.inner.wave_frames.load(Ordering::Relaxed),
+        )
+    }
 }
 
 impl ProdInner {
+    /// Executes one combining-queue operation; runs under the combiner
+    /// role, so `st` is exclusively owned for the duration.
+    fn apply(&self, st: &mut ProdState, op: ProdOp) -> ProdRes {
+        match op {
+            ProdOp::Reserve(size) => ProdRes::Reserved(self.try_reserve(st, size)),
+            ProdOp::ReserveBatch(sizes) => {
+                let mut bufs = Vec::with_capacity(sizes.len());
+                for size in sizes {
+                    match self.try_reserve(st, size) {
+                        Ok(rb) => bufs.push(rb),
+                        Err(_) => break,
+                    }
+                }
+                ProdRes::Bufs(bufs)
+            }
+            ProdOp::SendBatch(frames) => {
+                let mut iter = frames.into_iter();
+                let mut sent = 0usize;
+                let mut rest = Vec::new();
+                for frame in iter.by_ref() {
+                    match self.try_reserve(st, frame.len() as u32) {
+                        Ok(rb) => {
+                            self.write_payload(&rb, &frame);
+                            self.mark_ready(&rb);
+                            sent += 1;
+                        }
+                        Err(_) => {
+                            rest.push(frame);
+                            break;
+                        }
+                    }
+                }
+                rest.extend(iter);
+                ProdRes::Batched(sent, rest)
+            }
+        }
+    }
+
+    /// Copies `data` into the element memory (see [`Producer::copy_to`]).
+    fn write_payload(&self, rb: &RbBuf, data: &[u8]) {
+        assert_eq!(data.len(), rb.len as usize, "copy size mismatch");
+        let off = ((rb.pos % self.sh.capacity) + HDR) as usize;
+        // Word-atomic element access: the consumer's batched pull may
+        // race-read this memory, which is safe by construction.
+        let mech = mechanism(
+            self.sh.copy_mode,
+            &self.sh.model,
+            self.data.accessor(),
+            data.len(),
+        );
+        self.data.write_elem(mech, off, data);
+    }
+
+    /// Marks the element READY (see [`Producer::set_ready`]), honoring the
+    /// poison fault injector.
+    fn mark_ready(&self, rb: &RbBuf) {
+        let cap = self.sh.capacity;
+        let poisoned = self
+            .corrupt_budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok();
+        let state = if poisoned { ST_POISON } else { ST_READY };
+        // Make the payload visible to remote header readers.
+        let off = (rb.pos % cap) as usize;
+        self.data.ctrl(off).store(hdr(state, rb.len));
+        // Local bookkeeping so the next combiner tenure can advance the
+        // published tail over the contiguous ready prefix.
+        self.ready_flags[flag_index(rb.pos, cap)].store(true, Ordering::Release);
+    }
+
     fn try_reserve(&self, st: &mut ProdState, size: u32) -> Result<RbBuf, RingError> {
         if size == 0 {
             // Publish-only pass (from `kick`); never reserves space.
@@ -587,6 +775,7 @@ impl ProdInner {
         if st.published_tail != st.ready_frontier {
             st.published_tail = st.ready_frontier;
             self.tail_auth.ctrl(0).store(st.ready_frontier);
+            self.publishes.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -1209,6 +1398,119 @@ mod tests {
         for i in 0..500u32 {
             tx.send_blocking(&i.to_le_bytes()).unwrap();
             assert_eq!(rx.recv_blocking(), i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn send_batch_roundtrip_with_one_publish() {
+        let (tx, rx) = local_ring(1 << 14);
+        let wave: Vec<Vec<u8>> = (0..32u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let before = tx.publishes();
+        let (sent, rest) = tx.send_batch(wave.clone()).unwrap();
+        assert_eq!(sent, 32);
+        assert!(rest.is_empty());
+        // The whole wave rode one combiner pass and one tail store.
+        assert_eq!(tx.publishes() - before, 1, "lazy wave pays one doorbell");
+        assert_eq!(tx.wave_stats(), (1, 32));
+        for want in &wave {
+            assert_eq!(&rx.recv_blocking(), want);
+        }
+    }
+
+    #[test]
+    fn send_batch_bytes_identical_to_unbatched() {
+        // Batching is a publish optimization, not a wire change: a
+        // consumer must see byte-identical frames in the same order.
+        let (btx, brx) = local_ring(1 << 13);
+        let (utx, urx) = local_ring(1 << 13);
+        let wave: Vec<Vec<u8>> = (0..20u64)
+            .map(|i| {
+                let mut f = vec![0xc3; (i as usize % 96) + 1];
+                f[0] = i as u8;
+                f
+            })
+            .collect();
+        for f in &wave {
+            utx.send_blocking(f).unwrap();
+        }
+        btx.send_batch_blocking(wave).unwrap();
+        for _ in 0..20 {
+            assert_eq!(brx.recv_blocking(), urx.recv_blocking());
+        }
+    }
+
+    #[test]
+    fn send_batch_returns_unsent_tail_when_full() {
+        let (tx, rx) = local_ring(1024);
+        // 64-byte payloads: 1024/72 ≈ 14 fit at most; ask for 40.
+        let wave: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i; 64]).collect();
+        let (sent, rest) = tx.send_batch(wave).unwrap();
+        assert!(sent > 0 && sent < 40, "partial wave, got {sent}");
+        assert_eq!(rest.len(), 40 - sent);
+        assert_eq!(rest[0][0], sent as u8, "tail preserves order");
+        for i in 0..sent {
+            assert_eq!(rx.recv_blocking(), vec![i as u8; 64]);
+        }
+        // The remainder resubmits cleanly as the ring drains; the full
+        // tail (1872 bytes) never fits a 1024-byte ring at once, so the
+        // producer and consumer must interleave.
+        let mut rest = rest;
+        let mut got = sent;
+        while !rest.is_empty() {
+            let (_, tail) = tx.send_batch(rest).unwrap();
+            rest = tail;
+            while let Ok(frame) = rx.recv() {
+                assert_eq!(frame, vec![got as u8; 64]);
+                got += 1;
+            }
+        }
+        assert_eq!(got, 40);
+    }
+
+    #[test]
+    fn send_batch_rejects_oversize_without_sending() {
+        let (tx, rx) = local_ring(1024);
+        let wave = vec![vec![1u8; 8], vec![2u8; 4096]];
+        assert!(matches!(tx.send_batch(wave), Err(RingError::TooBig)));
+        assert!(rx.recv().is_err(), "nothing was enqueued");
+    }
+
+    #[test]
+    fn enqueue_batch_reserves_prefix_in_one_pass() {
+        let (tx, rx) = local_ring(1 << 13);
+        let bufs = tx.enqueue_batch(&[16, 16, 16, 16]).unwrap();
+        assert_eq!(bufs.len(), 4);
+        let before = tx.publishes();
+        for (i, rb) in bufs.into_iter().enumerate() {
+            tx.copy_to(&rb, &[i as u8; 16]);
+            tx.set_ready(rb);
+        }
+        tx.kick();
+        assert_eq!(tx.publishes() - before, 1);
+        for i in 0..4u8 {
+            assert_eq!(rx.recv_blocking(), [i; 16]);
+        }
+        assert!(matches!(tx.enqueue_batch(&[8, 0]), Err(RingError::TooBig)));
+    }
+
+    #[test]
+    fn eager_send_batch_publishes_per_frame() {
+        // The eager ablation has no lazy frontier: every reserve stores
+        // the authoritative tail, so a wave still pays ~one doorbell per
+        // frame. This asymmetry is E8's reply-side baseline.
+        let counters = Arc::new(PcieCounters::new());
+        let ring = RingBuf::new(RingConfig::local(1 << 14, Side::Host).eager(), counters);
+        let (tx, rx) = ring.endpoints();
+        let wave: Vec<Vec<u8>> = (0..16u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let before = tx.publishes();
+        let (sent, _) = tx.send_batch(wave.clone()).unwrap();
+        assert_eq!(sent, 16);
+        assert!(
+            tx.publishes() - before >= 16,
+            "eager mode keeps per-frame publication"
+        );
+        for want in &wave {
+            assert_eq!(&rx.recv_blocking(), want);
         }
     }
 }
