@@ -6,15 +6,19 @@
 //! `extensions e4` only the queue-depth sweep, and `extensions e5` the
 //! fault-injection recovery sweep, `extensions e6` the extent-lease
 //! data plane, and `extensions e7` the sharded control-plane scalability
-//! sweep, and `extensions e8` the symmetric reply-wave and TCP
-//! send-coalescing sweep — the cheap ones CI runs as smoke tests. The `e5` arm
+//! sweep, `extensions e8` the symmetric reply-wave and TCP
+//! send-coalescing sweep, and `extensions e9` the domain-failover fault
+//! storm — the cheap ones CI runs as smoke tests. The `e5` arm
 //! exits nonzero if any scenario leaves a hung tag, leaks a credit, or
 //! blows its recovery-latency bound; `e3-engine` exits nonzero if any
 //! shed is charged to a paced flow; `e6` exits nonzero on a stale
 //! generation read, a dirty recall ledger, or a leased hot loop that
 //! still pays per-op RPCs; `e7` exits nonzero if 8 control-plane domains
 //! deliver less than 3x the 1-domain op rate or any log replica
-//! diverges. All double as robustness gates.
+//! diverges; `e9` exits nonzero if a failover is missed, the blackout
+//! blows its bound, a reply is lost or duplicated, surviving replicas
+//! diverge, or the surviving domains' tail collapses. All double as
+//! robustness gates.
 
 fn main() {
     let only = std::env::args().nth(1);
@@ -172,10 +176,79 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("e9") => {
+            // Domain failover; exits nonzero if either injected death
+            // (crash, wedge) goes unrecovered, the fence-to-replacement
+            // blackout blows its bound, any reply is lost or duplicated,
+            // the surviving replicas end on different fingerprints, the
+            // surviving domains' tail collapses, or the lag rig fails to
+            // recover a forced replica overrun.
+            const BLACKOUT_BOUND_MS: f64 = 1_000.0;
+            let o = solros_bench::extensions::domain_failover();
+            print!(
+                "## E9 — domain failover under a fault storm\n\n{}",
+                o.report
+            );
+            let mut failed = false;
+            if o.failovers != 2 {
+                eprintln!("E9 FAIL: {} failovers completed (want 2)", o.failovers);
+                failed = true;
+            }
+            if o.blackout_ms > BLACKOUT_BOUND_MS {
+                eprintln!(
+                    "E9 FAIL: blackout {:.1} ms (bound {BLACKOUT_BOUND_MS} ms)",
+                    o.blackout_ms
+                );
+                failed = true;
+            }
+            if o.stuck > 0 || o.echo_mismatches > 0 {
+                eprintln!(
+                    "E9 FAIL: {} roundtrips stuck, {} echoes corrupted (both must be 0 \
+                     — a blackout severs, it never loses or duplicates)",
+                    o.stuck, o.echo_mismatches
+                );
+                failed = true;
+            }
+            if o.ok_before == 0 || o.ok_after == 0 {
+                eprintln!(
+                    "E9 FAIL: {} echoes before, {} after — both windows must serve",
+                    o.ok_before, o.ok_after
+                );
+                failed = true;
+            }
+            if o.p99_after_us > (8.0 * o.p99_before_us).max(2_000.0) {
+                eprintln!(
+                    "E9 FAIL: surviving-domain p99 {:.0} µs after vs {:.0} µs before",
+                    o.p99_after_us, o.p99_before_us
+                );
+                failed = true;
+            }
+            if !o.converged {
+                eprintln!("E9 FAIL: surviving control replicas diverged");
+                failed = true;
+            }
+            if !o.clean || o.event_drops > 0 {
+                eprintln!(
+                    "E9 FAIL: recovery report not clean ({} event drops)",
+                    o.event_drops
+                );
+                failed = true;
+            }
+            if o.lag_recovered == 0 || o.lag_diverged {
+                eprintln!(
+                    "E9 FAIL: lag rig recovered {} overruns (want >= 1), diverged: {}",
+                    o.lag_recovered, o.lag_diverged
+                );
+                failed = true;
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        }
         Some(other) => {
             eprintln!(
                 "unknown experiment {other:?}; expected `e3`, `e3-engine`, `e4`, `e5`, \
-                 `e6`, `e7`, `e8`, or no argument"
+                 `e6`, `e7`, `e8`, `e9`, or no argument"
             );
             std::process::exit(2);
         }

@@ -1770,6 +1770,16 @@ pub fn sweep_reply_wave(depths: &[usize], ops: usize) -> Vec<ReplyDepthPoint> {
         .collect()
 }
 
+/// Accepts the pending fabric connection on `port`, reporting which
+/// listener died instead of unwrapping blind.
+fn accept_on(network: &solros_netdev::Network, port: u16) -> (solros_netdev::ConnId, u64) {
+    match network.poll_accept(port) {
+        Ok(Some(pending)) => pending,
+        Ok(None) => panic!("accept on port {port}: connect never reached the listener"),
+        Err(e) => panic!("accept on port {port} failed: {e:?}"),
+    }
+}
+
 /// One point of E8's TCP small-send sweep (self-contained rig: real
 /// fabric, one workerless proxy shard, one RPC client with a credit
 /// window).
@@ -1868,7 +1878,7 @@ pub fn tcp_send_coalescing(depths: &[usize], ops: usize) -> TcpWaveOutcome {
         .encode(tag),
     );
     assert_eq!(reply[4], R_NOK, "connect must succeed");
-    let (conn, _peer) = network.poll_accept(PORT).unwrap().expect("connected");
+    let (conn, _peer) = accept_on(&network, PORT);
 
     let msg = vec![0x5au8; MSG];
     let mut points = Vec::new();
@@ -2062,6 +2072,475 @@ pub fn reply_wave() -> ReplyWaveOutcome {
     }
 }
 
+/// Outcome of E9: the rendered report plus the gates CI trips on.
+pub struct FailoverOutcome {
+    /// Rendered markdown report.
+    pub report: String,
+    /// NUMA domains (engine shards) the storm booted.
+    pub domains: usize,
+    /// Failovers the supervisor completed (gate: == 2, one crash + one
+    /// wedge).
+    pub failovers: u64,
+    /// Total fence-to-replacement blackout across both failovers, ms
+    /// (gate: bounded; detection adds ≤ `WEDGE_TICKS`·tick on top).
+    pub blackout_ms: f64,
+    /// Completed echoes whose payload came back altered or misrouted
+    /// (gate: 0 — a duplicated or cross-wired reply shows up here).
+    pub echo_mismatches: u64,
+    /// Roundtrips that neither completed nor observed a clean severance
+    /// within the deadline (gate: 0 — a lost reply shows up here).
+    pub stuck: u64,
+    /// Connections the blackout severed (clients saw the close and
+    /// reconnected); informational.
+    pub severed: u64,
+    /// Completed echoes before the storm.
+    pub ok_before: u64,
+    /// Completed echoes after both replacements were serving.
+    pub ok_after: u64,
+    /// p99 echo latency over the surviving domains before the storm, µs.
+    pub p99_before_us: f64,
+    /// p99 echo latency over the surviving domains after the storm, µs
+    /// (gate: bounded relative to before).
+    pub p99_after_us: f64,
+    /// Every live shard's control replica ended on one fingerprint
+    /// (gate).
+    pub converged: bool,
+    /// TCP events dropped on a full ring (gate: 0).
+    pub event_drops: u64,
+    /// `RecoveryReport::clean()` over the supervisor's tally (gate).
+    pub clean: bool,
+    /// Lag rig: replica overruns recovered by an observer-snapshot
+    /// rebuild (gate: ≥ 1).
+    pub lag_recovered: u64,
+    /// Lag rig: replicas still diverged after the rebuild (gate: false).
+    pub lag_diverged: bool,
+}
+
+/// How one client roundtrip ended.
+enum Roundtrip {
+    /// Full echo received.
+    Echo,
+    /// The connection closed under us (blackout scrub or refused
+    /// handoff).
+    Severed,
+    /// Deadline expired with a partial or absent echo — a lost reply.
+    Stuck,
+}
+
+/// Spins until `cond` or `timeout`; true when the condition was met.
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    cond()
+}
+
+/// p99 of a nanosecond sample set, in microseconds.
+fn p99_us(samples: &mut [u64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    samples[(samples.len() * 99 / 100).min(samples.len() - 1)] as f64 / 1e3
+}
+
+/// The E9 fault storm: a real 8-domain boot (one engine shard per card)
+/// under live echo traffic from external fabric clients, with one domain
+/// crashed and another wedged mid-run. Gates: both failovers complete
+/// within a bounded blackout, no reply is lost or duplicated, surviving
+/// domains keep their tail, and every surviving control replica
+/// converges to one fingerprint.
+fn failover_storm() -> FailoverOutcome {
+    use solros::control::Solros;
+    use solros_machine::MachineConfig;
+    use solros_netdev::EndKind;
+    use solros_qos::QosConfig;
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering::Relaxed};
+
+    const DOMAINS: usize = 8;
+    const PORT: u16 = 9_100;
+    const MSG: usize = 32;
+    const CLIENTS: usize = 6;
+    const CRASH_DOMAIN: usize = 2;
+    const WEDGE_DOMAIN: usize = 5;
+
+    let sys = Solros::boot_qos(
+        MachineConfig {
+            sockets: DOMAINS as u8,
+            coprocs: DOMAINS,
+            ssd_blocks: 4_096,
+            coproc_window_bytes: 4 << 20,
+            host_cache_pages: 64,
+        },
+        QosConfig::enforcing(),
+    );
+    assert_eq!(sys.tcp_domains(), DOMAINS, "one engine shard per card");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // 0 = baseline, 1 = storm in progress, 2 = replacements serving.
+    let phase = Arc::new(AtomicU8::new(0));
+    let ready = Arc::new(AtomicUsize::new(0));
+    // Re-listen epoch per domain: bumped once its shard was replaced, so
+    // the server knows its listener died with the old incarnation.
+    let relisten: Arc<Vec<AtomicU64>> = Arc::new((0..DOMAINS).map(|_| AtomicU64::new(0)).collect());
+
+    // Echo servers: every co-processor joins the shared listening socket
+    // and echoes one message per connection, stamping byte 0 with its id
+    // so clients can attribute each roundtrip to a domain.
+    let servers: Vec<_> = (0..DOMAINS)
+        .map(|i| {
+            let net = sys.data_plane(i).net().clone();
+            let stop = Arc::clone(&stop);
+            let ready = Arc::clone(&ready);
+            let relisten = Arc::clone(&relisten);
+            std::thread::spawn(move || {
+                let mut listener = net.listen(PORT, 1024).expect("listen");
+                ready.fetch_add(1, Relaxed);
+                let mut epoch = 0u64;
+                while !stop.load(Relaxed) {
+                    let e = relisten[i].load(Relaxed);
+                    if e != epoch {
+                        // Rejoin the shared port through the replacement
+                        // shard; the old listen socket is gone.
+                        epoch = e;
+                        match net.listen(PORT, 1024) {
+                            Ok(l) => listener = l,
+                            Err(_) => continue,
+                        }
+                    }
+                    let Some((stream, _)) = listener.accept_timeout(Duration::from_millis(5))
+                    else {
+                        continue;
+                    };
+                    let mut buf = [0u8; MSG];
+                    let mut have = 0;
+                    while have < MSG {
+                        match stream.recv_timeout(&mut buf[have..], Duration::from_millis(50)) {
+                            Some(0) | None => break,
+                            Some(n) => have += n,
+                        }
+                    }
+                    if have == MSG {
+                        buf[0] = i as u8;
+                        let _ = stream.send(&buf);
+                    }
+                    let _ = stream.close();
+                }
+                let _ = listener.close();
+            })
+        })
+        .collect();
+    assert!(
+        wait_until(Duration::from_secs(10), || ready.load(Relaxed) == DOMAINS),
+        "all {DOMAINS} servers must join the shared port"
+    );
+
+    // External fabric clients: connect, send, expect the echo, close.
+    // A roundtrip resolves as an echo, a clean severance, or — never —
+    // stuck past the deadline.
+    let severed = Arc::new(AtomicU64::new(0));
+    let stuck = Arc::new(AtomicU64::new(0));
+    let mismatches = Arc::new(AtomicU64::new(0));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let network = Arc::clone(sys.network());
+            let stop = Arc::clone(&stop);
+            let phase = Arc::clone(&phase);
+            let severed = Arc::clone(&severed);
+            let stuck = Arc::clone(&stuck);
+            let mismatches = Arc::clone(&mismatches);
+            std::thread::spawn(move || {
+                let mut samples: Vec<(u8, u8, u64)> = Vec::new();
+                let mut msg = [0u8; MSG];
+                let mut n = 0u64;
+                while !stop.load(Relaxed) {
+                    n += 1;
+                    for (j, b) in msg.iter_mut().enumerate() {
+                        *b = (n as usize).wrapping_add(j).wrapping_add(c) as u8;
+                    }
+                    let ph = phase.load(Relaxed);
+                    let Ok(conn) = network.client_connect(PORT, c as u64 + 1) else {
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    let t0 = Instant::now();
+                    if network.send(conn, EndKind::Client, &msg).is_err() {
+                        severed.fetch_add(1, Relaxed);
+                        let _ = network.close(conn, EndKind::Client);
+                        continue;
+                    }
+                    let deadline = t0 + Duration::from_secs(5);
+                    let mut got: Vec<u8> = Vec::with_capacity(MSG);
+                    let outcome = loop {
+                        match network.recv(conn, EndKind::Client, MSG - got.len()) {
+                            Ok(d) if d.is_empty() => {
+                                if Instant::now() >= deadline {
+                                    break Roundtrip::Stuck;
+                                }
+                                std::thread::yield_now();
+                            }
+                            Ok(d) => {
+                                got.extend(d);
+                                if got.len() >= MSG {
+                                    break Roundtrip::Echo;
+                                }
+                            }
+                            Err(_) => break Roundtrip::Severed,
+                        }
+                    };
+                    let _ = network.close(conn, EndKind::Client);
+                    match outcome {
+                        Roundtrip::Echo => {
+                            let domain = got[0];
+                            if got[1..] != msg[1..] || (domain as usize) >= DOMAINS {
+                                mismatches.fetch_add(1, Relaxed);
+                            } else {
+                                samples.push((ph, domain, t0.elapsed().as_nanos() as u64));
+                            }
+                        }
+                        Roundtrip::Severed => {
+                            severed.fetch_add(1, Relaxed);
+                        }
+                        Roundtrip::Stuck => {
+                            stuck.fetch_add(1, Relaxed);
+                        }
+                    }
+                }
+                samples
+            })
+        })
+        .collect();
+
+    // Baseline window, then the storm: crash one domain, and once its
+    // replacement is up, wedge another.
+    std::thread::sleep(Duration::from_millis(150));
+    let supervisor = Arc::clone(sys.supervisor());
+    phase.store(1, Relaxed);
+    supervisor.shard_faults(CRASH_DOMAIN).arm_domain_crashes(1);
+    let crash_ok = wait_until(Duration::from_secs(10), || supervisor.failovers() >= 1);
+    relisten[CRASH_DOMAIN].fetch_add(1, Relaxed);
+    std::thread::sleep(Duration::from_millis(50));
+    supervisor.shard_faults(WEDGE_DOMAIN).arm_domain_wedges(1);
+    let wedge_ok = wait_until(Duration::from_secs(10), || supervisor.failovers() >= 2);
+    relisten[WEDGE_DOMAIN].fetch_add(1, Relaxed);
+    std::thread::sleep(Duration::from_millis(100));
+    phase.store(2, Relaxed);
+    std::thread::sleep(Duration::from_millis(200));
+    stop.store(true, Relaxed);
+
+    let mut samples = Vec::new();
+    for c in clients {
+        samples.extend(c.join().expect("client thread"));
+    }
+    for s in servers {
+        s.join().expect("server thread");
+    }
+
+    let survives = |d: u8| d as usize != CRASH_DOMAIN && d as usize != WEDGE_DOMAIN;
+    let mut before: Vec<u64> = samples
+        .iter()
+        .filter(|(ph, d, _)| *ph == 0 && survives(*d))
+        .map(|&(_, _, ns)| ns)
+        .collect();
+    let mut after: Vec<u64> = samples
+        .iter()
+        .filter(|(ph, d, _)| *ph == 2 && survives(*d))
+        .map(|&(_, _, ns)| ns)
+        .collect();
+    let ok_before = samples.iter().filter(|(ph, _, _)| *ph == 0).count() as u64;
+    let ok_after = samples.iter().filter(|(ph, _, _)| *ph == 2).count() as u64;
+    let revived_after = samples
+        .iter()
+        .filter(|(ph, d, _)| *ph == 2 && !survives(*d))
+        .count() as u64;
+
+    let fingerprints = supervisor.replica_fingerprints();
+    let converged = fingerprints.len() == DOMAINS && fingerprints.windows(2).all(|w| w[0] == w[1]);
+    let report = sys.recovery_report();
+    let usage = sys.tenant_usage(0);
+
+    let p99_before = p99_us(&mut before);
+    let p99_after = p99_us(&mut after);
+    let failovers = report.domains_failed_over;
+    let blackout_ms = report.blackout_ns as f64 / 1e6;
+
+    let mut out = String::new();
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["domains".into(), DOMAINS.to_string()]);
+    t.row(vec![
+        "killed".into(),
+        format!("domain {CRASH_DOMAIN} (crash), domain {WEDGE_DOMAIN} (wedge)"),
+    ]);
+    t.row(vec![
+        "failovers completed".into(),
+        format!("{failovers} (crash detected: {crash_ok}, wedge detected: {wedge_ok})"),
+    ]);
+    t.row(vec![
+        "blackout total".into(),
+        format!("{blackout_ms:.2} ms"),
+    ]);
+    t.row(vec![
+        "echoes before / after".into(),
+        format!("{ok_before} / {ok_after}"),
+    ]);
+    t.row(vec![
+        "echoes served by revived domains after".into(),
+        revived_after.to_string(),
+    ]);
+    t.row(vec![
+        "surviving-domain p99 before / after".into(),
+        format!("{p99_before:.0} µs / {p99_after:.0} µs"),
+    ]);
+    t.row(vec![
+        "severed / stuck / corrupted".into(),
+        format!(
+            "{} / {} / {}",
+            severed.load(Relaxed),
+            stuck.load(Relaxed),
+            mismatches.load(Relaxed)
+        ),
+    ]);
+    t.row(vec![
+        "replica fingerprints".into(),
+        format!("{} live, converged: {converged}", fingerprints.len()),
+    ]);
+    t.row(vec![
+        "oplog overruns recovered".into(),
+        report.oplog_overruns_recovered.to_string(),
+    ]);
+    t.row(vec![
+        "reply-wave resubmits".into(),
+        report.reply_wave_resubmits.to_string(),
+    ]);
+    t.row(vec!["event drops".into(), report.event_drops.to_string()]);
+    t.row(vec![
+        "tenant 0 ledger".into(),
+        format!("{} ops, {} bytes", usage.ops, usage.bytes),
+    ]);
+    out.push_str(
+        "Fault storm on a real 8-domain boot (one engine shard per card, QoS \
+         enforcing): external clients echo through the shared listening port \
+         while one domain is crashed and another wedged mid-run.\n\n",
+    );
+    out.push_str(&t.to_markdown());
+    out.push_str(
+        "\nA dead shard is fenced, its wreck published verbatim (already-\
+         computed replies first-class, `Gone` for admitted-but-unserved \
+         tags), its connections scrubbed, its listeners re-homed through one \
+         `ShardFenced` log append, its leases force-recalled, and a \
+         replacement seeded from the observer snapshot under live traffic. \
+         Clients observe a bounded blackout as severed connections — never a \
+         lost or duplicated reply — and the revived domains serve again \
+         through their re-joined listeners.\n",
+    );
+
+    let outcome = lag_rig();
+    out.push_str(&format!(
+        "\nReplica-lag rig (2 shards, `max_lag` = 8): a stalled replica is \
+         compacted past, overruns on its next sync, and rebuilds from the \
+         observer snapshot: {} overrun(s) recovered, diverged: {}.\n",
+        outcome.0, outcome.1
+    ));
+
+    FailoverOutcome {
+        report: out,
+        domains: DOMAINS,
+        failovers,
+        blackout_ms,
+        echo_mismatches: mismatches.load(Relaxed),
+        stuck: stuck.load(Relaxed),
+        severed: severed.load(Relaxed),
+        ok_before,
+        ok_after,
+        p99_before_us: p99_before,
+        p99_after_us: p99_after,
+        converged,
+        event_drops: report.event_drops,
+        clean: report.clean(),
+        lag_recovered: outcome.0,
+        lag_diverged: outcome.1,
+    }
+}
+
+/// The E9 replica-lag rig: two shards over one control spine with a
+/// tiny lag bound. Shard 1 never polls while shard 0 churns the shared
+/// port past the compaction high-water mark, so the log is forced past
+/// shard 1's cursor ([`solros_faults::FaultKind::OplogReplicaLag`], one
+/// armed sync stall models the lag window). Its next sync overruns and
+/// rebuilds from the observer snapshot; both replicas must then agree.
+fn lag_rig() -> (u64, bool) {
+    use solros::proxy_engine::OpHandler;
+    use solros::tcp_proxy::{NetChannelHost, TcpControl, TcpProxy};
+    use solros::transport::{event_ring, Channel};
+    use solros::RoundRobin;
+    use solros_pcie::PcieCounters;
+    use solros_proto::net_msg::{NetRequest, NetResponse};
+
+    const PORT: u16 = 9_200;
+
+    let network = solros_netdev::Network::new();
+    let control = TcpControl::with_max_lag(2, 2, 8);
+    let mut shards = Vec::new();
+    for d in 0..2usize {
+        let counters = Arc::new(PcieCounters::new());
+        let ch = Channel::new(Arc::clone(&counters));
+        let (evt_tx, _evt_rx) = event_ring(counters);
+        let (proxy, _stats) = TcpProxy::shard(
+            Arc::clone(&network),
+            Arc::clone(&control),
+            d,
+            vec![d],
+            vec![NetChannelHost {
+                req_rx: ch.req_rx,
+                resp_tx: ch.resp_tx,
+                evt_tx,
+            }],
+            Box::new(RoundRobin::default()),
+        );
+        shards.push(proxy);
+    }
+    // One armed stall: shard 1's first sync attempt is the injected lag.
+    shards[1].faults().arm_sync_stalls(1);
+
+    // Listener churn on shard 0 appends two ops per cycle; past the
+    // high-water mark compaction forces the floor beyond shard 1's
+    // frozen cursor.
+    for _ in 0..3_000 {
+        let NetResponse::Socket { sock } = shards[0].handle(0, NetRequest::Socket) else {
+            panic!("socket");
+        };
+        assert!(matches!(
+            shards[0].handle(0, NetRequest::Bind { sock, port: PORT }),
+            NetResponse::Ok
+        ));
+        assert!(matches!(
+            shards[0].handle(0, NetRequest::Listen { sock, backlog: 1 }),
+            NetResponse::Ok
+        ));
+        assert!(matches!(
+            shards[0].handle(0, NetRequest::Close { sock }),
+            NetResponse::Ok
+        ));
+        shards[0].poll();
+    }
+
+    shards[1].poll(); // consumes the armed stall: the lag window
+    shards[1].poll(); // overruns and rebuilds from the observer
+    let recovered = control.overruns_recovered();
+    let diverged = shards[0].replica_fingerprint() != shards[1].replica_fingerprint();
+    (recovered, diverged)
+}
+
+/// Extension E9 — domain failover: crash-tolerant engine shards with
+/// oplog rebuild and lease reclamation, gated by the fault storm above.
+pub fn domain_failover() -> FailoverOutcome {
+    failover_storm()
+}
+
 /// Renders all extensions.
 pub fn run_all() -> String {
     let mut out = String::from("# Solros-rs — extension experiments\n");
@@ -2082,6 +2561,10 @@ pub fn run_all() -> String {
         (
             "E8 — symmetric reply wave and TCP send coalescing",
             reply_wave().report,
+        ),
+        (
+            "E9 — domain failover under a fault storm",
+            domain_failover().report,
         ),
     ] {
         out.push_str(&format!("\n## {title}\n\n"));

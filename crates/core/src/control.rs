@@ -26,6 +26,8 @@ use solros_pcie::topo::DeviceId;
 use crate::fs_api::CoprocFs;
 use crate::fs_proxy::{FsProxy, FsProxyStats};
 use crate::net_api::CoprocNet;
+use crate::proxy_engine::ShardHealth;
+use crate::supervisor::ShardSupervisor;
 use crate::tcp_proxy::{
     LoadBalancer, NetChannelHost, RoundRobin, TcpControl, TcpProxy, TcpProxyStats,
 };
@@ -62,6 +64,8 @@ pub struct Solros {
     /// Per-domain TCP QoS ledgers (empty when QoS is pass-through).
     tcp_qos_stats: Vec<Arc<QosStats>>,
     lease_mgr: Arc<LeaseManager>,
+    /// Health-checks the engine shards and fails dead ones over.
+    supervisor: Arc<ShardSupervisor>,
     /// System-wide tenant ledger log every engine shard charges into.
     tenant_ledger: Arc<TenantLedger>,
     /// The host's observer replica of the tenant ledger, registered
@@ -263,6 +267,19 @@ impl Solros {
             net_host_channels.into_iter().map(Some).collect();
         let mut tcp_stats = Vec::new();
         let mut tcp_qos_stats = Vec::new();
+        // The supervisor keeps the pieces needed to resurrect any shard:
+        // the control spine, the lease/tenant planes to reconcile, the
+        // QoS config and balancer prototype to rebuild from, and a clone
+        // of each shard's ring endpoints.
+        let supervisor = Arc::new(ShardSupervisor::new(
+            Arc::clone(&machine.network),
+            Arc::clone(&tcp_control),
+            Arc::clone(&lease_mgr),
+            Arc::clone(&tenant_ledger),
+            qos.clone(),
+            lb,
+            Arc::clone(&shutdown),
+        ));
         for (d, coprocs) in domains.into_iter().enumerate() {
             let channels: Vec<NetChannelHost> = coprocs
                 .iter()
@@ -273,20 +290,32 @@ impl Solros {
                 Arc::clone(&tcp_control),
                 d,
                 coprocs,
-                channels,
-                lb.fork(),
+                channels.clone(),
+                supervisor.fork_lb(),
             );
-            tcp_stats.push(stats);
+            tcp_stats.push(Arc::clone(&stats));
             shard.set_tenant_ledger(Arc::clone(&tenant_ledger));
             if qos.enabled {
                 tcp_qos_stats.push(shard.enable_qos(&qos));
             }
+            let health = Arc::new(ShardHealth::new());
+            shard.set_health(Arc::clone(&health));
+            let shard = Arc::new(shard);
             let sd = Arc::clone(&shutdown);
+            let runner = Arc::clone(&shard);
+            let handle = std::thread::Builder::new()
+                .name(format!("solros-tcp-proxy-{d}"))
+                .spawn(move || runner.run_shared(sd))
+                .expect("spawn tcp proxy");
+            supervisor.adopt(shard, health, handle, stats, channels);
+        }
+        {
+            let sup = Arc::clone(&supervisor);
             threads.push(
                 std::thread::Builder::new()
-                    .name(format!("solros-tcp-proxy-{d}"))
-                    .spawn(move || shard.run(sd))
-                    .expect("spawn tcp proxy"),
+                    .name("solros-shard-supervisor".into())
+                    .spawn(move || sup.watch())
+                    .expect("spawn shard supervisor"),
             );
         }
 
@@ -300,6 +329,7 @@ impl Solros {
             fs_qos_stats,
             tcp_qos_stats,
             lease_mgr,
+            supervisor,
             tenant_ledger,
             tenant_view,
             shutdown,
@@ -380,6 +410,18 @@ impl Solros {
         &self.lease_mgr
     }
 
+    /// The shard supervisor: per-domain health, failover counters, fault
+    /// arming points, and the merged [`solros_faults::RecoveryReport`].
+    pub fn supervisor(&self) -> &Arc<ShardSupervisor> {
+        &self.supervisor
+    }
+
+    /// The supervisor's merged recovery bookkeeping (failovers, blackout
+    /// time, overrun rebuilds, wave resubmits, event drops).
+    pub fn recovery_report(&self) -> solros_faults::RecoveryReport {
+        self.supervisor.report()
+    }
+
     /// The system-wide tenant ledger log (budget setting, extra
     /// replicas). Charges accrue only on QoS-gated admission paths.
     pub fn tenant_ledger(&self) -> &Arc<TenantLedger> {
@@ -409,6 +451,10 @@ impl Solros {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        // Shard threads are owned by the supervisor (it must be able to
+        // join and replace them mid-run); joined last, after its own
+        // watch thread has exited, so no failover can race the joins.
+        self.supervisor.join_all();
     }
 }
 

@@ -834,6 +834,7 @@ impl OpHandler for FsProxy {
         _lane: usize,
         tag: u32,
         credit: Option<u8>,
+        tenant: u8,
         req: FsRequest,
     ) -> Option<FsRequest> {
         if let FsRequest::Read {
@@ -843,6 +844,7 @@ impl OpHandler for FsProxy {
             buf_addr,
         } = &req
         {
+            let charged = *count;
             let mut wave = self.wave.lock();
             if let Some((count, span)) =
                 self.stage_p2p_read(*ino, *offset, *count, *buf_addr, &mut wave)
@@ -852,6 +854,8 @@ impl OpHandler for FsProxy {
                     count,
                     span,
                     credit,
+                    tenant,
+                    charged,
                 });
                 return None;
             }
@@ -888,6 +892,24 @@ impl OpHandler for FsProxy {
         }
         cmds.clear();
     }
+
+    /// Failover wreck dump: staged reads that will never be submitted
+    /// surrender their tags (settled `Gone` by the supervisor) and
+    /// their admission charges (refunded).
+    fn abort_staged(&self) -> Vec<crate::proxy_engine::StagedPart> {
+        let mut wave = self.wave.lock();
+        wave.cmds.clear();
+        wave.reads
+            .drain(..)
+            .map(|r| crate::proxy_engine::StagedPart {
+                lane: 0,
+                tag: r.tag,
+                credit: r.credit,
+                tenant: r.tenant,
+                bytes: r.charged,
+            })
+            .collect()
+    }
 }
 
 /// One read staged into a wave's combined NVMe batch.
@@ -899,6 +921,10 @@ struct StagedRead {
     span: Range<usize>,
     /// Credit byte to stamp on the reply (QoS path only).
     credit: Option<u8>,
+    /// Tenant charged at admission (refunded if the shard dies staged).
+    tenant: u8,
+    /// Bytes charged at admission (the pre-clamp request count).
+    charged: u64,
 }
 
 /// One drain cycle's worth of coalesced P2P reads.

@@ -52,6 +52,7 @@ pub mod fs_proxy;
 pub mod net_api;
 pub mod proxy_engine;
 pub mod retry;
+pub mod supervisor;
 pub mod tcp_proxy;
 pub mod transport;
 pub mod waitpolicy;
@@ -65,4 +66,5 @@ pub use retry::RetryPolicy;
 pub use solros_lease as lease;
 pub use solros_oplog::LogStats;
 pub use solros_qos::{ClassConfig, QosClass, QosConfig, QosStats};
+pub use supervisor::ShardSupervisor;
 pub use transport::{ResetReport, Token};

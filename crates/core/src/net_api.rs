@@ -26,6 +26,11 @@ struct NetInner {
     accept_q: HashMap<SockId, VecDeque<(SockId, u64)>>,
     data_q: HashMap<SockId, VecDeque<u8>>,
     closed: HashSet<SockId>,
+    /// Listeners closed by this stub. An `Accepted` event still in
+    /// flight when the close raced it must be refused (its connection
+    /// closed back), never queued — a queued orphan would hold its
+    /// fabric conn open forever and the peer would hang, not sever.
+    dead_listeners: HashSet<SockId>,
 }
 
 struct NetShared {
@@ -34,7 +39,12 @@ struct NetShared {
 }
 
 /// Runs the event dispatcher loop (§4.4.2). One thread per co-processor.
-fn dispatch_loop(evt_rx: Consumer, shared: Arc<NetShared>, shutdown: Arc<AtomicBool>) {
+fn dispatch_loop(
+    evt_rx: Consumer,
+    client: Arc<RpcClient>,
+    shared: Arc<NetShared>,
+    shutdown: Arc<AtomicBool>,
+) {
     while !shutdown.load(Ordering::Relaxed) {
         match evt_rx.recv() {
             Ok(frame) => {
@@ -48,6 +58,15 @@ fn dispatch_loop(evt_rx: Consumer, shared: Arc<NetShared>, shutdown: Arc<AtomicB
                         conn,
                         peer_addr,
                     } => {
+                        if g.dead_listeners.contains(&listen) {
+                            // The listener closed while this event was on
+                            // the ring: refuse the connection instead of
+                            // queueing an orphan no accept will reach.
+                            drop(g);
+                            let tag = client.tag();
+                            let _ = client.call(tag, NetRequest::Close { sock: conn }.encode(tag));
+                            continue;
+                        }
                         g.accept_q
                             .entry(listen)
                             .or_default()
@@ -87,9 +106,10 @@ impl CoprocNet {
             arrived: Condvar::new(),
         });
         let shared2 = Arc::clone(&shared);
+        let client2 = Arc::clone(&client);
         let handle = std::thread::Builder::new()
             .name("solros-net-dispatch".into())
-            .spawn(move || dispatch_loop(evt_rx, shared2, shutdown))
+            .spawn(move || dispatch_loop(evt_rx, client2, shared2, shutdown))
             .expect("spawn dispatcher");
         (Self { client, shared }, handle)
     }
@@ -290,7 +310,24 @@ impl TcpListener {
 
     /// Closes the listener (leaves the shared port open if other
     /// co-processors still listen).
+    ///
+    /// Connections delivered to this listener but never accepted are
+    /// refused — their sockets closed back through the proxy so the
+    /// peer observes a severance rather than a hang. The dead-listener
+    /// mark makes the dispatcher do the same for any `Accepted` event
+    /// still in flight on the ring.
     pub fn close(self) -> Result<(), RpcErr> {
+        let orphans: Vec<SockId> = {
+            let mut g = self.net.shared.inner.lock();
+            g.dead_listeners.insert(self.sock);
+            g.accept_q
+                .remove(&self.sock)
+                .map(|q| q.into_iter().map(|(conn, _)| conn).collect())
+                .unwrap_or_default()
+        };
+        for conn in orphans {
+            let _ = self.net.call(NetRequest::Close { sock: conn });
+        }
         self.net.expect_ok(NetRequest::Close { sock: self.sock })
     }
 }

@@ -27,6 +27,9 @@ pub struct GateJob<R> {
     /// Resource the request touches, noted at admission so shared
     /// accesses dispatched later can defer behind exclusive holders.
     pub touch: Option<(u64, Access)>,
+    /// Tenant charged at admission; carried so a failover wreck can
+    /// refund charges for work that will never be served.
+    pub tenant: u8,
 }
 
 /// One request cleared for execution: past the gate (or FIFO-admitted),
@@ -44,4 +47,6 @@ pub struct ReadyJob<R> {
     /// `(resource, flow)` to release when the request completes —
     /// present iff the request holds the resource exclusively.
     pub release: Option<(u64, usize)>,
+    /// Tenant charged at admission (see [`GateJob::tenant`]).
+    pub tenant: u8,
 }

@@ -15,6 +15,7 @@ use solros_qos::{Dispatch, DwrrScheduler, TenantLedger, Verdict};
 use solros_ringbuf::{Consumer, Producer};
 
 use super::admission::{Access, GateJob, ReadyJob};
+use super::health::{ShardHealth, StagedPart, Wreck};
 use super::holds::ExternalHolds;
 use super::settle::ReplySettler;
 use super::stats::ProxyStats;
@@ -70,15 +71,25 @@ pub trait OpHandler: Send + Sync {
         lane: usize,
         tag: u32,
         credit: Option<u8>,
+        tenant: u8,
         req: Self::Req,
     ) -> Option<Self::Req> {
-        let _ = (lane, tag, credit);
+        let _ = (lane, tag, credit, tenant);
         Some(req)
     }
 
     /// Flushes staged work, emitting `(lane, reply frame)` per completion.
     fn flush(&self, reply: &mut dyn FnMut(usize, Vec<u8>)) {
         let _ = reply;
+    }
+
+    /// Abandons every staged-but-unflushed wave entry, returning what
+    /// each one owed (tag, credit, tenant charge). Called only by a
+    /// dying shard's wreck dump; the staged requests will never execute,
+    /// so the supervisor settles their tags as `Gone` and refunds their
+    /// admission charges.
+    fn abort_staged(&self) -> Vec<StagedPart> {
+        Vec::new()
     }
 
     /// Handler-specific polling (NIC events, accepts). Returns true when
@@ -159,6 +170,9 @@ pub struct ProxyEngine<H: OpHandler> {
     /// Replicated tenant ledger; admitted work is charged here, batched
     /// to one log append per (tenant, admission burst).
     ledger: Option<Arc<TenantLedger>>,
+    /// Failover handshake with the domain supervisor: heartbeat per
+    /// cycle, crash/wedge fault checks, wreck dump on death.
+    health: Option<Arc<ShardHealth>>,
 }
 
 impl<H: OpHandler> ProxyEngine<H> {
@@ -189,6 +203,7 @@ impl<H: OpHandler> ProxyEngine<H> {
             ready_backlog: Vec::new(),
             releases: Arc::new(Mutex::new(Vec::new())),
             ledger: None,
+            health: None,
         }
     }
 
@@ -201,6 +216,13 @@ impl<H: OpHandler> ProxyEngine<H> {
     /// charged to the submitting frame's tenant.
     pub fn set_tenant_ledger(&mut self, ledger: Arc<TenantLedger>) {
         self.ledger = Some(ledger);
+    }
+
+    /// Attaches the supervisor's health cell. The serve loop beats it
+    /// every cycle and honours armed domain-crash/wedge faults by
+    /// dumping a [`Wreck`] and dying, instead of draining cleanly.
+    pub fn set_health(&mut self, health: Arc<ShardHealth>) {
+        self.health = Some(health);
     }
 
     /// Runs one engine cycle at `now_ns` on a virtual clock, executing
@@ -217,6 +239,9 @@ impl<H: OpHandler> ProxyEngine<H> {
         let workers = self.handler.workers();
         if workers == 0 {
             while !shutdown.load(Ordering::Relaxed) {
+                if self.check_vitals(None, &shutdown) {
+                    return; // died: wreck dumped, no shutdown drain
+                }
                 let now = self.epoch.elapsed().as_nanos() as u64;
                 if !self.cycle(None, now) {
                     std::thread::yield_now();
@@ -238,15 +263,131 @@ impl<H: OpHandler> ProxyEngine<H> {
                 let (faults, releases) = (Arc::clone(&faults), Arc::clone(&releases));
                 s.spawn(move || worker_loop(&*handler, jobs, &settler, &stats, &faults, &releases));
             }
+            let mut wrecked = false;
             while !shutdown.load(Ordering::Relaxed) {
+                if self.check_vitals(Some(&jobs), &shutdown) {
+                    wrecked = true;
+                    break;
+                }
                 let now = self.epoch.elapsed().as_nanos() as u64;
                 if !self.cycle(Some(&jobs), now) {
                     std::thread::yield_now();
                 }
             }
-            self.drain_for_shutdown(Some(&jobs));
+            if !wrecked {
+                self.drain_for_shutdown(Some(&jobs));
+            }
             jobs.close();
         });
+    }
+
+    /// Beats the health cell and honours armed domain-crash/wedge
+    /// charges. Returns true when the shard died: the wreck — every
+    /// admitted-but-unserved tag as a `Gone` reply plus the tenant
+    /// charges to refund — is parked on the health cell for the
+    /// supervisor, and the serve loop must return without draining.
+    ///
+    /// On a pooled engine the queue quiesces first (in-flight worker
+    /// replies reach the settler and join the wreck verbatim); on the
+    /// workerless engines that shard the TCP plane, a cycle boundary is
+    /// already a complete snapshot. A wedge parks the wreck too, then
+    /// freezes: the heartbeat stops, nothing is served, and the loop
+    /// spins until the supervisor notices the stall and fences it.
+    fn check_vitals(
+        &mut self,
+        pool: Option<&JobQueue<ReadyJob<H::Req>>>,
+        shutdown: &AtomicBool,
+    ) -> bool {
+        let Some(health) = self.health.clone() else {
+            return false;
+        };
+        health.beat();
+        if health.is_fenced() {
+            // Forcible fence: the supervisor declared this shard dead
+            // (e.g. a stall misjudged as a wedge). Exit at this cycle
+            // boundary with a complete wreck so failover stays
+            // exactly-once even when the suspicion was false.
+            if let Some(p) = pool {
+                p.quiesce();
+            }
+            let wreck = self.dump_wreck();
+            health.park_wreck(wreck);
+            return true;
+        }
+        if self.faults.take_domain_crash() {
+            if let Some(p) = pool {
+                p.quiesce();
+            }
+            let wreck = self.dump_wreck();
+            health.crash(wreck);
+            return true;
+        }
+        if self.faults.take_domain_wedge() {
+            if let Some(p) = pool {
+                p.quiesce();
+            }
+            let wreck = self.dump_wreck();
+            health.wedge_hold(wreck, shutdown);
+            return true;
+        }
+        false
+    }
+
+    /// Enumerates everything this engine admitted but will never serve,
+    /// at a cycle boundary where the pipeline's state is complete: gate
+    /// queues, parked waiters, the ready backlog, the handler's staged
+    /// wave, and replies already computed but not yet published.
+    fn dump_wreck(&mut self) -> Wreck {
+        // Order matters: abandon unexecuted staged runs first, then let
+        // the handler flush replies it already *executed* (e.g. a
+        // cap-flushed send whose backend write happened) into the
+        // settler, and only then drain the settler. Those executed
+        // replies must ship verbatim — settling them as `Gone` would
+        // double-answer their tags, dropping them would lose completed
+        // work.
+        let staged = self.handler.abort_staged();
+        self.flush_handler();
+        let mut replies = self.settler.drain_pending();
+        let mut refunds: HashMap<u8, (u64, u64)> = HashMap::new();
+        let mut owed: Vec<(usize, u32, Option<u8>, u8, u64)> = Vec::new();
+        if let Some(gate) = self.gate.as_mut() {
+            for (_flow, job) in gate.drain() {
+                let bytes = self.handler.classify(job.lane, &job.req).1;
+                owed.push((job.lane, job.tag, None, job.tenant, bytes));
+            }
+        }
+        for (_res, jobs) in self.waiting.drain() {
+            for job in jobs {
+                let bytes = self.handler.classify(job.lane, &job.req).1;
+                owed.push((job.lane, job.tag, job.credit, job.tenant, bytes));
+            }
+        }
+        for job in std::mem::take(&mut self.ready_backlog) {
+            let bytes = self.handler.classify(job.lane, &job.req).1;
+            owed.push((job.lane, job.tag, job.credit, job.tenant, bytes));
+        }
+        for part in staged {
+            owed.push((part.lane, part.tag, part.credit, part.tenant, part.bytes));
+        }
+        for (lane, tag, credit, tenant, bytes) in owed {
+            let mut frame = self.handler.encode_err(tag, RpcErr::Gone);
+            if let Some(c) = credit {
+                stamp_credit(&mut frame, c);
+            }
+            replies.push((lane, frame));
+            if self.ledger.is_some() {
+                let r = refunds.entry(tenant).or_insert((0, 0));
+                r.0 += 1;
+                r.1 += bytes;
+            }
+        }
+        Wreck {
+            replies,
+            refunds: refunds
+                .into_iter()
+                .map(|(t, (ops, bytes))| (t, ops, bytes))
+                .collect(),
+        }
     }
 
     /// One pipeline cycle; returns true when any work happened.
@@ -343,6 +484,7 @@ impl<H: OpHandler> ProxyEngine<H> {
                     flags: admitted.flags,
                     req: admitted.req,
                     touch,
+                    tenant,
                 };
                 match gate.submit(flow, bytes, now_ns, job) {
                     Verdict::Admitted => {
@@ -420,6 +562,7 @@ impl<H: OpHandler> ProxyEngine<H> {
                 credit: Some(credit),
                 req: job.req,
                 release,
+                tenant: job.tenant,
             };
             if job.flags & FLAG_BARRIER != 0 {
                 self.barrier(pool, ready);
@@ -454,6 +597,7 @@ impl<H: OpHandler> ProxyEngine<H> {
                             credit: None,
                             req: a.req,
                             release: None,
+                            tenant: a.tenant,
                         };
                         if a.flags & FLAG_BARRIER != 0 {
                             self.barrier(pool, job);
@@ -542,11 +686,12 @@ impl<H: OpHandler> ProxyEngine<H> {
             credit,
             req,
             release,
+            tenant,
         } = job;
         // Staged replies settle at flush time, which has no release path;
         // only lock-free requests are offered to the wave.
         let req = if release.is_none() {
-            match self.handler.stage(lane, tag, credit, req) {
+            match self.handler.stage(lane, tag, credit, tenant, req) {
                 None => {
                     self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
                     return;
@@ -562,6 +707,7 @@ impl<H: OpHandler> ProxyEngine<H> {
             credit,
             req,
             release,
+            tenant,
         };
         match pool {
             Some(p) => p.push(job),
@@ -577,6 +723,7 @@ impl<H: OpHandler> ProxyEngine<H> {
             credit,
             req,
             release,
+            ..
         } = job;
         let mut reply = exec_contained(&*self.handler, &self.faults, &self.stats, lane, tag, req);
         if let Some(c) = credit {
@@ -713,6 +860,7 @@ fn worker_loop<H: OpHandler>(
             credit,
             req,
             release,
+            ..
         } = job;
         let mut reply = exec_contained(handler, faults, stats, lane, tag, req);
         if let Some(c) = credit {

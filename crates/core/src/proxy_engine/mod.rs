@@ -34,12 +34,14 @@
 
 mod admission;
 mod engine;
+mod health;
 mod holds;
 mod settle;
 mod stats;
 
 pub use admission::{Access, GateJob, ReadyJob};
 pub use engine::{EngineLane, OpHandler, ProxyEngine, DRAIN_BURST};
+pub use health::{ShardHealth, StagedPart, Wreck};
 pub use holds::ExternalHolds;
 pub use settle::ReplySettler;
 pub use stats::ProxyStats;

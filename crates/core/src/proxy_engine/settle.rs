@@ -63,6 +63,20 @@ impl ReplySettler {
         self.pending[lane].lock().push(frame);
     }
 
+    /// Surrenders every buffered reply without publishing it — the
+    /// failover path: a dying shard's already-computed replies join its
+    /// [`super::Wreck`] and the supervisor publishes them verbatim on
+    /// the same rings, preserving exactly-once delivery.
+    pub fn drain_pending(&self) -> Vec<(usize, Vec<u8>)> {
+        let mut out = Vec::new();
+        for (lane, pending) in self.pending.iter().enumerate() {
+            for frame in std::mem::take(&mut *pending.lock()) {
+                out.push((lane, frame));
+            }
+        }
+        out
+    }
+
     /// Settles every lane's accumulated replies with one batched enqueue
     /// per lane, spinning out backpressure exactly as the per-reply
     /// `send_blocking` did. Returns true when anything was flushed.

@@ -18,7 +18,7 @@
 //! order. Connections routed to a listener owned by another shard are
 //! handed off through that shard's inbox queue.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::ops::Deref;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,14 +33,20 @@ use solros_proto::rpc_error::RpcErr;
 use solros_qos::{DwrrScheduler, FlowSpec, QosClass, QosConfig, QosStats, TenantLedger};
 use solros_ringbuf::{Consumer, Producer};
 
-use crate::proxy_engine::{EngineLane, GateJob, OpHandler, ProxyEngine, ProxyStats};
+use crate::proxy_engine::{
+    EngineLane, GateJob, OpHandler, ProxyEngine, ProxyStats, ShardHealth, StagedPart,
+};
 
 pub use crate::balancer::{AddrHash, ConnMeta, LeastLoaded, LoadBalancer, RoundRobin};
 
 /// Socket option: event-driven delivery (1 = events, 0 = RPC polling).
 pub const SOCKOPT_EVENTED: u32 = 1;
 
-/// Per-co-processor proxy-side channel endpoints.
+/// Per-co-processor proxy-side channel endpoints. Clonable so the shard
+/// supervisor can keep a set and hand fresh copies to a replacement
+/// shard serving the same co-processors (ring endpoints are shared
+/// handles over the same ring).
+#[derive(Clone)]
 pub struct NetChannelHost {
     /// Drains the co-processor's requests.
     pub req_rx: Consumer,
@@ -95,10 +101,173 @@ enum TcpCtrlOp {
     },
     /// `sock` left `port`'s shared listening socket.
     ListenerDel { port: u16, sock: SockId },
-    /// The home shard routed a connection to balancer slot `slot`.
-    ConnAssigned { slot: usize },
-    /// A connection counted against balancer slot `slot` closed.
-    ConnClosed { slot: usize },
+    /// The home shard routed a connection to balancer slot `slot`; the
+    /// connection socket lives on `shard` (the listener's owner), so a
+    /// fence of that shard can release the charge wholesale.
+    ConnAssigned { slot: usize, shard: usize },
+    /// A connection counted against balancer slot `slot` (charged to
+    /// `shard`) closed.
+    ConnClosed { slot: usize, shard: usize },
+    /// The supervisor fenced `shard`: every replica removes its
+    /// listeners, re-homes its ports to `heir`, and releases its
+    /// outstanding balancer charges — exactly once, at one log position.
+    ShardFenced { shard: usize, heir: usize },
+    /// `shard`'s replacement is live; its id leaves the fenced set.
+    ShardRejoined { shard: usize },
+}
+
+/// Applies one control operation to a replica's state. `lb` is absent on
+/// the pure observer replica; `local` carries `(this shard, fabric)` for
+/// the NIC-side effects exactly one replica performs per operation.
+fn apply_ctrl_op(
+    op: &TcpCtrlOp,
+    registry: &mut HashMap<u16, PortRec>,
+    conn_counts: &mut HashMap<(usize, usize), u64>,
+    fenced: &mut HashSet<usize>,
+    lb: Option<&dyn LoadBalancer>,
+    local: Option<(usize, &Network)>,
+) {
+    match op {
+        TcpCtrlOp::ListenerAdd { port, sock, shard } => {
+            registry
+                .entry(*port)
+                .or_insert_with(|| PortRec {
+                    listeners: Vec::new(),
+                    home: *shard,
+                })
+                .listeners
+                .push((*sock, *shard));
+        }
+        TcpCtrlOp::ListenerDel { port, sock } => {
+            if let Some(rec) = registry.get_mut(port) {
+                rec.listeners.retain(|(s, _)| s != sock);
+                if rec.listeners.is_empty() {
+                    // Exactly one shard releases the NIC listener: the
+                    // record's home (every replica removes its local
+                    // record at the same log position).
+                    if let Some((me, network)) = local {
+                        if rec.home == me {
+                            network.unlisten(*port);
+                        }
+                    }
+                    registry.remove(port);
+                }
+            }
+        }
+        TcpCtrlOp::ConnAssigned { slot, shard } => {
+            // An assignment to an already-fenced shard (a lagging home
+            // shard routed to its listeners before applying the fence)
+            // is void: the handoff will be refused at delivery, and its
+            // matching close is void by the count guard below.
+            if fenced.contains(shard) {
+                return;
+            }
+            if let Some(lb) = lb {
+                lb.conn_assigned(*slot);
+            }
+            *conn_counts.entry((*shard, *slot)).or_insert(0) += 1;
+        }
+        TcpCtrlOp::ConnClosed { slot, shard } => {
+            // Count-guarded: a close whose charge was already released
+            // wholesale by a `ShardFenced` must not release it twice.
+            match conn_counts.get_mut(&(*shard, *slot)) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    if *n == 0 {
+                        conn_counts.remove(&(*shard, *slot));
+                    }
+                    if let Some(lb) = lb {
+                        lb.conn_closed(*slot);
+                    }
+                }
+                _ => {}
+            }
+        }
+        TcpCtrlOp::ShardFenced { shard: dead, heir } => {
+            fenced.insert(*dead);
+            let mut emptied = Vec::new();
+            for (port, rec) in registry.iter_mut() {
+                rec.listeners.retain(|(_, s)| s != dead);
+                if rec.listeners.is_empty() {
+                    emptied.push(*port);
+                } else if rec.home == *dead {
+                    // Listener ownership moves: the heir polls the NIC
+                    // for this port from here on.
+                    rec.home = *heir;
+                }
+            }
+            for port in emptied {
+                let rec = registry.remove(&port).expect("emptied port present");
+                let releaser = if rec.home == *dead { *heir } else { rec.home };
+                if let Some((me, network)) = local {
+                    if releaser == me {
+                        network.unlisten(port);
+                    }
+                }
+            }
+            let dead_keys: Vec<(usize, usize)> = conn_counts
+                .keys()
+                .filter(|(s, _)| s == dead)
+                .copied()
+                .collect();
+            for key in dead_keys {
+                let n = conn_counts.remove(&key).unwrap_or(0);
+                if let Some(lb) = lb {
+                    for _ in 0..n {
+                        lb.conn_closed(key.1);
+                    }
+                }
+            }
+        }
+        TcpCtrlOp::ShardRejoined { shard } => {
+            fenced.remove(shard);
+        }
+    }
+}
+
+/// FNV-1a digest of a replica's control view, order-normalised so any
+/// two replicas holding equal state hash equal regardless of map
+/// iteration order. Balancer tie-break cursors are deliberately excluded
+/// (shard-local by design; see [`TcpProxy::rebuild_replica`]).
+fn fingerprint(
+    registry: &HashMap<u16, PortRec>,
+    conn_counts: &HashMap<(usize, usize), u64>,
+    fenced: &HashSet<usize>,
+) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
+        }
+    };
+    let mut ports: Vec<&u16> = registry.keys().collect();
+    ports.sort_unstable();
+    for port in ports {
+        let rec = &registry[port];
+        mix(*port as u64);
+        mix(rec.home as u64);
+        // Listener order is semantic (balancer slots index into it), so
+        // it is hashed as-is: an order divergence is a real divergence.
+        for &(sock, shard) in &rec.listeners {
+            mix(sock);
+            mix(shard as u64);
+        }
+    }
+    let mut counts: Vec<(&(usize, usize), &u64)> = conn_counts.iter().collect();
+    counts.sort_unstable();
+    for (&(shard, slot), &n) in counts {
+        mix(shard as u64);
+        mix(slot as u64);
+        mix(n);
+    }
+    let mut dead: Vec<&usize> = fenced.iter().collect();
+    dead.sort_unstable();
+    for shard in dead {
+        mix(*shard as u64);
+    }
+    h
 }
 
 /// A connection routed by a port's home shard to a listener owned by
@@ -111,11 +280,35 @@ struct Handoff {
     slot: usize,
 }
 
+/// Entries a control-log replica may lag before compaction advances
+/// past it. Finite since the failover PR: a replica *can* now rebuild —
+/// from the shared observer snapshot — so a stalled shard no longer
+/// holds the log hostage. Generous enough that an overrun is an
+/// injected-fault ([`solros_faults::FaultKind::OplogReplicaLag`]) path,
+/// never a steady-state event.
+pub const CTRL_MAX_LAG: u64 = 8192;
+
+/// The control plane's snapshot source: a pure replica (no balancer, no
+/// NIC side effects) of the log-driven state, synced opportunistically
+/// by every shard's poll. Replicas that overrun the log, and replacement
+/// shards born mid-stream, rebuild by cloning this state and resuming
+/// from its cursor position.
+struct CtrlObserver {
+    cursor: ReplicaCursor,
+    registry: HashMap<u16, PortRec>,
+    conn_counts: HashMap<(usize, usize), u64>,
+    fenced: HashSet<usize>,
+}
+
 /// The shared spine of the sharded TCP control plane: the operation log
 /// plus the machine-global counters and cross-shard handoff inboxes.
 pub struct TcpControl {
     log: Arc<OpLog<TcpCtrlOp>>,
     inboxes: Vec<Mutex<VecDeque<Handoff>>>,
+    observer: Mutex<CtrlObserver>,
+    /// Replica overruns recovered by an `install_snapshot` rebuild from
+    /// the observer (the OplogReplicaLag recovery path).
+    overruns_recovered: AtomicU64,
     events: Arc<AtomicU64>,
     event_drops: Arc<AtomicU64>,
     accepted: Arc<Vec<AtomicU64>>,
@@ -126,16 +319,30 @@ impl TcpControl {
     /// Creates the control spine for `nshards` proxy shards serving
     /// `ncoprocs` co-processors in total.
     pub fn new(nshards: usize, ncoprocs: usize) -> Arc<Self> {
+        Self::with_max_lag(nshards, ncoprocs, CTRL_MAX_LAG)
+    }
+
+    /// [`TcpControl::new`] with an explicit replica lag bound. A tiny
+    /// bound lets tests and the E9 lag rig force the overrun → rebuild
+    /// path with realistic traffic volumes.
+    pub fn with_max_lag(nshards: usize, ncoprocs: usize, max_lag: u64) -> Arc<Self> {
+        let log = OpLog::new(LogConfig {
+            high_water: 4096,
+            max_lag,
+        });
+        // The observer registers before any shard, so it sees every
+        // operation from sequence zero.
+        let observer = Mutex::new(CtrlObserver {
+            cursor: log.register(),
+            registry: HashMap::new(),
+            conn_counts: HashMap::new(),
+            fenced: HashSet::new(),
+        });
         Arc::new(Self {
-            // The listener registry cannot be rebuilt from a snapshot
-            // (no shard holds the full socket picture), so the log never
-            // overruns a replica: compaction only trims the applied
-            // prefix. Shards sync every engine poll, so lag stays tiny.
-            log: OpLog::new(LogConfig {
-                high_water: 4096,
-                max_lag: u64::MAX,
-            }),
+            log,
             inboxes: (0..nshards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            observer,
+            overruns_recovered: AtomicU64::new(0),
             events: Arc::new(AtomicU64::new(0)),
             event_drops: Arc::new(AtomicU64::new(0)),
             accepted: Arc::new((0..ncoprocs).map(|_| AtomicU64::new(0)).collect()),
@@ -151,6 +358,61 @@ impl TcpControl {
     /// Operation-log counters (depth, combine factor, overrun tripwire).
     pub fn log_stats(&self) -> LogStats {
         self.log.stats()
+    }
+
+    /// Events discarded because an event ring was full. Must stay zero;
+    /// E8/E9 trip on any drop.
+    pub fn event_drops(&self) -> u64 {
+        self.event_drops.load(Ordering::Relaxed)
+    }
+
+    /// Replica overruns recovered via an observer-snapshot rebuild.
+    pub fn overruns_recovered(&self) -> u64 {
+        self.overruns_recovered.load(Ordering::Relaxed)
+    }
+
+    /// Applies every outstanding operation to the observer replica.
+    /// Called opportunistically (try-lock) from each shard's poll and
+    /// authoritatively (locked) when a replica rebuilds from it.
+    fn sync_observer_locked(&self, obs: &mut CtrlObserver) {
+        let CtrlObserver {
+            cursor,
+            registry,
+            conn_counts,
+            fenced,
+        } = obs;
+        let outcome = self.log.sync(cursor, |_, op| {
+            apply_ctrl_op(op, registry, conn_counts, fenced, None, None);
+        });
+        debug_assert_ne!(
+            outcome,
+            SyncOutcome::Overrun,
+            "the observer is synced on every shard poll and must never lag past max_lag"
+        );
+    }
+
+    /// Publishes the fencing of `shard` (listener removal, port
+    /// re-homing to `heir`, wholesale balancer-charge release).
+    pub(crate) fn append_fence(&self, shard: usize, heir: usize) {
+        self.log.append(TcpCtrlOp::ShardFenced { shard, heir });
+    }
+
+    /// Publishes that `shard`'s replacement is live again.
+    pub(crate) fn append_rejoin(&self, shard: usize) {
+        self.log.append(TcpCtrlOp::ShardRejoined { shard });
+    }
+
+    /// Refuses every handoff still parked in a dead shard's inbox: the
+    /// connections close on the fabric; their balancer charges are
+    /// released wholesale by the `ShardFenced` operation. Returns how
+    /// many were refused.
+    pub(crate) fn drain_dead_inbox(&self, shard: usize, network: &Network) -> usize {
+        let mut n = 0;
+        while let Some(h) = self.inboxes[shard].lock().pop_front() {
+            let _ = network.close(h.conn, EndKind::Server);
+            n += 1;
+        }
+        n
     }
 }
 
@@ -175,6 +437,7 @@ struct SockRec {
 }
 
 /// Replicated view of one shared listening socket.
+#[derive(Clone)]
 struct PortRec {
     /// `(sock, owning shard)` in registration (log) order.
     listeners: Vec<(SockId, usize)>,
@@ -191,6 +454,12 @@ struct TcpState {
     lb: Box<dyn LoadBalancer>,
     registry: HashMap<u16, PortRec>,
     cursor: ReplicaCursor,
+    /// Outstanding connections per `(owning shard, balancer slot)`,
+    /// replicated so a `ShardFenced` can release a dead shard's charges
+    /// wholesale and count-guard its straggling closes.
+    conn_counts: HashMap<(usize, usize), u64>,
+    /// Shards fenced and not yet rejoined; their assignments are void.
+    fenced: HashSet<usize>,
     socks: HashMap<SockId, SockRec>,
     /// Live connections owned by evented sockets, polled for data.
     evented_conns: Vec<SockId>,
@@ -203,6 +472,9 @@ struct TcpState {
 struct StagedSend {
     tag: u32,
     credit: Option<u8>,
+    /// Tenant charged at admission; refunded if the shard dies with the
+    /// run un-flushed.
+    tenant: u8,
     len: usize,
 }
 
@@ -241,10 +513,14 @@ pub struct TcpProxy {
     /// `send_stage` before `state`; no path takes them in reverse.
     send_stage: Mutex<SendStage>,
     /// QoS gate over per-(co-processor, class) flows; None = FIFO.
-    qos: Option<DwrrScheduler<GateJob<NetRequest>>>,
+    /// Behind a lock only so the engine can take it through the shared
+    /// handle at [`TcpProxy::run_shared`] time.
+    qos: Mutex<Option<DwrrScheduler<GateJob<NetRequest>>>>,
     /// Replicated per-tenant ledger the engine charges gated admissions
     /// to (shared log, domain-local replicas).
     tenant_ledger: Option<Arc<TenantLedger>>,
+    /// Failover handshake cell installed by the shard supervisor.
+    health: Option<Arc<ShardHealth>>,
 }
 
 /// Max bytes pulled from the fabric per connection per poll round.
@@ -337,6 +613,8 @@ impl TcpProxy {
                     lb,
                     registry: HashMap::new(),
                     cursor,
+                    conn_counts: HashMap::new(),
+                    fenced: HashSet::new(),
                     socks: HashMap::new(),
                     evented_conns: Vec::new(),
                     pending_accepts: HashMap::new(),
@@ -345,8 +623,9 @@ impl TcpProxy {
                     next_sock: shard as SockId + 1,
                 }),
                 send_stage: Mutex::new(SendStage::default()),
-                qos: None,
+                qos: Mutex::new(None),
                 tenant_ledger: None,
+                health: None,
             },
             stats,
         )
@@ -375,13 +654,35 @@ impl TcpProxy {
         }
         let gate = DwrrScheduler::new(specs, cfg.quantum_bytes, cfg.overload_threshold);
         let stats = gate.stats();
-        self.qos = Some(gate);
+        *self.qos.get_mut() = Some(gate);
         stats
+    }
+
+    /// Installs the supervisor's health cell: the engine beats it every
+    /// cycle and dumps a wreck into it on an armed domain fault. Must be
+    /// called before [`TcpProxy::run`].
+    pub fn set_health(&mut self, health: Arc<ShardHealth>) {
+        self.health = Some(health);
     }
 
     /// The engine-level fault hooks this proxy serves with.
     pub fn faults(&self) -> Arc<EngineFaults> {
         Arc::clone(&self.faults)
+    }
+
+    /// Global co-processor ids served by this shard, in lane order.
+    pub fn served_coprocs(&self) -> &[usize] {
+        &self.coprocs
+    }
+
+    /// Cloned per-lane ring endpoints `(request consumer, response
+    /// producer)`, used by the supervisor to publish a dead shard's
+    /// wreck on the same rings the shard served.
+    pub(crate) fn lane_endpoints(&self) -> Vec<(Consumer, Producer)> {
+        self.lanes
+            .iter()
+            .map(|l| (l.req_rx.clone(), l.resp_tx.clone()))
+            .collect()
     }
 
     /// Fault injection: makes the next `n` handled requests panic inside
@@ -395,61 +696,173 @@ impl TcpProxy {
     /// [`TcpProxy::enable_qos`] was called. Each admitted frame is
     /// decoded exactly once; the scheduler item carries the parsed
     /// request through to execution.
-    pub fn run(mut self, shutdown: Arc<AtomicBool>) {
-        let lanes = std::mem::take(&mut self.lanes);
-        let gate = self.qos.take();
+    pub fn run(self, shutdown: Arc<AtomicBool>) {
+        Arc::new(self).run_shared(shutdown)
+    }
+
+    /// Like [`TcpProxy::run`], but through a shared handle: the caller
+    /// (the shard supervisor) keeps a clone of the `Arc`, so when an
+    /// armed domain fault kills the serve loop it can still perform the
+    /// post-mortem — take the wreck, scrub the socket table, retire the
+    /// log cursor. Lane endpoints are cloned, not consumed, so the
+    /// supervisor can publish the wreck on the very rings the shard
+    /// served, and a replacement can serve the same rings afterwards.
+    pub fn run_shared(self: Arc<Self>, shutdown: Arc<AtomicBool>) {
+        let lanes: Vec<EngineLane> = self
+            .lanes
+            .iter()
+            .map(|l| EngineLane {
+                req_rx: l.req_rx.clone(),
+                resp_tx: l.resp_tx.clone(),
+            })
+            .collect();
+        let gate = self.qos.lock().take();
         let stats = Arc::clone(&self.stats.engine);
         let faults = Arc::clone(&self.faults);
         let ledger = self.tenant_ledger.clone();
-        let mut eng = ProxyEngine::new(Arc::new(self), lanes, stats, faults, gate);
+        let health = self.health.clone();
+        let mut eng = ProxyEngine::new(self, lanes, stats, faults, gate);
         if let Some(l) = ledger {
             eng.set_tenant_ledger(l);
+        }
+        if let Some(h) = health {
+            eng.set_health(h);
         }
         eng.serve(shutdown)
     }
 
     /// Applies every outstanding log operation to this shard's replica
-    /// (registry + balancer). Cheap when already at the tail.
+    /// (registry + balancer + charge counts). Cheap when already at the
+    /// tail. An overrun (possible since `max_lag` went finite) rebuilds
+    /// the replica from the observer snapshot, under live traffic.
     fn apply_log(&self, st: &mut TcpState) {
+        if self.faults.take_sync_stall() {
+            // Injected replica lag (OplogReplicaLag): skip this sync
+            // pass. Enough consecutive skips and the lag-bounded
+            // compactor advances past this cursor, forcing the snapshot
+            // rebuild below on the next real sync.
+            return;
+        }
         let TcpState {
             lb,
             registry,
             cursor,
+            conn_counts,
+            fenced,
             ..
         } = st;
-        let outcome = self.control.log.sync(cursor, |_, op| match op {
-            TcpCtrlOp::ListenerAdd { port, sock, shard } => {
-                registry
-                    .entry(*port)
-                    .or_insert_with(|| PortRec {
-                        listeners: Vec::new(),
-                        home: *shard,
-                    })
-                    .listeners
-                    .push((*sock, *shard));
+        let outcome = self.control.log.sync(cursor, |_, op| {
+            apply_ctrl_op(
+                op,
+                registry,
+                conn_counts,
+                fenced,
+                Some(&**lb),
+                Some((self.shard, &self.network)),
+            );
+        });
+        if outcome == SyncOutcome::Overrun {
+            self.rebuild_replica(st);
+            self.control
+                .overruns_recovered
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Rebuilds this shard's replica (registry, charge counts, fenced
+    /// set, balancer load view) from the shared observer snapshot, then
+    /// points the cursor at the snapshot position so syncs resume
+    /// in-order from there — the ScaleFS/Corfu checkpoint move.
+    fn rebuild_replica(&self, st: &mut TcpState) {
+        let (registry, conn_counts, fenced, at) = {
+            let mut obs = self.control.observer.lock();
+            self.control.sync_observer_locked(&mut obs);
+            (
+                obs.registry.clone(),
+                obs.conn_counts.clone(),
+                obs.fenced.clone(),
+                obs.cursor.position(),
+            )
+        };
+        // NIC-side releases this shard owed during the missed window
+        // (best effort): any port it was home to that no longer exists
+        // in the authoritative view is unlistened now.
+        for (port, rec) in &st.registry {
+            if rec.home == self.shard && !registry.contains_key(port) {
+                self.network.unlisten(*port);
             }
-            TcpCtrlOp::ListenerDel { port, sock } => {
-                if let Some(rec) = registry.get_mut(port) {
-                    rec.listeners.retain(|(s, _)| s != sock);
-                    if rec.listeners.is_empty() {
-                        // Exactly one shard releases the NIC listener:
-                        // the record's home (every replica removes its
-                        // local record at the same log position).
-                        if rec.home == self.shard {
-                            self.network.unlisten(*port);
-                        }
-                        registry.remove(port);
-                    }
+        }
+        st.registry = registry;
+        st.conn_counts = conn_counts;
+        st.fenced = fenced;
+        // The balancer replica restarts zeroed; replaying the surviving
+        // charge counts converges its load view (tie-break cursors are
+        // shard-local by design and may reset).
+        let lb = st.lb.fork();
+        for (&(_, slot), &n) in &st.conn_counts {
+            for _ in 0..n {
+                lb.conn_assigned(slot);
+            }
+        }
+        st.lb = lb;
+        self.control.log.install_snapshot(&mut st.cursor, at);
+    }
+
+    /// Seeds a replacement shard's replica from the observer snapshot.
+    /// Runs under live traffic: the log keeps appending while the clone
+    /// is taken, and syncs resume from the snapshot position.
+    pub fn rebuild_from_observer(&self) {
+        let mut st = self.state.lock();
+        self.rebuild_replica(&mut st);
+    }
+
+    /// Deterministic digest of this shard's replicated control view
+    /// (registry, charge counts, fenced set), synced to the log tail
+    /// first. Replicas that applied the same log prefix produce the same
+    /// digest; the failover property test gates on survivors converging
+    /// to one value.
+    pub fn replica_fingerprint(&self) -> u64 {
+        let mut st = self.state.lock();
+        let st = &mut *st;
+        self.apply_log(st);
+        fingerprint(&st.registry, &st.conn_counts, &st.fenced)
+    }
+
+    /// Supervisor-side post-mortem of a fenced shard: closes every
+    /// connection it owned (peers observe the close on the fabric),
+    /// clears its event/accept queues, retires its log cursor so the
+    /// dead replica neither pins compaction nor counts as lag, and —
+    /// when no heir exists — releases its NIC listeners directly.
+    /// Returns the shard's sock-id allocation point; the replacement
+    /// must resume the stride from there so ids are never reused.
+    pub fn scrub_after_fence(&self) -> SockId {
+        let mut st = self.state.lock();
+        let socks: Vec<SockId> = st.socks.keys().copied().collect();
+        for sock in socks {
+            if let Some(rec) = st.socks.get_mut(&sock) {
+                if let SockState::Conn { id, end } = rec.state {
+                    let _ = self.network.close(id, end);
+                    rec.state = SockState::Closed;
                 }
             }
-            TcpCtrlOp::ConnAssigned { slot } => lb.conn_assigned(*slot),
-            TcpCtrlOp::ConnClosed { slot } => lb.conn_closed(*slot),
-        });
-        debug_assert_ne!(
-            outcome,
-            SyncOutcome::Overrun,
-            "tcp control log must never overrun (max_lag is unbounded)"
-        );
+        }
+        st.evented_conns.clear();
+        st.pending_accepts.clear();
+        if self.control.nshards == 1 {
+            // Solo-shard machine: `ShardFenced` has no live replica to
+            // perform the emptied-port unlisten side effect.
+            for port in st.registry.keys() {
+                self.network.unlisten(*port);
+            }
+        }
+        self.control.log.retire(&st.cursor);
+        st.next_sock
+    }
+
+    /// Seeds the sock-id allocator (replacements resume the fenced
+    /// incarnation's stride; see [`TcpProxy::scrub_after_fence`]).
+    pub fn set_next_sock(&self, next: SockId) {
+        self.state.lock().next_sock = next;
     }
 
     /// Executes one RPC from lane `lane`.
@@ -686,7 +1099,10 @@ impl TcpProxy {
                 let _ = self.network.close(id, end);
                 rec.state = SockState::Closed;
                 if let Some(slot) = rec.lb_slot.take() {
-                    self.control.log.append(TcpCtrlOp::ConnClosed { slot });
+                    self.control.log.append(TcpCtrlOp::ConnClosed {
+                        slot,
+                        shard: self.shard,
+                    });
                     self.apply_log(st);
                 }
                 st.evented_conns.retain(|s| *s != sock);
@@ -697,7 +1113,27 @@ impl TcpProxy {
                     .log
                     .append(TcpCtrlOp::ListenerDel { port, sock });
                 self.apply_log(st);
-                st.pending_accepts.remove(&sock);
+                // Refuse the un-accepted backlog: each queued connection
+                // already holds an open fabric conn and a balancer slot,
+                // and no accept will ever reach it through the closed
+                // listener. Close the fabric side (the peer observes a
+                // severance, never a hang) and release the slot.
+                for (conn_sock, _) in st.pending_accepts.remove(&sock).unwrap_or_default() {
+                    let Some(crec) = st.socks.get_mut(&conn_sock) else {
+                        continue;
+                    };
+                    if let SockState::Conn { id, end } = crec.state {
+                        let _ = self.network.close(id, end);
+                        crec.state = SockState::Closed;
+                    }
+                    if let Some(slot) = crec.lb_slot.take() {
+                        self.control.log.append(TcpCtrlOp::ConnClosed {
+                            slot,
+                            shard: self.shard,
+                        });
+                        self.apply_log(st);
+                    }
+                }
             }
             _ => rec.state = SockState::Closed,
         }
@@ -734,7 +1170,9 @@ impl TcpProxy {
                     let (sock, owner) = listeners[idx];
                     (sock, owner, idx)
                 };
-                self.control.log.append(TcpCtrlOp::ConnAssigned { slot });
+                self.control
+                    .log
+                    .append(TcpCtrlOp::ConnAssigned { slot, shard: owner });
                 self.apply_log(st);
                 let h = Handoff {
                     conn,
@@ -756,15 +1194,22 @@ impl TcpProxy {
     /// delivery half of an accept: inline when this shard is both home
     /// and owner, via the inbox otherwise).
     fn deliver(&self, st: &mut TcpState, h: Handoff) {
-        let Some(lrec) = st.socks.get(&h.listener) else {
-            // The listener closed while the handoff was in flight:
-            // refuse the connection and release its balancer slot.
-            let _ = self.network.close(h.conn, EndKind::Server);
-            self.control
-                .log
-                .append(TcpCtrlOp::ConnClosed { slot: h.slot });
-            self.apply_log(st);
-            return;
+        // The listener may have closed while the handoff was in flight —
+        // either its record is gone entirely (a replaced shard's fresh
+        // state) or it lingers in `Closed` state (a normal close; the
+        // stub still holds the handle). Both ways no accept can ever
+        // reach the connection: refuse it and release its balancer slot.
+        let lrec = match st.socks.get(&h.listener) {
+            Some(rec) if matches!(rec.state, SockState::Listening(_)) => rec,
+            _ => {
+                let _ = self.network.close(h.conn, EndKind::Server);
+                self.control.log.append(TcpCtrlOp::ConnClosed {
+                    slot: h.slot,
+                    shard: self.shard,
+                });
+                self.apply_log(st);
+                return;
+            }
         };
         let coproc = lrec.coproc;
         let evented = lrec.evented;
@@ -842,7 +1287,10 @@ impl TcpProxy {
                         }
                     }
                     if let Some(slot) = closed_slot {
-                        self.control.log.append(TcpCtrlOp::ConnClosed { slot });
+                        self.control.log.append(TcpCtrlOp::ConnClosed {
+                            slot,
+                            shard: self.shard,
+                        });
                         self.apply_log(st);
                     }
                     st.evented_conns.retain(|s| *s != sock);
@@ -965,6 +1413,7 @@ impl OpHandler for TcpProxy {
         lane: usize,
         tag: u32,
         credit: Option<u8>,
+        tenant: u8,
         req: NetRequest,
     ) -> Option<NetRequest> {
         match req {
@@ -987,6 +1436,7 @@ impl OpHandler for TcpProxy {
                 run.parts.push(StagedSend {
                     tag,
                     credit,
+                    tenant,
                     len: data.len(),
                 });
                 run.data.extend_from_slice(&data);
@@ -1031,13 +1481,43 @@ impl OpHandler for TcpProxy {
         }
     }
 
+    /// Abandons staged-but-unexecuted send runs for the failover wreck:
+    /// their parts become [`StagedPart`]s the supervisor answers as
+    /// `Gone` and refunds. Already-executed cap-flush replies in
+    /// `stage.done` are left in place — the engine's wreck dump flushes
+    /// them into the settler so they ship verbatim (the sends happened).
+    fn abort_staged(&self) -> Vec<StagedPart> {
+        let mut stage = self.send_stage.lock();
+        let runs = std::mem::take(&mut stage.runs);
+        runs.into_iter()
+            .flat_map(|((lane, _), run)| {
+                run.parts.into_iter().map(move |p| StagedPart {
+                    lane,
+                    tag: p.tag,
+                    credit: p.credit,
+                    tenant: p.tenant,
+                    bytes: p.len as u64,
+                })
+            })
+            .collect()
+    }
+
     fn poll(&self) -> bool {
-        let mut st = self.state.lock();
-        let st = &mut *st;
-        self.apply_log(st);
-        let drained = self.drain_inbox(st);
-        let accepted = self.poll_accepts(st);
-        let data = self.poll_data(st);
-        drained || accepted || data
+        let worked = {
+            let mut st = self.state.lock();
+            let st = &mut *st;
+            self.apply_log(st);
+            let drained = self.drain_inbox(st);
+            let accepted = self.poll_accepts(st);
+            let data = self.poll_data(st);
+            drained || accepted || data
+        };
+        // Keep the shared observer fresh so an overrun rebuild (or a
+        // replacement shard seeding itself) snapshots near the tail.
+        // try_lock: never stall the data path on a contended observer.
+        if let Some(mut obs) = self.control.observer.try_lock() {
+            self.control.sync_observer_locked(&mut obs);
+        }
+        worked
     }
 }

@@ -21,6 +21,16 @@ use solros_proto::fs_msg::FsRequest;
 use solros_proto::net_msg::NetRequest;
 use solros_qos::{CreditPool, DwrrScheduler, FlowSpec, QosClass};
 
+/// Accepts the pending fabric connection on `port`, reporting which
+/// listener died instead of unwrapping blind.
+fn accept_on(network: &solros_netdev::Network, port: u16) -> (solros_netdev::ConnId, u64) {
+    match network.poll_accept(port) {
+        Ok(Some(pending)) => pending,
+        Ok(None) => panic!("accept on port {port}: connect never reached the listener"),
+        Err(e) => panic!("accept on port {port} failed: {e:?}"),
+    }
+}
+
 /// Reply tag from the wire layout `[u32 len][u8 type][u32 tag]...`.
 fn tag_of(frame: &[u8]) -> u32 {
     u32::from_le_bytes(frame[5..9].try_into().unwrap())
@@ -239,7 +249,7 @@ fn run_tcp_case(lanes: Vec<Vec<Vec<NetOp>>>) {
             .encode(2),
         );
         assert_eq!(reply[4], 150, "connect failed");
-        let (conn, peer) = network.poll_accept(PORT).unwrap().expect("connected");
+        let (conn, peer) = accept_on(&network, PORT);
         assert_eq!(peer, lane as u64);
         socks.push(sock);
         conns.push(conn);

@@ -5,12 +5,23 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use solros::tcp_proxy::{NetChannelHost, TcpProxy, TcpProxyStats};
+use solros::proxy_engine::OpHandler;
+use solros::tcp_proxy::{NetChannelHost, TcpProxy, TcpProxyStats, SOCKOPT_EVENTED};
 use solros::transport::{event_ring, Channel, RpcClient};
 use solros::RoundRobin;
 use solros_pcie::PcieCounters;
 use solros_proto::net_msg::{NetRequest, NetResponse, SockId};
 use solros_proto::rpc_error::RpcErr;
+
+/// Accepts the pending fabric connection on `port`, reporting which
+/// listener died instead of unwrapping blind.
+fn accept_on(network: &solros_netdev::Network, port: u16) -> (solros_netdev::ConnId, u64) {
+    match network.poll_accept(port) {
+        Ok(Some(pending)) => pending,
+        Ok(None) => panic!("accept on port {port}: connect never reached the listener"),
+        Err(e) => panic!("accept on port {port} failed: {e:?}"),
+    }
+}
 
 struct Rig {
     proxy: TcpProxy,
@@ -210,6 +221,63 @@ fn shared_port_closes_cleanly() {
 }
 
 #[test]
+fn closing_a_listener_refuses_its_unaccepted_backlog() {
+    // A connection delivered to a listener but never accepted must be
+    // refused when the listener closes — the peer observes a severance,
+    // never a hang, and the fabric conn is reaped once the peer closes
+    // its own end.
+    let rig = proxy_with(1);
+    let p = &rig.proxy;
+    let net = &rig.network;
+    let s = new_sock(p);
+    assert!(matches!(
+        p.handle(0, NetRequest::Bind { sock: s, port: 95 }),
+        NetResponse::Ok
+    ));
+    assert!(matches!(
+        p.handle(
+            0,
+            NetRequest::Listen {
+                sock: s,
+                backlog: 4
+            }
+        ),
+        NetResponse::Ok
+    ));
+    // Polling delivery: the accepted conn queues engine-side until the
+    // co-processor claims it with an Accept RPC (which never comes).
+    assert!(matches!(
+        p.handle(
+            0,
+            NetRequest::Setsockopt {
+                sock: s,
+                opt: SOCKOPT_EVENTED,
+                val: 0
+            }
+        ),
+        NetResponse::Ok
+    ));
+    let conn = net.client_connect(95, 7).expect("port listening");
+    p.poll();
+    assert!(matches!(
+        p.handle(0, NetRequest::Close { sock: s }),
+        NetResponse::Ok
+    ));
+    assert!(matches!(
+        net.recv(conn, solros_netdev::EndKind::Client, 16),
+        Err(solros_netdev::NetworkError::Closed)
+    ));
+    // The peer closes its own end and observes the severance once more;
+    // the fabric reaps the fully-closed, drained connection.
+    net.close(conn, solros_netdev::EndKind::Client).unwrap();
+    assert!(matches!(
+        net.recv(conn, solros_netdev::EndKind::Client, 16),
+        Err(solros_netdev::NetworkError::Closed)
+    ));
+    assert_eq!(net.live_connections(), 0, "refused conn fully reaped");
+}
+
+#[test]
 fn connect_send_recv_shutdown_via_rpc() {
     let rig = proxy_with(1);
     let p = &rig.proxy;
@@ -228,7 +296,7 @@ fn connect_send_recv_shutdown_via_rpc() {
         ),
         NetResponse::Ok
     ));
-    let (conn, addr) = net.poll_accept(7000).unwrap().expect("pending");
+    let (conn, addr) = accept_on(net, 7000);
     assert_eq!(addr, 55);
     // Outbound data flows from the machine's Client end.
     assert!(matches!(

@@ -35,6 +35,16 @@ const R_NERROR: u8 = 157;
 const ERR_NOT_FOUND: u32 = 1;
 const ERR_INVALID: u32 = 8;
 
+/// Accepts the pending fabric connection on `port`, reporting which
+/// listener died instead of unwrapping blind.
+fn accept_on(network: &solros_netdev::Network, port: u16) -> (solros_netdev::ConnId, u64) {
+    match network.poll_accept(port) {
+        Ok(Some(pending)) => pending,
+        Ok(None) => panic!("accept on port {port}: connect never reached the listener"),
+        Err(e) => panic!("accept on port {port} failed: {e:?}"),
+    }
+}
+
 /// Hand-builds one reply frame from the wire layout.
 fn golden(msg_type: u8, tag: u32, credit: u8, body: &[u8]) -> Vec<u8> {
     let mut f = Vec::with_capacity(12 + body.len());
@@ -346,7 +356,7 @@ fn coalesced_send_wave_replies_match_golden_frames() {
         .encode(2),
     );
     assert_eq!(reply, golden(R_NOK, 2, 0, &[]));
-    let (conn, _) = network.poll_accept(6000).unwrap().expect("connected");
+    let (conn, _) = accept_on(&network, 6000);
 
     // Pipeline a wave of small sends of distinct sizes so each golden
     // count differs; the proxy coalesces them into one backend write and

@@ -15,6 +15,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct EngineFaults {
     worker_panics: AtomicU64,
     dropped_replies: AtomicU64,
+    domain_crashes: AtomicU64,
+    domain_wedges: AtomicU64,
+    sync_stalls: AtomicU64,
 }
 
 impl EngineFaults {
@@ -48,6 +51,47 @@ impl EngineFaults {
         take_one(&self.dropped_replies)
     }
 
+    /// Arms the next `n` engine cycles (on whichever shard consumes the
+    /// charge) to die abruptly — the serve loop exits without draining,
+    /// modeling a crashed domain ([`crate::FaultKind::DomainCrash`]). The
+    /// shard supervisor must fence and fail the shard over.
+    pub fn arm_domain_crashes(&self, n: u64) {
+        self.domain_crashes.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Consumes one armed domain crash; true when this engine cycle
+    /// should die.
+    pub fn take_domain_crash(&self) -> bool {
+        take_one(&self.domain_crashes)
+    }
+
+    /// Arms the next `n` engine cycles to wedge: the loop spins forever
+    /// without advancing its heartbeat or serving requests
+    /// ([`crate::FaultKind::DomainWedge`]); the supervisor must detect
+    /// the heartbeat stall and fence the shard.
+    pub fn arm_domain_wedges(&self, n: u64) {
+        self.domain_wedges.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Consumes one armed domain wedge.
+    pub fn take_domain_wedge(&self) -> bool {
+        take_one(&self.domain_wedges)
+    }
+
+    /// Arms the next `n` control-log sync opportunities to stall — the
+    /// shard skips advancing its replica cursor, eventually forcing a
+    /// compaction overrun ([`crate::FaultKind::OplogReplicaLag`]) that
+    /// the shard must recover from via a snapshot rebuild.
+    pub fn arm_sync_stalls(&self, n: u64) {
+        self.sync_stalls.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Consumes one armed sync stall; true when this sync should be
+    /// skipped.
+    pub fn take_sync_stall(&self) -> bool {
+        take_one(&self.sync_stalls)
+    }
+
     /// Remaining armed worker panics (visible for test assertions).
     pub fn armed_worker_panics(&self) -> u64 {
         self.worker_panics.load(Ordering::SeqCst)
@@ -56,6 +100,21 @@ impl EngineFaults {
     /// Remaining armed reply drops.
     pub fn armed_dropped_replies(&self) -> u64 {
         self.dropped_replies.load(Ordering::SeqCst)
+    }
+
+    /// Remaining armed domain crashes.
+    pub fn armed_domain_crashes(&self) -> u64 {
+        self.domain_crashes.load(Ordering::SeqCst)
+    }
+
+    /// Remaining armed domain wedges.
+    pub fn armed_domain_wedges(&self) -> u64 {
+        self.domain_wedges.load(Ordering::SeqCst)
+    }
+
+    /// Remaining armed sync stalls.
+    pub fn armed_sync_stalls(&self) -> u64 {
+        self.sync_stalls.load(Ordering::SeqCst)
     }
 }
 
@@ -137,6 +196,25 @@ mod tests {
         assert!(f.take_dropped_reply());
         assert!(!f.take_dropped_reply());
         assert_eq!(f.armed_dropped_replies(), 0);
+    }
+
+    #[test]
+    fn domain_hooks_charge_and_drain() {
+        let f = EngineFaults::new();
+        assert!(!f.take_domain_crash(), "disarmed");
+        assert!(!f.take_domain_wedge(), "disarmed");
+        assert!(!f.take_sync_stall(), "disarmed");
+        f.arm_domain_crashes(1);
+        f.arm_domain_wedges(2);
+        f.arm_sync_stalls(3);
+        assert!(f.take_domain_crash());
+        assert!(!f.take_domain_crash(), "charge spent");
+        assert!(f.take_domain_wedge());
+        assert_eq!(f.armed_domain_wedges(), 1);
+        assert!(f.take_sync_stall());
+        assert!(f.take_sync_stall());
+        assert_eq!(f.armed_sync_stalls(), 1);
+        assert_eq!(f.armed_domain_crashes(), 0);
     }
 
     #[test]

@@ -77,12 +77,26 @@ pub enum FaultKind {
     /// ([`LeaseFaults::arm_stale_generations`]); the stub must detect the
     /// mismatch on its next leased op and fall back to the RPC path.
     LeaseStaleGeneration,
+    /// An entire engine shard (one NUMA domain's proxy) dies mid-cycle
+    /// ([`EngineFaults::arm_domain_crashes`]); the shard supervisor must
+    /// fence it, settle its in-flight tags as `Gone`, re-steer its
+    /// listeners, and rebuild a replacement from a log snapshot.
+    DomainCrash,
+    /// An engine shard stops making progress without exiting — its
+    /// heartbeat epoch freezes ([`EngineFaults::arm_domain_wedges`]);
+    /// detection is by heartbeat stall, recovery identical to a crash.
+    DomainWedge,
+    /// A shard stops syncing its control-log replica cursor
+    /// ([`EngineFaults::arm_sync_stalls`]) until the lag-bounded
+    /// compactor overruns it; the shard must rebuild via
+    /// `install_snapshot` under live traffic.
+    OplogReplicaLag,
 }
 
 impl FaultKind {
     /// Every kind, in a stable order (used to spread a schedule across
     /// the whole taxonomy).
-    pub const ALL: [FaultKind; 11] = [
+    pub const ALL: [FaultKind; 14] = [
         FaultKind::RingCorrupt,
         FaultKind::RingWedge,
         FaultKind::PcieStall,
@@ -94,6 +108,9 @@ impl FaultKind {
         FaultKind::StubCrash,
         FaultKind::LeaseRecallLost,
         FaultKind::LeaseStaleGeneration,
+        FaultKind::DomainCrash,
+        FaultKind::DomainWedge,
+        FaultKind::OplogReplicaLag,
     ];
 
     /// True when recovery requires a transport link reset (drain → scrub
@@ -120,6 +137,9 @@ impl fmt::Display for FaultKind {
             FaultKind::StubCrash => "stub-crash",
             FaultKind::LeaseRecallLost => "lease-recall-lost",
             FaultKind::LeaseStaleGeneration => "lease-stale-generation",
+            FaultKind::DomainCrash => "domain-crash",
+            FaultKind::DomainWedge => "domain-wedge",
+            FaultKind::OplogReplicaLag => "oplog-replica-lag",
         };
         write!(f, "{s}")
     }
@@ -223,13 +243,29 @@ pub struct RecoveryReport {
     pub detect_ns: u64,
     /// Wall-clock nanoseconds from detection to a usable link, summed.
     pub recover_ns: u64,
+    /// Control-log replica overruns recovered via `install_snapshot`
+    /// rebuilds (the [`FaultKind::OplogReplicaLag`] recovery path).
+    pub oplog_overruns_recovered: u64,
+    /// Reply waves that had their unsent tail resubmitted because a
+    /// response ring filled mid-wave (backpressure, not loss).
+    pub reply_wave_resubmits: u64,
+    /// TCP events discarded because an event ring was full — must be
+    /// zero for a pass: a dropped `Accepted`/`Closed` strands a client.
+    pub event_drops: u64,
+    /// Engine shards fenced and replaced by the supervisor
+    /// ([`FaultKind::DomainCrash`] / [`FaultKind::DomainWedge`]).
+    pub domains_failed_over: u64,
+    /// Wall-clock nanoseconds a failed domain's flows went unserved
+    /// (fence to replacement accepting), summed across failovers.
+    pub blackout_ns: u64,
 }
 
 impl RecoveryReport {
-    /// True when recovery left no permanently hung tag and no leaked
-    /// credit — the E5 acceptance invariant.
+    /// True when recovery left no permanently hung tag, no leaked
+    /// credit, and no silently dropped TCP event — the E5/E9 acceptance
+    /// invariant.
     pub fn clean(&self) -> bool {
-        self.hung_tags == 0 && self.leaked_credits == 0
+        self.hung_tags == 0 && self.leaked_credits == 0 && self.event_drops == 0
     }
 
     /// Goodput fraction: completed / (completed + drained), 1.0 when idle.

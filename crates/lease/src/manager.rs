@@ -462,6 +462,44 @@ impl LeaseManager {
             .collect()
     }
 
+    /// Force-recalls every lease held through `coproc`'s proxy — the
+    /// domain-failover reclamation path. The holder's domain is fenced,
+    /// so no ack can ever arrive: each lease is marked recalled (so the
+    /// ledger's issued/settled books balance) and immediately
+    /// force-revoked, and its external holds are freed so parked RPC
+    /// traffic resumes on the surviving shards. Hot-file I/O against
+    /// these inodes degrades to RPC until a fresh grant; unflushed
+    /// leased writes die with the domain (crash semantics). Returns the
+    /// settled leases, generations already bumped so a re-grant never
+    /// reuses one a dead stub's mapping might still carry.
+    pub fn revoke_coproc(&self, coproc: u8) -> Vec<SettledLease> {
+        let ids: Vec<u64> = {
+            let mut inner = self.inner.lock();
+            let ids: Vec<u64> = inner
+                .leases
+                .iter()
+                .filter(|(_, l)| l.coproc() == coproc)
+                .map(|(id, _)| *id)
+                .collect();
+            for &id in &ids {
+                // Start the recall clock even though nobody is listening:
+                // the issued/forced counters must balance for a clean
+                // ledger, and a concurrently-arriving ack (a frame the
+                // stub sent before dying) settles idempotently.
+                self.mark_recall(&mut inner, id, Duration::ZERO);
+            }
+            ids
+        };
+        let settled: Vec<SettledLease> = ids
+            .into_iter()
+            .filter_map(|id| self.force_revoke(id))
+            .collect();
+        for s in &settled {
+            self.free_holds(s.ino, s.kind);
+        }
+        settled
+    }
+
     /// Silently invalidates every lease on `ino` and bumps the grant
     /// generation. Used for truncate/unlink coherence and by the
     /// stale-generation fault path. Holders detect the mismatch on
@@ -746,6 +784,43 @@ mod tests {
         }
         grant_read(&m, 7, 0);
         assert_eq!(m.ledger().denied_busy, 2);
+    }
+
+    #[test]
+    fn revoke_coproc_reclaims_only_the_dead_domains_leases() {
+        let m = LeaseManager::new();
+        let dead_r = grant_read(&m, 1, 0);
+        let dead_w = m
+            .grant(0, 2, 0, 8192, LeaseKind::Write, vec![ext(20, 2)], 0, None)
+            .expect("writer");
+        let live = grant_read(&m, 3, 1);
+        let g_before = dead_r.generation();
+        let settled = m.revoke_coproc(0);
+        assert_eq!(settled.len(), 2);
+        assert!(settled.iter().all(|s| s.forced && s.coproc == 0));
+        assert!(!dead_r.is_current());
+        assert!(!dead_w.is_current());
+        assert!(live.is_current(), "surviving domain's lease untouched");
+        let ledger = m.ledger();
+        assert!(ledger.clean(), "{ledger:?}");
+        assert_eq!(ledger.forced_revokes, 2);
+        assert_eq!(ledger.outstanding, 1);
+        // A re-grant on a reclaimed inode never reuses the generation.
+        let again = grant_read(&m, 1, 1);
+        assert!(again.generation() > g_before);
+        // Idempotent: nothing left to reclaim for that coproc.
+        assert!(m.revoke_coproc(0).is_empty());
+    }
+
+    #[test]
+    fn revoke_coproc_settles_a_recall_already_in_flight() {
+        let m = LeaseManager::new();
+        let st = grant_read(&m, 9, 2);
+        assert_eq!(m.recall_range(9, 0, u64::MAX, true), 1);
+        assert!(st.is_recalled());
+        let settled = m.revoke_coproc(2);
+        assert_eq!(settled.len(), 1);
+        assert!(m.ledger().clean(), "{:?}", m.ledger());
     }
 
     #[test]

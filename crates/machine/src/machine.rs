@@ -112,10 +112,14 @@ impl Machine {
         let mut topology = Topology::new(cfg.sockets);
         topology.attach(DeviceId::Nvme(0), 0);
         topology.attach(DeviceId::Nic(0), 0);
-        let half = cfg.coprocs.div_ceil(2);
         let mut coprocs = Vec::with_capacity(cfg.coprocs);
         for i in 0..cfg.coprocs {
-            let socket = if cfg.sockets > 1 && i >= half { 1 } else { 0 };
+            // Block-split across sockets: contiguous card ids share a
+            // socket, the first block sits with the SSD/NIC. For two
+            // sockets this is the historical front-half/back-half split;
+            // more sockets spread the blocks so a failover experiment
+            // can run one engine shard (NUMA domain) per card.
+            let socket = (i * cfg.sockets as usize / cfg.coprocs) as u8;
             topology.attach(DeviceId::Coproc(i as u8), socket);
             let counters = Arc::new(PcieCounters::new());
             coprocs.push(Coprocessor {

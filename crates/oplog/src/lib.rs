@@ -118,6 +118,14 @@ impl ReplicaCursor {
     pub fn id(&self) -> usize {
         self.id
     }
+
+    /// The next sequence number this replica will apply — i.e. how much
+    /// of the log its local state reflects. Snapshot producers pair
+    /// their cloned state with this value for
+    /// [`OpLog::install_snapshot`] on the consumer's cursor.
+    pub fn position(&self) -> u64 {
+        self.at
+    }
 }
 
 struct Store<T> {
@@ -250,6 +258,7 @@ impl<T: Clone> OpLog<T> {
             .read()
             .iter()
             .map(|c| c.load(Ordering::Acquire))
+            .filter(|&at| at != u64::MAX) // retired replicas don't pin
             .min()
             .unwrap_or(tail);
         let forced_floor = tail.saturating_sub(self.cfg.max_lag);
@@ -299,6 +308,14 @@ impl<T: Clone> OpLog<T> {
         cursor.cell.store(seq, Ordering::Release);
     }
 
+    /// Permanently retires a replica: its cursor stops pinning compaction
+    /// and stops contributing to `max_lag_now`. Used when a replica's
+    /// owner (an engine shard) is fenced — a dead shard must not hold the
+    /// log hostage. The cursor slot is tombstoned, never reused.
+    pub fn retire(&self, cursor: &ReplicaCursor) {
+        cursor.cell.store(u64::MAX, Ordering::Release);
+    }
+
     /// The published tail (next sequence to be assigned).
     pub fn tail(&self) -> u64 {
         self.tail.load(Ordering::Acquire)
@@ -322,7 +339,9 @@ impl<T: Clone> OpLog<T> {
             .cursors
             .read()
             .iter()
-            .map(|c| tail.saturating_sub(c.load(Ordering::Acquire)))
+            .map(|c| c.load(Ordering::Acquire))
+            .filter(|&at| at != u64::MAX) // retired replicas don't lag
+            .map(|at| tail.saturating_sub(at))
             .max()
             .unwrap_or(0);
         LogStats {
@@ -461,6 +480,32 @@ mod tests {
         let st = log.stats();
         assert_eq!(st.appends, 2000);
         assert!(st.batches <= st.appends);
+    }
+
+    #[test]
+    fn retired_replica_neither_pins_nor_lags() {
+        let log = OpLog::new(LogConfig {
+            high_water: 8,
+            max_lag: u64::MAX,
+        });
+        let mut live = log.register();
+        let dead = log.register();
+        for i in 0..64u64 {
+            log.append(i);
+            log.sync(&mut live, |_, _| {});
+        }
+        // The idle replica pins compaction at zero...
+        assert_eq!(log.head(), 0);
+        assert_eq!(log.stats().max_lag_now, 64);
+        // ...until it is retired, after which the next compaction trims
+        // the fully-applied prefix and the lag stat ignores it.
+        log.retire(&dead);
+        log.append(64);
+        log.sync(&mut live, |_, _| {});
+        log.append(65);
+        assert!(log.head() >= 64, "head={} after retire", log.head());
+        log.sync(&mut live, |_, _| {});
+        assert_eq!(log.stats().max_lag_now, 0);
     }
 
     #[test]

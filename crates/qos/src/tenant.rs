@@ -44,6 +44,18 @@ pub enum TenantOp {
         /// New cap on cumulative charged bytes, or `None` for unlimited.
         bytes: Option<u64>,
     },
+    /// Return `ops`/`bytes` previously charged to `tenant` — issued by
+    /// the shard supervisor when a fenced domain's admitted-but-unserved
+    /// requests are settled as `Gone`, so a failed domain never leaks
+    /// budget. Saturating: a refund can never drive usage negative.
+    Refund {
+        /// Tenant being refunded.
+        tenant: u8,
+        /// Requests refunded.
+        ops: u64,
+        /// Payload bytes across those requests.
+        bytes: u64,
+    },
 }
 
 /// Point-in-time ledger state of one tenant, as seen by one replica.
@@ -95,6 +107,16 @@ impl TenantLedger {
         self.log.append(TenantOp::SetBudget { tenant, bytes });
     }
 
+    /// Appends one refund — the inverse of [`TenantLedger::charge`],
+    /// used to reconcile charges for requests a fenced domain admitted
+    /// but never served.
+    pub fn refund(&self, tenant: u8, ops: u64, bytes: u64) {
+        if ops == 0 && bytes == 0 {
+            return;
+        }
+        self.log.append(TenantOp::Refund { tenant, ops, bytes });
+    }
+
     /// Registers a new replica. It starts at the current log tail with an
     /// empty state, so replicas created before the first charge converge
     /// exactly; register observers at assembly time.
@@ -134,6 +156,11 @@ impl TenantLedgerReplica {
             }
             TenantOp::SetBudget { tenant, bytes } => {
                 self.usage[tenant as usize].lock().unwrap().budget_bytes = bytes;
+            }
+            TenantOp::Refund { tenant, ops, bytes } => {
+                let mut u = self.usage[tenant as usize].lock().unwrap();
+                u.ops = u.ops.saturating_sub(ops);
+                u.bytes = u.bytes.saturating_sub(bytes);
             }
         });
         debug_assert!(
@@ -214,7 +241,25 @@ mod tests {
     fn zero_charge_appends_nothing() {
         let ledger = TenantLedger::new();
         ledger.charge(1, 0, 0);
+        ledger.refund(1, 0, 0);
         assert_eq!(ledger.log_stats().appends, 0);
+    }
+
+    #[test]
+    fn refunds_reconcile_on_every_replica_and_saturate() {
+        let ledger = TenantLedger::new();
+        let a = ledger.replica();
+        let b = ledger.replica();
+        ledger.charge(4, 3, 3000);
+        ledger.refund(4, 1, 1000);
+        assert_eq!(a.usage(4).ops, 2);
+        assert_eq!(a.usage(4).bytes, 2000);
+        assert_eq!(a.usage(4), b.usage(4));
+        // Over-refund (e.g. a crash between charge batching and the
+        // wreck dump) clamps at zero rather than wrapping.
+        ledger.refund(4, 10, 10_000);
+        assert_eq!(b.usage(4), TenantUsage::default());
+        assert_eq!(a.usage(4), b.usage(4));
     }
 
     #[test]

@@ -283,6 +283,7 @@ impl RingBuf {
                 publishes: AtomicU64::new(0),
                 wave_submits: AtomicU64::new(0),
                 wave_frames: AtomicU64::new(0),
+                wave_resubmits: AtomicU64::new(0),
                 combiner: Combiner::new(
                     ProdState {
                         reserve_tail: 0,
@@ -429,6 +430,9 @@ struct ProdInner {
     wave_submits: AtomicU64,
     /// Frames accepted via batched waves.
     wave_frames: AtomicU64,
+    /// Waves whose unsent tail had to be resubmitted after a backoff
+    /// because the ring filled mid-wave ([`Producer::send_batch_blocking`]).
+    wave_resubmits: AtomicU64,
     combiner: Combiner<ProdState, ProdOp, ProdRes>,
 }
 
@@ -534,6 +538,7 @@ impl Producer {
             if unsent.is_empty() {
                 return Ok(());
             }
+            self.inner.wave_resubmits.fetch_add(1, Ordering::Relaxed);
             rest = unsent;
             crate::locks::spin_backoff(&mut spins);
         }
@@ -620,6 +625,13 @@ impl Producer {
             self.inner.wave_submits.load(Ordering::Relaxed),
             self.inner.wave_frames.load(Ordering::Relaxed),
         )
+    }
+
+    /// Waves whose unsent tail was resubmitted after a backoff because
+    /// the ring filled mid-wave — reply-side backpressure, not loss
+    /// (surfaced in the recovery ledger as `reply_wave_resubmits`).
+    pub fn wave_resubmits(&self) -> u64 {
+        self.inner.wave_resubmits.load(Ordering::Relaxed)
     }
 }
 
