@@ -8,6 +8,7 @@
 //! data plane, and `extensions e7` the sharded control-plane scalability
 //! sweep, `extensions e8` the symmetric reply-wave and TCP
 //! send-coalescing sweep, and `extensions e9` the domain-failover fault
+//! storm, and `extensions e10` the hierarchical host-QoS tenant-churn
 //! storm — the cheap ones CI runs as smoke tests. The `e5` arm
 //! exits nonzero if any scenario leaves a hung tag, leaks a credit, or
 //! blows its recovery-latency bound; `e3-engine` exits nonzero if any
@@ -17,8 +18,11 @@
 //! deliver less than 3x the 1-domain op rate or any log replica
 //! diverges; `e9` exits nonzero if a failover is missed, the blackout
 //! blows its bound, a reply is lost or duplicated, surviving replicas
-//! diverge, or the surviving domains' tail collapses. All double as
-//! robustness gates.
+//! diverge, or the surviving domains' tail collapses; `e10` exits
+//! nonzero if a paced victim flow sheds or misses its SLO, if the
+//! flow-table occupancy tracks ever-seen tenants instead of active
+//! ones, if the occupancy ledger leaks, or if the steady-state
+//! admission path heap-allocates. All double as robustness gates.
 
 fn main() {
     let only = std::env::args().nth(1);
@@ -245,10 +249,81 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("e10") => {
+            // Hierarchical host QoS under tenant-id churn; exits nonzero
+            // if a paced victim sheds or blows its SLO, if the sharded
+            // flow tables grow with ever-seen tenants rather than the
+            // active window, if admitted != live + reclaimed (the
+            // occupancy ledger leaked), if the churn was too small to
+            // prove anything, or if the steady-state admission path
+            // performed a single heap allocation.
+            const SLO_US: f64 = 5_000.0;
+            let o = solros_bench::extensions::hierarchical_qos();
+            print!(
+                "## E10 — hierarchical QoS under tenant-id churn\n\n{}",
+                o.report
+            );
+            let mut failed = false;
+            if o.paced_sheds > 0 {
+                eprintln!(
+                    "E10 FAIL: {} sheds charged to paced victim flows (must be 0)",
+                    o.paced_sheds
+                );
+                failed = true;
+            }
+            if o.victim_fs_p99_us > SLO_US || o.victim_tcp_p99_us > SLO_US {
+                eprintln!(
+                    "E10 FAIL: victim p99 fs {:.0} µs / tcp {:.0} µs (SLO {SLO_US} µs)",
+                    o.victim_fs_p99_us, o.victim_tcp_p99_us
+                );
+                failed = true;
+            }
+            if o.ever_seen < 100_000 {
+                eprintln!(
+                    "E10 FAIL: only {} churned tenant ids (want >= 100000)",
+                    o.ever_seen
+                );
+                failed = true;
+            }
+            if o.peak_live > 2 * o.peak_active.max(1) {
+                eprintln!(
+                    "E10 FAIL: peak flow-table occupancy {} vs {} peak-active flows \
+                     (occupancy must be O(active), bound 2x)",
+                    o.peak_live, o.peak_active
+                );
+                failed = true;
+            }
+            if o.live_after > 2 * o.peak_active.max(1) || o.live_after as u64 * 20 > o.ever_seen {
+                eprintln!(
+                    "E10 FAIL: {} entries live after the churn settled \
+                     ({} ever seen, {} peak active) — GC is not reclaiming",
+                    o.live_after, o.ever_seen, o.peak_active
+                );
+                failed = true;
+            }
+            if o.occupancy_drift != 0 {
+                eprintln!(
+                    "E10 FAIL: occupancy ledger drift {} (admitted != live + reclaimed)",
+                    o.occupancy_drift
+                );
+                failed = true;
+            }
+            if o.admission_allocs > 0 {
+                eprintln!(
+                    "E10 FAIL: {} heap allocations across {} steady-state admissions \
+                     (must be 0 — the hot path regressed)",
+                    o.admission_allocs, o.admission_ops
+                );
+                failed = true;
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        }
         Some(other) => {
             eprintln!(
                 "unknown experiment {other:?}; expected `e3`, `e3-engine`, `e4`, `e5`, \
-                 `e6`, `e7`, `e8`, `e9`, or no argument"
+                 `e6`, `e7`, `e8`, `e9`, `e10`, or no argument"
             );
             std::process::exit(2);
         }

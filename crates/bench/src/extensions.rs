@@ -2541,6 +2541,394 @@ pub fn domain_failover() -> FailoverOutcome {
     failover_storm()
 }
 
+/// Outcome of the E10 hierarchical-QoS churn storm, plus the hot-path
+/// allocation probe. CI gates on the victim SLO, zero paced sheds,
+/// bounded flow-table occupancy, and zero allocations per steady-state
+/// admission.
+pub struct HierarchyOutcome {
+    /// Rendered markdown report.
+    pub report: String,
+    /// Paced FS victim p99 queueing+service latency, µs.
+    pub victim_fs_p99_us: f64,
+    /// Paced TCP victim p99 queueing+service latency, µs.
+    pub victim_tcp_p99_us: f64,
+    /// Sheds charged to either paced victim flow (must be 0).
+    pub paced_sheds: u64,
+    /// Distinct churned tenant ids the aggressor burned through.
+    pub ever_seen: u64,
+    /// Max dynamic flows holding queued work at any one time.
+    pub peak_active: usize,
+    /// High-water mark of live dynamic flow-table entries.
+    pub peak_live: usize,
+    /// Dynamic flow-table entries still live after the churn settled.
+    pub live_after: usize,
+    /// Flow-table accounting drift: admitted - (live + reclaimed); any
+    /// nonzero value means the occupancy ledger leaks.
+    pub occupancy_drift: i64,
+    /// Heap allocations observed across the measured steady-state
+    /// admission window (must be 0).
+    pub admission_allocs: u64,
+    /// Admissions in that measured window (for the allocs/op line).
+    pub admission_ops: u64,
+}
+
+/// Extension E10 — host-global hierarchical QoS under tenant-id churn.
+///
+/// One aggressor floods *both* control-plane services (FS and TCP)
+/// through a shared [`solros_qos::HostScheduler`] hierarchy while churning
+/// 100k+ distinct tenant ids — the sybil version of the E3 flood, and
+/// exactly the workload that made the flat scheduler's ever-seen `Vec`
+/// untenable. Two paced victim tenants (one per service) must keep
+/// their SLO with zero sheds; the sharded flow tables must stay
+/// O(active): lazily admitted on first frame, epoch-GC'd once idle, so
+/// occupancy tracks the backlog window, never the 100k+ ids ever seen.
+///
+/// A second, single-threaded measured phase drives the steady-state
+/// admission path (hash-hit tenant lookup → submit → dispatch) under
+/// the process allocation probe: the regression gate is **zero** heap
+/// allocations per admission, pinning the satellite that killed the
+/// per-admission `format!` + linear scan.
+///
+/// Entirely deterministic: virtual clock, no RNG.
+pub fn hierarchical_qos() -> HierarchyOutcome {
+    use solros_qos::{
+        Dispatch, FlowSpec, HostConfig, HostGate, HostScheduler, QosClass, QosConfig, Service,
+        Verdict,
+    };
+
+    const VICTIM_FS_BYTES: u64 = 4 * 1024;
+    const VICTIM_TCP_BYTES: u64 = 1024;
+    const VICTIM_FS_PERIOD_NS: u64 = 50_000; // 20 kops/s paced reads.
+    const VICTIM_TCP_PERIOD_NS: u64 = 50_000; // 20 kops/s paced sends.
+    const AGGR_BYTES: u64 = 16 * 1024;
+    /// Fresh tenant ids the aggressor burns through per 1 ms window.
+    const CHURN_PER_MS: u64 = 100;
+    /// Requests each churned id submits per service before moving on.
+    const OPS_PER_ID: usize = 2;
+    const DURATION_NS: u64 = 1_200_000_000; // 1.2 s: 120k churned ids.
+    /// Victim p99 SLO: the flood is sheddable with a 2 ms deadline, so
+    /// the backlog the victim can get stuck behind is bounded by that
+    /// deadline window plus a DWRR rotation — ~4 ms at 1 byte/ns; 5 ms
+    /// leaves headroom. A flood frame, for contrast, waits 100+ ms or
+    /// sheds.
+    const SLO_US: f64 = 5_000.0;
+
+    let cfg = QosConfig::multi_tenant();
+    // Short epochs so the GC horizon — not the run length — bounds the
+    // table: a churned id's flow lives ~3 epochs past its last frame.
+    let host = HostScheduler::new(HostConfig {
+        epoch_ns: 500_000,
+        gc_idle_epochs: 2,
+        ..HostConfig::default()
+    });
+    let specs = |svc: &str| {
+        vec![
+            FlowSpec::from_class(
+                format!("{svc}/high"),
+                QosClass::High,
+                cfg.class(QosClass::High),
+            ),
+            FlowSpec::from_class(
+                format!("{svc}/normal"),
+                QosClass::Normal,
+                cfg.class(QosClass::Normal),
+            ),
+            FlowSpec::from_class(
+                format!("{svc}/best-effort"),
+                QosClass::BestEffort,
+                cfg.class(QosClass::BestEffort),
+            ),
+        ]
+    };
+    // Churn floods the sheddable best-effort class; victims pace the
+    // non-sheddable normal class. One gate shard per service, both
+    // reporting to the one host directory.
+    const NORMAL: usize = 1;
+    const BEST: usize = 2;
+    let mut gates = [
+        HostGate::new(
+            specs("fs"),
+            cfg.quantum_bytes,
+            cfg.overload_threshold,
+            &host,
+            Service::Fs,
+            0,
+        ),
+        HostGate::new(
+            specs("tcp"),
+            cfg.quantum_bytes,
+            cfg.overload_threshold,
+            &host,
+            Service::Tcp,
+            0,
+        ),
+    ];
+    let victim_tenant = [2u64, 3u64];
+    let victim_bytes = [VICTIM_FS_BYTES, VICTIM_TCP_BYTES];
+    let victim_flow = [
+        gates[0].flow_for_tenant(victim_tenant[0], NORMAL),
+        gates[1].flow_for_tenant(victim_tenant[1], NORMAL),
+    ];
+
+    let mut now = 0u64;
+    let mut next_victim = [0u64, 0u64];
+    let mut next_churn_id = 1_000_000u64;
+    let mut churned_through_ns = 0u64; // ids owed = elapsed ms × rate
+    let mut hist = [Histogram::new(), Histogram::new()];
+    let mut victim_sheds = [0u64, 0u64];
+    let mut aggr_sheds = 0u64;
+    // Dynamic flows holding queued work right now / at peak, tracked
+    // exactly: +1 when a churned flow's queue goes 0→1, −1 on 1→0.
+    let mut active_now = 0usize;
+    let mut peak_active = 0usize;
+
+    // Drains one gate until idle-or-rate-limited, advancing the virtual
+    // clock by the service time (1 byte/ns) of everything it runs.
+    // Returns false once the gate yields nothing.
+    fn drain_one<T: Copy>(
+        g: &mut HostGate<(u64, T)>,
+        now: &mut u64,
+        hist: &mut Histogram,
+        victim_flow: usize,
+        victim_sheds: &mut u64,
+        aggr_sheds: &mut u64,
+        active_now: &mut usize,
+    ) -> bool {
+        match g.dispatch(*now) {
+            Dispatch::Run {
+                flow,
+                item: (bytes, _),
+                wait_ns,
+            } => {
+                *now += bytes; // 1 byte/ns service point per service.
+                if flow == victim_flow {
+                    hist.record(SimTime::from_ns(wait_ns + bytes));
+                } else if g.queued(flow) == 0 {
+                    *active_now -= 1;
+                }
+                true
+            }
+            Dispatch::Shed { flow, .. } => {
+                if flow == victim_flow {
+                    *victim_sheds += 1;
+                } else {
+                    *aggr_sheds += 1;
+                    if g.queued(flow) == 0 {
+                        *active_now -= 1;
+                    }
+                }
+                true
+            }
+            Dispatch::Idle => false,
+        }
+    }
+
+    while now < DURATION_NS {
+        // Paced victims, one per service.
+        for s in 0..2 {
+            while next_victim[s] <= now {
+                match gates[s].submit(
+                    victim_flow[s],
+                    victim_bytes[s],
+                    next_victim[s],
+                    (victim_bytes[s], true),
+                ) {
+                    Verdict::Admitted => {}
+                    Verdict::Shed { .. } => victim_sheds[s] += 1,
+                }
+                next_victim[s] += [VICTIM_FS_PERIOD_NS, VICTIM_TCP_PERIOD_NS][s];
+            }
+        }
+        // The churning aggressor: every window brings fresh tenant ids,
+        // each flooding bulk frames at BOTH services, then never again.
+        while churned_through_ns + 1_000_000 / CHURN_PER_MS <= now {
+            churned_through_ns += 1_000_000 / CHURN_PER_MS;
+            let id = next_churn_id;
+            next_churn_id += 1;
+            for g in gates.iter_mut() {
+                let flow = g.flow_for_tenant(id, BEST);
+                for _ in 0..OPS_PER_ID {
+                    let was_empty = g.queued(flow) == 0;
+                    match g.submit(flow, AGGR_BYTES, now, (AGGR_BYTES, false)) {
+                        Verdict::Admitted => {
+                            if was_empty {
+                                active_now += 1;
+                                peak_active = peak_active.max(active_now);
+                            }
+                        }
+                        Verdict::Shed { .. } => aggr_sheds += 1,
+                    }
+                }
+            }
+        }
+        // Epoch upkeep (GC + host rebalance), as the engine does per
+        // cycle, then serve both service points.
+        let mut progressed = false;
+        for s in 0..2 {
+            gates[s].maintain(now);
+            progressed |= drain_one(
+                &mut gates[s],
+                &mut now,
+                &mut hist[s],
+                victim_flow[s],
+                &mut victim_sheds[s],
+                &mut aggr_sheds,
+                &mut active_now,
+            );
+        }
+        if !progressed {
+            now = next_victim[0].min(next_victim[1]).max(now + 1);
+        }
+    }
+    let peak_live = host.snapshot().peak_live_flows;
+
+    // Churn over: drain the backlog, then idle through GC epochs until
+    // the table holds only what is still active. The victims keep
+    // pacing — reclamation must not disturb live service.
+    let mut settle = now;
+    while settle < now + 10 * 2_000_000 {
+        settle += 500_000;
+        for s in 0..2 {
+            gates[s].maintain(settle);
+            while drain_one(
+                &mut gates[s],
+                &mut settle,
+                &mut hist[s],
+                victim_flow[s],
+                &mut victim_sheds[s],
+                &mut aggr_sheds,
+                &mut active_now,
+            ) {}
+        }
+    }
+    let snap = host.snapshot();
+    let ever_seen = next_churn_id - 1_000_000;
+    // The two victim flows are dynamic entries too; everything churned
+    // must be gone.
+    let live_after = snap.live_flows;
+    let occupancy_drift =
+        snap.admitted_flows as i64 - (snap.live_flows as u64 + snap.reclaimed_flows) as i64;
+
+    // Per-class stats before the measured phase below muddies the
+    // NORMAL slot with its warm-up traffic.
+    let fs_snap = gates[0].stats().flow(NORMAL);
+    let tcp_snap = gates[1].stats().flow(NORMAL);
+
+    // ---- Measured phase: zero-alloc steady-state admission. ----
+    // Warm a small working set of tenants on the FS gate (first frame
+    // admits and allocates — that is the lazy path, not the steady one),
+    // pre-grow their queues to the depth the loop sustains, then count
+    // heap allocations across hash-hit lookup → submit → dispatch.
+    const WARM_TENANTS: u64 = 64;
+    const MEASURED_OPS: u64 = 100_000;
+    let mut flows = Vec::with_capacity(WARM_TENANTS as usize);
+    for t in 0..WARM_TENANTS {
+        flows.push(gates[0].flow_for_tenant(5_000_000 + t, NORMAL));
+    }
+    let mut mnow = settle;
+    for &f in &flows {
+        // Grow each queue once to its steady depth, then drain.
+        for _ in 0..4 {
+            assert!(matches!(
+                gates[0].submit(f, 512, mnow, (512, false)),
+                Verdict::Admitted
+            ));
+        }
+    }
+    while matches!(
+        gates[0].dispatch(mnow),
+        Dispatch::Run { .. } | Dispatch::Shed { .. }
+    ) {}
+    let alloc_before = crate::alloc_probe::allocs();
+    for i in 0..MEASURED_OPS {
+        let t = 5_000_000 + (i % WARM_TENANTS);
+        let f = gates[0].flow_for_tenant(t, NORMAL);
+        mnow += 64;
+        match gates[0].submit(f, 512, mnow, (512, false)) {
+            Verdict::Admitted => {}
+            Verdict::Shed { .. } => unreachable!("unbacklogged normal flow never sheds"),
+        }
+        let _ = gates[0].dispatch(mnow);
+    }
+    let admission_allocs = crate::alloc_probe::allocs() - alloc_before;
+
+    let victim_fs_p99_us = hist[0].percentile(99.0).as_us_f64();
+    let victim_tcp_p99_us = hist[1].percentile(99.0).as_us_f64();
+
+    let mut t = Table::new(vec![
+        "service",
+        "victim p99 (us)",
+        "victim dispatched",
+        "victim sheds",
+        "SLO (us)",
+    ]);
+    t.row(vec![
+        "fs".into(),
+        format!("{victim_fs_p99_us:.0}"),
+        fs_snap.dispatched.to_string(),
+        victim_sheds[0].to_string(),
+        format!("{SLO_US:.0}"),
+    ]);
+    t.row(vec![
+        "tcp".into(),
+        format!("{victim_tcp_p99_us:.0}"),
+        tcp_snap.dispatched.to_string(),
+        victim_sheds[1].to_string(),
+        format!("{SLO_US:.0}"),
+    ]);
+    let mut report = t.to_markdown();
+
+    report.push_str("\nFlow-table occupancy / GC ledger (host-wide, both shards):\n\n");
+    let mut occ = Table::new(vec![
+        "churned tenant ids",
+        "dynamic flows admitted",
+        "peak active",
+        "peak live",
+        "live after churn",
+        "reclaimed",
+        "GC epochs",
+        "aggressor sheds",
+    ]);
+    occ.row(vec![
+        ever_seen.to_string(),
+        snap.admitted_flows.to_string(),
+        peak_active.to_string(),
+        peak_live.to_string(),
+        live_after.to_string(),
+        snap.reclaimed_flows.to_string(),
+        format!("{} + {}", gates[0].gc_epoch(), gates[1].gc_epoch()),
+        aggr_sheds.to_string(),
+    ]);
+    report.push_str(&occ.to_markdown());
+    report.push_str(&format!(
+        "\nSteady-state admission: {admission_allocs} heap allocations across \
+         {MEASURED_OPS} hash-hit admissions ({:.4}/op; gate: 0).\n",
+        admission_allocs as f64 / MEASURED_OPS as f64
+    ));
+    report.push_str(&format!(
+        "\nOne aggressor floods FS and TCP through {ever_seen} churned tenant \
+         ids; the tenant→service→flow tables admit each id lazily and \
+         epoch-GC it once idle, so occupancy peaks at {peak_live} entries \
+         (vs {ever_seen} ever seen) and settles to {live_after}. The paced \
+         victims on both services keep p99 under the {SLO_US:.0} µs SLO with \
+         zero sheds — every shed lands on the churned sheddable flood.\n",
+    ));
+
+    HierarchyOutcome {
+        report,
+        victim_fs_p99_us,
+        victim_tcp_p99_us,
+        paced_sheds: victim_sheds[0] + victim_sheds[1],
+        ever_seen,
+        peak_active,
+        peak_live,
+        live_after,
+        occupancy_drift,
+        admission_allocs,
+        admission_ops: MEASURED_OPS,
+    }
+}
+
 /// Renders all extensions.
 pub fn run_all() -> String {
     let mut out = String::from("# Solros-rs — extension experiments\n");
@@ -2565,6 +2953,10 @@ pub fn run_all() -> String {
         (
             "E9 — domain failover under a fault storm",
             domain_failover().report,
+        ),
+        (
+            "E10 — hierarchical QoS under tenant-id churn",
+            hierarchical_qos().report,
         ),
     ] {
         out.push_str(&format!("\n## {title}\n\n"));

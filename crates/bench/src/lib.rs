@@ -19,6 +19,53 @@ pub mod extensions;
 pub mod figs;
 pub mod model;
 
+/// Heap-allocation probe backing the zero-alloc regression gate on the
+/// QoS admission hot path (E10). A thin counting wrapper over the system
+/// allocator: every `alloc`/`realloc`/`alloc_zeroed` bumps one relaxed
+/// atomic, so `allocs()` deltas around a single-threaded measured window
+/// count exactly the allocations that window performed.
+pub mod alloc_probe {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Counting wrapper over [`System`]; installed as the bench
+    /// harness's global allocator.
+    pub struct CountingAlloc;
+
+    // SAFETY: defers every operation to `System` unchanged; the counter
+    // is a side effect only.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+
+    /// Heap allocations performed since process start (all threads).
+    pub fn allocs() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOC: alloc_probe::CountingAlloc = alloc_probe::CountingAlloc;
+
 /// Runs every experiment and returns the combined markdown report.
 pub fn run_all() -> String {
     let mut out = String::new();

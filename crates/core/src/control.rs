@@ -16,8 +16,8 @@ use solros_lease::{LeaseManager, LeaseTable};
 use solros_machine::{Machine, MachineConfig};
 use solros_netdev::Network;
 use solros_qos::{
-    CreditPool, DwrrScheduler, QosClass, QosConfig, QosStats, TenantLedger, TenantLedgerReplica,
-    TenantUsage,
+    CreditPool, HostConfig, HostGate, HostScheduler, QosClass, QosConfig, QosStats, Service,
+    TenantLedger, TenantLedgerReplica, TenantUsage,
 };
 
 use solros_oplog::LogStats;
@@ -71,6 +71,9 @@ pub struct Solros {
     /// The host's observer replica of the tenant ledger, registered
     /// before boot completes so it sees every charge.
     tenant_view: TenantLedgerReplica,
+    /// Host-global tenant→service→flow hierarchy every QoS gate shard
+    /// (FS and TCP, every domain) reports to.
+    host_qos: Arc<HostScheduler>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -158,6 +161,12 @@ impl Solros {
         let tenant_ledger = TenantLedger::new();
         let tenant_view = tenant_ledger.replica();
 
+        // The host-global QoS hierarchy: level 1 (tenants against host
+        // budgets, rebalanced off the replicated ledger) and level 2
+        // (fs-vs-tcp service shares) are shared state; each proxy below
+        // registers its own per-domain level-3 flow-table shard.
+        let host_qos = HostScheduler::with_ledger(HostConfig::default(), tenant_ledger.replica());
+
         for coproc in &machine.coprocs {
             // ---- File-system service ----
             let fs_ch = Channel::new(Arc::clone(&coproc.counters));
@@ -176,7 +185,13 @@ impl Solros {
             let builder =
                 std::thread::Builder::new().name(format!("solros-fs-proxy-{}", coproc.id));
             let handle = if qos.enabled {
-                let gate = DwrrScheduler::per_class(&format!("fs{}", coproc.id), &qos);
+                let gate = HostGate::per_class(
+                    &format!("fs{}", coproc.id),
+                    &qos,
+                    &host_qos,
+                    Service::Fs,
+                    coproc.id as usize,
+                );
                 let gate_stats = gate.stats();
                 fs_qos_stats.push(Arc::clone(&gate_stats));
                 // Leased bypass bytes are charged to the bulk-data flow
@@ -277,6 +292,7 @@ impl Solros {
             Arc::clone(&lease_mgr),
             Arc::clone(&tenant_ledger),
             qos.clone(),
+            Arc::clone(&host_qos),
             lb,
             Arc::clone(&shutdown),
         ));
@@ -296,7 +312,7 @@ impl Solros {
             tcp_stats.push(Arc::clone(&stats));
             shard.set_tenant_ledger(Arc::clone(&tenant_ledger));
             if qos.enabled {
-                tcp_qos_stats.push(shard.enable_qos(&qos));
+                tcp_qos_stats.push(shard.enable_qos(&qos, &host_qos));
             }
             let health = Arc::new(ShardHealth::new());
             shard.set_health(Arc::clone(&health));
@@ -332,6 +348,7 @@ impl Solros {
             supervisor,
             tenant_ledger,
             tenant_view,
+            host_qos,
             shutdown,
             threads,
         }
@@ -402,6 +419,13 @@ impl Solros {
     /// pass-through.
     pub fn tcp_qos_stats(&self, d: usize) -> Option<&Arc<QosStats>> {
         self.tcp_qos_stats.get(d)
+    }
+
+    /// The host-global tenant→service→flow QoS hierarchy: tenant
+    /// weights/budgets, and the flow-table occupancy/GC ledger
+    /// aggregated across every gate shard.
+    pub fn host_qos(&self) -> &Arc<HostScheduler> {
+        &self.host_qos
     }
 
     /// The system-wide extent-lease control plane (ledger, fault hooks,

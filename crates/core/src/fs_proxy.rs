@@ -39,7 +39,7 @@ use solros_pcie::Side;
 use solros_proto::codec::stamp_credit;
 use solros_proto::fs_msg::{FsRequest, FsResponse};
 use solros_proto::rpc_error::RpcErr;
-use solros_qos::{DwrrScheduler, QosClass, QosStats, TenantLedger};
+use solros_qos::{HostGate, QosClass, QosStats, TenantLedger};
 use solros_ringbuf::{Consumer, Producer};
 
 use crate::proxy_engine::{
@@ -249,7 +249,7 @@ impl FsProxy {
     /// Ring arrivals are admitted into per-class queues (metadata ops are
     /// [`QosClass::High`]; small data ops [`QosClass::Normal`]; bulk data
     /// [`QosClass::BestEffort`]; a non-zero frame tenant re-keys the flow
-    /// via [`DwrrScheduler::flow_for_tenant`]) and drained in DWRR order.
+    /// via [`HostGate::flow_for_tenant`]) and drained in DWRR order.
     /// Shed requests — overload, full queue, or expired deadline — are
     /// answered immediately with [`RpcErr::Overloaded`]; nothing is
     /// dropped silently. Every reply carries the flow's current credit
@@ -262,7 +262,7 @@ impl FsProxy {
         req_rx: Consumer,
         resp_tx: Producer,
         shutdown: Arc<AtomicBool>,
-        gate: DwrrScheduler<GateJob<FsRequest>>,
+        gate: HostGate<GateJob<FsRequest>>,
     ) {
         self.engine(req_rx, resp_tx, Some(gate)).serve(shutdown)
     }
@@ -271,7 +271,7 @@ impl FsProxy {
         self,
         req_rx: Consumer,
         resp_tx: Producer,
-        gate: Option<DwrrScheduler<GateJob<FsRequest>>>,
+        gate: Option<HostGate<GateJob<FsRequest>>>,
     ) -> ProxyEngine<FsProxy> {
         let stats = Arc::clone(&self.stats.engine);
         let faults = Arc::clone(&self.faults);

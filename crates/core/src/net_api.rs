@@ -129,6 +129,12 @@ impl CoprocNet {
         self.call(req)
     }
 
+    /// The underlying RPC client (for tenant stamping and credit
+    /// inspection in tests and tools).
+    pub fn client(&self) -> &Arc<RpcClient> {
+        &self.client
+    }
+
     fn expect_ok(&self, req: NetRequest) -> Result<(), RpcErr> {
         match self.call(req) {
             NetResponse::Ok => Ok(()),

@@ -11,7 +11,7 @@ use solros_faults::EngineFaults;
 use solros_proto::codec::{peek_tag, stamp_credit, FLAG_BARRIER};
 use solros_proto::rpc_error::RpcErr;
 use solros_proto::{AdmitRequest, AdmittedFrame};
-use solros_qos::{Dispatch, DwrrScheduler, TenantLedger, Verdict};
+use solros_qos::{Dispatch, HostGate, TenantLedger, Verdict};
 use solros_ringbuf::{Consumer, Producer};
 
 use super::admission::{Access, GateJob, ReadyJob};
@@ -156,7 +156,7 @@ pub struct ProxyEngine<H: OpHandler> {
     /// Per-lane reply accumulator; every reply producer posts here and
     /// the engine settles one batched enqueue per `(lane, cycle)`.
     settler: Arc<ReplySettler>,
-    gate: Option<DwrrScheduler<GateJob<H::Req>>>,
+    gate: Option<HostGate<GateJob<H::Req>>>,
     epoch: Instant,
     /// Promote lock-holding flows to their waiter's effective weight.
     /// Deferral (the lock model) applies regardless; this gates only the
@@ -182,7 +182,7 @@ impl<H: OpHandler> ProxyEngine<H> {
         lanes: Vec<EngineLane>,
         stats: Arc<ProxyStats>,
         faults: Arc<EngineFaults>,
-        gate: Option<DwrrScheduler<GateJob<H::Req>>>,
+        gate: Option<HostGate<GateJob<H::Req>>>,
     ) -> Self {
         let settler = ReplySettler::new(
             lanes.iter().map(|l| l.resp_tx.clone()).collect(),
@@ -355,6 +355,10 @@ impl<H: OpHandler> ProxyEngine<H> {
                 let bytes = self.handler.classify(job.lane, &job.req).1;
                 owed.push((job.lane, job.tag, None, job.tenant, bytes));
             }
+            // A dead shard's flow-table entries must stop counting
+            // against host occupancy; the replacement shard re-admits
+            // its tenants lazily.
+            gate.retire();
         }
         for (_res, jobs) in self.waiting.drain() {
             for job in jobs {
@@ -433,6 +437,9 @@ impl<H: OpHandler> ProxyEngine<H> {
         }
         // 4. Admit and dispatch.
         if self.gate.is_some() {
+            // Epoch upkeep first: GC idle flow-table entries and let the
+            // host scheduler rebalance tenant budgets off the ledger.
+            self.gate.as_mut().expect("gated").maintain(now_ns);
             progressed |= self.admit_gated(now_ns);
             progressed |= self.dispatch_gated(pool, now_ns);
         } else {
@@ -477,7 +484,7 @@ impl<H: OpHandler> ProxyEngine<H> {
                 let touch = self.handler.touches(&admitted.req);
                 let gate = self.gate.as_mut().expect("gated admission");
                 let tenant = admitted.tenant;
-                let flow = gate.flow_for_tenant(tenant, class_flow);
+                let flow = gate.flow_for_tenant(u64::from(tenant), class_flow);
                 let job = GateJob {
                     lane,
                     tag: admitted.tag,
@@ -494,6 +501,10 @@ impl<H: OpHandler> ProxyEngine<H> {
                             c.1 += bytes;
                         }
                         if let Some((res, Access::Exclusive)) = touch {
+                            // The hold records this flow index until the
+                            // release; pin it so the GC cannot reclaim
+                            // (and reuse) the slot out from under it.
+                            gate.pin_flow(flow);
                             let rec = self.holders.entry(res).or_default();
                             rec.total += 1;
                             *rec.by_flow.entry(flow).or_insert(0) += 1;
@@ -642,6 +653,10 @@ impl<H: OpHandler> ProxyEngine<H> {
         let Some(rec) = self.holders.get_mut(&res) else {
             return;
         };
+        // The admission-time GC pin comes off with the hold.
+        if let Some(gate) = self.gate.as_mut() {
+            gate.unpin_flow(flow);
+        }
         rec.total = rec.total.saturating_sub(1);
         if let Some(c) = rec.by_flow.get_mut(&flow) {
             *c -= 1;
@@ -952,7 +967,7 @@ mod tests {
     use crate::transport::Channel;
     use solros_pcie::PcieCounters;
     use solros_proto::fs_msg::{FsRequest, FsResponse};
-    use solros_qos::{FlowSpec, QosClass};
+    use solros_qos::{FlowSpec, HostConfig, HostScheduler, QosClass, Service};
 
     /// A minimal handler: Fsync acks, Fstat echoes the ino as the size;
     /// Fstat takes a shared touch on the ino, Write an exclusive one.
@@ -1010,7 +1025,7 @@ mod tests {
     }
 
     fn engine(
-        gate: Option<DwrrScheduler<GateJob<FsRequest>>>,
+        gate: Option<HostGate<GateJob<FsRequest>>>,
     ) -> (
         ProxyEngine<Echo>,
         solros_ringbuf::Producer,
@@ -1031,7 +1046,7 @@ mod tests {
         (eng, req_tx, resp_rx, stats, faults)
     }
 
-    fn two_flows() -> DwrrScheduler<GateJob<FsRequest>> {
+    fn two_flows() -> HostGate<GateJob<FsRequest>> {
         let spec = |name: &str, class: QosClass, weight: u32| FlowSpec {
             name: name.into(),
             class,
@@ -1045,13 +1060,17 @@ mod tests {
             sheddable: false,
             tenant: 0,
         };
-        DwrrScheduler::new(
+        let host = HostScheduler::new(HostConfig::default());
+        HostGate::new(
             vec![
                 spec("meta", QosClass::High, 8),
                 spec("data", QosClass::BestEffort, 1),
             ],
             4096,
             usize::MAX,
+            &host,
+            Service::Fs,
+            0,
         )
     }
 

@@ -54,7 +54,7 @@ use parking_lot::Mutex;
 use solros_faults::{EngineFaults, RecoveryReport};
 use solros_lease::LeaseManager;
 use solros_netdev::Network;
-use solros_qos::{QosConfig, TenantLedger};
+use solros_qos::{HostScheduler, QosConfig, TenantLedger};
 
 use crate::proxy_engine::ShardHealth;
 use crate::tcp_proxy::{LoadBalancer, NetChannelHost, TcpControl, TcpProxy, TcpProxyStats};
@@ -93,6 +93,8 @@ pub struct ShardSupervisor {
     lease_mgr: Arc<LeaseManager>,
     tenant_ledger: Arc<TenantLedger>,
     qos: QosConfig,
+    /// Host-global QoS hierarchy replacement shards re-register under.
+    host_qos: Arc<HostScheduler>,
     /// Prototype the replacement shards' balancer replicas fork from.
     lb_proto: Box<dyn LoadBalancer>,
     shutdown: Arc<AtomicBool>,
@@ -104,12 +106,14 @@ pub struct ShardSupervisor {
 impl ShardSupervisor {
     /// A supervisor over no shards yet; [`ShardSupervisor::adopt`] each
     /// spawned shard during boot.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         network: Arc<Network>,
         control: Arc<TcpControl>,
         lease_mgr: Arc<LeaseManager>,
         tenant_ledger: Arc<TenantLedger>,
         qos: QosConfig,
+        host_qos: Arc<HostScheduler>,
         lb_proto: Box<dyn LoadBalancer>,
         shutdown: Arc<AtomicBool>,
     ) -> Self {
@@ -119,6 +123,7 @@ impl ShardSupervisor {
             lease_mgr,
             tenant_ledger,
             qos,
+            host_qos,
             lb_proto,
             shutdown,
             slots: Mutex::new(Vec::new()),
@@ -240,7 +245,7 @@ impl ShardSupervisor {
         );
         repl.set_tenant_ledger(Arc::clone(&self.tenant_ledger));
         if self.qos.enabled {
-            let _ = repl.enable_qos(&self.qos);
+            let _ = repl.enable_qos(&self.qos, &self.host_qos);
         }
         let health = Arc::new(ShardHealth::new());
         repl.set_health(Arc::clone(&health));

@@ -30,7 +30,9 @@ use solros_oplog::{LogConfig, LogStats, OpLog, ReplicaCursor, SyncOutcome};
 use solros_proto::codec::stamp_credit;
 use solros_proto::net_msg::{NetEvent, NetRequest, NetResponse, SockId};
 use solros_proto::rpc_error::RpcErr;
-use solros_qos::{DwrrScheduler, FlowSpec, QosClass, QosConfig, QosStats, TenantLedger};
+use solros_qos::{
+    FlowSpec, HostGate, HostScheduler, QosClass, QosConfig, QosStats, Service, TenantLedger,
+};
 use solros_ringbuf::{Consumer, Producer};
 
 use crate::proxy_engine::{
@@ -515,7 +517,7 @@ pub struct TcpProxy {
     /// QoS gate over per-(co-processor, class) flows; None = FIFO.
     /// Behind a lock only so the engine can take it through the shared
     /// handle at [`TcpProxy::run_shared`] time.
-    qos: Mutex<Option<DwrrScheduler<GateJob<NetRequest>>>>,
+    qos: Mutex<Option<HostGate<GateJob<NetRequest>>>>,
     /// Replicated per-tenant ledger the engine charges gated admissions
     /// to (shared log, domain-local replicas).
     tenant_ledger: Option<Arc<TenantLedger>>,
@@ -638,10 +640,11 @@ impl TcpProxy {
     }
 
     /// Installs a QoS gate with one (high, normal) flow pair per lane,
-    /// built from `cfg` (flow names carry the global co-processor id).
+    /// built from `cfg` (flow names carry the global co-processor id) as
+    /// this domain's TCP shard of the host tenant hierarchy.
     /// Returns the gate's stats ledger. Must be called before
     /// [`TcpProxy::run`].
-    pub fn enable_qos(&mut self, cfg: &QosConfig) -> Arc<QosStats> {
+    pub fn enable_qos(&mut self, cfg: &QosConfig, host: &Arc<HostScheduler>) -> Arc<QosStats> {
         let mut specs = Vec::new();
         for &c in &self.coprocs {
             for class in [QosClass::High, QosClass::Normal] {
@@ -652,7 +655,14 @@ impl TcpProxy {
                 ));
             }
         }
-        let gate = DwrrScheduler::new(specs, cfg.quantum_bytes, cfg.overload_threshold);
+        let gate = HostGate::new(
+            specs,
+            cfg.quantum_bytes,
+            cfg.overload_threshold,
+            host,
+            Service::Tcp,
+            self.shard,
+        );
         let stats = gate.stats();
         *self.qos.get_mut() = Some(gate);
         stats

@@ -23,7 +23,7 @@ use solros_nvme::NvmeDevice;
 use solros_pcie::window::Window;
 use solros_pcie::{PcieCounters, Side};
 use solros_proto::fs_msg::{FsRequest, FsResponse};
-use solros_qos::{DwrrScheduler, FlowSpec, QosClass};
+use solros_qos::{FlowSpec, HostConfig, HostGate, HostScheduler, QosClass, Service};
 
 /// Bulk write size: safely above the best-effort classification cutoff
 /// and block-aligned so the write takes the P2P path.
@@ -71,7 +71,8 @@ fn run(inherit: bool) -> Outcome {
         tenant: 0,
     };
     // Flow indices follow QosClass::index, matching the proxy's classify.
-    let gate = DwrrScheduler::new(
+    let host = HostScheduler::new(HostConfig::default());
+    let gate = HostGate::new(
         vec![
             spec("pi/high", QosClass::High, 16),
             spec("pi/normal", QosClass::Normal, 4),
@@ -79,6 +80,9 @@ fn run(inherit: bool) -> Outcome {
         ],
         4096,
         usize::MAX,
+        &host,
+        Service::Fs,
+        0,
     );
 
     let locked = fs.create("/locked").unwrap();

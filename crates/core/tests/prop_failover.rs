@@ -76,6 +76,178 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Failover under multi-tenant overload: a domain dies while every
+    /// stub floods TCP through churning wire-tenant ids, so its QoS
+    /// shard is full of live dynamic flows at the moment it is fenced.
+    /// The wreck path must retire that shard (its flow-table entries
+    /// stop counting against host occupancy), refund the in-flight
+    /// tenant charges, and leave the host flow-table ledger exact; the
+    /// replacement shard then serves a full credit-window burst.
+    #[test]
+    fn failover_under_overload_retires_the_fenced_qos_shard(
+        wedge in any::<bool>(),
+        victim in 0..DOMAINS,
+    ) {
+        run_overload_failover(wedge, victim);
+    }
+}
+
+fn run_overload_failover(wedge: bool, victim: usize) {
+    /// Wire-tenant ids the flood cycles through on each domain.
+    const TENANTS: u8 = 5;
+
+    let sys = Solros::boot_qos(
+        MachineConfig {
+            sockets: DOMAINS as u8,
+            coprocs: DOMAINS,
+            ssd_blocks: 4_096,
+            coproc_window_bytes: 4 << 20,
+            host_cache_pages: 64,
+        },
+        QosConfig::enforcing(),
+    );
+    let supervisor = Arc::clone(sys.supervisor());
+    let host = Arc::clone(sys.host_qos());
+
+    // Tenant-churning TCP flood from every stub: each round stamps a
+    // different wire tenant, so the gates populate dynamic per-tenant
+    // flows (the lazily admitted level-3 entries) on every domain.
+    let stop = Arc::new(AtomicBool::new(false));
+    let flood: Vec<_> = (0..DOMAINS)
+        .map(|i| {
+            let net = sys.data_plane(i).net().clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut per_tenant = [0u64; TENANTS as usize + 1];
+                let mut round = 0u64;
+                while !stop.load(Relaxed) {
+                    round += 1;
+                    let tenant = 1 + (round % u64::from(TENANTS)) as u8;
+                    net.client().set_tenant(tenant);
+                    per_tenant[tenant as usize] += 1;
+                    // A dead domain answers with a clean error (`Gone`
+                    // surfaces as an error response) — never a hang.
+                    if let solros_proto::net_msg::NetResponse::Socket { sock } =
+                        net.raw_call(NetRequest::Socket)
+                    {
+                        per_tenant[tenant as usize] += 1;
+                        let _ = net.raw_call(NetRequest::Close { sock });
+                    }
+                }
+                net.client().set_tenant(0);
+                per_tenant
+            })
+        })
+        .collect();
+
+    // The flood must be visibly shaping the flow tables before the kill.
+    assert!(
+        wait_until(Duration::from_secs(10), || host.snapshot().live_flows
+            >= DOMAINS),
+        "flood never populated dynamic tenant flows: {:?}",
+        host.snapshot()
+    );
+    let reclaimed_before = host.snapshot().reclaimed_flows;
+
+    let faults = supervisor.shard_faults(victim);
+    if wedge {
+        faults.arm_domain_wedges(1);
+    } else {
+        faults.arm_domain_crashes(1);
+    }
+    assert!(
+        wait_until(Duration::from_secs(10), || supervisor.failovers() >= 1),
+        "failover under overload was never detected"
+    );
+
+    // Let the replacement take load for a moment, then quiesce.
+    std::thread::sleep(Duration::from_millis(200));
+    stop.store(true, Relaxed);
+    let mut submitted = [0u64; TENANTS as usize + 1];
+    for t in flood {
+        let per_tenant = t.join().expect("flood threads resolve every call");
+        for (sum, n) in submitted.iter_mut().zip(per_tenant) {
+            *sum += n;
+        }
+    }
+
+    // The fenced shard was retired: its dynamic flows were reclaimed
+    // even though they held queued work when the domain died.
+    let snap = host.snapshot();
+    assert!(
+        snap.reclaimed_flows > reclaimed_before,
+        "fencing reclaimed no flow-table entries: {snap:?}"
+    );
+    // With the flood stopped, the epoch GC drains every surviving
+    // dynamic flow and the occupancy ledger balances exactly.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            let s = host.snapshot();
+            s.live_flows == 0 && s.admitted_flows == s.reclaimed_flows
+        }),
+        "flow tables did not drain to the static skeleton: {:?}",
+        host.snapshot()
+    );
+
+    // Charge sanity: a tenant's replicated usage can never exceed what
+    // the stubs actually submitted — the wreck refunded charges for
+    // admitted-but-never-served work instead of leaking them.
+    for tenant in 1..=TENANTS {
+        let usage = sys.tenant_usage(tenant);
+        assert!(
+            usage.ops <= submitted[tenant as usize],
+            "tenant {tenant} charged {} ops but submitted {}: wreck charges leaked",
+            usage.ops,
+            submitted[tenant as usize]
+        );
+    }
+
+    // The replacement shard serves a full credit-window burst: no
+    // credit or flow-table state died with the fenced shard.
+    for i in 0..DOMAINS {
+        let net = sys.data_plane(i).net().clone();
+        bounded(
+            &format!("coproc {i} post-failover full-window burst"),
+            Duration::from_secs(20),
+            move || {
+                let pending: Vec<_> = (0..WINDOW)
+                    .map(|_| loop {
+                        match net.submit_call(NetRequest::Socket) {
+                            Ok(p) => break p,
+                            Err(_) => std::thread::yield_now(),
+                        }
+                    })
+                    .collect();
+                let socks: Vec<u64> = pending
+                    .into_iter()
+                    .map(|p| match p.wait(&net) {
+                        solros_proto::net_msg::NetResponse::Socket { sock } => sock,
+                        other => panic!("burst socket call failed: {other:?}"),
+                    })
+                    .collect();
+                for sock in socks {
+                    let _ = net.raw_call(NetRequest::Close { sock });
+                }
+            },
+        );
+    }
+
+    let fps = supervisor.replica_fingerprints();
+    assert_eq!(fps.len(), DOMAINS, "every domain must end live");
+    assert!(
+        fps.windows(2).all(|w| w[0] == w[1]),
+        "surviving replicas diverged: {fps:x?}"
+    );
+    let report = sys.recovery_report();
+    assert_eq!(report.domains_failed_over, 1);
+    assert!(report.clean(), "recovery report must be clean: {report:?}");
+
+    sys.shutdown();
+}
+
 fn run_storm(events: Vec<KillEvent>) {
     let sys = Solros::boot_qos(
         MachineConfig {

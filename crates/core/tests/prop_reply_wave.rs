@@ -19,7 +19,7 @@ use solros_pcie::window::Window;
 use solros_pcie::{PcieCounters, Side};
 use solros_proto::fs_msg::FsRequest;
 use solros_proto::net_msg::NetRequest;
-use solros_qos::{CreditPool, DwrrScheduler, FlowSpec, QosClass};
+use solros_qos::{CreditPool, FlowSpec, HostConfig, HostGate, HostScheduler, QosClass, Service};
 
 /// Accepts the pending fabric connection on `port`, reporting which
 /// listener died instead of unwrapping blind.
@@ -120,7 +120,8 @@ fn run_fs_case(waves: Vec<Vec<FsOp>>) {
             sheddable: true,
             tenant: 0,
         };
-        let gate = DwrrScheduler::new(
+        let host = HostScheduler::new(HostConfig::default());
+        let gate = HostGate::new(
             vec![
                 spec("rw/high", QosClass::High, 1024),
                 spec("rw/normal", QosClass::Normal, 1024),
@@ -128,6 +129,9 @@ fn run_fs_case(waves: Vec<Vec<FsOp>>) {
             ],
             4096,
             usize::MAX,
+            &host,
+            Service::Fs,
+            0,
         );
         proxy.serve_qos(ch.req_rx, ch.resp_tx, sd, gate);
     });

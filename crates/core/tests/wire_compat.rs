@@ -19,7 +19,7 @@ use solros_pcie::window::Window;
 use solros_pcie::{PcieCounters, Side};
 use solros_proto::fs_msg::FsRequest;
 use solros_proto::net_msg::NetRequest;
-use solros_qos::{DwrrScheduler, FlowSpec, QosClass};
+use solros_qos::{FlowSpec, HostConfig, HostGate, HostScheduler, QosClass, Service};
 
 // Reply type discriminators, restated from the wire spec (not imported:
 // the point is to catch the constants drifting).
@@ -125,7 +125,8 @@ fn fs_rig(gated: bool) -> FsRig {
                 sheddable: false,
                 tenant: 0,
             };
-            let gate = DwrrScheduler::new(
+            let host = HostScheduler::new(HostConfig::default());
+            let gate = HostGate::new(
                 vec![
                     spec("wc/high", QosClass::High),
                     spec("wc/normal", QosClass::Normal),
@@ -133,6 +134,9 @@ fn fs_rig(gated: bool) -> FsRig {
                 ],
                 4096,
                 usize::MAX,
+                &host,
+                Service::Fs,
+                0,
             );
             proxy.serve_qos(ch.req_rx, ch.resp_tx, sd, gate);
         } else {

@@ -25,6 +25,11 @@
 //! * **A replicated per-tenant ledger** ([`TenantLedger`]) driven by the
 //!   shared operation log, so every control-plane shard charges and
 //!   reads tenant budgets from a socket-local replica.
+//! * **A host-global tenant→service→flow hierarchy** ([`HostScheduler`] +
+//!   per-domain [`HostGate`] shards): tenants are arbitrated against
+//!   host-wide budgets rebalanced over the tenant ledger, service shares
+//!   split each tenant's credit between FS and TCP, and flow state lives
+//!   in hash-indexed, epoch-GC'd tables that stay O(active tenants).
 //!
 //! All scheduler state is driven by an explicit `now_ns` clock parameter,
 //! so the same code runs under the real clock inside proxies and under a
@@ -35,6 +40,7 @@
 mod bucket;
 mod config;
 mod credit;
+mod host;
 mod sched;
 mod stats;
 mod tenant;
@@ -42,6 +48,7 @@ mod tenant;
 pub use bucket::TokenBucket;
 pub use config::{ClassConfig, QosClass, QosConfig};
 pub use credit::CreditPool;
+pub use host::{HostConfig, HostGate, HostQosSnapshot, HostScheduler, Service, SERVICE_COUNT};
 pub use sched::{Dispatch, DwrrScheduler, FlowSpec, ShedReason, Verdict};
 pub use stats::{FlowSnapshot, QosStats};
 pub use tenant::{TenantLedger, TenantLedgerReplica, TenantOp, TenantUsage, TENANT_SLOTS};

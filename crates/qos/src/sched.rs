@@ -1,6 +1,6 @@
 //! Deficit-weighted round-robin gate with shedding and deadlines.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use crate::bucket::TokenBucket;
@@ -160,6 +160,10 @@ pub struct DwrrScheduler<T> {
     quantum_bytes: u64,
     overload_threshold: usize,
     queued_total: usize,
+    /// `(tenant, base flow) → tenant-variant flow` index built once at
+    /// construction, so per-admission tenant keying is one hash probe —
+    /// no name formatting, no scan.
+    tenant_lut: HashMap<(u8, usize), usize>,
     stats: Arc<QosStats>,
 }
 
@@ -170,7 +174,7 @@ impl<T> DwrrScheduler<T> {
         let stats = Arc::new(QosStats::new(
             specs.iter().map(|s| s.name.clone()).collect(),
         ));
-        let flows = specs
+        let flows: Vec<Flow<T>> = specs
             .into_iter()
             .map(|spec| Flow {
                 ops: TokenBucket::new(spec.ops_per_sec, spec.burst_ops.max(1)),
@@ -181,6 +185,20 @@ impl<T> DwrrScheduler<T> {
                 spec,
             })
             .collect();
+        // Index tenant-variant flows (`"name#t<N>"`) by their base flow
+        // once, up front; admission then keys tenants without allocating.
+        let mut tenant_lut = HashMap::new();
+        for (i, f) in flows.iter().enumerate() {
+            if f.spec.tenant == 0 {
+                continue;
+            }
+            let Some((base_name, _)) = f.spec.name.rsplit_once("#t") else {
+                continue;
+            };
+            if let Some(base) = flows.iter().position(|b| b.spec.name == base_name) {
+                tenant_lut.insert((f.spec.tenant, base), i);
+            }
+        }
         Self {
             flows,
             cursor: 0,
@@ -188,6 +206,7 @@ impl<T> DwrrScheduler<T> {
             quantum_bytes: quantum_bytes.max(1),
             overload_threshold,
             queued_total: 0,
+            tenant_lut,
             stats,
         }
     }
@@ -238,10 +257,9 @@ impl<T> DwrrScheduler<T> {
         if self.flows[fallback].spec.tenant == tenant {
             return fallback;
         }
-        let want = format!("{}#t{}", self.flows[fallback].spec.name, tenant);
-        self.flows
-            .iter()
-            .position(|f| f.spec.tenant == tenant && f.spec.name == want)
+        self.tenant_lut
+            .get(&(tenant, fallback))
+            .copied()
             .unwrap_or(fallback)
     }
 
@@ -303,6 +321,14 @@ impl<T> DwrrScheduler<T> {
                 item,
                 reason: ShedReason::QueueFull,
             };
+        }
+        if f.queue.is_empty() {
+            // A flow re-entering after its queue drained must start its
+            // next turn from zero banked deficit. Dispatch already resets
+            // idle flows it visits, but a gate that went fully idle never
+            // visits anyone — without this, residual deficit from the
+            // flow's last burst would distort its first burst back.
+            f.deficit = 0;
         }
         f.queue.push_back(Queued {
             bytes,
@@ -389,6 +415,11 @@ impl<T> DwrrScheduler<T> {
     fn advance(&mut self) {
         self.cursor = (self.cursor + 1) % self.flows.len();
         self.fresh_turn = true;
+    }
+
+    #[cfg(test)]
+    fn deficit(&self, flow: usize) -> u64 {
+        self.flows[flow].deficit
     }
 
     /// Drains every queued request, in flow order, for shutdown paths.
@@ -625,6 +656,20 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn idle_flow_reenters_with_reset_deficit() {
+        let mut s: DwrrScheduler<u32> =
+            DwrrScheduler::new(vec![spec("a", QosClass::Normal, 4)], 1024, usize::MAX);
+        assert!(matches!(s.submit(0, 64, 0, 1), Verdict::Admitted));
+        assert!(matches!(s.dispatch(0), Dispatch::Run { .. }));
+        assert!(s.deficit(0) > 0, "residual deficit banked after the run");
+        // The gate is now fully idle: dispatch never visits the flow, so
+        // only submit can clear the stale carryover.
+        assert!(matches!(s.dispatch(0), Dispatch::Idle));
+        assert!(matches!(s.submit(0, 64, 10, 2), Verdict::Admitted));
+        assert_eq!(s.deficit(0), 0, "stale deficit must not survive idling");
     }
 
     #[test]
